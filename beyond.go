@@ -1,0 +1,239 @@
+// Package beyond is the public API of the access-control toolkit
+// built around Zhang, Panda & Shenker, "Access Control for Database
+// Applications: Beyond Policy Enforcement" (HotOS '23). It covers the
+// full life-cycle the paper lays out:
+//
+//   - Enforcement (§2.2): a Blockaid-style compliance Checker and a
+//     network Proxy that allow a query as-is or block it, considering
+//     the session's query history.
+//   - Policy creation (§3): Extract policies from application code by
+//     symbolic execution, or Mine them from black-box query traces
+//     with hints and active probing.
+//   - Policy evaluation (§4): Audit a policy against sensitive queries
+//     with the prior-agnostic PQI/NQI criteria, k-anonymity, and an
+//     exact Bayesian baseline.
+//   - Violation diagnosis (§5): Diagnose blocked queries with
+//     counterexamples, contained rewritings, synthesized access
+//     checks, and policy patches.
+//
+// The toolkit is self-contained: it ships its own SQL parser,
+// in-memory relational engine, conjunctive-query reasoner, and model
+// applications (see internal/ and DESIGN.md).
+//
+// Quick start:
+//
+//	sch := beyond.NewSchema().
+//		Table("Attendance").
+//		NotNullCol("UId", beyond.Int).
+//		NotNullCol("EId", beyond.Int).
+//		PK("UId", "EId").Done().
+//		MustBuild()
+//	db := beyond.NewDB(sch)
+//	pol := beyond.MustNewPolicy(sch, map[string]string{
+//		"V1": "SELECT EId FROM Attendance WHERE UId = ?MyUId",
+//	})
+//	chk := beyond.NewChecker(pol)
+//	d, _ := chk.CheckSQL("SELECT EId FROM Attendance WHERE UId = 1",
+//		beyond.Args(), beyond.Session(map[string]any{"MyUId": 1}), nil)
+//	fmt.Println(d.Allowed)
+package beyond
+
+import (
+	"repro/internal/appdsl"
+	"repro/internal/apps"
+	"repro/internal/baseline"
+	"repro/internal/checker"
+	"repro/internal/diagnose"
+	"repro/internal/disclosure"
+	"repro/internal/engine"
+	"repro/internal/extract"
+	"repro/internal/policy"
+	"repro/internal/proxy"
+	"repro/internal/schema"
+	"repro/internal/sqlparser"
+	"repro/internal/sqlvalue"
+	"repro/internal/trace"
+)
+
+// Core value and schema types.
+type (
+	// Value is a typed SQL value.
+	Value = sqlvalue.Value
+	// Schema describes tables, keys, and foreign keys.
+	Schema = schema.Schema
+	// SchemaBuilder declares schemas fluently.
+	SchemaBuilder = schema.Builder
+	// DB is the in-memory relational engine.
+	DB = engine.DB
+	// Result is a query result set.
+	Result = engine.Result
+	// Row is one stored tuple.
+	Row = engine.Row
+)
+
+// Column type constants.
+const (
+	Int  = sqlvalue.Int
+	Real = sqlvalue.Real
+	Text = sqlvalue.Text
+	Bool = sqlvalue.Bool
+)
+
+// Policy and enforcement types.
+type (
+	// Policy is an allow-list of parameterized SQL views.
+	Policy = policy.Policy
+	// View is one policy view.
+	View = policy.View
+	// Checker vets queries against a policy (the §2.2 enforcement
+	// core).
+	Checker = checker.Checker
+	// Decision is a compliance verdict.
+	Decision = checker.Decision
+	// CheckerOptions toggles history, caching, and search bounds.
+	CheckerOptions = checker.Options
+	// Trace is a session's query history.
+	Trace = trace.Trace
+	// ProxyServer is the network enforcement proxy.
+	ProxyServer = proxy.Server
+	// ProxyClient is its line-protocol client.
+	ProxyClient = proxy.Client
+	// ProxyMode selects enforce / log-only / off.
+	ProxyMode = proxy.Mode
+	// RLS is the query-modification baseline.
+	RLS = baseline.RLS
+	// ColumnGrants is the static column-policy baseline.
+	ColumnGrants = baseline.ColumnGrants
+)
+
+// Proxy modes.
+const (
+	Enforce = proxy.Enforce
+	LogOnly = proxy.LogOnly
+	Off     = proxy.Off
+)
+
+// Extraction types (§3).
+type (
+	// App is a model application written in the handler DSL.
+	App = appdsl.App
+	// Handler is one request handler.
+	Handler = appdsl.Handler
+	// MineOptions configures black-box extraction.
+	MineOptions = extract.MineOptions
+	// ExtractionAccuracy compares an extraction to ground truth.
+	ExtractionAccuracy = extract.Accuracy
+)
+
+// Disclosure types (§4).
+type (
+	// DisclosureVerdict is a PQI/NQI finding.
+	DisclosureVerdict = disclosure.Verdict
+	// DisclosureReport is a full audit.
+	DisclosureReport = disclosure.Report
+	// BayesPrior is a tuple-independent adversary belief.
+	BayesPrior = disclosure.Prior
+)
+
+// Diagnosis types (§5).
+type (
+	// Diagnosis bundles counterexample, rewritings, checks, patches.
+	Diagnosis = diagnose.Diagnosis
+	// Counterexample is the two-database proof of violation.
+	Counterexample = diagnose.Counterexample
+	// AccessCheck is a synthesized application patch.
+	AccessCheck = diagnose.AccessCheck
+	// Rewriting is a contained-rewriting patch.
+	Rewriting = diagnose.Rewriting
+)
+
+// Fixture is a bundled model application (calendar, hospital,
+// employees, forum).
+type Fixture = apps.Fixture
+
+// NewSchema starts a schema declaration.
+func NewSchema() *SchemaBuilder { return schema.NewBuilder() }
+
+// NewDB creates an empty database over the schema.
+func NewDB(s *Schema) *DB { return engine.New(s) }
+
+// NewPolicy builds a policy from named view SQL.
+func NewPolicy(s *Schema, views map[string]string) (*Policy, error) {
+	return policy.New(s, views)
+}
+
+// MustNewPolicy is NewPolicy, panicking on error.
+func MustNewPolicy(s *Schema, views map[string]string) *Policy {
+	return policy.MustNew(s, views)
+}
+
+// NewChecker builds a compliance checker with default options
+// (history-aware, decision templates on).
+func NewChecker(p *Policy) *Checker { return checker.New(p) }
+
+// NewCheckerWithOptions builds a checker with explicit options.
+func NewCheckerWithOptions(p *Policy, o CheckerOptions) *Checker {
+	return checker.NewWithOptions(p, o)
+}
+
+// NewProxy builds an enforcement proxy over a database and checker.
+func NewProxy(db *DB, c *Checker, mode ProxyMode) *ProxyServer {
+	return proxy.NewServer(db, c, mode)
+}
+
+// DialProxy connects a client to a proxy address.
+func DialProxy(addr string) (*ProxyClient, error) { return proxy.Dial(addr) }
+
+// Args builds positional query arguments from Go values.
+func Args(vals ...any) sqlparser.Args { return sqlparser.PositionalArgs(vals...) }
+
+// Session builds the principal attribute map policies parameterize
+// over (e.g. {"MyUId": 7}).
+func Session(attrs map[string]any) map[string]Value {
+	out := make(map[string]Value, len(attrs))
+	for k, v := range attrs {
+		out[k] = sqlvalue.MustFromAny(v)
+	}
+	return out
+}
+
+// ExtractPolicy derives a draft policy from application handlers by
+// symbolic execution (§3.2.1).
+func ExtractPolicy(s *Schema, app *App) (*Policy, error) {
+	return extract.SymbolicExtract(s, app)
+}
+
+// MinePolicy derives a draft policy from black-box samples (§3.2.2).
+func MinePolicy(s *Schema, samples []extract.Sample, opts MineOptions) (*Policy, error) {
+	return extract.Mine(s, samples, opts)
+}
+
+// CompareExtraction measures extraction accuracy against a ground
+// truth policy.
+func CompareExtraction(extracted, truth *Policy) ExtractionAccuracy {
+	return extract.Compare(extracted, truth)
+}
+
+// AuditPolicy checks PQI and NQI for each named sensitive query
+// (§4.3).
+func AuditPolicy(p *Policy, sensitive map[string]string) (*DisclosureReport, error) {
+	return disclosure.Audit(p, sensitive)
+}
+
+// KAnonymity computes the k parameter of a released view over a
+// concrete database.
+func KAnonymity(db *DB, releaseSQL string, quasi []string) (int, error) {
+	return disclosure.KAnonymity(db, releaseSQL, quasi)
+}
+
+// DiagnoseBlocked explains a blocked query and proposes patches
+// (§5.2).
+func DiagnoseBlocked(c *Checker, session map[string]Value, sql string, args sqlparser.Args, tr *Trace) (*Diagnosis, error) {
+	return diagnose.Diagnose(c, session, sql, args, tr)
+}
+
+// Fixtures returns the bundled model applications.
+func Fixtures() []*Fixture { return apps.All() }
+
+// FixtureByName returns one bundled model application.
+func FixtureByName(name string) (*Fixture, error) { return apps.ByName(name) }

@@ -1,0 +1,40 @@
+// Command acbench runs the full evaluation suite E1–E8 (DESIGN.md) and
+// prints every table. For calibrated latency numbers, prefer the
+// testing.B benchmarks: go test -bench=. -benchmem .
+//
+// Usage:
+//
+//	acbench            # run everything
+//	acbench -only E1   # one experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated experiment ids (E1..E8)")
+	flag.Parse()
+
+	tables, err := experiments.RunAll()
+	if err != nil {
+		log.Fatal(err)
+	}
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id != "" {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+	for _, t := range tables {
+		if len(want) > 0 && !want[strings.ToUpper(t.ID)] && !want[strings.ToUpper(strings.TrimSuffix(t.ID, "b"))] {
+			continue
+		}
+		fmt.Println(t)
+	}
+}

@@ -1,0 +1,35 @@
+// Command acdiagnose explains why a query is blocked under a bundled
+// model application's policy and prints the §5 patches: the
+// counterexample, contained rewritings, and synthesized access checks.
+//
+// Usage:
+//
+//	acdiagnose -app calendar -uid 1 -sql "SELECT * FROM Events WHERE EId=2"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	beyond "repro"
+)
+
+func main() {
+	app := flag.String("app", "calendar", "fixture: calendar|hospital|employees|forum")
+	uid := flag.Int64("uid", 1, "principal id (MyUId)")
+	sql := flag.String("sql", "SELECT * FROM Events WHERE EId=2", "the query to diagnose")
+	flag.Parse()
+
+	f, err := beyond.FixtureByName(*app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	chk := beyond.NewChecker(f.Policy())
+	sess := f.Session(*uid)
+	diag, err := beyond.DiagnoseBlocked(chk, sess, *sql, beyond.Args(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(diag)
+}

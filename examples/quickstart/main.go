@@ -1,0 +1,89 @@
+// Command quickstart walks through the paper's Example 2.1 end to end
+// with the in-process API: a calendar policy of two views, a query
+// that is blocked in isolation, and the same query allowed once the
+// history contains the application's access check.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	beyond "repro"
+	"repro/internal/sqlparser"
+	"repro/internal/trace"
+)
+
+func main() {
+	// Schema: the paper's calendar application.
+	sch := beyond.NewSchema().
+		Table("Events").
+		NotNullCol("EId", beyond.Int).
+		NotNullCol("Title", beyond.Text).
+		Col("Notes", beyond.Text).
+		PK("EId").Done().
+		Table("Attendance").
+		NotNullCol("UId", beyond.Int).
+		NotNullCol("EId", beyond.Int).
+		PK("UId", "EId").Done().
+		MustBuild()
+
+	db := beyond.NewDB(sch)
+	db.MustExec("INSERT INTO Events (EId, Title, Notes) VALUES (2, 'retro', 'bring snacks')")
+	db.MustExec("INSERT INTO Attendance (UId, EId) VALUES (1, 2)")
+
+	// Policy: the paper's views V1 and V2.
+	pol := beyond.MustNewPolicy(sch, map[string]string{
+		"V1": "SELECT EId FROM Attendance WHERE UId = ?MyUId",
+		"V2": "SELECT * FROM Events e JOIN Attendance a ON e.EId = a.EId WHERE a.UId = ?MyUId",
+	})
+	chk := beyond.NewChecker(pol)
+	sess := beyond.Session(map[string]any{"MyUId": 1})
+
+	// Q2 in isolation: blocked.
+	q2 := "SELECT * FROM Events WHERE EId=2"
+	d, err := chk.CheckSQL(q2, beyond.Args(), sess, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Q2 alone:       allowed=%v (%s)\n", d.Allowed, d.Reason)
+
+	// Q1: allowed, and its result enters the history.
+	q1 := "SELECT 1 FROM Attendance WHERE UId=1 AND EId=2"
+	d, err = chk.CheckSQL(q1, beyond.Args(), sess, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Q1:             allowed=%v (%s)\n", d.Allowed, d.Reason)
+
+	res, err := db.QuerySQL(q1, beyond.Args())
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr := &trace.Trace{}
+	tr.Append(trace.Entry{
+		SQL:     q1,
+		Stmt:    sqlparser.MustParseSelect(q1),
+		Args:    beyond.Args(),
+		Columns: res.Columns,
+		Rows:    rowsOf(res),
+	})
+
+	// Q2 with Q1's non-empty result in the history: allowed.
+	d, err = chk.CheckSQL(q2, beyond.Args(), sess, tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Q2 after Q1:    allowed=%v (%s)\n", d.Allowed, d.Reason)
+
+	stats := chk.Stats()
+	fmt.Printf("checker stats:  decisions=%d allowed=%d blocked=%d\n",
+		stats.Decisions, stats.Allowed, stats.Blocked)
+}
+
+func rowsOf(res *beyond.Result) [][]beyond.Value {
+	out := make([][]beyond.Value, len(res.Rows))
+	for i, r := range res.Rows {
+		out[i] = r
+	}
+	return out
+}

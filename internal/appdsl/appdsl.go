@@ -1,0 +1,303 @@
+// Package appdsl defines a small handler language for modeling
+// database-backed web applications: handlers take request parameters
+// and a session, issue SQL queries, branch on result emptiness (the
+// access-check idiom of the paper's Listing 1), iterate over results,
+// and render or abort.
+//
+// The language exists to give the paper's §3 extraction proposals a
+// concrete surface: its concrete interpreter drives the enforcement
+// proxy (producing query traces for black-box mining), and its
+// symbolic executor enumerates every (query, path condition) pair for
+// language-based extraction — the role symbolic execution of Ruby or
+// PHP plays in the paper.
+package appdsl
+
+import (
+	"fmt"
+
+	"repro/internal/sqlvalue"
+)
+
+// Val is an expression yielding a scalar: a literal, a request
+// parameter, a session attribute, or a column of the current loop row.
+type Val interface{ val() }
+
+// Lit is a constant.
+type Lit struct{ Value sqlvalue.Value }
+
+func (Lit) val() {}
+
+// LitOf builds a literal from a Go value.
+func LitOf(v any) Lit { return Lit{Value: sqlvalue.MustFromAny(v)} }
+
+// ParamRef reads a request parameter.
+type ParamRef struct{ Name string }
+
+func (ParamRef) val() {}
+
+// SessionRef reads a session attribute (e.g. "user_id").
+type SessionRef struct{ Name string }
+
+func (SessionRef) val() {}
+
+// RowRef reads a column of the row bound by an enclosing ForEach.
+type RowRef struct {
+	Row    string // the ForEach's Row name
+	Column string // result column label
+}
+
+func (RowRef) val() {}
+
+// Stmt is one handler statement.
+type Stmt interface{ stmt() }
+
+// Query runs a SELECT with positional arguments and stores the result
+// under Dest.
+type Query struct {
+	Dest string
+	SQL  string
+	Args []Val
+}
+
+func (Query) stmt() {}
+
+// If branches on a condition over stored results.
+type If struct {
+	Cond Cond
+	Then []Stmt
+	Else []Stmt
+}
+
+func (If) stmt() {}
+
+// Abort stops the handler (e.g. HTTP 404). Queries issued before the
+// abort still executed and still revealed data.
+type Abort struct{ Message string }
+
+func (Abort) stmt() {}
+
+// Render marks a stored result as shown to the user.
+type Render struct{ From string }
+
+func (Render) stmt() {}
+
+// ForEach runs Body once per row of a stored result, binding the row
+// under Row for RowRef.
+type ForEach struct {
+	Over string
+	Row  string
+	Body []Stmt
+}
+
+func (ForEach) stmt() {}
+
+// Cond is a branch condition.
+type Cond interface{ cond() }
+
+// Empty is true when the stored result has no rows.
+type Empty struct{ Result string }
+
+func (Empty) cond() {}
+
+// NotEmpty is true when the stored result has rows.
+type NotEmpty struct{ Result string }
+
+func (NotEmpty) cond() {}
+
+// Handler is a named program.
+type Handler struct {
+	Name   string
+	Params []string // request parameter names
+	Body   []Stmt
+}
+
+// App is a set of handlers plus the session attributes the app uses
+// and their policy-parameter names (e.g. "user_id" -> "MyUId").
+type App struct {
+	Name     string
+	Handlers []*Handler
+	// SessionParam maps a session attribute name to the policy
+	// parameter that represents it in extracted views.
+	SessionParam map[string]string
+}
+
+// Handler returns the named handler.
+func (a *App) Handler(name string) (*Handler, bool) {
+	for _, h := range a.Handlers {
+		if h.Name == name {
+			return h, true
+		}
+	}
+	return nil, false
+}
+
+// --- Concrete interpretation ---
+
+// Rows is a handler-visible result set.
+type Rows struct {
+	Columns []string
+	Rows    [][]sqlvalue.Value
+}
+
+// Empty reports emptiness.
+func (r *Rows) Empty() bool { return len(r.Rows) == 0 }
+
+// Runner executes SQL on behalf of a handler (the proxy client, or
+// the engine directly).
+type Runner interface {
+	RunQuery(sql string, args []sqlvalue.Value) (*Rows, error)
+}
+
+// RunnerFunc adapts a function to Runner.
+type RunnerFunc func(sql string, args []sqlvalue.Value) (*Rows, error)
+
+// RunQuery implements Runner.
+func (f RunnerFunc) RunQuery(sql string, args []sqlvalue.Value) (*Rows, error) {
+	return f(sql, args)
+}
+
+// AbortError reports a handler abort (not a failure).
+type AbortError struct{ Message string }
+
+// Error implements error.
+func (e *AbortError) Error() string { return "handler aborted: " + e.Message }
+
+// Run executes the handler concretely. Rendered results are returned
+// in order. A policy block or engine error aborts with that error; an
+// Abort statement returns an *AbortError.
+func Run(h *Handler, params map[string]sqlvalue.Value, session map[string]sqlvalue.Value, r Runner) ([]*Rows, error) {
+	env := &runEnv{params: params, session: session, results: map[string]*Rows{}, runner: r}
+	if err := env.runBlock(h.Body); err != nil {
+		return env.rendered, err
+	}
+	return env.rendered, nil
+}
+
+type runEnv struct {
+	params   map[string]sqlvalue.Value
+	session  map[string]sqlvalue.Value
+	results  map[string]*Rows
+	rendered []*Rows
+	runner   Runner
+	rowScope []rowBinding
+}
+
+type rowBinding struct {
+	name string
+	cols []string
+	row  []sqlvalue.Value
+}
+
+func (e *runEnv) runBlock(body []Stmt) error {
+	for _, st := range body {
+		if err := e.runStmt(st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *runEnv) runStmt(st Stmt) error {
+	switch s := st.(type) {
+	case Query:
+		args := make([]sqlvalue.Value, len(s.Args))
+		for i, a := range s.Args {
+			v, err := e.eval(a)
+			if err != nil {
+				return err
+			}
+			args[i] = v
+		}
+		rows, err := e.runner.RunQuery(s.SQL, args)
+		if err != nil {
+			return err
+		}
+		e.results[s.Dest] = rows
+		return nil
+	case If:
+		t, err := e.evalCond(s.Cond)
+		if err != nil {
+			return err
+		}
+		if t {
+			return e.runBlock(s.Then)
+		}
+		return e.runBlock(s.Else)
+	case Abort:
+		return &AbortError{Message: s.Message}
+	case Render:
+		rows, ok := e.results[s.From]
+		if !ok {
+			return fmt.Errorf("appdsl: render of unknown result %q", s.From)
+		}
+		e.rendered = append(e.rendered, rows)
+		return nil
+	case ForEach:
+		rows, ok := e.results[s.Over]
+		if !ok {
+			return fmt.Errorf("appdsl: loop over unknown result %q", s.Over)
+		}
+		for _, row := range rows.Rows {
+			e.rowScope = append(e.rowScope, rowBinding{name: s.Row, cols: rows.Columns, row: row})
+			err := e.runBlock(s.Body)
+			e.rowScope = e.rowScope[:len(e.rowScope)-1]
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("appdsl: unknown statement %T", st)
+}
+
+func (e *runEnv) eval(v Val) (sqlvalue.Value, error) {
+	switch x := v.(type) {
+	case Lit:
+		return x.Value, nil
+	case ParamRef:
+		val, ok := e.params[x.Name]
+		if !ok {
+			return sqlvalue.Value{}, fmt.Errorf("appdsl: missing request parameter %q", x.Name)
+		}
+		return val, nil
+	case SessionRef:
+		val, ok := e.session[x.Name]
+		if !ok {
+			return sqlvalue.Value{}, fmt.Errorf("appdsl: missing session attribute %q", x.Name)
+		}
+		return val, nil
+	case RowRef:
+		for i := len(e.rowScope) - 1; i >= 0; i-- {
+			b := e.rowScope[i]
+			if b.name != x.Row {
+				continue
+			}
+			for ci, c := range b.cols {
+				if c == x.Column {
+					return b.row[ci], nil
+				}
+			}
+			return sqlvalue.Value{}, fmt.Errorf("appdsl: row %q has no column %q", x.Row, x.Column)
+		}
+		return sqlvalue.Value{}, fmt.Errorf("appdsl: no row binding %q in scope", x.Row)
+	}
+	return sqlvalue.Value{}, fmt.Errorf("appdsl: unknown value %T", v)
+}
+
+func (e *runEnv) evalCond(c Cond) (bool, error) {
+	switch x := c.(type) {
+	case Empty:
+		r, ok := e.results[x.Result]
+		if !ok {
+			return false, fmt.Errorf("appdsl: condition on unknown result %q", x.Result)
+		}
+		return r.Empty(), nil
+	case NotEmpty:
+		r, ok := e.results[x.Result]
+		if !ok {
+			return false, fmt.Errorf("appdsl: condition on unknown result %q", x.Result)
+		}
+		return !r.Empty(), nil
+	}
+	return false, fmt.Errorf("appdsl: unknown condition %T", c)
+}

@@ -1,0 +1,318 @@
+package appdsl
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/schema"
+	"repro/internal/sqlparser"
+	"repro/internal/sqlvalue"
+)
+
+// showEvent is the paper's Listing 1 rendered in the DSL.
+func showEvent() *Handler {
+	return &Handler{
+		Name:   "show_event",
+		Params: []string{"event_id"},
+		Body: []Stmt{
+			Query{Dest: "check",
+				SQL:  "SELECT 1 FROM Attendance WHERE UId = ? AND EId = ?",
+				Args: []Val{SessionRef{Name: "user_id"}, ParamRef{Name: "event_id"}}},
+			If{Cond: Empty{Result: "check"},
+				Then: []Stmt{Abort{Message: "event not found"}}},
+			Query{Dest: "event",
+				SQL:  "SELECT * FROM Events WHERE EId = ?",
+				Args: []Val{ParamRef{Name: "event_id"}}},
+			Render{From: "event"},
+		},
+	}
+}
+
+func testDB(t testing.TB) *engine.DB {
+	t.Helper()
+	s, err := schema.NewBuilder().
+		Table("Events").
+		NotNullCol("EId", sqlvalue.Int).
+		NotNullCol("Title", sqlvalue.Text).
+		Col("Notes", sqlvalue.Text).
+		PK("EId").Done().
+		Table("Attendance").
+		NotNullCol("UId", sqlvalue.Int).
+		NotNullCol("EId", sqlvalue.Int).
+		PK("UId", "EId").Done().
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := engine.New(s)
+	db.MustExec("INSERT INTO Events (EId, Title, Notes) VALUES (2, 'retro', 'x')")
+	db.MustExec("INSERT INTO Attendance (UId, EId) VALUES (1, 2)")
+	return db
+}
+
+func engineRunner(db *engine.DB) Runner {
+	return RunnerFunc(func(sql string, args []sqlvalue.Value) (*Rows, error) {
+		res, err := db.QuerySQL(sql, sqlparser.Args{Positional: args})
+		if err != nil {
+			return nil, err
+		}
+		rows := make([][]sqlvalue.Value, len(res.Rows))
+		for i, r := range res.Rows {
+			rows[i] = r
+		}
+		return &Rows{Columns: res.Columns, Rows: rows}, nil
+	})
+}
+
+func vmap(m map[string]any) map[string]sqlvalue.Value {
+	out := make(map[string]sqlvalue.Value, len(m))
+	for k, v := range m {
+		out[k] = sqlvalue.MustFromAny(v)
+	}
+	return out
+}
+
+func TestRunHappyPath(t *testing.T) {
+	db := testDB(t)
+	rendered, err := Run(showEvent(),
+		vmap(map[string]any{"event_id": 2}),
+		vmap(map[string]any{"user_id": 1}),
+		engineRunner(db))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rendered) != 1 || len(rendered[0].Rows) != 1 {
+		t.Fatalf("rendered: %+v", rendered)
+	}
+	if rendered[0].Rows[0][1].Text() != "retro" {
+		t.Fatalf("event row: %v", rendered[0].Rows[0])
+	}
+}
+
+func TestRunAbortPath(t *testing.T) {
+	db := testDB(t)
+	_, err := Run(showEvent(),
+		vmap(map[string]any{"event_id": 99}),
+		vmap(map[string]any{"user_id": 1}),
+		engineRunner(db))
+	var abort *AbortError
+	if !errors.As(err, &abort) {
+		t.Fatalf("expected AbortError, got %v", err)
+	}
+}
+
+func TestRunMissingParam(t *testing.T) {
+	db := testDB(t)
+	_, err := Run(showEvent(), nil, vmap(map[string]any{"user_id": 1}), engineRunner(db))
+	if err == nil {
+		t.Fatal("missing request parameter must error")
+	}
+}
+
+func TestForEachConcrete(t *testing.T) {
+	db := testDB(t)
+	db.MustExec("INSERT INTO Events (EId, Title, Notes) VALUES (3, 'offsite', NULL)")
+	db.MustExec("INSERT INTO Attendance (UId, EId) VALUES (1, 3)")
+	h := &Handler{
+		Name: "list_events",
+		Body: []Stmt{
+			Query{Dest: "mine",
+				SQL:  "SELECT EId FROM Attendance WHERE UId = ? ORDER BY EId",
+				Args: []Val{SessionRef{Name: "user_id"}}},
+			ForEach{Over: "mine", Row: "r", Body: []Stmt{
+				Query{Dest: "ev",
+					SQL:  "SELECT Title FROM Events WHERE EId = ?",
+					Args: []Val{RowRef{Row: "r", Column: "EId"}}},
+				Render{From: "ev"},
+			}},
+		},
+	}
+	rendered, err := Run(h, nil, vmap(map[string]any{"user_id": 1}), engineRunner(db))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rendered) != 2 {
+		t.Fatalf("rendered per row: %d", len(rendered))
+	}
+	if rendered[0].Rows[0][0].Text() != "retro" || rendered[1].Rows[0][0].Text() != "offsite" {
+		t.Fatalf("titles: %v %v", rendered[0].Rows, rendered[1].Rows)
+	}
+}
+
+func TestSymbolicExecuteListing1(t *testing.T) {
+	paths, err := SymbolicExecute(showEvent())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two paths: check empty -> abort; check non-empty -> fetch event.
+	if len(paths) != 2 {
+		t.Fatalf("paths: %d", len(paths))
+	}
+	var abortPath, okPath *Path
+	for i := range paths {
+		if paths[i].Aborted {
+			abortPath = &paths[i]
+		} else {
+			okPath = &paths[i]
+		}
+	}
+	if abortPath == nil || okPath == nil {
+		t.Fatalf("expected one aborted and one completed path: %+v", paths)
+	}
+	if len(abortPath.Issued) != 1 {
+		t.Fatalf("abort path queries: %+v", abortPath.Issued)
+	}
+	if len(okPath.Issued) != 2 {
+		t.Fatalf("ok path queries: %+v", okPath.Issued)
+	}
+	q2 := okPath.Issued[1]
+	if len(q2.Assumes) != 1 || !q2.Assumes[0].NonEmpty || q2.Assumes[0].Issuance != 0 {
+		t.Fatalf("Q2's path condition should assume Q1 non-empty: %+v", q2.Assumes)
+	}
+}
+
+func TestSymbolicExecuteForEach(t *testing.T) {
+	h := &Handler{
+		Name: "list",
+		Body: []Stmt{
+			Query{Dest: "mine", SQL: "SELECT EId FROM Attendance WHERE UId = ?",
+				Args: []Val{SessionRef{Name: "user_id"}}},
+			ForEach{Over: "mine", Row: "r", Body: []Stmt{
+				Query{Dest: "ev", SQL: "SELECT Title FROM Events WHERE EId = ?",
+					Args: []Val{RowRef{Row: "r", Column: "EId"}}},
+			}},
+		},
+	}
+	paths, err := SymbolicExecute(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("paths: %d", len(paths))
+	}
+	// The generic-iteration path issues the inner query with a RowRef
+	// arg under a non-empty assumption.
+	found := false
+	for _, p := range paths {
+		if len(p.Issued) == 2 {
+			in := p.Issued[1]
+			if _, ok := in.Args[0].(RowRef); ok && len(in.Assumes) == 1 && in.Assumes[0].NonEmpty {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("generic iteration path missing: %+v", paths)
+	}
+}
+
+func TestSymbolicExecuteNestedIf(t *testing.T) {
+	h := &Handler{
+		Name: "nested",
+		Body: []Stmt{
+			Query{Dest: "a", SQL: "SELECT 1 FROM Attendance WHERE UId = ?", Args: []Val{SessionRef{Name: "user_id"}}},
+			If{Cond: NotEmpty{Result: "a"},
+				Then: []Stmt{
+					Query{Dest: "b", SQL: "SELECT 1 FROM Events WHERE EId = ?", Args: []Val{ParamRef{Name: "e"}}},
+					If{Cond: Empty{Result: "b"}, Then: []Stmt{Abort{Message: "no"}}},
+				},
+				Else: []Stmt{Abort{Message: "denied"}},
+			},
+		},
+	}
+	paths, err := SymbolicExecute(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 3 {
+		t.Fatalf("expected 3 paths, got %d", len(paths))
+	}
+}
+
+func TestNestedForEachSymbolic(t *testing.T) {
+	h := &Handler{
+		Name: "nested_loops",
+		Body: []Stmt{
+			Query{Dest: "outer", SQL: "SELECT EId FROM Attendance WHERE UId = ?",
+				Args: []Val{SessionRef{Name: "user_id"}}},
+			ForEach{Over: "outer", Row: "o", Body: []Stmt{
+				Query{Dest: "inner", SQL: "SELECT Title FROM Events WHERE EId = ?",
+					Args: []Val{RowRef{Row: "o", Column: "EId"}}},
+				ForEach{Over: "inner", Row: "i", Body: []Stmt{
+					Render{From: "inner"},
+				}},
+			}},
+		},
+	}
+	paths, err := SymbolicExecute(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// empty; outer-nonempty+inner-empty; outer-nonempty+inner-nonempty.
+	if len(paths) != 3 {
+		t.Fatalf("nested loop paths: %d", len(paths))
+	}
+	// The deepest path records the row source chain.
+	deepest := paths[len(paths)-1]
+	if len(deepest.Issued) != 2 {
+		t.Fatalf("deepest path issuances: %+v", deepest.Issued)
+	}
+	if src, ok := deepest.Issued[1].RowSources["o"]; !ok || src != 0 {
+		t.Fatalf("row source chain: %+v", deepest.Issued[1].RowSources)
+	}
+}
+
+func TestSymbolicPathExplosionBounded(t *testing.T) {
+	// 2^10 = 1024 paths exceeds the bound; expect an error, not a hang.
+	var body []Stmt
+	for i := 0; i < 10; i++ {
+		dest := fmt.Sprintf("r%d", i)
+		body = append(body,
+			Query{Dest: dest, SQL: "SELECT 1 FROM Attendance WHERE UId = ?",
+				Args: []Val{SessionRef{Name: "user_id"}}},
+			If{Cond: Empty{Result: dest}, Then: []Stmt{Render{From: dest}}},
+		)
+	}
+	_, err := SymbolicExecute(&Handler{Name: "explode", Body: body})
+	if err == nil {
+		t.Fatal("path explosion should be reported")
+	}
+}
+
+func TestRunUnknownResultErrors(t *testing.T) {
+	db := testDB(t)
+	h := &Handler{Name: "bad", Body: []Stmt{Render{From: "nope"}}}
+	if _, err := Run(h, nil, nil, engineRunner(db)); err == nil {
+		t.Fatal("render of unknown result must error")
+	}
+	h2 := &Handler{Name: "bad2", Body: []Stmt{ForEach{Over: "nope", Row: "r"}}}
+	if _, err := Run(h2, nil, nil, engineRunner(db)); err == nil {
+		t.Fatal("loop over unknown result must error")
+	}
+	h3 := &Handler{Name: "bad3", Body: []Stmt{If{Cond: Empty{Result: "nope"}}}}
+	if _, err := Run(h3, nil, nil, engineRunner(db)); err == nil {
+		t.Fatal("condition on unknown result must error")
+	}
+}
+
+func TestRowRefUnknownColumn(t *testing.T) {
+	db := testDB(t)
+	h := &Handler{
+		Name: "badcol",
+		Body: []Stmt{
+			Query{Dest: "mine", SQL: "SELECT EId FROM Attendance WHERE UId = ?",
+				Args: []Val{SessionRef{Name: "user_id"}}},
+			ForEach{Over: "mine", Row: "r", Body: []Stmt{
+				Query{Dest: "x", SQL: "SELECT 1 FROM Events WHERE EId = ?",
+					Args: []Val{RowRef{Row: "r", Column: "Nope"}}},
+			}},
+		},
+	}
+	_, err := Run(h, nil,
+		map[string]sqlvalue.Value{"user_id": sqlvalue.NewInt(1)}, engineRunner(db))
+	if err == nil {
+		t.Fatal("unknown row column must error")
+	}
+}

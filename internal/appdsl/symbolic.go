@@ -1,0 +1,208 @@
+package appdsl
+
+import (
+	"fmt"
+)
+
+// Issuance is one query issued along a symbolic path: the SQL, its
+// symbolic arguments, and the emptiness assumptions in force when it
+// was issued (its path condition, §3.2.1).
+type Issuance struct {
+	SQL  string
+	Args []Val
+	// Assumes lists assumptions on the results of *earlier* issuances
+	// of the same path.
+	Assumes []Assumption
+	// RowSources maps a ForEach row name in scope to the issuance
+	// index whose result the row ranges over, so RowRef arguments can
+	// be correlated with the producing query during extraction.
+	RowSources map[string]int
+}
+
+// Assumption says the result of a prior issuance was (non)empty.
+type Assumption struct {
+	// Issuance is the index (within the path) of the query whose
+	// result is constrained.
+	Issuance int
+	NonEmpty bool
+}
+
+// Path is one complete symbolic execution path.
+type Path struct {
+	Issued  []Issuance
+	Aborted bool
+}
+
+// maxPaths bounds path explosion; web handlers are expected to stay
+// far below it (§3.2.1's observation about simple loop structure).
+const maxPaths = 256
+
+// SymbolicExecute enumerates the handler's paths. Request parameters
+// and session attributes stay symbolic; loops execute one generic
+// iteration (plus the empty-result path).
+func SymbolicExecute(h *Handler) ([]Path, error) {
+	ex := &symExec{}
+	st := &symState{results: map[string]int{}, rows: map[string]int{}}
+	if err := ex.block(h.Body, st); err != nil {
+		return nil, err
+	}
+	return ex.paths, nil
+}
+
+type symExec struct {
+	paths []Path
+}
+
+type symState struct {
+	issued  []Issuance
+	results map[string]int // result name -> issuance index
+	rows    map[string]int // ForEach row name -> issuance index
+	// assumes are the live path conditions.
+	assumes []Assumption
+	aborted bool
+}
+
+func (s *symState) clone() *symState {
+	n := &symState{
+		issued:  append([]Issuance(nil), s.issued...),
+		results: make(map[string]int, len(s.results)),
+		rows:    make(map[string]int, len(s.rows)),
+		assumes: append([]Assumption(nil), s.assumes...),
+	}
+	for k, v := range s.results {
+		n.results[k] = v
+	}
+	for k, v := range s.rows {
+		n.rows[k] = v
+	}
+	return n
+}
+
+func (e *symExec) emit(st *symState) error {
+	if len(e.paths) >= maxPaths {
+		return fmt.Errorf("appdsl: path explosion (more than %d paths)", maxPaths)
+	}
+	e.paths = append(e.paths, Path{Issued: st.issued, Aborted: st.aborted})
+	return nil
+}
+
+// block executes stmts symbolically; at the end of the handler the
+// state is emitted as a completed path.
+func (e *symExec) block(body []Stmt, st *symState) error {
+	cont, err := e.runStmts(body, st)
+	if err != nil {
+		return err
+	}
+	for _, c := range cont {
+		if err := e.emit(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runStmts returns the set of states that fall through the block.
+func (e *symExec) runStmts(body []Stmt, st *symState) ([]*symState, error) {
+	states := []*symState{st}
+	for _, stmt := range body {
+		var next []*symState
+		for _, s := range states {
+			out, err := e.runStmt(stmt, s)
+			if err != nil {
+				return nil, err
+			}
+			next = append(next, out...)
+			if len(next) > maxPaths {
+				return nil, fmt.Errorf("appdsl: path explosion")
+			}
+		}
+		states = next
+	}
+	return states, nil
+}
+
+func (e *symExec) runStmt(stmt Stmt, st *symState) ([]*symState, error) {
+	switch s := stmt.(type) {
+	case Query:
+		rowSrc := make(map[string]int, len(st.rows))
+		for k, v := range st.rows {
+			rowSrc[k] = v
+		}
+		st.issued = append(st.issued, Issuance{
+			SQL:        s.SQL,
+			Args:       append([]Val(nil), s.Args...),
+			Assumes:    append([]Assumption(nil), st.assumes...),
+			RowSources: rowSrc,
+		})
+		st.results[s.Dest] = len(st.issued) - 1
+		return []*symState{st}, nil
+
+	case If:
+		idx, nonEmptyThen, err := condTarget(s.Cond, st)
+		if err != nil {
+			return nil, err
+		}
+		thenSt := st.clone()
+		thenSt.assumes = append(thenSt.assumes, Assumption{Issuance: idx, NonEmpty: nonEmptyThen})
+		elseSt := st.clone()
+		elseSt.assumes = append(elseSt.assumes, Assumption{Issuance: idx, NonEmpty: !nonEmptyThen})
+
+		thenOut, err := e.runStmts(s.Then, thenSt)
+		if err != nil {
+			return nil, err
+		}
+		elseOut, err := e.runStmts(s.Else, elseSt)
+		if err != nil {
+			return nil, err
+		}
+		return append(thenOut, elseOut...), nil
+
+	case Abort:
+		st.aborted = true
+		if err := e.emit(st); err != nil {
+			return nil, err
+		}
+		return nil, nil // no fall-through
+
+	case Render:
+		return []*symState{st}, nil
+
+	case ForEach:
+		idx, ok := st.results[s.Over]
+		if !ok {
+			return nil, fmt.Errorf("appdsl: loop over unknown result %q", s.Over)
+		}
+		// Path A: the result is empty, loop body never runs.
+		emptySt := st.clone()
+		emptySt.assumes = append(emptySt.assumes, Assumption{Issuance: idx, NonEmpty: false})
+		// Path B: non-empty; execute one generic iteration (RowRefs
+		// stay symbolic).
+		iterSt := st.clone()
+		iterSt.assumes = append(iterSt.assumes, Assumption{Issuance: idx, NonEmpty: true})
+		iterSt.rows[s.Row] = idx
+		iterOut, err := e.runStmts(s.Body, iterSt)
+		if err != nil {
+			return nil, err
+		}
+		return append([]*symState{emptySt}, iterOut...), nil
+	}
+	return nil, fmt.Errorf("appdsl: unknown statement %T", stmt)
+}
+
+func condTarget(c Cond, st *symState) (idx int, nonEmptyForThen bool, err error) {
+	switch x := c.(type) {
+	case Empty:
+		i, ok := st.results[x.Result]
+		if !ok {
+			return 0, false, fmt.Errorf("appdsl: condition on unknown result %q", x.Result)
+		}
+		return i, false, nil
+	case NotEmpty:
+		i, ok := st.results[x.Result]
+		if !ok {
+			return 0, false, fmt.Errorf("appdsl: condition on unknown result %q", x.Result)
+		}
+		return i, true, nil
+	}
+	return 0, false, fmt.Errorf("appdsl: unknown condition %T", c)
+}

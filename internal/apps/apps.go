@@ -1,0 +1,119 @@
+// Package apps bundles the model applications the evaluation suite
+// runs against. Each fixture packages what a real deployment would
+// have: a schema, seed-data generators, application handlers (in the
+// appdsl), the ground-truth policy an expert would write, the
+// row-level-security rules the query-modification baseline needs, the
+// operator's sensitive queries for auditing, and a labeled query
+// corpus (compliant and violating) for enforcement experiments.
+//
+// The calendar fixture is the paper's running example (Example 2.1 /
+// Listing 1); hospital is Example 4.1; employees extends Example 4.2;
+// forum exercises multi-view coverage with visibility rules.
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/appdsl"
+	"repro/internal/engine"
+	"repro/internal/policy"
+	"repro/internal/schema"
+	"repro/internal/sqlparser"
+	"repro/internal/sqlvalue"
+)
+
+// WorkloadQuery is one labeled query of a fixture's corpus.
+type WorkloadQuery struct {
+	// Label identifies the query in reports.
+	Label string
+	SQL   string
+	Args  []any
+	// UId is the principal issuing the query.
+	UId int64
+	// WantAllowed is the ground-truth compliance label.
+	WantAllowed bool
+	// PrimeSQL, when non-empty, is a query to run first so its result
+	// enters the history (history-dependent cases like Example 2.1).
+	PrimeSQL  string
+	PrimeArgs []any
+}
+
+// Fixture is one complete model application.
+type Fixture struct {
+	Name   string
+	Schema *schema.Schema
+	// App holds the handlers for extraction experiments.
+	App *appdsl.App
+	// PolicySQL is the ground-truth policy (name -> view SQL).
+	PolicySQL map[string]string
+	// AppTruthSQL is the maximally restrictive policy embodied in the
+	// App's handlers — the target the §3 extractors should recover.
+	// It can be narrower than PolicySQL (an operator may grant more
+	// than the app currently uses).
+	AppTruthSQL map[string]string
+	// RLSRules configure the query-modification baseline.
+	RLSRules map[string]string
+	// Sensitive maps a name to a sensitive query for disclosure
+	// auditing.
+	Sensitive map[string]string
+	// Seed populates a database with about `size` rows per main table.
+	Seed func(db *engine.DB, size int) error
+	// Corpus is the labeled enforcement workload.
+	Corpus []WorkloadQuery
+	// SessionParam names the session attribute mapping for extraction.
+	SessionParam map[string]string
+}
+
+// Policy builds the ground-truth policy.
+func (f *Fixture) Policy() *policy.Policy {
+	return policy.MustNew(f.Schema, f.PolicySQL)
+}
+
+// AppTruth builds the app-embodied policy the extractors target.
+func (f *Fixture) AppTruth() *policy.Policy {
+	if len(f.AppTruthSQL) == 0 {
+		return f.Policy()
+	}
+	return policy.MustNew(f.Schema, f.AppTruthSQL)
+}
+
+// NewDB creates a seeded database.
+func (f *Fixture) NewDB(size int) (*engine.DB, error) {
+	db := engine.New(f.Schema)
+	if err := f.Seed(db, size); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// MustNewDB is NewDB, panicking on error.
+func (f *Fixture) MustNewDB(size int) *engine.DB {
+	db, err := f.NewDB(size)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// Session returns the session attribute map for a principal.
+func (f *Fixture) Session(uid int64) map[string]sqlvalue.Value {
+	return map[string]sqlvalue.Value{"MyUId": sqlvalue.NewInt(uid)}
+}
+
+// All returns every fixture.
+func All() []*Fixture {
+	return []*Fixture{Calendar(), Hospital(), Employees(), Forum()}
+}
+
+// ByName returns the named fixture.
+func ByName(name string) (*Fixture, error) {
+	for _, f := range All() {
+		if f.Name == name {
+			return f, nil
+		}
+	}
+	return nil, fmt.Errorf("apps: unknown fixture %q", name)
+}
+
+// args converts Go values to parser args.
+func args(vals ...any) sqlparser.Args { return sqlparser.PositionalArgs(vals...) }

@@ -1,0 +1,121 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/checker"
+	"repro/internal/sqlparser"
+	"repro/internal/sqlvalue"
+	"repro/internal/trace"
+)
+
+func TestFixturesBuild(t *testing.T) {
+	for _, f := range All() {
+		if f.Schema == nil || f.App == nil || len(f.PolicySQL) == 0 || f.Seed == nil {
+			t.Errorf("%s: incomplete fixture", f.Name)
+		}
+		// Policies parse and translate.
+		p := f.Policy()
+		if len(p.Views) != len(f.PolicySQL) {
+			t.Errorf("%s: views %d != %d", f.Name, len(p.Views), len(f.PolicySQL))
+		}
+		// Seeds insert without constraint violations.
+		db, err := f.NewDB(20)
+		if err != nil {
+			t.Errorf("%s: seed: %v", f.Name, err)
+			continue
+		}
+		for _, table := range db.Tables() {
+			if db.RowCount(table) == 0 {
+				t.Errorf("%s: table %s empty after seed", f.Name, table)
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("calendar"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown fixture must error")
+	}
+}
+
+// TestCorpusLabels verifies every fixture's labeled corpus against the
+// checker — the substance of experiment E1's accuracy matrix.
+func TestCorpusLabels(t *testing.T) {
+	for _, f := range All() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			db := f.MustNewDB(20)
+			chk := checker.New(f.Policy())
+			for _, w := range f.Corpus {
+				tr := &trace.Trace{}
+				if w.PrimeSQL != "" {
+					sel := sqlparser.MustParseSelect(w.PrimeSQL)
+					bound, err := sqlparser.Bind(sel, args(w.PrimeArgs...))
+					if err != nil {
+						t.Fatalf("%s prime: %v", w.Label, err)
+					}
+					res, err := db.Query(bound.(*sqlparser.SelectStmt))
+					if err != nil {
+						t.Fatalf("%s prime: %v", w.Label, err)
+					}
+					rows := make([][]sqlvalue.Value, len(res.Rows))
+					for i, r := range res.Rows {
+						rows[i] = r
+					}
+					tr.Append(trace.Entry{
+						SQL: w.PrimeSQL, Stmt: sel, Args: args(w.PrimeArgs...),
+						Columns: res.Columns, Rows: rows,
+					})
+				}
+				d, err := chk.CheckSQL(w.SQL, args(w.Args...), f.Session(w.UId), tr)
+				if err != nil {
+					t.Fatalf("%s: %v", w.Label, err)
+				}
+				if d.Allowed != w.WantAllowed {
+					t.Errorf("%s/%s: allowed=%v want %v (%s)",
+						f.Name, w.Label, d.Allowed, w.WantAllowed, d.Reason)
+				}
+				// Allowed queries must also execute.
+				if d.Allowed {
+					sel := sqlparser.MustParseSelect(w.SQL)
+					bound, err := sqlparser.Bind(sel, args(w.Args...))
+					if err != nil {
+						t.Fatalf("%s bind: %v", w.Label, err)
+					}
+					if _, err := db.Query(bound.(*sqlparser.SelectStmt)); err != nil {
+						t.Errorf("%s: execution failed: %v", w.Label, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRLSRulesParse validates the baseline configuration of fixtures
+// that have one.
+func TestRLSRulesParse(t *testing.T) {
+	for _, f := range All() {
+		if len(f.RLSRules) == 0 {
+			continue
+		}
+		if _, err := baseline.NewRLS(f.Schema, f.RLSRules); err != nil {
+			t.Errorf("%s: RLS rules: %v", f.Name, err)
+		}
+	}
+}
+
+// TestSensitiveQueriesParse validates the audit inputs.
+func TestSensitiveQueriesParse(t *testing.T) {
+	for _, f := range All() {
+		for name, sql := range f.Sensitive {
+			if _, err := sqlparser.ParseSelect(sql); err != nil {
+				t.Errorf("%s/%s: %v", f.Name, name, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/appdsl"
+	"repro/internal/engine"
+	"repro/internal/schema"
+	"repro/internal/sqlvalue"
+)
+
+// Calendar is the paper's running example: users attend events and may
+// see only events they attend (Example 2.1's views V1 and V2, plus a
+// profile view). Its show_event handler is Listing 1 verbatim.
+func Calendar() *Fixture {
+	s := schema.NewBuilder().
+		Table("Users").
+		NotNullCol("UId", sqlvalue.Int).
+		NotNullCol("Name", sqlvalue.Text).
+		PK("UId").Done().
+		Table("Events").
+		OpaqueCol("EId", sqlvalue.Int).
+		NotNullCol("Title", sqlvalue.Text).
+		Col("Notes", sqlvalue.Text).
+		PK("EId").Done().
+		Table("Attendance").
+		NotNullCol("UId", sqlvalue.Int).
+		NotNullCol("EId", sqlvalue.Int).
+		PK("UId", "EId").
+		FK([]string{"UId"}, "Users", []string{"UId"}).
+		FK([]string{"EId"}, "Events", []string{"EId"}).Done().
+		MustBuild()
+
+	app := &appdsl.App{
+		Name:         "calendar",
+		SessionParam: map[string]string{"user_id": "MyUId"},
+		Handlers: []*appdsl.Handler{
+			{
+				// Listing 1: access-check then fetch.
+				Name:   "show_event",
+				Params: []string{"event_id"},
+				Body: []appdsl.Stmt{
+					appdsl.Query{Dest: "check",
+						SQL:  "SELECT 1 FROM Attendance WHERE UId = ? AND EId = ?",
+						Args: []appdsl.Val{appdsl.SessionRef{Name: "user_id"}, appdsl.ParamRef{Name: "event_id"}}},
+					appdsl.If{Cond: appdsl.Empty{Result: "check"},
+						Then: []appdsl.Stmt{appdsl.Abort{Message: "event not found"}}},
+					appdsl.Query{Dest: "event",
+						SQL:  "SELECT * FROM Events WHERE EId = ?",
+						Args: []appdsl.Val{appdsl.ParamRef{Name: "event_id"}}},
+					appdsl.Render{From: "event"},
+				},
+			},
+			{
+				Name: "list_events",
+				Body: []appdsl.Stmt{
+					appdsl.Query{Dest: "mine",
+						SQL:  "SELECT EId FROM Attendance WHERE UId = ?",
+						Args: []appdsl.Val{appdsl.SessionRef{Name: "user_id"}}},
+					appdsl.ForEach{Over: "mine", Row: "r", Body: []appdsl.Stmt{
+						appdsl.Query{Dest: "ev",
+							SQL:  "SELECT Title FROM Events WHERE EId = ?",
+							Args: []appdsl.Val{appdsl.RowRef{Row: "r", Column: "EId"}}},
+						appdsl.Render{From: "ev"},
+					}},
+				},
+			},
+			{
+				Name: "profile",
+				Body: []appdsl.Stmt{
+					appdsl.Query{Dest: "me",
+						SQL:  "SELECT Name FROM Users WHERE UId = ?",
+						Args: []appdsl.Val{appdsl.SessionRef{Name: "user_id"}}},
+					appdsl.Render{From: "me"},
+				},
+			},
+		},
+	}
+
+	return &Fixture{
+		Name:   "calendar",
+		Schema: s,
+		App:    app,
+		PolicySQL: map[string]string{
+			"V1":  "SELECT EId FROM Attendance WHERE UId = ?MyUId",
+			"V2":  "SELECT * FROM Events e JOIN Attendance a ON e.EId = a.EId WHERE a.UId = ?MyUId",
+			"VMe": "SELECT Name FROM Users WHERE UId = ?MyUId",
+		},
+		AppTruthSQL: map[string]string{
+			"T1":  "SELECT EId FROM Attendance WHERE UId = ?MyUId",
+			"T2":  "SELECT * FROM Events e JOIN Attendance a ON e.EId = a.EId WHERE a.UId = ?MyUId",
+			"TMe": "SELECT Name FROM Users WHERE UId = ?MyUId",
+		},
+		RLSRules: map[string]string{
+			"Attendance": "UId = ?MyUId",
+			"Events":     "EXISTS (SELECT 1 FROM Attendance WHERE Attendance.EId = EId AND Attendance.UId = ?MyUId)",
+			"Users":      "UId = ?MyUId",
+		},
+		Sensitive: map[string]string{
+			"SAllAttendance": "SELECT UId, EId FROM Attendance",
+			"SAllNotes":      "SELECT Notes FROM Events",
+		},
+		SessionParam: map[string]string{"user_id": "MyUId"},
+		Seed:         seedCalendar,
+		Corpus:       calendarCorpus(),
+	}
+}
+
+// seedCalendar populates n users, n events, and ~2n attendance rows:
+// user i attends events i+1 and i+2 (mod n). No user attends the
+// event sharing their id, so black-box mining cannot spuriously
+// correlate event ids with session ids.
+func seedCalendar(db *engine.DB, n int) error {
+	if n < 3 {
+		n = 3
+	}
+	for i := 1; i <= n; i++ {
+		if err := db.InsertRow("Users", i, fmt.Sprintf("user%d", i)); err != nil {
+			return err
+		}
+		var notes any
+		if i%3 == 0 {
+			notes = fmt.Sprintf("notes for %d", i)
+		}
+		if err := db.InsertRow("Events", i, fmt.Sprintf("event%d", i), notes); err != nil {
+			return err
+		}
+	}
+	for i := 1; i <= n; i++ {
+		j1 := i%n + 1
+		j2 := (i+1)%n + 1
+		if err := db.InsertRow("Attendance", i, j1); err != nil {
+			return err
+		}
+		if j2 != j1 {
+			if err := db.InsertRow("Attendance", i, j2); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func calendarCorpus() []WorkloadQuery {
+	return []WorkloadQuery{
+		{Label: "own-attendance", SQL: "SELECT EId FROM Attendance WHERE UId = ?", Args: []any{1}, UId: 1, WantAllowed: true},
+		{Label: "own-events-join", SQL: "SELECT e.Title FROM Events e JOIN Attendance a ON e.EId = a.EId WHERE a.UId = ?", Args: []any{1}, UId: 1, WantAllowed: true},
+		{Label: "own-profile", SQL: "SELECT Name FROM Users WHERE UId = ?", Args: []any{1}, UId: 1, WantAllowed: true},
+		{Label: "attendance-probe", SQL: "SELECT 1 FROM Attendance WHERE UId = ? AND EId = ?", Args: []any{1, 2}, UId: 1, WantAllowed: true},
+		{Label: "event-after-probe", SQL: "SELECT * FROM Events WHERE EId = ?", Args: []any{2}, UId: 1, WantAllowed: true,
+			PrimeSQL: "SELECT 1 FROM Attendance WHERE UId = ? AND EId = ?", PrimeArgs: []any{1, 2}},
+		{Label: "own-count", SQL: "SELECT COUNT(*) FROM Attendance WHERE UId = ?", Args: []any{1}, UId: 1, WantAllowed: true},
+
+		{Label: "event-no-probe", SQL: "SELECT * FROM Events WHERE EId = ?", Args: []any{2}, UId: 1, WantAllowed: false},
+		{Label: "others-attendance", SQL: "SELECT EId FROM Attendance WHERE UId = ?", Args: []any{2}, UId: 1, WantAllowed: false},
+		{Label: "all-attendance", SQL: "SELECT UId, EId FROM Attendance", UId: 1, WantAllowed: false},
+		{Label: "others-profile", SQL: "SELECT Name FROM Users WHERE UId = ?", Args: []any{2}, UId: 1, WantAllowed: false},
+		{Label: "all-titles", SQL: "SELECT Title FROM Events", UId: 1, WantAllowed: false},
+		{Label: "global-count", SQL: "SELECT COUNT(*) FROM Attendance", UId: 1, WantAllowed: false},
+	}
+}

@@ -1,0 +1,151 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/appdsl"
+	"repro/internal/engine"
+	"repro/internal/schema"
+	"repro/internal/sqlvalue"
+)
+
+// Employees extends the paper's Example 4.2 into a small HR system:
+// a public directory hides salaries, every employee sees their own
+// full record, and the seniors roster (age >= 60) is released for a
+// benefits program — exactly the Q1/Q2 pair the PQI/NQI examples use.
+func Employees() *Fixture {
+	s := schema.NewBuilder().
+		Table("Departments").
+		NotNullCol("DeptId", sqlvalue.Int).
+		NotNullCol("DeptName", sqlvalue.Text).
+		PK("DeptId").Done().
+		Table("Employees").
+		NotNullCol("Id", sqlvalue.Int).
+		NotNullCol("Name", sqlvalue.Text).
+		NotNullCol("Age", sqlvalue.Int).
+		NotNullCol("Salary", sqlvalue.Int).
+		NotNullCol("DeptId", sqlvalue.Int).
+		PK("Id").
+		FK([]string{"DeptId"}, "Departments", []string{"DeptId"}).Done().
+		MustBuild()
+
+	app := &appdsl.App{
+		Name:         "employees",
+		SessionParam: map[string]string{"user_id": "MyUId"},
+		Handlers: []*appdsl.Handler{
+			{
+				Name: "directory",
+				Body: []appdsl.Stmt{
+					appdsl.Query{Dest: "dir",
+						SQL: "SELECT Id, Name, DeptId FROM Employees"},
+					appdsl.Render{From: "dir"},
+				},
+			},
+			{
+				Name: "my_record",
+				Body: []appdsl.Stmt{
+					appdsl.Query{Dest: "me",
+						SQL:  "SELECT Id, Name, Age, Salary, DeptId FROM Employees WHERE Id = ?",
+						Args: []appdsl.Val{appdsl.SessionRef{Name: "user_id"}}},
+					appdsl.Render{From: "me"},
+				},
+			},
+			{
+				Name: "seniors_roster",
+				Body: []appdsl.Stmt{
+					appdsl.Query{Dest: "seniors",
+						SQL: "SELECT Name FROM Employees WHERE Age >= 60"},
+					appdsl.Render{From: "seniors"},
+				},
+			},
+			{
+				Name:   "department_page",
+				Params: []string{"dept_id"},
+				Body: []appdsl.Stmt{
+					appdsl.Query{Dest: "dept",
+						SQL:  "SELECT DeptName FROM Departments WHERE DeptId = ?",
+						Args: []appdsl.Val{appdsl.ParamRef{Name: "dept_id"}}},
+					appdsl.If{Cond: appdsl.Empty{Result: "dept"},
+						Then: []appdsl.Stmt{appdsl.Abort{Message: "no such department"}}},
+					appdsl.Query{Dest: "members",
+						SQL:  "SELECT Name FROM Employees WHERE DeptId = ?",
+						Args: []appdsl.Val{appdsl.ParamRef{Name: "dept_id"}}},
+					appdsl.Render{From: "members"},
+				},
+			},
+		},
+	}
+
+	return &Fixture{
+		Name:   "employees",
+		Schema: s,
+		App:    app,
+		PolicySQL: map[string]string{
+			"VDirectory": "SELECT Id, Name, DeptId FROM Employees",
+			"VOwnRecord": "SELECT Id, Name, Age, Salary, DeptId FROM Employees WHERE Id = ?MyUId",
+			"VSeniors":   "SELECT Name FROM Employees WHERE Age >= 60",
+			"VDepts":     "SELECT DeptId, DeptName FROM Departments",
+		},
+		RLSRules: map[string]string{
+			// Row-level rules cannot hide just the Salary column; the
+			// closest RLS policy restricts Employees to the own row.
+			"Employees": "Id = ?MyUId",
+		},
+		AppTruthSQL: map[string]string{
+			"TDirectory":   "SELECT Id, Name, DeptId FROM Employees",
+			"TOwnRecord":   "SELECT Id, Name, Age, Salary, DeptId FROM Employees WHERE Id = ?MyUId",
+			"TSeniors":     "SELECT Name FROM Employees WHERE Age >= 60",
+			"TDeptPage":    "SELECT DeptId, DeptName FROM Departments",
+			"TDeptMembers": "SELECT e.Name, e.DeptId FROM Employees e JOIN Departments d ON e.DeptId = d.DeptId",
+		},
+		Sensitive: map[string]string{
+			"SSalaries": "SELECT Name, Salary FROM Employees",
+			// Scoped to other principals: removes the self-disclosure
+			// finding SSalaries triggers via VOwnRecord.
+			"SOthersSalaries": "SELECT Name, Salary FROM Employees WHERE Id <> ?MyUId",
+			"SAdults":         "SELECT Name FROM Employees WHERE Age >= 18",
+		},
+		SessionParam: map[string]string{"user_id": "MyUId"},
+		Seed:         seedEmployees,
+		Corpus:       employeesCorpus(),
+	}
+}
+
+func seedEmployees(db *engine.DB, n int) error {
+	if n < 4 {
+		n = 4
+	}
+	depts := n/10 + 2
+	for d := 1; d <= depts; d++ {
+		if err := db.InsertRow("Departments", d, fmt.Sprintf("dept%d", d)); err != nil {
+			return err
+		}
+	}
+	for i := 1; i <= n; i++ {
+		age := 22 + (i*7)%50 // 22..71
+		salary := 50000 + (i*977)%90000
+		dept := i%depts + 1
+		if err := db.InsertRow("Employees", i, fmt.Sprintf("emp%d", i), age, salary, dept); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func employeesCorpus() []WorkloadQuery {
+	return []WorkloadQuery{
+		{Label: "directory", SQL: "SELECT Id, Name, DeptId FROM Employees", UId: 1, WantAllowed: true},
+		{Label: "own-record", SQL: "SELECT Salary FROM Employees WHERE Id = ?", Args: []any{1}, UId: 1, WantAllowed: true},
+		{Label: "seniors", SQL: "SELECT Name FROM Employees WHERE Age >= 60", UId: 1, WantAllowed: true},
+		// Age>=65 is contained in VSeniors but NOT determined by it:
+		// the view hides ages, so the subset cannot be computed.
+		{Label: "seniors-subset", SQL: "SELECT Name FROM Employees WHERE Age >= 65", UId: 1, WantAllowed: false},
+		{Label: "dept-names", SQL: "SELECT DeptName FROM Departments", UId: 1, WantAllowed: true},
+		{Label: "dir-dept-join", SQL: "SELECT e.Name, d.DeptName FROM Employees e JOIN Departments d ON e.DeptId = d.DeptId", UId: 1, WantAllowed: true},
+
+		{Label: "all-salaries", SQL: "SELECT Name, Salary FROM Employees", UId: 1, WantAllowed: false},
+		{Label: "others-salary", SQL: "SELECT Salary FROM Employees WHERE Id = ?", Args: []any{2}, UId: 1, WantAllowed: false},
+		{Label: "adults", SQL: "SELECT Name FROM Employees WHERE Age >= 18", UId: 1, WantAllowed: false},
+		{Label: "ages", SQL: "SELECT Name, Age FROM Employees", UId: 1, WantAllowed: false},
+	}
+}

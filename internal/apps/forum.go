@@ -1,0 +1,162 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/appdsl"
+	"repro/internal/engine"
+	"repro/internal/schema"
+	"repro/internal/sqlvalue"
+)
+
+// Forum models a small social application with visibility rules: a
+// post is readable when it is public, when the reader wrote it, or
+// when the reader follows its author. The policy needs three views —
+// one per visibility rule — which exercises multi-view coverage and
+// UCQ-ish reasoning in the checker.
+func Forum() *Fixture {
+	s := schema.NewBuilder().
+		Table("Users").
+		NotNullCol("UId", sqlvalue.Int).
+		NotNullCol("Handle", sqlvalue.Text).
+		PK("UId").Done().
+		Table("Posts").
+		OpaqueCol("PId", sqlvalue.Int).
+		NotNullCol("AuthorId", sqlvalue.Int).
+		NotNullCol("Body", sqlvalue.Text).
+		NotNullCol("Visibility", sqlvalue.Text). // 'public' | 'followers'
+		PK("PId").
+		FK([]string{"AuthorId"}, "Users", []string{"UId"}).Done().
+		Table("Follows").
+		NotNullCol("Follower", sqlvalue.Int).
+		NotNullCol("Followee", sqlvalue.Int).
+		PK("Follower", "Followee").
+		FK([]string{"Follower"}, "Users", []string{"UId"}).
+		FK([]string{"Followee"}, "Users", []string{"UId"}).Done().
+		MustBuild()
+
+	app := &appdsl.App{
+		Name:         "forum",
+		SessionParam: map[string]string{"user_id": "MyUId"},
+		Handlers: []*appdsl.Handler{
+			{
+				Name:   "read_post",
+				Params: []string{"post_id"},
+				Body: []appdsl.Stmt{
+					appdsl.Query{Dest: "pub",
+						SQL:  "SELECT Body FROM Posts WHERE PId = ? AND Visibility = 'public'",
+						Args: []appdsl.Val{appdsl.ParamRef{Name: "post_id"}}},
+					appdsl.If{Cond: appdsl.NotEmpty{Result: "pub"},
+						Then: []appdsl.Stmt{appdsl.Render{From: "pub"}},
+						Else: []appdsl.Stmt{
+							appdsl.Query{Dest: "grant",
+								SQL: "SELECT 1 FROM Posts p JOIN Follows f ON p.AuthorId = f.Followee " +
+									"WHERE p.PId = ? AND f.Follower = ?",
+								Args: []appdsl.Val{appdsl.ParamRef{Name: "post_id"}, appdsl.SessionRef{Name: "user_id"}}},
+							appdsl.If{Cond: appdsl.Empty{Result: "grant"},
+								Then: []appdsl.Stmt{appdsl.Abort{Message: "not visible"}}},
+							appdsl.Query{Dest: "post",
+								SQL:  "SELECT Body FROM Posts WHERE PId = ?",
+								Args: []appdsl.Val{appdsl.ParamRef{Name: "post_id"}}},
+							appdsl.Render{From: "post"},
+						}},
+				},
+			},
+			{
+				Name: "my_feed",
+				Body: []appdsl.Stmt{
+					appdsl.Query{Dest: "feed",
+						SQL: "SELECT p.PId, p.Body FROM Posts p JOIN Follows f ON p.AuthorId = f.Followee " +
+							"WHERE f.Follower = ?",
+						Args: []appdsl.Val{appdsl.SessionRef{Name: "user_id"}}},
+					appdsl.Render{From: "feed"},
+				},
+			},
+		},
+	}
+
+	return &Fixture{
+		Name:   "forum",
+		Schema: s,
+		App:    app,
+		PolicySQL: map[string]string{
+			"VPublic":   "SELECT PId, AuthorId, Body, Visibility FROM Posts WHERE Visibility = 'public'",
+			"VOwn":      "SELECT PId, AuthorId, Body, Visibility FROM Posts WHERE AuthorId = ?MyUId",
+			"VFollowed": "SELECT p.PId, p.AuthorId, p.Body, p.Visibility FROM Posts p JOIN Follows f ON p.AuthorId = f.Followee WHERE f.Follower = ?MyUId",
+			"VFollows":  "SELECT Followee FROM Follows WHERE Follower = ?MyUId",
+			"VHandles":  "SELECT UId, Handle FROM Users",
+		},
+		RLSRules: map[string]string{
+			"Posts": "Visibility = 'public' OR AuthorId = ?MyUId OR " +
+				"EXISTS (SELECT 1 FROM Follows WHERE Follows.Followee = AuthorId AND Follows.Follower = ?MyUId)",
+			"Follows": "Follower = ?MyUId",
+		},
+		AppTruthSQL: map[string]string{
+			"TPublicRead": "SELECT PId, Body FROM Posts WHERE Visibility = 'public'",
+			"TGrantProbe": "SELECT p.PId FROM Posts p JOIN Follows f ON p.AuthorId = f.Followee WHERE f.Follower = ?MyUId",
+			"TGuardedRead": "SELECT p.PId, p.Body FROM Posts p JOIN Posts q ON p.PId = q.PId " +
+				"JOIN Follows f ON q.AuthorId = f.Followee WHERE f.Follower = ?MyUId",
+			"TFeed": "SELECT p.PId, p.Body FROM Posts p JOIN Follows f ON p.AuthorId = f.Followee WHERE f.Follower = ?MyUId",
+		},
+		Sensitive: map[string]string{
+			"SPrivateBodies": "SELECT Body FROM Posts WHERE Visibility = 'followers'",
+			"SFollowGraph":   "SELECT Follower, Followee FROM Follows",
+		},
+		SessionParam: map[string]string{"user_id": "MyUId"},
+		Seed:         seedForum,
+		Corpus:       forumCorpus(),
+	}
+}
+
+// seedForum creates n users, each with one public and one followers
+// post; user i follows user i+1 (mod n).
+func seedForum(db *engine.DB, n int) error {
+	if n < 3 {
+		n = 3
+	}
+	for i := 1; i <= n; i++ {
+		if err := db.InsertRow("Users", i, fmt.Sprintf("user%d", i)); err != nil {
+			return err
+		}
+	}
+	pid := 0
+	for i := 1; i <= n; i++ {
+		pid++
+		if err := db.InsertRow("Posts", pid, i, fmt.Sprintf("public post by %d", i), "public"); err != nil {
+			return err
+		}
+		pid++
+		if err := db.InsertRow("Posts", pid, i, fmt.Sprintf("followers post by %d", i), "followers"); err != nil {
+			return err
+		}
+	}
+	for i := 1; i <= n; i++ {
+		j := i%n + 1
+		if j == i {
+			continue
+		}
+		if err := db.InsertRow("Follows", i, j); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func forumCorpus() []WorkloadQuery {
+	return []WorkloadQuery{
+		{Label: "public-posts", SQL: "SELECT Body FROM Posts WHERE Visibility = 'public'", UId: 1, WantAllowed: true},
+		{Label: "own-posts", SQL: "SELECT PId, Body FROM Posts WHERE AuthorId = ?", Args: []any{1}, UId: 1, WantAllowed: true},
+		{Label: "feed", SQL: "SELECT p.PId, p.Body FROM Posts p JOIN Follows f ON p.AuthorId = f.Followee WHERE f.Follower = ?", Args: []any{1}, UId: 1, WantAllowed: true},
+		{Label: "my-follows", SQL: "SELECT Followee FROM Follows WHERE Follower = ?", Args: []any{1}, UId: 1, WantAllowed: true},
+		{Label: "handles", SQL: "SELECT Handle FROM Users", UId: 1, WantAllowed: true},
+		{Label: "public-by-author", SQL: "SELECT Body FROM Posts WHERE Visibility = 'public' AND AuthorId = ?", Args: []any{3}, UId: 1, WantAllowed: true},
+		{Label: "union-public-own", SQL: "SELECT PId, Body FROM Posts WHERE Visibility = 'public' UNION SELECT PId, Body FROM Posts WHERE AuthorId = ?", Args: []any{1}, UId: 1, WantAllowed: true},
+
+		{Label: "all-posts", SQL: "SELECT Body FROM Posts", UId: 1, WantAllowed: false},
+		{Label: "private-posts", SQL: "SELECT Body FROM Posts WHERE Visibility = 'followers'", UId: 1, WantAllowed: false},
+		{Label: "others-follows", SQL: "SELECT Followee FROM Follows WHERE Follower = ?", Args: []any{2}, UId: 1, WantAllowed: false},
+		{Label: "follow-graph", SQL: "SELECT Follower, Followee FROM Follows", UId: 1, WantAllowed: false},
+		{Label: "post-no-grant", SQL: "SELECT Body FROM Posts WHERE PId = ?", Args: []any{4}, UId: 1, WantAllowed: false},
+		{Label: "union-leaking-arm", SQL: "SELECT PId, Body FROM Posts WHERE Visibility = 'public' UNION SELECT PId, Body FROM Posts WHERE Visibility = 'followers'", UId: 1, WantAllowed: false},
+	}
+}

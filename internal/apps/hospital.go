@@ -1,0 +1,144 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/appdsl"
+	"repro/internal/engine"
+	"repro/internal/schema"
+	"repro/internal/sqlvalue"
+)
+
+// Hospital is the paper's Example 4.1: staff may see the doctor
+// assigned to each patient and the diseases each doctor treats, while
+// the disease each patient is treated for is sensitive. The staff
+// principal is modeled with MyUId = staff id (staff see all patients'
+// doctor assignments, so the views are unparameterized; the principal
+// still has an identity for auditing).
+func Hospital() *Fixture {
+	s := schema.NewBuilder().
+		Table("Doctors").
+		NotNullCol("DId", sqlvalue.Int).
+		NotNullCol("DName", sqlvalue.Text).
+		PK("DId").Done().
+		Table("Treats").
+		NotNullCol("DocId", sqlvalue.Int).
+		NotNullCol("Disease", sqlvalue.Text).
+		PK("DocId", "Disease").
+		FK([]string{"DocId"}, "Doctors", []string{"DId"}).Done().
+		Table("Patients").
+		OpaqueCol("PId", sqlvalue.Int).
+		NotNullCol("PName", sqlvalue.Text).
+		NotNullCol("DocId", sqlvalue.Int).
+		NotNullCol("Disease", sqlvalue.Text).
+		PK("PId").
+		FK([]string{"DocId"}, "Doctors", []string{"DId"}).
+		FK([]string{"DocId", "Disease"}, "Treats", []string{"DocId", "Disease"}).Done().
+		MustBuild()
+
+	app := &appdsl.App{
+		Name:         "hospital",
+		SessionParam: map[string]string{"user_id": "MyUId"},
+		Handlers: []*appdsl.Handler{
+			{
+				Name:   "patient_card",
+				Params: []string{"patient_id"},
+				Body: []appdsl.Stmt{
+					appdsl.Query{Dest: "card",
+						SQL:  "SELECT PName, DocId FROM Patients WHERE PId = ?",
+						Args: []appdsl.Val{appdsl.ParamRef{Name: "patient_id"}}},
+					appdsl.Render{From: "card"},
+				},
+			},
+			{
+				Name:   "doctor_page",
+				Params: []string{"doctor_id"},
+				Body: []appdsl.Stmt{
+					appdsl.Query{Dest: "doc",
+						SQL:  "SELECT DName FROM Doctors WHERE DId = ?",
+						Args: []appdsl.Val{appdsl.ParamRef{Name: "doctor_id"}}},
+					appdsl.Query{Dest: "treats",
+						SQL:  "SELECT Disease FROM Treats WHERE DocId = ?",
+						Args: []appdsl.Val{appdsl.ParamRef{Name: "doctor_id"}}},
+					appdsl.Render{From: "doc"},
+					appdsl.Render{From: "treats"},
+				},
+			},
+		},
+	}
+
+	return &Fixture{
+		Name:   "hospital",
+		Schema: s,
+		App:    app,
+		PolicySQL: map[string]string{
+			"VPatientDoctor": "SELECT PId, PName, DocId FROM Patients",
+			"VDoctorTreats":  "SELECT DocId, Disease FROM Treats",
+			"VDoctors":       "SELECT DId, DName FROM Doctors",
+		},
+		RLSRules: map[string]string{
+			// RLS cannot express column hiding: it would have to hide
+			// whole patient rows or reveal the disease column. This
+			// mismatch is part of the E2 comparison narrative.
+		},
+		AppTruthSQL: map[string]string{
+			"TPatientCard": "SELECT PId, PName, DocId FROM Patients",
+			"TDoctors":     "SELECT DId, DName FROM Doctors",
+			"TTreats":      "SELECT DocId, Disease FROM Treats",
+		},
+		Sensitive: map[string]string{
+			"SPatientDisease": "SELECT PName, Disease FROM Patients",
+		},
+		SessionParam: map[string]string{"user_id": "MyUId"},
+		Seed:         seedHospital,
+		Corpus:       hospitalCorpus(),
+	}
+}
+
+var hospitalDiseases = []string{"pneumonia", "tb", "flu", "measles", "asthma"}
+
+// seedHospital creates n/4+1 doctors each treating two diseases, and n
+// patients assigned round-robin.
+func seedHospital(db *engine.DB, n int) error {
+	if n < 4 {
+		n = 4
+	}
+	docs := n/4 + 1
+	for d := 1; d <= docs; d++ {
+		if err := db.InsertRow("Doctors", d, fmt.Sprintf("dr%d", d)); err != nil {
+			return err
+		}
+		d1 := hospitalDiseases[d%len(hospitalDiseases)]
+		d2 := hospitalDiseases[(d+1)%len(hospitalDiseases)]
+		if err := db.InsertRow("Treats", d, d1); err != nil {
+			return err
+		}
+		if err := db.InsertRow("Treats", d, d2); err != nil {
+			return err
+		}
+	}
+	for p := 1; p <= n; p++ {
+		doc := p%docs + 1
+		disease := hospitalDiseases[doc%len(hospitalDiseases)]
+		if p%2 == 0 {
+			disease = hospitalDiseases[(doc+1)%len(hospitalDiseases)]
+		}
+		if err := db.InsertRow("Patients", p, fmt.Sprintf("patient%d", p), doc, disease); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func hospitalCorpus() []WorkloadQuery {
+	return []WorkloadQuery{
+		{Label: "patient-doctor", SQL: "SELECT PName, DocId FROM Patients", UId: 1, WantAllowed: true},
+		{Label: "one-patient-card", SQL: "SELECT PName, DocId FROM Patients WHERE PId = ?", Args: []any{1}, UId: 1, WantAllowed: true},
+		{Label: "doctor-treats", SQL: "SELECT Disease FROM Treats WHERE DocId = ?", Args: []any{1}, UId: 1, WantAllowed: true},
+		{Label: "doctor-names", SQL: "SELECT DName FROM Doctors", UId: 1, WantAllowed: true},
+		{Label: "doctor-join", SQL: "SELECT p.PName, t.Disease FROM Patients p JOIN Treats t ON p.DocId = t.DocId", UId: 1, WantAllowed: true},
+
+		{Label: "patient-disease", SQL: "SELECT PName, Disease FROM Patients", UId: 1, WantAllowed: false},
+		{Label: "one-patient-disease", SQL: "SELECT Disease FROM Patients WHERE PId = ?", Args: []any{1}, UId: 1, WantAllowed: false},
+	}
+}

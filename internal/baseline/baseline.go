@@ -1,0 +1,366 @@
+// Package baseline implements the enforcement designs the paper's
+// §2.1 contrasts with Blockaid-style checking, used as comparators in
+// the benchmark suite:
+//
+//   - RLS: query-modifying row-level security in the tradition of
+//     Stonebraker & Wong's INGRES query modification — each base-table
+//     occurrence in a query gets the table's predicate AND-ed into the
+//     WHERE clause, parameterized by session attributes.
+//   - ColumnGrants: static column-level access control — a query is
+//     rejected if it references a column outside the principal's
+//     grant, in the spirit of SeLINQ-style column policies.
+//
+// Both modify-or-reject the query up front and keep no history, which
+// is exactly the trade-off the paper's checker design avoids.
+package baseline
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/schema"
+	"repro/internal/sqlparser"
+	"repro/internal/sqlvalue"
+)
+
+// RLS is a set of per-table row predicates.
+type RLS struct {
+	Schema *schema.Schema
+	// Rules maps a (case-insensitive) table name to a boolean SQL
+	// expression over that table's columns, possibly using named
+	// parameters (?MyUId). Tables without a rule are unrestricted.
+	rules map[string]sqlparser.Expr
+}
+
+// NewRLS parses the rule expressions. Each rule is validated by
+// parsing "SELECT 1 FROM <table> WHERE <rule>".
+func NewRLS(s *schema.Schema, rules map[string]string) (*RLS, error) {
+	out := &RLS{Schema: s, rules: make(map[string]sqlparser.Expr, len(rules))}
+	for table, rule := range rules {
+		if _, ok := s.Table(table); !ok {
+			return nil, fmt.Errorf("baseline: RLS rule for unknown table %q", table)
+		}
+		sel, err := sqlparser.ParseSelect("SELECT 1 FROM " + table + " WHERE " + rule)
+		if err != nil {
+			return nil, fmt.Errorf("baseline: RLS rule for %s: %w", table, err)
+		}
+		out.rules[strings.ToLower(table)] = sel.Where
+	}
+	return out, nil
+}
+
+// MustNewRLS is NewRLS, panicking on error.
+func MustNewRLS(s *schema.Schema, rules map[string]string) *RLS {
+	r, err := NewRLS(s, rules)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Rewrite returns a copy of the query with every base table's rule
+// conjoined into the WHERE clause, with rule parameters bound from
+// session. This is the query-modification enforcement step.
+func (r *RLS) Rewrite(sel *sqlparser.SelectStmt, session map[string]sqlvalue.Value) (*sqlparser.SelectStmt, error) {
+	out := sqlparser.CloneSelect(sel)
+	var conds []sqlparser.Expr
+	for _, ref := range sqlparser.BaseTables(out.From) {
+		rule, ok := r.rules[strings.ToLower(ref.Name)]
+		if !ok {
+			continue
+		}
+		qualifier := ref.Name
+		if ref.Alias != "" {
+			qualifier = ref.Alias
+		}
+		cond, err := instantiateRule(rule, qualifier, session)
+		if err != nil {
+			return nil, err
+		}
+		conds = append(conds, cond)
+	}
+	// Rules also apply inside subqueries.
+	var subErr error
+	rewritten := sqlparser.MapExprs(out, func(e sqlparser.Expr) sqlparser.Expr {
+		if subErr != nil {
+			return e
+		}
+		switch x := e.(type) {
+		case *sqlparser.ExistsExpr:
+			ns, err := r.Rewrite(x.Subquery, session)
+			if err != nil {
+				subErr = err
+				return e
+			}
+			return &sqlparser.ExistsExpr{Not: x.Not, Subquery: ns}
+		case *sqlparser.InExpr:
+			if x.Subquery == nil {
+				return e
+			}
+			ns, err := r.Rewrite(x.Subquery, session)
+			if err != nil {
+				subErr = err
+				return e
+			}
+			return &sqlparser.InExpr{Expr: x.Expr, Not: x.Not, Subquery: ns}
+		case *sqlparser.SubqueryExpr:
+			ns, err := r.Rewrite(x.Subquery, session)
+			if err != nil {
+				subErr = err
+				return e
+			}
+			return &sqlparser.SubqueryExpr{Subquery: ns}
+		}
+		return e
+	}).(*sqlparser.SelectStmt)
+	if subErr != nil {
+		return nil, subErr
+	}
+	out = rewritten
+	for _, c := range conds {
+		if out.Where == nil {
+			out.Where = c
+		} else {
+			out.Where = &sqlparser.BinaryExpr{Op: sqlparser.OpAnd, Left: out.Where, Right: c}
+		}
+	}
+	return out, nil
+}
+
+// instantiateRule qualifies the rule's bare column references with the
+// table qualifier and binds named parameters from session.
+func instantiateRule(rule sqlparser.Expr, qualifier string, session map[string]sqlvalue.Value) (sqlparser.Expr, error) {
+	var err error
+	wrapper := &sqlparser.SelectStmt{Items: []sqlparser.SelectItem{{Expr: rule}}}
+	out := sqlparser.MapExprs(wrapper, func(e sqlparser.Expr) sqlparser.Expr {
+		switch x := e.(type) {
+		case *sqlparser.ColumnRef:
+			if x.Table == "" {
+				return &sqlparser.ColumnRef{Table: qualifier, Column: x.Column}
+			}
+		case *sqlparser.Param:
+			if x.Name == "" {
+				err = fmt.Errorf("baseline: RLS rules use named parameters only")
+				return e
+			}
+			v, ok := session[x.Name]
+			if !ok {
+				err = fmt.Errorf("baseline: no session value for ?%s", x.Name)
+				return e
+			}
+			return &sqlparser.Literal{Value: v}
+		}
+		return e
+	}).(*sqlparser.SelectStmt)
+	if err != nil {
+		return nil, err
+	}
+	return out.Items[0].Expr, nil
+}
+
+// ColumnGrants is a static column-level policy: per table, the set of
+// readable columns (lower-cased). Tables absent from the map are
+// fully hidden.
+type ColumnGrants struct {
+	Schema *schema.Schema
+	grants map[string]map[string]bool
+}
+
+// NewColumnGrants builds the grant set; column lists validate against
+// the schema. An entry of []string{"*"} grants the whole table.
+func NewColumnGrants(s *schema.Schema, grants map[string][]string) (*ColumnGrants, error) {
+	out := &ColumnGrants{Schema: s, grants: make(map[string]map[string]bool, len(grants))}
+	for table, cols := range grants {
+		t, ok := s.Table(table)
+		if !ok {
+			return nil, fmt.Errorf("baseline: grant for unknown table %q", table)
+		}
+		m := make(map[string]bool, len(cols))
+		for _, c := range cols {
+			if c == "*" {
+				for _, tc := range t.Columns {
+					m[strings.ToLower(tc.Name)] = true
+				}
+				continue
+			}
+			if _, ok := t.ColumnIndex(c); !ok {
+				return nil, fmt.Errorf("baseline: grant for unknown column %s.%s", table, c)
+			}
+			m[strings.ToLower(c)] = true
+		}
+		out.grants[strings.ToLower(table)] = m
+	}
+	return out, nil
+}
+
+// MustNewColumnGrants is NewColumnGrants, panicking on error.
+func MustNewColumnGrants(s *schema.Schema, grants map[string][]string) *ColumnGrants {
+	g, err := NewColumnGrants(s, grants)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Check reports whether the query touches only granted columns; the
+// error names the first offending column.
+func (g *ColumnGrants) Check(sel *sqlparser.SelectStmt) error {
+	refs, err := collectColumnRefs(g.Schema, sel)
+	if err != nil {
+		return err
+	}
+	for _, ref := range refs {
+		cols, ok := g.grants[ref.table]
+		if !ok || !cols[ref.column] {
+			return fmt.Errorf("baseline: column %s.%s is not granted", ref.table, ref.column)
+		}
+	}
+	return nil
+}
+
+type colRef struct{ table, column string }
+
+// collectColumnRefs resolves every column reference (including stars
+// and subqueries) of a SELECT to (table, column) pairs.
+func collectColumnRefs(s *schema.Schema, sel *sqlparser.SelectStmt) ([]colRef, error) {
+	type entry struct {
+		name string
+		tab  *schema.Table
+	}
+	var walk func(sel *sqlparser.SelectStmt, outer []entry) ([]colRef, error)
+	walk = func(sel *sqlparser.SelectStmt, outer []entry) ([]colRef, error) {
+		var scope []entry
+		for _, ref := range sqlparser.BaseTables(sel.From) {
+			t, ok := s.Table(ref.Name)
+			if !ok {
+				return nil, fmt.Errorf("baseline: unknown table %q", ref.Name)
+			}
+			name := strings.ToLower(ref.Name)
+			if ref.Alias != "" {
+				name = strings.ToLower(ref.Alias)
+			}
+			scope = append(scope, entry{name: name, tab: t})
+		}
+		full := append(append([]entry(nil), scope...), outer...)
+		var out []colRef
+		var resolve func(e sqlparser.Expr) error
+		resolve = func(e sqlparser.Expr) error {
+			var err error
+			sqlparser.WalkExpr(e, func(x sqlparser.Expr) bool {
+				if err != nil {
+					return false
+				}
+				switch cr := x.(type) {
+				case *sqlparser.ColumnRef:
+					found := false
+					for _, en := range full {
+						if cr.Table != "" && !strings.EqualFold(cr.Table, en.name) {
+							continue
+						}
+						if _, ok := en.tab.ColumnIndex(cr.Column); ok {
+							out = append(out, colRef{table: strings.ToLower(en.tab.Name), column: strings.ToLower(cr.Column)})
+							found = true
+							break
+						}
+					}
+					if !found {
+						err = fmt.Errorf("baseline: cannot resolve column %s", cr.SQL())
+					}
+				case *sqlparser.ExistsExpr:
+					sub, serr := walk(cr.Subquery, full)
+					if serr != nil {
+						err = serr
+						return false
+					}
+					out = append(out, sub...)
+					return false
+				case *sqlparser.SubqueryExpr:
+					sub, serr := walk(cr.Subquery, full)
+					if serr != nil {
+						err = serr
+						return false
+					}
+					out = append(out, sub...)
+					return false
+				case *sqlparser.InExpr:
+					if cr.Subquery != nil {
+						if rerr := resolve(cr.Expr); rerr != nil {
+							err = rerr
+							return false
+						}
+						sub, serr := walk(cr.Subquery, full)
+						if serr != nil {
+							err = serr
+							return false
+						}
+						out = append(out, sub...)
+						return false
+					}
+				}
+				return true
+			})
+			return err
+		}
+		for _, it := range sel.Items {
+			if it.Star {
+				for _, en := range scope {
+					if it.Table != "" && !strings.EqualFold(it.Table, en.name) {
+						continue
+					}
+					for _, c := range en.tab.Columns {
+						out = append(out, colRef{table: strings.ToLower(en.tab.Name), column: strings.ToLower(c.Name)})
+					}
+				}
+				continue
+			}
+			if err := resolve(it.Expr); err != nil {
+				return nil, err
+			}
+		}
+		exprs := []sqlparser.Expr{sel.Where, sel.Having, sel.Limit, sel.Offset}
+		for _, g := range sel.GroupBy {
+			exprs = append(exprs, g)
+		}
+		for _, o := range sel.OrderBy {
+			exprs = append(exprs, o.Expr)
+		}
+		var onExprs func(te sqlparser.TableExpr)
+		collect := []sqlparser.Expr{}
+		onExprs = func(te sqlparser.TableExpr) {
+			if j, ok := te.(*sqlparser.JoinExpr); ok {
+				onExprs(j.Left)
+				onExprs(j.Right)
+				if j.On != nil {
+					collect = append(collect, j.On)
+				}
+			}
+		}
+		for _, te := range sel.From {
+			onExprs(te)
+		}
+		exprs = append(exprs, collect...)
+		for _, e := range exprs {
+			if e == nil {
+				continue
+			}
+			if err := resolve(e); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	return walk(sel, nil)
+}
+
+// GrantedColumns lists the grants sorted, for display.
+func (g *ColumnGrants) GrantedColumns() []string {
+	var out []string
+	for t, cols := range g.grants {
+		for c := range cols {
+			out = append(out, t+"."+c)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

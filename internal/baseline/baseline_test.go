@@ -1,0 +1,176 @@
+package baseline
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/schema"
+	"repro/internal/sqlparser"
+	"repro/internal/sqlvalue"
+)
+
+func calSchema(t testing.TB) *schema.Schema {
+	t.Helper()
+	s, err := schema.NewBuilder().
+		Table("Events").
+		NotNullCol("EId", sqlvalue.Int).
+		NotNullCol("Title", sqlvalue.Text).
+		Col("Notes", sqlvalue.Text).
+		PK("EId").Done().
+		Table("Attendance").
+		NotNullCol("UId", sqlvalue.Int).
+		NotNullCol("EId", sqlvalue.Int).
+		PK("UId", "EId").Done().
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func sess(uid int64) map[string]sqlvalue.Value {
+	return map[string]sqlvalue.Value{"MyUId": sqlvalue.NewInt(uid)}
+}
+
+func TestRLSRewriteAddsPredicate(t *testing.T) {
+	s := calSchema(t)
+	r := MustNewRLS(s, map[string]string{
+		"Attendance": "UId = ?MyUId",
+	})
+	sel := sqlparser.MustParseSelect("SELECT EId FROM Attendance")
+	out, err := r.Rewrite(sel, sess(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.SQL()
+	if !strings.Contains(got, "Attendance.UId = 7") {
+		t.Errorf("rewritten: %s", got)
+	}
+	// Original untouched.
+	if sel.Where != nil {
+		t.Error("Rewrite mutated input")
+	}
+}
+
+func TestRLSRewriteRespectsAlias(t *testing.T) {
+	s := calSchema(t)
+	r := MustNewRLS(s, map[string]string{"Attendance": "UId = ?MyUId"})
+	sel := sqlparser.MustParseSelect(
+		"SELECT e.Title FROM Events e JOIN Attendance a ON e.EId = a.EId WHERE e.Title = 'x'")
+	out, err := r.Rewrite(sel, sess(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.SQL(), "a.UId = 3") {
+		t.Errorf("alias-qualified predicate missing: %s", out.SQL())
+	}
+}
+
+func TestRLSRewriteSubquery(t *testing.T) {
+	s := calSchema(t)
+	r := MustNewRLS(s, map[string]string{"Attendance": "UId = ?MyUId"})
+	sel := sqlparser.MustParseSelect(
+		"SELECT Title FROM Events WHERE EId IN (SELECT EId FROM Attendance)")
+	out, err := r.Rewrite(sel, sess(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.SQL(), "Attendance.UId = 3") {
+		t.Errorf("subquery predicate missing: %s", out.SQL())
+	}
+}
+
+func TestRLSRewriteSemantics(t *testing.T) {
+	s := calSchema(t)
+	db := engine.New(s)
+	db.MustExec("INSERT INTO Events (EId, Title, Notes) VALUES (1, 'a', NULL), (2, 'b', NULL)")
+	db.MustExec("INSERT INTO Attendance (UId, EId) VALUES (1, 1), (2, 2)")
+	r := MustNewRLS(s, map[string]string{"Attendance": "UId = ?MyUId"})
+
+	sel := sqlparser.MustParseSelect("SELECT EId FROM Attendance")
+	out, err := r.Rewrite(sel, sess(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 1 {
+		t.Fatalf("RLS-filtered result: %v", res)
+	}
+}
+
+func TestRLSMissingSessionValue(t *testing.T) {
+	s := calSchema(t)
+	r := MustNewRLS(s, map[string]string{"Attendance": "UId = ?MyUId"})
+	sel := sqlparser.MustParseSelect("SELECT EId FROM Attendance")
+	if _, err := r.Rewrite(sel, nil); err == nil {
+		t.Fatal("missing session value must error")
+	}
+}
+
+func TestRLSUnknownTableRule(t *testing.T) {
+	s := calSchema(t)
+	if _, err := NewRLS(s, map[string]string{"Nope": "1 = 1"}); err == nil {
+		t.Fatal("rule for unknown table must error")
+	}
+}
+
+func TestColumnGrants(t *testing.T) {
+	s := calSchema(t)
+	g := MustNewColumnGrants(s, map[string][]string{
+		"Events":     {"EId", "Title"},
+		"Attendance": {"*"},
+	})
+	ok := []string{
+		"SELECT Title FROM Events",
+		"SELECT e.Title FROM Events e JOIN Attendance a ON e.EId = a.EId",
+		"SELECT UId, EId FROM Attendance",
+		"SELECT Title FROM Events WHERE EId IN (SELECT EId FROM Attendance WHERE UId = 1)",
+	}
+	for _, q := range ok {
+		if err := g.Check(sqlparser.MustParseSelect(q)); err != nil {
+			t.Errorf("%q should pass: %v", q, err)
+		}
+	}
+	bad := []string{
+		"SELECT Notes FROM Events",
+		"SELECT * FROM Events",
+		"SELECT Title FROM Events ORDER BY Notes",
+		"SELECT Title FROM Events WHERE Notes = 'x'",
+	}
+	for _, q := range bad {
+		if err := g.Check(sqlparser.MustParseSelect(q)); err == nil {
+			t.Errorf("%q should be rejected", q)
+		}
+	}
+}
+
+func TestColumnGrantsHiddenTable(t *testing.T) {
+	s := calSchema(t)
+	g := MustNewColumnGrants(s, map[string][]string{"Events": {"Title"}})
+	if err := g.Check(sqlparser.MustParseSelect("SELECT UId FROM Attendance")); err == nil {
+		t.Fatal("ungranted table must be rejected")
+	}
+}
+
+func TestColumnGrantsValidation(t *testing.T) {
+	s := calSchema(t)
+	if _, err := NewColumnGrants(s, map[string][]string{"Events": {"Nope"}}); err == nil {
+		t.Fatal("unknown column grant must error")
+	}
+	if _, err := NewColumnGrants(s, map[string][]string{"Nope": {"x"}}); err == nil {
+		t.Fatal("unknown table grant must error")
+	}
+}
+
+func TestGrantedColumnsListing(t *testing.T) {
+	s := calSchema(t)
+	g := MustNewColumnGrants(s, map[string][]string{"Events": {"Title", "EId"}})
+	cols := g.GrantedColumns()
+	if len(cols) != 2 || cols[0] != "events.eid" {
+		t.Errorf("granted: %v", cols)
+	}
+}

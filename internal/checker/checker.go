@@ -1,0 +1,652 @@
+// Package checker implements Blockaid-style compliance checking: a
+// query is allowed iff its answer is guaranteed to reveal no more
+// information than the policy views do, given the history of prior
+// queries and their results (the paper's §2.2). Queries are allowed
+// as-is or blocked outright — never modified.
+//
+// The decision procedure works in the conjunctive fragment: the query
+// is covered if each of its atoms either matches a row already known
+// from the trace, or is the image of a policy-view embedding whose
+// visible (head) columns expose every output, join, and
+// selection-relevant position. This condition is sound — it implies
+// the answer is determined by view contents plus trace — and complete
+// enough to decide all of the paper's examples; queries outside the
+// fragment are conservatively blocked.
+//
+// Decisions are memoized as parameter-generic templates (Blockaid's
+// "decision cache"): constants equal to session attributes are
+// abstracted to parameters, so one cold decision serves every
+// principal issuing the same query shape.
+package checker
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/cq"
+	"repro/internal/policy"
+	"repro/internal/sqlparser"
+	"repro/internal/sqlvalue"
+	"repro/internal/trace"
+)
+
+// Decision is the outcome of a compliance check.
+type Decision struct {
+	Allowed bool
+	// Reason explains the outcome in one line (covering views, the
+	// uncovered atom, or the fragment violation).
+	Reason string
+	// Views lists the policy views used to cover the query.
+	Views []string
+	// FromCache reports a decision-template hit.
+	FromCache bool
+}
+
+// Stats counts checker activity.
+type Stats struct {
+	Decisions int
+	CacheHits int
+	Allowed   int
+	Blocked   int
+}
+
+// Options configure a Checker.
+type Options struct {
+	// UseHistory enables trace-derived facts (the paper's Example 2.1
+	// depends on it). Disabling it is the E3 ablation.
+	UseHistory bool
+	// UseCache enables decision templates.
+	UseCache bool
+	// MaxHomsPerView bounds the embedding search per view disjunct.
+	MaxHomsPerView int
+}
+
+// DefaultOptions returns the production configuration.
+func DefaultOptions() Options {
+	return Options{UseHistory: true, UseCache: true, MaxHomsPerView: 64}
+}
+
+// Checker vets queries against a policy.
+type Checker struct {
+	pol  *policy.Policy
+	opts Options
+
+	mu       sync.Mutex
+	cache    map[string]Decision
+	fp       string
+	stats    Stats
+	tr       *cq.Translator
+	viewDisj []*cq.Query // parameter-form view disjuncts
+}
+
+// New creates a checker for the policy with default options.
+func New(p *policy.Policy) *Checker { return NewWithOptions(p, DefaultOptions()) }
+
+// NewWithOptions creates a checker with explicit options.
+func NewWithOptions(p *policy.Policy, opts Options) *Checker {
+	if opts.MaxHomsPerView <= 0 {
+		opts.MaxHomsPerView = 64
+	}
+	return &Checker{
+		pol:      p,
+		opts:     opts,
+		cache:    make(map[string]Decision),
+		fp:       p.Fingerprint(),
+		tr:       &cq.Translator{Schema: p.Schema},
+		viewDisj: p.Disjuncts(nil),
+	}
+}
+
+// Policy returns the checker's policy.
+func (c *Checker) Policy() *policy.Policy { return c.pol }
+
+// Stats returns a copy of the counters.
+func (c *Checker) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// ResetCache drops all decision templates (used when the policy is
+// edited in place).
+func (c *Checker) ResetCache() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cache = make(map[string]Decision)
+	c.fp = c.pol.Fingerprint()
+	c.viewDisj = c.pol.Disjuncts(nil)
+}
+
+// CheckSQL parses and checks a SELECT.
+func (c *Checker) CheckSQL(sql string, args sqlparser.Args, session map[string]sqlvalue.Value, tr *trace.Trace) (Decision, error) {
+	sel, err := sqlparser.ParseSelect(sql)
+	if err != nil {
+		return Decision{}, err
+	}
+	return c.Check(sel, args, session, tr), nil
+}
+
+// Check decides whether the query may run for the given principal
+// session, considering the trace when history is enabled.
+func (c *Checker) Check(sel *sqlparser.SelectStmt, args sqlparser.Args, session map[string]sqlvalue.Value, tr *trace.Trace) Decision {
+	c.mu.Lock()
+	c.stats.Decisions++
+	c.mu.Unlock()
+
+	d := c.decide(sel, args, session, tr)
+
+	c.mu.Lock()
+	if d.Allowed {
+		c.stats.Allowed++
+	} else {
+		c.stats.Blocked++
+	}
+	if d.FromCache {
+		c.stats.CacheHits++
+	}
+	c.mu.Unlock()
+	return d
+}
+
+func (c *Checker) decide(sel *sqlparser.SelectStmt, args sqlparser.Args, session map[string]sqlvalue.Value, tr *trace.Trace) Decision {
+	// Named parameters that match session attributes bind implicitly:
+	// ?MyUId in an application query means the current principal.
+	if len(session) > 0 {
+		merged := make(map[string]sqlvalue.Value, len(args.Named)+len(session))
+		for k, v := range session {
+			merged[k] = v
+		}
+		for k, v := range args.Named {
+			merged[k] = v
+		}
+		args = sqlparser.Args{Positional: args.Positional, Named: merged}
+	}
+	bound, err := sqlparser.Bind(sel, args)
+	if err != nil {
+		return Decision{Reason: fmt.Sprintf("bind: %v", err)}
+	}
+	ucq, err := c.tr.TranslateSelect(bound.(*sqlparser.SelectStmt))
+	if err != nil {
+		return Decision{Reason: fmt.Sprintf("blocked conservatively: %v", err)}
+	}
+
+	// Abstract session constants into parameters (decision template).
+	generalize := constGeneralizer(session)
+	tpl := make([]*cq.Query, len(ucq))
+	for i, q := range ucq {
+		tpl[i] = q.Substitute(generalize)
+		// Substitute only rewrites vars/params; constants need the map
+		// form below.
+		tpl[i] = generalizeConsts(tpl[i], session)
+	}
+
+	// Facts from the trace, likewise parameterized.
+	var facts []cq.Fact
+	if c.opts.UseHistory && tr != nil {
+		for _, f := range trace.Facts(c.pol.Schema, tr) {
+			facts = append(facts, generalizeFact(f, session))
+		}
+	}
+
+	// Decision-template cache.
+	var key string
+	if c.opts.UseCache {
+		key = c.cacheKey(tpl, facts)
+		c.mu.Lock()
+		if d, ok := c.cache[key]; ok {
+			c.mu.Unlock()
+			d.FromCache = true
+			return d
+		}
+		c.mu.Unlock()
+	}
+
+	d := Decision{Allowed: true}
+	usedViews := map[string]bool{}
+	for _, q := range tpl {
+		res := c.coverDisjunct(q, facts)
+		if !res.ok {
+			d = Decision{Allowed: false, Reason: res.reason}
+			break
+		}
+		for _, v := range res.views {
+			usedViews[v] = true
+		}
+	}
+	if d.Allowed {
+		for v := range usedViews {
+			d.Views = append(d.Views, v)
+		}
+		sort.Strings(d.Views)
+		if len(d.Views) > 0 {
+			d.Reason = "covered by " + strings.Join(d.Views, ", ")
+		} else {
+			d.Reason = "reveals no database content"
+		}
+	}
+
+	if c.opts.UseCache {
+		c.mu.Lock()
+		c.cache[key] = d
+		c.mu.Unlock()
+	}
+	return d
+}
+
+func (c *Checker) cacheKey(tpl []*cq.Query, facts []cq.Fact) string {
+	parts := make([]string, 0, len(tpl)+len(facts)+1)
+	for _, q := range tpl {
+		parts = append(parts, q.CanonicalKey())
+	}
+	parts = append(parts, "#")
+	fs := make([]string, 0, len(facts))
+	for _, f := range facts {
+		fs = append(fs, f.String())
+	}
+	sort.Strings(fs)
+	parts = append(parts, fs...)
+	parts = append(parts, c.fp)
+	return strings.Join(parts, "\x00")
+}
+
+// constGeneralizer is a no-op Substitute hook (vars and params pass
+// through); constant generalization happens in generalizeConsts.
+func constGeneralizer(map[string]sqlvalue.Value) func(cq.Term) cq.Term {
+	return func(t cq.Term) cq.Term { return t }
+}
+
+// generalizeConsts replaces constants equal to a session attribute
+// with that attribute's parameter. Ambiguities resolve to the
+// alphabetically first attribute name, deterministically.
+func generalizeConsts(q *cq.Query, session map[string]sqlvalue.Value) *cq.Query {
+	if len(session) == 0 {
+		return q
+	}
+	names := make([]string, 0, len(session))
+	for n := range session {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	repl := func(t cq.Term) cq.Term {
+		if !t.IsConst() {
+			return t
+		}
+		for _, n := range names {
+			if sqlvalue.Identical(session[n], t.Const) {
+				return cq.P(n)
+			}
+		}
+		return t
+	}
+	out := q.Clone()
+	for i, t := range out.Head {
+		out.Head[i] = repl(t)
+	}
+	for ai := range out.Atoms {
+		for i, t := range out.Atoms[ai].Args {
+			out.Atoms[ai].Args[i] = repl(t)
+		}
+	}
+	for i := range out.Comps {
+		out.Comps[i].Left = repl(out.Comps[i].Left)
+		out.Comps[i].Right = repl(out.Comps[i].Right)
+	}
+	return out
+}
+
+func generalizeFact(f cq.Fact, session map[string]sqlvalue.Value) cq.Fact {
+	q := &cq.Query{Atoms: []cq.Atom{f.Atom.Clone()}}
+	q = generalizeConsts(q, session)
+	return cq.Fact{Atom: q.Atoms[0], Negated: f.Negated}
+}
+
+// coverResult is the outcome for one disjunct.
+type coverResult struct {
+	ok     bool
+	views  []string
+	reason string
+}
+
+// candidate is one usable view embedding.
+type candidate struct {
+	viewName string
+	// covers[i] is true when query atom i is in the embedding's image
+	// and every argument position passes the visibility rules.
+	covers []bool
+	// visible holds the term keys exposed by the view head under the
+	// embedding.
+	visible map[string]bool
+	// enforced holds comparison-only query variables whose every
+	// constraint the view's own body implies (so invisibility is
+	// acceptable for them).
+	enforced map[string]bool
+}
+
+// coverDisjunct decides one conjunctive disjunct.
+func (c *Checker) coverDisjunct(q *cq.Query, facts []cq.Fact) coverResult {
+	// A query whose comparisons are unsatisfiable returns nothing.
+	cs := cq.NewConstraints()
+	cs.AddAll(q.Comps)
+	if !cs.Consistent() {
+		return coverResult{ok: true}
+	}
+
+	// Vacuity via negative facts: an atom that can only match a
+	// pattern known to be empty makes the disjunct return nothing.
+	for _, a := range q.Atoms {
+		for _, f := range facts {
+			if f.Negated && atomInstanceOf(a, f.Atom, cs) {
+				return coverResult{ok: true}
+			}
+		}
+	}
+
+	if len(q.Atoms) == 0 {
+		return coverResult{ok: true} // reveals no database content
+	}
+
+	// Occurrence census for visibility rules.
+	occ := countVarOccurrences(q)
+
+	// The embedding target: the query's atoms plus positive trace
+	// facts as extra known rows.
+	target := &cq.Query{Atoms: append([]cq.Atom(nil), q.Atoms...), Comps: q.Comps}
+	for _, f := range facts {
+		if !f.Negated {
+			target.Atoms = append(target.Atoms, f.Atom)
+		}
+	}
+
+	// Fact-covered atoms: fully ground atoms whose row is known.
+	factCovered := make([]bool, len(q.Atoms))
+	for i, a := range q.Atoms {
+		if !atomGround(a) {
+			continue
+		}
+		for _, f := range facts {
+			if !f.Negated && atomsEqual(a, f.Atom) {
+				factCovered[i] = true
+				break
+			}
+		}
+	}
+
+	// Enumerate view embeddings and derive candidates.
+	var cands []candidate
+	for _, v := range c.viewDisj {
+		homs := cq.FindHoms(v, target, nil, c.opts.MaxHomsPerView)
+		for _, h := range homs {
+			cand := candidate{
+				viewName: v.Name,
+				covers:   make([]bool, len(q.Atoms)),
+				visible:  make(map[string]bool),
+				enforced: make(map[string]bool),
+			}
+			for _, ht := range v.Head {
+				cand.visible[h.Map.Apply(ht).Key()] = true
+			}
+			// Constraints the view itself enforces, mapped onto query
+			// terms: an invisible view column may still satisfy a
+			// query comparison when the view's own body implies it.
+			viewCS := cq.NewConstraints()
+			for _, vc := range v.Comps {
+				viewCS.Add(h.Map.ApplyComp(vc))
+			}
+			any := false
+			for srcIdx, tgtIdx := range h.AtomImage {
+				if tgtIdx >= len(q.Atoms) {
+					continue // maps onto a fact atom
+				}
+				if c.atomCoverOK(v.Atoms[srcIdx], q.Atoms[tgtIdx], v, viewCS, occ, q, cand.enforced) {
+					cand.covers[tgtIdx] = true
+					any = true
+				}
+			}
+			if any {
+				cands = append(cands, cand)
+			}
+		}
+	}
+
+	// Choose a candidate per uncovered atom; then validate joint
+	// visibility of join and head variables.
+	need := make([]int, 0, len(q.Atoms))
+	for i := range q.Atoms {
+		if !factCovered[i] {
+			need = append(need, i)
+		}
+	}
+	if len(need) == 0 {
+		return coverResult{ok: true}
+	}
+
+	options := make([][]int, len(need))
+	for ni, ai := range need {
+		for ci, cand := range cands {
+			if cand.covers[ai] {
+				options[ni] = append(options[ni], ci)
+			}
+		}
+		if len(options[ni]) == 0 {
+			return coverResult{
+				reason: fmt.Sprintf("atom %s is not covered by any policy view", q.Atoms[ai]),
+			}
+		}
+	}
+
+	assign := make([]int, len(need))
+	if c.searchAssignment(q, occ, cands, need, options, assign, 0) {
+		used := map[string]bool{}
+		for _, ci := range assign {
+			used[cands[ci].viewName] = true
+		}
+		var views []string
+		for v := range used {
+			views = append(views, v)
+		}
+		sort.Strings(views)
+		return coverResult{ok: true, views: views}
+	}
+	return coverResult{
+		reason: "no combination of view embeddings determines the query's answer",
+	}
+}
+
+// searchAssignment tries candidate assignments for the atoms in need.
+func (c *Checker) searchAssignment(q *cq.Query, occ map[string]varOcc, cands []candidate, need []int, options [][]int, assign []int, i int) bool {
+	if i == len(need) {
+		return validateAssignment(q, occ, cands, need, assign)
+	}
+	for _, ci := range options[i] {
+		assign[i] = ci
+		if c.searchAssignment(q, occ, cands, need, options, assign, i+1) {
+			return true
+		}
+	}
+	return false
+}
+
+// validateAssignment enforces the joint visibility conditions: every
+// head variable, comparison variable, and variable shared across
+// atoms must be visible in the candidates covering those atoms.
+func validateAssignment(q *cq.Query, occ map[string]varOcc, cands []candidate, need []int, assign []int) bool {
+	// Candidate per atom index.
+	byAtom := make(map[int]*candidate, len(need))
+	for i, ai := range need {
+		byAtom[ai] = &cands[assign[i]]
+	}
+	for v, o := range occ {
+		key := cq.V(v).Key()
+		distinguishing := o.inHead || o.inComps || len(o.atoms) > 1 || o.multiInAtom
+		if !distinguishing {
+			continue
+		}
+		// A comparison-only variable confined to a single atom is fine
+		// when the covering view enforces its constraints itself.
+		compOnly := o.inComps && !o.inHead && len(o.atoms) == 1 && !o.multiInAtom
+		for ai := range o.atoms {
+			cand, covered := byAtom[ai]
+			if !covered {
+				continue // fact-covered atoms are ground; vars can't occur there
+			}
+			if cand.visible[key] {
+				continue
+			}
+			if compOnly && cand.enforced[v] {
+				continue
+			}
+			return false
+		}
+	}
+	return true
+}
+
+// varOcc summarizes where a query variable occurs.
+type varOcc struct {
+	atoms       map[int]bool
+	inHead      bool
+	inComps     bool
+	multiInAtom bool // appears twice within one atom
+}
+
+func countVarOccurrences(q *cq.Query) map[string]varOcc {
+	out := make(map[string]varOcc)
+	get := func(v string) varOcc {
+		o, ok := out[v]
+		if !ok {
+			o = varOcc{atoms: make(map[int]bool)}
+		}
+		return o
+	}
+	for ai, a := range q.Atoms {
+		seenHere := map[string]bool{}
+		for _, t := range a.Args {
+			if !t.IsVar() {
+				continue
+			}
+			o := get(t.Var)
+			o.atoms[ai] = true
+			if seenHere[t.Var] {
+				o.multiInAtom = true
+			}
+			seenHere[t.Var] = true
+			out[t.Var] = o
+		}
+	}
+	for _, t := range q.Head {
+		if t.IsVar() {
+			o := get(t.Var)
+			o.inHead = true
+			out[t.Var] = o
+		}
+	}
+	for _, cmp := range q.Comps {
+		for _, t := range []cq.Term{cmp.Left, cmp.Right} {
+			if t.IsVar() {
+				o := get(t.Var)
+				o.inComps = true
+				out[t.Var] = o
+			}
+		}
+	}
+	return out
+}
+
+// atomCoverOK applies the per-position visibility rule for a view atom
+// covering a query atom: a position whose query-side term is
+// distinguishing (constant, parameter, head/join/comparison variable)
+// must be visible in the view head, pinned by the view itself
+// (view-side constant or parameter), or — for comparison variables —
+// constrained identically by the view's own body (viewCS carries the
+// view's comparisons mapped to query terms).
+func (c *Checker) atomCoverOK(viewAtom, qAtom cq.Atom, view *cq.Query, viewCS *cq.Constraints, occ map[string]varOcc, q *cq.Query, enforced map[string]bool) bool {
+	viewHead := make(map[string]bool, len(view.Head))
+	for _, t := range view.Head {
+		if t.IsVar() {
+			viewHead[t.Var] = true
+		}
+	}
+	for k, y := range viewAtom.Args {
+		t := qAtom.Args[k]
+		if !y.IsVar() {
+			// View-side constant/parameter pins the position.
+			continue
+		}
+		if viewHead[y.Var] {
+			continue // visible: filterable and joinable by the caller
+		}
+		// Invisible view position: acceptable for a pure existential
+		// query variable, or for a comparison-only variable whose
+		// every constraint the view itself enforces.
+		if !t.IsVar() {
+			return false
+		}
+		o := occ[t.Var]
+		if o.inHead || len(o.atoms) > 1 || o.multiInAtom {
+			return false
+		}
+		if o.inComps {
+			for _, qc := range q.Comps {
+				involves := qc.Left.IsVar() && qc.Left.Var == t.Var ||
+					qc.Right.IsVar() && qc.Right.Var == t.Var
+				if involves && !viewCS.Implies(qc) {
+					return false
+				}
+			}
+			enforced[t.Var] = true
+		}
+	}
+	return true
+}
+
+// --- small atom helpers ---
+
+func atomGround(a cq.Atom) bool {
+	for _, t := range a.Args {
+		if t.IsVar() {
+			return false
+		}
+	}
+	return true
+}
+
+func atomsEqual(a, b cq.Atom) bool {
+	if a.Table != b.Table || len(a.Args) != len(b.Args) {
+		return false
+	}
+	for i := range a.Args {
+		if !a.Args[i].Equal(b.Args[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// atomInstanceOf reports whether concrete atom a is an instance of
+// pattern p (pattern variables bind consistently; constants and
+// parameters must match, or be forced equal by the query constraints).
+func atomInstanceOf(a, p cq.Atom, cs *cq.Constraints) bool {
+	if a.Table != p.Table || len(a.Args) != len(p.Args) {
+		return false
+	}
+	bind := map[string]cq.Term{}
+	for i, pt := range p.Args {
+		at := a.Args[i]
+		if pt.IsVar() {
+			if prev, ok := bind[pt.Var]; ok {
+				if !prev.Equal(at) && !cs.Implies(cq.Comparison{Op: cq.Eq, Left: prev, Right: at}) {
+					return false
+				}
+			} else {
+				bind[pt.Var] = at
+			}
+			continue
+		}
+		if !pt.Equal(at) && !cs.Implies(cq.Comparison{Op: cq.Eq, Left: pt, Right: at}) {
+			return false
+		}
+	}
+	return true
+}

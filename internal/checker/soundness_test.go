@@ -1,0 +1,235 @@
+package checker
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/policy"
+	"repro/internal/schema"
+	"repro/internal/sqlparser"
+	"repro/internal/sqlvalue"
+	"repro/internal/trace"
+)
+
+// TestCheckerSoundnessRandomized is the central safety property: for
+// every query the checker ALLOWS, the answer must be a function of the
+// view contents — any two random instances on which every policy view
+// returns the same answer must give the same query answer. We sample
+// policies from a pool, queries from a pool, and instance pairs from a
+// tiny domain (so view-agreement collisions actually happen), and
+// cross-validate the checker against direct evaluation.
+func TestCheckerSoundnessRandomized(t *testing.T) {
+	s := calendarSchema(t)
+	policies := []*policy.Policy{
+		policy.MustNew(s, map[string]string{
+			"V1": "SELECT EId FROM Attendance WHERE UId = ?MyUId",
+			"V2": "SELECT * FROM Events e JOIN Attendance a ON e.EId = a.EId WHERE a.UId = ?MyUId",
+		}),
+		policy.MustNew(s, map[string]string{
+			"VT": "SELECT Title FROM Events",
+		}),
+		policy.MustNew(s, map[string]string{
+			"VA": "SELECT UId, EId FROM Attendance",
+			"VE": "SELECT EId, Title FROM Events",
+		}),
+		policy.MustNew(s, map[string]string{
+			"VOwn": "SELECT UId FROM Attendance WHERE UId = ?MyUId",
+		}),
+		policy.MustNew(s, map[string]string{
+			"VJoin": "SELECT e.EId, e.Title, a.UId FROM Events e JOIN Attendance a ON e.EId = a.EId",
+		}),
+	}
+	queries := []string{
+		"SELECT EId FROM Attendance WHERE UId = 1",
+		"SELECT EId FROM Attendance",
+		"SELECT UId, EId FROM Attendance",
+		"SELECT Title FROM Events",
+		"SELECT Title FROM Events WHERE EId = 2",
+		"SELECT * FROM Events WHERE EId = 2",
+		"SELECT e.Title FROM Events e JOIN Attendance a ON e.EId = a.EId WHERE a.UId = 1",
+		"SELECT e.Title FROM Events e JOIN Attendance a ON e.EId = a.EId",
+		"SELECT Name FROM Users WHERE UId = 1",
+		"SELECT a.EId FROM Attendance a JOIN Events e ON a.EId = e.EId WHERE e.Title = 'a'",
+		"SELECT 1 FROM Attendance WHERE UId = 1 AND EId = 2",
+		"SELECT Notes FROM Events WHERE EId = 1",
+	}
+	session := map[string]sqlvalue.Value{"MyUId": sqlvalue.NewInt(1)}
+	rng := rand.New(rand.NewSource(2023))
+
+	// Pre-generate instances over a tiny domain.
+	var insts []cq.Instance
+	for i := 0; i < 60; i++ {
+		insts = append(insts, randCalInstance(rng, s))
+	}
+
+	tr := &cq.Translator{Schema: s}
+	allowedCount := 0
+	for _, pol := range policies {
+		chk := New(pol)
+		views := pol.Disjuncts(session)
+		for _, src := range queries {
+			d, err := chk.CheckSQL(src, sqlparser.NoArgs, session, nil)
+			if err != nil {
+				t.Fatalf("%s: %v", src, err)
+			}
+			if !d.Allowed {
+				continue
+			}
+			allowedCount++
+			ucq, err := tr.TranslateSelect(sqlparser.MustParseSelect(src))
+			if err != nil {
+				t.Fatalf("allowed query outside fragment?! %s: %v", src, err)
+			}
+			bound := make([]*cq.Query, len(ucq))
+			for i, q := range ucq {
+				bound[i] = q.BindParams(session)
+			}
+			answer := func(in cq.Instance) string {
+				return cq.AnswerKey(cq.EvaluateUCQ(bound, in))
+			}
+			viewKey := func(in cq.Instance) string {
+				out := ""
+				for _, v := range views {
+					out += cq.AnswerKey(cq.Evaluate(v, in)) + "\x01"
+				}
+				return out
+			}
+			pairs := 0
+			for x := 0; x < len(insts) && pairs < 200; x++ {
+				for y := x + 1; y < len(insts) && pairs < 200; y++ {
+					if viewKey(insts[x]) != viewKey(insts[y]) {
+						continue
+					}
+					pairs++
+					if answer(insts[x]) != answer(insts[y]) {
+						t.Fatalf("UNSOUND: checker allowed %q under policy\n%s\nbut instances disagree:\nD1=%v\nD2=%v",
+							src, pol, insts[x], insts[y])
+					}
+				}
+			}
+		}
+	}
+	if allowedCount < 8 {
+		t.Fatalf("too few allowed (query, policy) pairs exercised: %d", allowedCount)
+	}
+}
+
+func randCalInstance(rng *rand.Rand, s *schema.Schema) cq.Instance {
+	inst := cq.Instance{}
+	smallInt := func() sqlvalue.Value { return sqlvalue.NewInt(int64(rng.Intn(3) + 1)) }
+	smallText := func() sqlvalue.Value {
+		return sqlvalue.NewText([]string{"a", "b"}[rng.Intn(2)])
+	}
+	for _, t := range s.Tables() {
+		n := rng.Intn(3)
+		name := ""
+		for _, r := range t.Name {
+			if r >= 'A' && r <= 'Z' {
+				r += 32
+			}
+			name += string(r)
+		}
+		for i := 0; i < n; i++ {
+			row := make([]sqlvalue.Value, len(t.Columns))
+			for c, col := range t.Columns {
+				if col.Type == sqlvalue.Text {
+					row[c] = smallText()
+				} else {
+					row[c] = smallInt()
+				}
+			}
+			inst[name] = append(inst[name], row)
+		}
+	}
+	return inst
+}
+
+// TestCheckerSoundnessWithHistory extends the property to
+// history-dependent decisions: instances must additionally be
+// consistent with the trace facts.
+func TestCheckerSoundnessWithHistory(t *testing.T) {
+	s := calendarSchema(t)
+	pol := calendarPolicy(t)
+	chk := New(pol)
+	sess := session(1)
+
+	// Trace: the Example 2.1 probe returned one row.
+	probeSQL := "SELECT 1 FROM Attendance WHERE UId=1 AND EId=2"
+	probe := sqlparser.MustParseSelect(probeSQL)
+	tr := traceWithRow(probeSQL, probe)
+
+	q2 := "SELECT * FROM Events WHERE EId=2"
+	d, err := chk.CheckSQL(q2, sqlparser.NoArgs, sess, tr)
+	if err != nil || !d.Allowed {
+		t.Fatalf("setup: Q2 with history should be allowed: %+v %v", d, err)
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	ctr := &cq.Translator{Schema: s}
+	ucq, err := ctr.TranslateSelect(sqlparser.MustParseSelect(q2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := ucq[0].BindParams(sess)
+	views := pol.Disjuncts(sess)
+	fact := []sqlvalue.Value{sqlvalue.NewInt(1), sqlvalue.NewInt(2)}
+
+	var insts []cq.Instance
+	for len(insts) < 40 {
+		in := randCalInstance(rng, s)
+		// Consistency with the trace: attendance(1,2) present.
+		if !hasRow(in, "attendance", fact) {
+			in["attendance"] = append(in["attendance"], fact)
+		}
+		insts = append(insts, in)
+	}
+	viewKey := func(in cq.Instance) string {
+		out := ""
+		for _, v := range views {
+			out += cq.AnswerKey(cq.Evaluate(v, in)) + "\x01"
+		}
+		return out
+	}
+	for x := 0; x < len(insts); x++ {
+		for y := x + 1; y < len(insts); y++ {
+			if viewKey(insts[x]) != viewKey(insts[y]) {
+				continue
+			}
+			ax := cq.AnswerKey(cq.Evaluate(bound, insts[x]))
+			ay := cq.AnswerKey(cq.Evaluate(bound, insts[y]))
+			if ax != ay {
+				t.Fatalf("UNSOUND with history: D1=%v D2=%v", insts[x], insts[y])
+			}
+		}
+	}
+}
+
+func hasRow(in cq.Instance, table string, row []sqlvalue.Value) bool {
+	for _, r := range in[table] {
+		if len(r) != len(row) {
+			continue
+		}
+		same := true
+		for i := range r {
+			if !sqlvalue.Identical(r[i], row[i]) {
+				same = false
+				break
+			}
+		}
+		if same {
+			return true
+		}
+	}
+	return false
+}
+
+func traceWithRow(sql string, stmt *sqlparser.SelectStmt) *trace.Trace {
+	tr := &trace.Trace{}
+	tr.Append(trace.Entry{
+		SQL: sql, Stmt: stmt, Args: sqlparser.NoArgs,
+		Columns: []string{"1"},
+		Rows:    [][]sqlvalue.Value{{sqlvalue.NewInt(1)}},
+	})
+	return tr
+}

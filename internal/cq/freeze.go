@@ -1,0 +1,288 @@
+package cq
+
+import (
+	"fmt"
+
+	"repro/internal/schema"
+	"repro/internal/sqlvalue"
+)
+
+// Instance is a small database instance: table name (lower-cased) ->
+// rows of constants. Produced by Freeze and consumed by the
+// disclosure checker and the counterexample search.
+type Instance map[string][][]sqlvalue.Value
+
+// Clone deep-copies the instance.
+func (in Instance) Clone() Instance {
+	out := make(Instance, len(in))
+	for t, rows := range in {
+		nr := make([][]sqlvalue.Value, len(rows))
+		for i, r := range rows {
+			nr[i] = append([]sqlvalue.Value(nil), r...)
+		}
+		out[t] = nr
+	}
+	return out
+}
+
+// Freeze builds the canonical instance of the query: each term class
+// becomes a constant and each atom becomes a tuple. Variable and
+// parameter classes receive fresh values of the column's type that
+// satisfy the query's comparisons; distinct classes receive distinct
+// values. The returned assignment maps term keys to their values.
+//
+// Freeze fails only when the comparisons are unsatisfiable or require
+// a non-integer value in an INTEGER column with no slack.
+func Freeze(s *schema.Schema, q *Query) (Instance, map[string]sqlvalue.Value, error) {
+	cs := NewConstraints()
+	cs.AddAll(q.Comps)
+	if !cs.Consistent() {
+		return nil, nil, fmt.Errorf("cq: unsatisfiable comparisons in %s", q)
+	}
+
+	// Infer a type per term from column positions.
+	termType := make(map[string]sqlvalue.Type)
+	noteType := func(t Term, typ sqlvalue.Type) {
+		if _, ok := termType[t.Key()]; !ok {
+			termType[t.Key()] = typ
+		}
+	}
+	for _, a := range q.Atoms {
+		tab, ok := s.Table(a.Table)
+		if !ok {
+			return nil, nil, fmt.Errorf("cq: unknown table %q", a.Table)
+		}
+		if len(a.Args) != len(tab.Columns) {
+			return nil, nil, fmt.Errorf("cq: atom arity mismatch for %q", a.Table)
+		}
+		for i, t := range a.Args {
+			noteType(t, tab.Columns[i].Type)
+		}
+	}
+	for _, c := range q.Comps {
+		for _, t := range []Term{c.Left, c.Right} {
+			if t.IsConst() {
+				noteType(t, t.Const.Type())
+			}
+		}
+	}
+
+	// Collect term classes appearing anywhere in the query.
+	classOf := func(t Term) string { return cs.find(cs.intern(t)) }
+	classes := make(map[string]Term) // class representative key -> sample term
+	addTerm := func(t Term) {
+		classes[classOf(t)] = t
+	}
+	for _, a := range q.Atoms {
+		for _, t := range a.Args {
+			addTerm(t)
+		}
+	}
+	for _, c := range q.Comps {
+		addTerm(c.Left)
+		addTerm(c.Right)
+	}
+	for _, t := range q.Head {
+		addTerm(t)
+	}
+
+	// Assign values per class.
+	vals := make(map[string]sqlvalue.Value) // class key -> value
+	// Pass 1: classes pinned by constants.
+	for ck := range classes {
+		if v, ok := cs.ValueOf(cs.terms[ck]); ok {
+			vals[ck] = v
+		}
+	}
+	// Pass 2: order-constrained numeric classes via difference-
+	// constraint relaxation; text classes get distinct fresh strings.
+	if err := assignOrdered(cs, classes, termType, vals); err != nil {
+		return nil, nil, err
+	}
+
+	// Verify all comparisons.
+	valOf := func(t Term) sqlvalue.Value {
+		if t.IsConst() {
+			return t.Const
+		}
+		return vals[classOf(t)]
+	}
+	for _, c := range q.Comps {
+		if !groundHolds(Comparison{Op: c.Op, Left: C(valOf(c.Left)), Right: C(valOf(c.Right))}) {
+			return nil, nil, fmt.Errorf("cq: could not satisfy %s when freezing %s", c, q)
+		}
+	}
+
+	// Materialize atoms, deduplicating identical tuples.
+	inst := make(Instance)
+	seen := make(map[string]bool)
+	for _, a := range q.Atoms {
+		row := make([]sqlvalue.Value, len(a.Args))
+		key := a.Table + "|"
+		for i, t := range a.Args {
+			row[i] = valOf(t)
+			key += row[i].Key() + ","
+		}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		inst[a.Table] = append(inst[a.Table], row)
+	}
+
+	// Term-key assignment for callers.
+	assign := make(map[string]sqlvalue.Value)
+	for _, t := range classes {
+		assign[t.Key()] = valOf(t)
+	}
+	for _, a := range q.Atoms {
+		for _, t := range a.Args {
+			assign[t.Key()] = valOf(t)
+		}
+	}
+	for _, t := range q.Head {
+		assign[t.Key()] = valOf(t)
+	}
+	return inst, assign, nil
+}
+
+// assignOrdered gives every unpinned class a value: numeric classes
+// satisfy the order constraints (solved as difference constraints by
+// iterative relaxation); text and boolean classes get fresh values
+// (order constraints over text are rare in our fragment; equalities
+// were already folded into classes).
+func assignOrdered(cs *Constraints, classes map[string]Term, termType map[string]sqlvalue.Type, vals map[string]sqlvalue.Value) error {
+	cl := cs.close()
+	// Seed numeric positions: pinned classes at their value; unpinned
+	// at a base offset, separated so distinct classes differ.
+	pos := make(map[string]float64)
+	pinned := make(map[string]bool)
+	base := float64(1000)
+	for ck := range classes {
+		if v, ok := vals[ck]; ok {
+			switch v.Type() {
+			case sqlvalue.Int:
+				pos[ck] = float64(v.Int())
+				pinned[ck] = true
+			case sqlvalue.Real:
+				pos[ck] = v.Real()
+				pinned[ck] = true
+			}
+		}
+	}
+	// Order unpinned classes deterministically.
+	var unpinned []string
+	for ck := range classes {
+		if !pinned[ck] {
+			if _, has := vals[ck]; has {
+				continue // pinned non-numeric
+			}
+			unpinned = append(unpinned, ck)
+		}
+	}
+	sortStrings(unpinned)
+	for i, ck := range unpinned {
+		pos[ck] = base + float64(i)*16
+	}
+
+	// Relax order constraints: for classes i,j with dist[i][j] <= 0,
+	// require pos[i] (+1 if strict) <= pos[j]. Iterate to fixpoint.
+	type edge struct {
+		from, to string
+		strict   bool
+	}
+	var edges []edge
+	for i, ri := range cl.reps {
+		for j, rj := range cl.reps {
+			if i == j || cl.dist[i][j] == noRel {
+				continue
+			}
+			if _, isClass := classes[ri]; !isClass {
+				continue
+			}
+			if _, isClass := classes[rj]; !isClass {
+				continue
+			}
+			edges = append(edges, edge{from: ri, to: rj, strict: cl.dist[i][j] == -1})
+		}
+	}
+	for iter := 0; iter < len(edges)+2; iter++ {
+		changed := false
+		for _, e := range edges {
+			gap := 0.0
+			if e.strict {
+				gap = 1
+			}
+			fp, fok := pos[e.from]
+			tp, tok := pos[e.to]
+			if !fok || !tok {
+				continue
+			}
+			if fp+gap > tp {
+				if pinned[e.to] {
+					if pinned[e.from] {
+						return fmt.Errorf("cq: pinned order conflict")
+					}
+					// Push 'from' down instead.
+					pos[e.from] = tp - gap - 1
+					changed = true
+					continue
+				}
+				pos[e.to] = fp + gap + 1
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// Nudge distinct unpinned classes apart if they collided.
+	used := make(map[float64]bool)
+	for ck, p := range pos {
+		if pinned[ck] {
+			used[p] = true
+		}
+	}
+	for _, ck := range unpinned {
+		p := pos[ck]
+		for used[p] {
+			p += 1
+		}
+		pos[ck] = p
+		used[p] = true
+	}
+
+	// Materialize values by type.
+	textSeq := 0
+	for ck, t := range classes {
+		if _, has := vals[ck]; has {
+			continue
+		}
+		typ, ok := termType[t.Key()]
+		if !ok {
+			typ = sqlvalue.Int
+		}
+		switch typ {
+		case sqlvalue.Int:
+			vals[ck] = sqlvalue.NewInt(int64(pos[ck]))
+		case sqlvalue.Real:
+			vals[ck] = sqlvalue.NewReal(pos[ck])
+		case sqlvalue.Text:
+			textSeq++
+			vals[ck] = sqlvalue.NewText(fmt.Sprintf("f_%d_%d", int64(pos[ck]), textSeq))
+		case sqlvalue.Bool:
+			vals[ck] = sqlvalue.NewBool(true)
+		default:
+			vals[ck] = sqlvalue.NewInt(int64(pos[ck]))
+		}
+	}
+	return nil
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

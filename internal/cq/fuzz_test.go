@@ -1,0 +1,82 @@
+package cq
+
+import (
+	"testing"
+
+	"repro/internal/schema"
+	"repro/internal/sqlvalue"
+)
+
+// FuzzTranslate asserts the full front half of the pipeline never
+// panics on arbitrary input: parse, translate to UCQ, and — when both
+// succeed — render each disjunct back to SQL and re-translate to an
+// equivalent disjunct.
+func FuzzTranslate(f *testing.F) {
+	seeds := []string{
+		"SELECT EId FROM Attendance WHERE UId = ?MyUId",
+		"SELECT * FROM Events e JOIN Attendance a ON e.EId = a.EId WHERE a.UId = 1",
+		"SELECT Name FROM Users WHERE UId IN (1, 2, 3)",
+		"SELECT u.Name FROM Users u WHERE EXISTS (SELECT 1 FROM Attendance a WHERE a.UId = u.UId)",
+		"SELECT COUNT(*) FROM Attendance WHERE UId = 3",
+		"SELECT EId FROM Attendance WHERE UId = 1 UNION SELECT EId FROM Attendance WHERE UId = 2",
+		"SELECT Title FROM Events WHERE EId >= 1 AND EId < 9",
+		"SELECT a.EId FROM Attendance a, Attendance b WHERE a.EId = b.EId",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	sch := fuzzSchema(f)
+	tr := &Translator{Schema: sch}
+	f.Fuzz(func(t *testing.T, src string) {
+		ucq, err := FromSQL(sch, src)
+		if err != nil {
+			return
+		}
+		for _, q := range ucq {
+			sql, err := ToSQL(sch, q)
+			if err != nil {
+				continue // heads not expressible (e.g. unbound) are fine
+			}
+			back, err := FromSQL(sch, sql)
+			if err != nil {
+				t.Fatalf("ToSQL output unparseable for %q: %q: %v", src, sql, err)
+			}
+			if len(back) != 1 {
+				t.Fatalf("ToSQL output not a single disjunct for %q: %q", src, sql)
+			}
+			// Compare information content: SQL cannot render an empty
+			// select list, so ToSQL may add a constant head item, and
+			// constants/duplicates carry no information.
+			a, b := q.Clone(), back[0].Clone()
+			a.NormalizeHead()
+			b.NormalizeHead()
+			if !Equivalent(a, b) && !q.AggApprox {
+				t.Fatalf("translate∘ToSQL not equivalent:\n src: %s\n  cq: %s\nback: %s", src, q, back[0])
+			}
+		}
+		_ = tr
+	})
+}
+
+func fuzzSchema(f *testing.F) *schema.Schema {
+	f.Helper()
+	s, err := schema.NewBuilder().
+		Table("Users").
+		NotNullCol("UId", sqlvalue.Int).
+		NotNullCol("Name", sqlvalue.Text).
+		PK("UId").Done().
+		Table("Events").
+		NotNullCol("EId", sqlvalue.Int).
+		NotNullCol("Title", sqlvalue.Text).
+		Col("Notes", sqlvalue.Text).
+		PK("EId").Done().
+		Table("Attendance").
+		NotNullCol("UId", sqlvalue.Int).
+		NotNullCol("EId", sqlvalue.Int).
+		PK("UId", "EId").Done().
+		Build()
+	if err != nil {
+		f.Fatal(err)
+	}
+	return s
+}

@@ -1,0 +1,352 @@
+package cq
+
+import (
+	"repro/internal/sqlvalue"
+)
+
+// Constraints is a conjunction of equalities, disequalities, and order
+// constraints over terms, with a decision procedure for consistency
+// and implication. Variables and parameters are uninterpreted symbols;
+// constants are interpreted by their value order.
+//
+// The implication check is sound and complete for the order-theoretic
+// fragment (conjunctions of =, <>, <, <= over a dense total order with
+// constants), which covers the comparisons our SQL subset produces.
+type Constraints struct {
+	parent map[string]string
+	terms  map[string]Term // key -> a representative term of that key
+	// Order edges between class representatives: weight 0 for <=,
+	// -1 for <. Stored as le[a][b] = strict?
+	le  map[string]map[string]bool
+	nes []pair
+
+	dirty  bool
+	closed *closure
+}
+
+type pair struct{ a, b string }
+
+// NewConstraints returns an empty constraint set.
+func NewConstraints() *Constraints {
+	return &Constraints{
+		parent: make(map[string]string),
+		terms:  make(map[string]Term),
+		le:     make(map[string]map[string]bool),
+		dirty:  true,
+	}
+}
+
+// Clone copies the constraint set.
+func (cs *Constraints) Clone() *Constraints {
+	out := NewConstraints()
+	for k, v := range cs.parent {
+		out.parent[k] = v
+	}
+	for k, v := range cs.terms {
+		out.terms[k] = v
+	}
+	for a, m := range cs.le {
+		nm := make(map[string]bool, len(m))
+		for b, s := range m {
+			nm[b] = s
+		}
+		out.le[a] = nm
+	}
+	out.nes = append([]pair(nil), cs.nes...)
+	return out
+}
+
+func (cs *Constraints) intern(t Term) string {
+	k := t.Key()
+	if _, ok := cs.parent[k]; !ok {
+		cs.parent[k] = k
+		cs.terms[k] = t
+		cs.dirty = true
+	}
+	return k
+}
+
+func (cs *Constraints) find(k string) string {
+	for cs.parent[k] != k {
+		cs.parent[k] = cs.parent[cs.parent[k]]
+		k = cs.parent[k]
+	}
+	return k
+}
+
+// AddEq asserts a = b.
+func (cs *Constraints) AddEq(a, b Term) {
+	ka, kb := cs.find(cs.intern(a)), cs.find(cs.intern(b))
+	if ka == kb {
+		return
+	}
+	// Prefer a constant as class representative.
+	if cs.terms[kb].IsConst() && !cs.terms[ka].IsConst() {
+		ka, kb = kb, ka
+	}
+	cs.parent[kb] = ka
+	cs.dirty = true
+}
+
+// Add asserts the comparison.
+func (cs *Constraints) Add(c Comparison) {
+	switch c.Op {
+	case Eq:
+		cs.AddEq(c.Left, c.Right)
+	case Ne:
+		cs.nes = append(cs.nes, pair{cs.intern(c.Left), cs.intern(c.Right)})
+		cs.dirty = true
+	case Lt:
+		cs.addLe(c.Left, c.Right, true)
+	case Le:
+		cs.addLe(c.Left, c.Right, false)
+	case Gt:
+		cs.addLe(c.Right, c.Left, true)
+	case Ge:
+		cs.addLe(c.Right, c.Left, false)
+	}
+}
+
+// AddAll asserts every comparison in the slice.
+func (cs *Constraints) AddAll(comps []Comparison) {
+	for _, c := range comps {
+		cs.Add(c)
+	}
+}
+
+func (cs *Constraints) addLe(a, b Term, strict bool) {
+	ka, kb := cs.intern(a), cs.intern(b)
+	m := cs.le[ka]
+	if m == nil {
+		m = make(map[string]bool)
+		cs.le[ka] = m
+	}
+	// Strict dominates non-strict on the same edge.
+	m[kb] = m[kb] || strict
+	cs.dirty = true
+}
+
+// closure holds the computed transitive closure over class reps.
+type closure struct {
+	reps  []string
+	index map[string]int
+	// dist[i][j]: 0 => rep_i <= rep_j derivable, -1 => rep_i < rep_j
+	// derivable, +1 (sentinel) => no relation derived.
+	dist [][]int8
+	// constVal[i]: the constant value of class i, if any.
+	constVal []sqlvalue.Value
+	hasConst []bool
+	// ne[i*n+j]: classes known distinct.
+	ne map[[2]int]bool
+
+	inconsistent bool
+}
+
+const noRel int8 = 1
+
+func (cs *Constraints) close() *closure {
+	if !cs.dirty && cs.closed != nil {
+		return cs.closed
+	}
+	// Collect class representatives.
+	repSet := make(map[string]bool)
+	for k := range cs.parent {
+		repSet[cs.find(k)] = true
+	}
+	cl := &closure{index: make(map[string]int), ne: make(map[[2]int]bool)}
+	for r := range repSet {
+		cl.index[r] = len(cl.reps)
+		cl.reps = append(cl.reps, r)
+	}
+	n := len(cl.reps)
+	cl.dist = make([][]int8, n)
+	cl.constVal = make([]sqlvalue.Value, n)
+	cl.hasConst = make([]bool, n)
+	for i := range cl.dist {
+		cl.dist[i] = make([]int8, n)
+		for j := range cl.dist[i] {
+			if i == j {
+				cl.dist[i][j] = 0
+			} else {
+				cl.dist[i][j] = noRel
+			}
+		}
+	}
+	// Constants per class: the representative term is a constant when
+	// the class contains one (union prefers constants), but a class
+	// could have been formed by unioning two constants — detect
+	// conflicts by scanning all keys.
+	for k, t := range cs.terms {
+		if !t.IsConst() {
+			continue
+		}
+		i := cl.index[cs.find(k)]
+		if cl.hasConst[i] {
+			if !sqlvalue.Identical(cl.constVal[i], t.Const) {
+				cl.inconsistent = true
+			}
+			continue
+		}
+		cl.hasConst[i] = true
+		cl.constVal[i] = t.Const
+	}
+	// Order edges.
+	upd := func(i, j int, w int8) {
+		if w < cl.dist[i][j] || cl.dist[i][j] == noRel {
+			cl.dist[i][j] = w
+		}
+	}
+	for a, m := range cs.le {
+		i := cl.index[cs.find(a)]
+		for b, strict := range m {
+			j := cl.index[cs.find(b)]
+			w := int8(0)
+			if strict {
+				w = -1
+			}
+			upd(i, j, w)
+		}
+	}
+	// Relations among constant classes.
+	for i := 0; i < n; i++ {
+		if !cl.hasConst[i] {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if i == j || !cl.hasConst[j] {
+				continue
+			}
+			c, ok := sqlvalue.Compare(cl.constVal[i], cl.constVal[j])
+			if !ok {
+				// Incomparable classes (e.g. TEXT vs INT): distinct.
+				cl.ne[[2]int{i, j}] = true
+				continue
+			}
+			switch {
+			case c < 0:
+				upd(i, j, -1)
+				cl.ne[[2]int{i, j}] = true
+			case c > 0:
+				upd(j, i, -1)
+				cl.ne[[2]int{i, j}] = true
+			}
+		}
+	}
+	// Disequalities.
+	for _, p := range cs.nes {
+		i := cl.index[cs.find(p.a)]
+		j := cl.index[cs.find(p.b)]
+		if i == j {
+			cl.inconsistent = true
+			continue
+		}
+		cl.ne[[2]int{i, j}] = true
+		cl.ne[[2]int{j, i}] = true
+	}
+	// Floyd–Warshall with saturation at -1 (dense order: a<b<c still
+	// just yields a<c; weights below -1 are clamped).
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if cl.dist[i][k] == noRel {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if cl.dist[k][j] == noRel {
+					continue
+				}
+				w := cl.dist[i][k] + cl.dist[k][j]
+				if w < -1 {
+					w = -1
+				}
+				if cl.dist[i][j] == noRel || w < cl.dist[i][j] {
+					cl.dist[i][j] = w
+				}
+			}
+		}
+	}
+	// Inconsistency: strict cycle, or a<=b & b<=a with a != b known.
+	for i := 0; i < n && !cl.inconsistent; i++ {
+		if cl.dist[i][i] < 0 {
+			cl.inconsistent = true
+			break
+		}
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if cl.dist[i][j] != noRel && cl.dist[j][i] != noRel && cl.dist[i][j] == 0 && cl.dist[j][i] == 0 && cl.ne[[2]int{i, j}] {
+				cl.inconsistent = true
+				break
+			}
+		}
+	}
+	cs.closed = cl
+	cs.dirty = false
+	return cl
+}
+
+// Consistent reports whether the constraint set is satisfiable over a
+// dense total order.
+func (cs *Constraints) Consistent() bool {
+	return !cs.close().inconsistent
+}
+
+// SameClass reports whether a and b are known equal.
+func (cs *Constraints) SameClass(a, b Term) bool {
+	return cs.find(cs.intern(a)) == cs.find(cs.intern(b))
+}
+
+// ValueOf returns the constant value the term is forced to, if known.
+func (cs *Constraints) ValueOf(t Term) (sqlvalue.Value, bool) {
+	cl := cs.close()
+	i, ok := cl.index[cs.find(cs.intern(t))]
+	if !ok || !cl.hasConst[i] {
+		return sqlvalue.Value{}, false
+	}
+	return cl.constVal[i], true
+}
+
+// Implies reports whether the comparison is entailed by the set. An
+// inconsistent set implies everything.
+func (cs *Constraints) Implies(c Comparison) bool {
+	// Interning new terms can grow the closure; do it before closing.
+	ka := cs.intern(c.Left)
+	kb := cs.intern(c.Right)
+	cl := cs.close()
+	if cl.inconsistent {
+		return true
+	}
+	i := cl.index[cs.find(ka)]
+	j := cl.index[cs.find(kb)]
+	switch c.Op {
+	case Eq:
+		return i == j
+	case Ne:
+		if i == j {
+			return false
+		}
+		if cl.ne[[2]int{i, j}] {
+			return true
+		}
+		return cl.dist[i][j] == -1 || cl.dist[j][i] == -1
+	case Le:
+		return i == j || (cl.dist[i][j] != noRel && cl.dist[i][j] <= 0)
+	case Lt:
+		return i != j && cl.dist[i][j] == -1
+	case Ge:
+		return i == j || (cl.dist[j][i] != noRel && cl.dist[j][i] <= 0)
+	case Gt:
+		return i != j && cl.dist[j][i] == -1
+	}
+	return false
+}
+
+// ImpliesAll reports whether every comparison is entailed.
+func (cs *Constraints) ImpliesAll(comps []Comparison) bool {
+	for _, c := range comps {
+		if !cs.Implies(c) {
+			return false
+		}
+	}
+	return true
+}

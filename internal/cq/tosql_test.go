@@ -1,0 +1,65 @@
+package cq
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestToSQLRoundTrip(t *testing.T) {
+	s := calendarSchema(t)
+	srcs := []string{
+		"SELECT EId FROM Attendance WHERE UId = ?MyUId",
+		"SELECT e.Title FROM Events e JOIN Attendance a ON e.EId = a.EId WHERE a.UId = ?MyUId",
+		"SELECT 1 FROM Attendance WHERE UId = 1 AND EId = 2",
+		"SELECT Name FROM Users WHERE UId = 3",
+	}
+	for _, src := range srcs {
+		q := one(t, MustFromSQL(s, src))
+		sql, err := ToSQL(s, q)
+		if err != nil {
+			t.Fatalf("ToSQL(%s): %v", src, err)
+		}
+		back := one(t, MustFromSQL(s, sql))
+		if !Equivalent(q, back) {
+			t.Errorf("round trip not equivalent:\n  src:  %s\n  cq:   %s\n  sql:  %s\n  back: %s",
+				src, q, sql, back)
+		}
+	}
+}
+
+func TestToSQLComparisons(t *testing.T) {
+	s := employeeSchema(t)
+	q := one(t, MustFromSQL(s, "SELECT Name FROM Employees WHERE Age >= 60 AND Age < 70"))
+	sql, err := ToSQL(s, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := one(t, MustFromSQL(s, sql))
+	if !Equivalent(q, back) {
+		t.Errorf("comparison round trip:\n  %s\n  %s", q, back)
+	}
+}
+
+func TestToSQLConstantHead(t *testing.T) {
+	s := calendarSchema(t)
+	q := one(t, MustFromSQL(s, "SELECT 1 FROM Attendance WHERE UId = 5"))
+	sql, err := ToSQL(s, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sql, "SELECT 1 ") {
+		t.Errorf("constant head: %s", sql)
+	}
+}
+
+func TestToSQLHeadAlias(t *testing.T) {
+	s := calendarSchema(t)
+	q := one(t, MustFromSQL(s, "SELECT EId AS TheEvent FROM Attendance WHERE UId = ?U"))
+	sql, err := ToSQL(s, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sql, "AS TheEvent") {
+		t.Errorf("alias lost: %s", sql)
+	}
+}

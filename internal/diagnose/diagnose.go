@@ -1,0 +1,131 @@
+package diagnose
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/checker"
+	"repro/internal/cq"
+	"repro/internal/policy"
+	"repro/internal/sqlparser"
+	"repro/internal/sqlvalue"
+	"repro/internal/trace"
+)
+
+// Diagnosis bundles everything the tool can offer the operator for a
+// blocked query: a proof of violation, application patches of both
+// forms, and policy patches.
+type Diagnosis struct {
+	Query   string
+	Reason  string
+	Counter *Counterexample
+	// Rewritings are narrowed compliant variants of the query.
+	Rewritings []Rewriting
+	// Checks are synthesized access-check statements.
+	Checks []AccessCheck
+	// PolicyPatches are views that, if added to the policy, would
+	// allow the query (views the extractor produced that the current
+	// policy lacks).
+	PolicyPatches []*policy.View
+}
+
+// String renders the diagnosis for the operator.
+func (d *Diagnosis) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "blocked query: %s\nreason: %s\n", d.Query, d.Reason)
+	if d.Counter != nil {
+		b.WriteString("\nproof of violation (two databases agreeing on every view):\n")
+		b.WriteString(d.Counter.String())
+	}
+	if len(d.Rewritings) > 0 {
+		b.WriteString("\napplication patches — narrow the query:\n")
+		for _, r := range d.Rewritings {
+			fmt.Fprintf(&b, "  %s\n", describeRewriting(r))
+		}
+	}
+	if len(d.Checks) > 0 {
+		b.WriteString("\napplication patches — add an access check before the query:\n")
+		for _, c := range d.Checks {
+			fmt.Fprintf(&b, "  %s\n", c)
+		}
+	}
+	if len(d.PolicyPatches) > 0 {
+		b.WriteString("\npolicy patches — add views:\n")
+		for _, v := range d.PolicyPatches {
+			fmt.Fprintf(&b, "  %s: %s\n", v.Name, v.SQL)
+		}
+	}
+	return b.String()
+}
+
+// Diagnose produces the full diagnosis for a blocked query.
+func Diagnose(chk *checker.Checker, session map[string]sqlvalue.Value, sql string, args sqlparser.Args, tr *trace.Trace) (*Diagnosis, error) {
+	sel, err := sqlparser.ParseSelect(sql)
+	if err != nil {
+		return nil, err
+	}
+	d := chk.Check(sel, args, session, tr)
+	out := &Diagnosis{Query: sql, Reason: d.Reason}
+	if d.Allowed {
+		out.Reason = "query is allowed; nothing to diagnose"
+		return out, nil
+	}
+
+	s := chk.Policy().Schema
+	bound, err := sqlparser.Bind(sel, args)
+	if err != nil {
+		return nil, err
+	}
+	facts := FactsFromTrace(s, tr)
+	if ucq, terr := (&cq.Translator{Schema: s}).TranslateSelect(bound.(*sqlparser.SelectStmt)); terr == nil {
+		for _, q := range ucq {
+			if ce, ok := FindCounterexample(s, chk.Policy(), session, q, facts); ok {
+				out.Counter = ce
+				break
+			}
+		}
+		for _, q := range ucq {
+			rw, rerr := ContainedRewritings(chk, session, q)
+			if rerr == nil {
+				out.Rewritings = append(out.Rewritings, rw...)
+			}
+		}
+	}
+	checks, err := AbduceAccessChecks(chk, session, sel, args, tr)
+	if err == nil {
+		out.Checks = checks
+	}
+	return out, nil
+}
+
+// SuggestPolicyPatches compares a freshly extracted policy against the
+// current one (§5.2.1): views present in the extraction but not
+// covered by the current policy are candidate policy patches. The
+// caller typically extracts from up-to-date source or an augmented
+// test suite.
+func SuggestPolicyPatches(current, extracted *policy.Policy) []*policy.View {
+	diff := policy.Diff(extracted, current)
+	return diff.OnlyA
+}
+
+// PatchAllowsQuery reports whether adding the candidate views to the
+// policy would allow the blocked query — the sanity check an operator
+// runs before accepting a policy patch.
+func PatchAllowsQuery(p *policy.Policy, patches []*policy.View, session map[string]sqlvalue.Value, sql string, args sqlparser.Args, tr *trace.Trace) (bool, error) {
+	patched := p.Clone()
+	for i, v := range patches {
+		name := v.Name
+		if _, exists := patched.View(name); exists {
+			name = fmt.Sprintf("%s_patch%d", v.Name, i)
+		}
+		if err := patched.Add(name, v.SQL); err != nil {
+			return false, err
+		}
+	}
+	chk := checker.New(patched)
+	d, err := chk.CheckSQL(sql, args, session, tr)
+	if err != nil {
+		return false, err
+	}
+	return d.Allowed, nil
+}

@@ -1,0 +1,291 @@
+package diagnose
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/checker"
+	"repro/internal/cq"
+	"repro/internal/policy"
+	"repro/internal/schema"
+	"repro/internal/sqlparser"
+	"repro/internal/sqlvalue"
+	"repro/internal/trace"
+)
+
+func calendarSchema(t testing.TB) *schema.Schema {
+	t.Helper()
+	s, err := schema.NewBuilder().
+		Table("Users").
+		NotNullCol("UId", sqlvalue.Int).
+		NotNullCol("Name", sqlvalue.Text).
+		PK("UId").Done().
+		Table("Events").
+		OpaqueCol("EId", sqlvalue.Int).
+		NotNullCol("Title", sqlvalue.Text).
+		Col("Notes", sqlvalue.Text).
+		PK("EId").Done().
+		Table("Attendance").
+		NotNullCol("UId", sqlvalue.Int).
+		NotNullCol("EId", sqlvalue.Int).
+		PK("UId", "EId").Done().
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func calendarPolicy(t testing.TB) *policy.Policy {
+	t.Helper()
+	return policy.MustNew(calendarSchema(t), map[string]string{
+		"V1": "SELECT EId FROM Attendance WHERE UId = ?MyUId",
+		"V2": "SELECT * FROM Events e JOIN Attendance a ON e.EId = a.EId WHERE a.UId = ?MyUId",
+	})
+}
+
+func session(uid int64) map[string]sqlvalue.Value {
+	return map[string]sqlvalue.Value{"MyUId": sqlvalue.NewInt(uid)}
+}
+
+func TestCounterexampleForBlockedQ2(t *testing.T) {
+	p := calendarPolicy(t)
+	s := p.Schema
+	q := cq.MustFromSQL(s, "SELECT * FROM Events WHERE EId=2")[0]
+	ce, ok := FindCounterexample(s, p, session(1), q, nil)
+	if !ok {
+		t.Fatal("blocked Q2 must have a counterexample")
+	}
+	// D1 contains the event row; D2 must not change any view answer.
+	if len(ce.D1["events"]) == 0 {
+		t.Fatalf("D1 missing event row: %v", ce.D1)
+	}
+	if len(ce.Answer) != 3 {
+		t.Fatalf("answer row: %v", ce.Answer)
+	}
+	if !strings.Contains(ce.String(), "differing answer") {
+		t.Errorf("rendering: %s", ce)
+	}
+}
+
+func TestNoCounterexampleForAllowedQuery(t *testing.T) {
+	p := calendarPolicy(t)
+	s := p.Schema
+	// V1's own instantiation: allowed, so the bounded search must not
+	// find a counterexample (checker soundness cross-check).
+	q := cq.MustFromSQL(s, "SELECT EId FROM Attendance WHERE UId = 1")[0]
+	if _, ok := FindCounterexample(s, p, session(1), q, nil); ok {
+		t.Fatal("allowed query must not have a counterexample")
+	}
+}
+
+func TestNoCounterexampleWithHistory(t *testing.T) {
+	p := calendarPolicy(t)
+	s := p.Schema
+	q := cq.MustFromSQL(s, "SELECT * FROM Events WHERE EId=2")[0]
+	facts := []cq.Fact{{Atom: cq.Atom{Table: "attendance", Args: []cq.Term{cq.CInt(1), cq.CInt(2)}}}}
+	if _, ok := FindCounterexample(s, p, session(1), q, facts); ok {
+		t.Fatal("with the attendance fact, Q2 is compliant — no counterexample may exist")
+	}
+}
+
+// TestCheckerSoundnessAgainstCounterexamples cross-validates the two
+// independent implementations: whenever the checker allows a query,
+// the bounded counterexample search must come up empty.
+func TestCheckerSoundnessAgainstCounterexamples(t *testing.T) {
+	p := calendarPolicy(t)
+	s := p.Schema
+	chk := checker.New(p)
+	queries := []string{
+		"SELECT EId FROM Attendance WHERE UId = 1",
+		"SELECT * FROM Events e JOIN Attendance a ON e.EId = a.EId WHERE a.UId = 1",
+		"SELECT e.Title FROM Events e JOIN Attendance a ON e.EId = a.EId WHERE a.UId = 1",
+		"SELECT * FROM Events WHERE EId=2",
+		"SELECT EId FROM Attendance WHERE UId = 2",
+		"SELECT * FROM Attendance",
+		"SELECT Title FROM Events",
+		"SELECT EId FROM Attendance WHERE UId = 1 AND EId = 7",
+		"SELECT Name FROM Users WHERE UId = 1",
+	}
+	for _, sql := range queries {
+		d, err := chk.CheckSQL(sql, sqlparser.NoArgs, session(1), nil)
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		ucq, err := cq.FromSQL(s, sql)
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		for _, q := range ucq {
+			_, found := FindCounterexample(s, p, session(1), q, nil)
+			if d.Allowed && found {
+				t.Errorf("UNSOUND: checker allowed %q but a counterexample exists", sql)
+			}
+		}
+	}
+}
+
+func TestContainedRewritingForQ2(t *testing.T) {
+	p := calendarPolicy(t)
+	chk := checker.New(p)
+	q := cq.MustFromSQL(p.Schema, "SELECT * FROM Events WHERE EId=2")[0]
+	rws, err := ContainedRewritings(chk, session(1), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rws) == 0 {
+		t.Fatal("expected a contained rewriting for blocked Q2 (join with own attendance)")
+	}
+	// Every rewriting must be contained in Q2 and allowed.
+	for _, r := range rws {
+		if !cq.Contains(r.CQ, q) {
+			t.Errorf("rewriting not contained: %s", r.SQL)
+		}
+		d, err := chk.CheckSQL(r.SQL, sqlparser.NoArgs, session(1), nil)
+		if err != nil || !d.Allowed {
+			t.Errorf("rewriting not allowed: %s (%v %v)", r.SQL, d, err)
+		}
+	}
+}
+
+func TestRewritingRetainsAnswersWhenPermitted(t *testing.T) {
+	p := calendarPolicy(t)
+	chk := checker.New(p)
+	q := cq.MustFromSQL(p.Schema, "SELECT * FROM Events WHERE EId=2")[0]
+	rws, err := ContainedRewritings(chk, session(1), q)
+	if err != nil || len(rws) == 0 {
+		t.Fatalf("rewritings: %v %v", rws, err)
+	}
+	// On an instance where user 1 does attend event 2, the best
+	// rewriting retains the full answer.
+	inst := cq.Instance{
+		"events":     {{sqlvalue.NewInt(2), sqlvalue.NewText("retro"), sqlvalue.NewText("x")}},
+		"attendance": {{sqlvalue.NewInt(1), sqlvalue.NewInt(2)}},
+	}
+	best := 0.0
+	for _, r := range rws {
+		if f := RetainedFraction(inst, session(1), q, r.CQ); f > best {
+			best = f
+		}
+	}
+	if best < 1 {
+		t.Fatalf("best rewriting retains %.2f of the answer, want 1.0", best)
+	}
+	// On an instance where the user does NOT attend, the rewriting
+	// returns nothing (which is the point: it is compliant).
+	inst2 := cq.Instance{
+		"events":     {{sqlvalue.NewInt(2), sqlvalue.NewText("retro"), sqlvalue.NewText("x")}},
+		"attendance": {{sqlvalue.NewInt(9), sqlvalue.NewInt(2)}},
+	}
+	for _, r := range rws {
+		if f := RetainedFraction(inst2, session(1), q, r.CQ); f > 0 {
+			t.Errorf("rewriting leaks on non-attended instance: %s (%.2f)", r.SQL, f)
+		}
+	}
+}
+
+func TestAbduceAccessCheckExample21(t *testing.T) {
+	p := calendarPolicy(t)
+	chk := checker.New(p)
+	sel := sqlparser.MustParseSelect("SELECT * FROM Events WHERE EId=2")
+	checks, err := AbduceAccessChecks(chk, session(1), sel, sqlparser.NoArgs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(checks) == 0 {
+		t.Fatal("expected the paper's access check: Attendance contains (UId=?MyUId, EId=2)")
+	}
+	found := false
+	for _, c := range checks {
+		if c.Table == "Attendance" &&
+			strings.Contains(c.CheckSQL, "UId = ?MyUId") &&
+			strings.Contains(c.CheckSQL, "EId = 2") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing the canonical check; got %+v", checks)
+	}
+}
+
+func TestAbduceRespectsNegativeTraceFacts(t *testing.T) {
+	p := calendarPolicy(t)
+	chk := checker.New(p)
+	// The trace already shows user 1 does NOT attend event 2: the
+	// canonical check is inconsistent with the trace and must not be
+	// proposed.
+	tr := &trace.Trace{}
+	probe := sqlparser.MustParseSelect("SELECT 1 FROM Attendance WHERE UId=1 AND EId=2")
+	tr.Append(trace.Entry{SQL: probe.SQL(), Stmt: probe, Args: sqlparser.NoArgs, Columns: []string{"1"}})
+	sel := sqlparser.MustParseSelect("SELECT * FROM Events WHERE EId=2")
+	checks, err := AbduceAccessChecks(chk, session(1), sel, sqlparser.NoArgs, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range checks {
+		if strings.Contains(c.CheckSQL, "EId = 2") && strings.Contains(c.CheckSQL, "UId = ?MyUId") {
+			t.Fatalf("check contradicts the trace: %s", c.CheckSQL)
+		}
+	}
+}
+
+func TestDiagnoseEndToEnd(t *testing.T) {
+	p := calendarPolicy(t)
+	chk := checker.New(p)
+	d, err := Diagnose(chk, session(1), "SELECT * FROM Events WHERE EId=2", sqlparser.NoArgs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Counter == nil {
+		t.Error("diagnosis missing counterexample")
+	}
+	if len(d.Rewritings) == 0 {
+		t.Error("diagnosis missing rewritings")
+	}
+	if len(d.Checks) == 0 {
+		t.Error("diagnosis missing access checks")
+	}
+	out := d.String()
+	for _, want := range []string{"proof of violation", "narrow the query", "access check"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDiagnoseAllowedQuery(t *testing.T) {
+	p := calendarPolicy(t)
+	chk := checker.New(p)
+	d, err := Diagnose(chk, session(1), "SELECT EId FROM Attendance WHERE UId = 1", sqlparser.NoArgs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Counter != nil || len(d.Rewritings) > 0 {
+		t.Fatalf("allowed query should produce an empty diagnosis: %+v", d)
+	}
+}
+
+func TestSuggestPolicyPatches(t *testing.T) {
+	p := calendarPolicy(t)
+	extracted := policy.MustNew(p.Schema, map[string]string{
+		"X1": "SELECT EId FROM Attendance WHERE UId = ?MyUId",
+		"X2": "SELECT Name FROM Users WHERE UId = ?MyUId", // new behaviour
+	})
+	patches := SuggestPolicyPatches(p, extracted)
+	if len(patches) != 1 || patches[0].Name != "X2" {
+		t.Fatalf("patches: %+v", patches)
+	}
+	ok, err := PatchAllowsQuery(p, patches, session(1), "SELECT Name FROM Users WHERE UId = 1", sqlparser.NoArgs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("applying the patch should allow the query")
+	}
+	// Without the patch it stays blocked.
+	chk := checker.New(p)
+	d, _ := chk.CheckSQL("SELECT Name FROM Users WHERE UId = 1", sqlparser.NoArgs, session(1), nil)
+	if d.Allowed {
+		t.Fatal("setup: query should be blocked pre-patch")
+	}
+}

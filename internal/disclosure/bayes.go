@@ -1,0 +1,113 @@
+package disclosure
+
+import (
+	"fmt"
+
+	"repro/internal/cq"
+	"repro/internal/policy"
+	"repro/internal/schema"
+	"repro/internal/sqlvalue"
+)
+
+// CandidateTuple is a potential row with its prior (independent)
+// presence probability under the adversary's belief.
+type CandidateTuple struct {
+	Table string
+	Row   []sqlvalue.Value
+	Prob  float64
+}
+
+// Prior is an adversary's belief: a tuple-independent distribution
+// over a bounded tuple universe, optionally restricted by integrity
+// constraints (Valid) and anchored by rows known with certainty
+// (Fixed). This is the §4.2 modeling the paper argues is hard to
+// validate; we implement it exactly over small domains as the
+// baseline.
+type Prior struct {
+	Name  string
+	Fixed cq.Instance
+	Vars  []CandidateTuple
+	Valid func(inst cq.Instance) bool
+}
+
+// ShiftResult reports the belief shift for one candidate answer.
+type ShiftResult struct {
+	PriorProb     float64
+	PosteriorProb float64
+}
+
+// Shift reports how the adversary's belief that `answer` is in the
+// sensitive query's result changes after observing the views'
+// contents on the actual instance. The enumeration is exact: all 2^n
+// worlds over the candidate tuples are weighted by the prior,
+// filtered by Valid, and conditioned on every view returning exactly
+// what it returns on `actual`.
+func Shift(s *schema.Schema, prior Prior, actual cq.Instance, p *policy.Policy, session map[string]sqlvalue.Value, sensitive *cq.Query, answer []sqlvalue.Value) (ShiftResult, error) {
+	if len(prior.Vars) > 20 {
+		return ShiftResult{}, fmt.Errorf("disclosure: tuple universe too large (%d > 20)", len(prior.Vars))
+	}
+	views := p.Disjuncts(session)
+	// Observed view answers on the actual instance.
+	observed := make([]string, len(views))
+	for i, v := range views {
+		observed[i] = cq.AnswerKey(cq.Evaluate(v, actual))
+	}
+	sens := sensitive.BindParams(session)
+
+	var totalPrior, hitPrior float64 // unconditioned
+	var totalPost, hitPost float64   // conditioned on the observation
+	n := len(prior.Vars)
+	for mask := 0; mask < 1<<n; mask++ {
+		w := 1.0
+		inst := prior.Fixed.Clone()
+		for i, t := range prior.Vars {
+			if mask&(1<<i) != 0 {
+				w *= t.Prob
+				inst[t.Table] = append(inst[t.Table], t.Row)
+			} else {
+				w *= 1 - t.Prob
+			}
+		}
+		if w == 0 {
+			continue
+		}
+		if prior.Valid != nil && !prior.Valid(inst) {
+			continue
+		}
+		inAnswer := cq.ContainsRow(cq.Evaluate(sens, inst), answer)
+		totalPrior += w
+		if inAnswer {
+			hitPrior += w
+		}
+		match := true
+		for i, v := range views {
+			if cq.AnswerKey(cq.Evaluate(v, inst)) != observed[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			totalPost += w
+			if inAnswer {
+				hitPost += w
+			}
+		}
+	}
+	if totalPrior == 0 {
+		return ShiftResult{}, fmt.Errorf("disclosure: prior has no valid worlds")
+	}
+	out := ShiftResult{PriorProb: hitPrior / totalPrior}
+	if totalPost > 0 {
+		out.PosteriorProb = hitPost / totalPost
+	}
+	return out, nil
+}
+
+// Delta is the absolute belief shift.
+func (r ShiftResult) Delta() float64 {
+	d := r.PosteriorProb - r.PriorProb
+	if d < 0 {
+		return -d
+	}
+	return d
+}

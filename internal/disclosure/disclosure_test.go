@@ -1,0 +1,323 @@
+package disclosure
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/engine"
+	"repro/internal/policy"
+	"repro/internal/schema"
+	"repro/internal/sqlvalue"
+)
+
+// employeeSchema supports the paper's Example 4.2.
+func employeeSchema(t testing.TB) *schema.Schema {
+	t.Helper()
+	s, err := schema.NewBuilder().
+		Table("Employees").
+		NotNullCol("Id", sqlvalue.Int).
+		NotNullCol("Name", sqlvalue.Text).
+		NotNullCol("Age", sqlvalue.Int).
+		PK("Id").Done().
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// hospitalSchema supports the paper's Example 4.1: each patient is
+// treated by a doctor for a disease; the (DocId, Disease) pair must
+// appear in Treats (the doctor treats that disease).
+func hospitalSchema(t testing.TB) *schema.Schema {
+	t.Helper()
+	s, err := schema.NewBuilder().
+		Table("Treats").
+		NotNullCol("DocId", sqlvalue.Int).
+		NotNullCol("Disease", sqlvalue.Text).
+		PK("DocId", "Disease").Done().
+		Table("Patients").
+		NotNullCol("PId", sqlvalue.Int).
+		NotNullCol("Name", sqlvalue.Text).
+		NotNullCol("DocId", sqlvalue.Int).
+		NotNullCol("Disease", sqlvalue.Text).
+		PK("PId").
+		FK([]string{"DocId", "Disease"}, "Treats", []string{"DocId", "Disease"}).Done().
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestExample42PQI(t *testing.T) {
+	s := employeeSchema(t)
+	// V = Q1 (age >= 60); S = Q2 (age >= 18). Revealing Q1's answer
+	// makes its rows certain answers to Q2: PQI holds.
+	p := policy.MustNew(s, map[string]string{
+		"Q1": "SELECT Name FROM Employees WHERE Age >= 60",
+	})
+	v, err := PQISQL(p, "SELECT Name FROM Employees WHERE Age >= 18")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Holds {
+		t.Fatal("PQI should hold for Q2 given {Q1} (paper Example 4.2)")
+	}
+	// And NQI does not hold in this direction: absence from Q1 says
+	// nothing definite about Q2 membership.
+	nv, err := NQISQL(p, "SELECT Name FROM Employees WHERE Age >= 18")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nv.Holds {
+		t.Fatal("NQI must not hold for Q2 given {Q1}")
+	}
+}
+
+func TestExample42NQI(t *testing.T) {
+	s := employeeSchema(t)
+	// V = Q2 (age >= 18); S = Q1 (age >= 60). Absence from Q2 rules
+	// out Q1 membership: NQI holds.
+	p := policy.MustNew(s, map[string]string{
+		"Q2": "SELECT Name FROM Employees WHERE Age >= 18",
+	})
+	v, err := NQISQL(p, "SELECT Name FROM Employees WHERE Age >= 60")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Holds {
+		t.Fatal("NQI should hold for Q1 given {Q2} (paper Example 4.2)")
+	}
+	pv, err := PQISQL(p, "SELECT Name FROM Employees WHERE Age >= 60")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pv.Holds {
+		t.Fatal("PQI must not hold for Q1 given {Q2}: a Q2 row needn't be 60+")
+	}
+}
+
+func TestNoImplicationForUnrelatedViews(t *testing.T) {
+	s := employeeSchema(t)
+	p := policy.MustNew(s, map[string]string{
+		"VIds": "SELECT Id FROM Employees",
+	})
+	pv, err := PQISQL(p, "SELECT Name FROM Employees WHERE Age >= 60")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nv, err := NQISQL(p, "SELECT Name FROM Employees WHERE Age >= 60")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pv.Holds || nv.Holds {
+		t.Fatalf("id listing implies nothing about names: PQI=%v NQI=%v", pv, nv)
+	}
+}
+
+// hospitalPolicy is Example 4.1's policy: staff see each patient's
+// doctor and each doctor's diseases.
+func hospitalPolicy(t testing.TB, s *schema.Schema) *policy.Policy {
+	t.Helper()
+	return policy.MustNew(s, map[string]string{
+		"VPatientDoctor": "SELECT Name, DocId FROM Patients",
+		"VDoctorTreats":  "SELECT DocId, Disease FROM Treats",
+	})
+}
+
+func TestExample41HospitalNQI(t *testing.T) {
+	s := hospitalSchema(t)
+	p := hospitalPolicy(t, s)
+	// Sensitive: which disease each patient is treated for.
+	v, err := NQISQL(p, "SELECT Name, Disease FROM Patients")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Holds {
+		t.Fatal("NQI should hold: joining the views rules out every disease the patient's doctor does not treat (paper Example 4.1)")
+	}
+	// PQI must not hold: the doctor treats several diseases, so no
+	// single (patient, disease) pair becomes certain.
+	pv, err := PQISQL(p, "SELECT Name, Disease FROM Patients")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pv.Holds {
+		t.Fatalf("PQI must not hold for the hospital policy: %s", pv.Witness)
+	}
+}
+
+func TestChaseFKs(t *testing.T) {
+	s := hospitalSchema(t)
+	q := cq.MustFromSQL(s, "SELECT Name, Disease FROM Patients")[0]
+	chased := ChaseFKs(s, q)
+	if len(chased.Atoms) != 2 {
+		t.Fatalf("chase should add the Treats atom: %v", chased.Atoms)
+	}
+	if chased.Atoms[1].Table != "treats" {
+		t.Fatalf("chased atom: %v", chased.Atoms[1])
+	}
+	// Chase is idempotent.
+	again := ChaseFKs(s, chased)
+	if len(again.Atoms) != 2 {
+		t.Fatalf("chase not idempotent: %v", again.Atoms)
+	}
+}
+
+func TestAuditReport(t *testing.T) {
+	s := employeeSchema(t)
+	p := policy.MustNew(s, map[string]string{
+		"Q1": "SELECT Name FROM Employees WHERE Age >= 60",
+	})
+	rep, err := Audit(p, map[string]string{
+		"SAdults": "SELECT Name FROM Employees WHERE Age >= 18",
+		"SIds":    "SELECT Id FROM Employees",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Findings) != 2 {
+		t.Fatalf("findings: %+v", rep.Findings)
+	}
+	if rep.Findings[0].Name != "SAdults" || !rep.Findings[0].PQI.Holds {
+		t.Fatalf("SAdults finding: %+v", rep.Findings[0])
+	}
+	if rep.Findings[1].PQI.Holds || rep.Findings[1].NQI.Holds {
+		t.Fatalf("SIds finding: %+v", rep.Findings[1])
+	}
+	if rep.String() == "" {
+		t.Fatal("report rendering empty")
+	}
+}
+
+func TestKAnonymity(t *testing.T) {
+	s, err := schema.NewBuilder().
+		Table("Records").
+		NotNullCol("Zip", sqlvalue.Int).
+		NotNullCol("Age", sqlvalue.Int).
+		NotNullCol("Diagnosis", sqlvalue.Text).
+		Done().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := engine.New(s)
+	db.MustExec(`INSERT INTO Records (Zip, Age, Diagnosis) VALUES
+		(94704, 30, 'flu'), (94704, 30, 'cold'), (94704, 30, 'flu'),
+		(94110, 40, 'flu'), (94110, 40, 'cold')`)
+	k, err := KAnonymity(db, "SELECT Zip, Age, Diagnosis FROM Records", []string{"Zip", "Age"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 2 {
+		t.Fatalf("k = %d, want 2 (the 94110 group)", k)
+	}
+	// Adding a unique individual drops k to 1.
+	db.MustExec("INSERT INTO Records (Zip, Age, Diagnosis) VALUES (10001, 99, 'rare')")
+	k, err = KAnonymity(db, "SELECT Zip, Age, Diagnosis FROM Records", []string{"Zip", "Age"})
+	if err != nil || k != 1 {
+		t.Fatalf("k = %d err=%v, want 1", k, err)
+	}
+}
+
+func TestKAnonymityJoinRelease(t *testing.T) {
+	s := hospitalSchema(t)
+	db := engine.New(s)
+	db.MustExec("INSERT INTO Treats (DocId, Disease) VALUES (1, 'pneumonia'), (1, 'tb'), (2, 'flu')")
+	db.MustExec(`INSERT INTO Patients (PId, Name, DocId, Disease) VALUES
+		(1, 'john', 1, 'pneumonia'), (2, 'mary', 1, 'tb'), (3, 'ann', 2, 'flu')`)
+	k, err := KAnonymity(db,
+		"SELECT p.DocId, t.Disease FROM Patients p JOIN Treats t ON p.DocId = t.DocId",
+		[]string{"DocId"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 1 {
+		t.Fatalf("k = %d, want 1 (doctor 2 group has one row)", k)
+	}
+	// Errors: unknown quasi column and empty release.
+	if _, err := KAnonymity(db, "SELECT DocId FROM Patients", []string{"nope"}); err == nil {
+		t.Fatal("unknown quasi column must error")
+	}
+	k, err = KAnonymity(db, "SELECT DocId FROM Patients WHERE PId = 99", []string{"DocId"})
+	if err != nil || k != 0 {
+		t.Fatalf("empty release: k=%d err=%v", k, err)
+	}
+}
+
+// TestBayesianPriorSensitivity reproduces the paper's neighbor-
+// who-saw-John-coughing point (§4.2): the belief shift caused by the
+// same released views differs with the assumed prior, which is why
+// §4.3 argues for prior-agnostic criteria.
+func TestBayesianPriorSensitivity(t *testing.T) {
+	s := hospitalSchema(t)
+	p := hospitalPolicy(t, s)
+
+	john := sqlvalue.NewText("john")
+	pneumonia := sqlvalue.NewText("pneumonia")
+	tb := sqlvalue.NewText("tb")
+	flu := sqlvalue.NewText("flu")
+	doc1 := sqlvalue.NewInt(1)
+	doc2 := sqlvalue.NewInt(2)
+	pid := sqlvalue.NewInt(1)
+
+	// The actual world: John sees doctor 1 (who treats pneumonia and
+	// tb) and is treated for pneumonia; doctor 2 treats flu.
+	treats := [][]sqlvalue.Value{
+		{doc1, pneumonia}, {doc1, tb}, {doc2, flu},
+	}
+	actual := cq.Instance{
+		"treats": treats,
+		"patients": {
+			{pid, john, doc1, pneumonia},
+		},
+	}
+	fixed := cq.Instance{"treats": treats}
+	// Candidate worlds: before seeing the views the adversary is
+	// unsure which doctor John sees and which disease he has; each
+	// candidate respects the doctor-treats constraint.
+	candidates := func(pPneu, pTB, pFlu float64) []CandidateTuple {
+		return []CandidateTuple{
+			{Table: "patients", Row: []sqlvalue.Value{pid, john, doc1, pneumonia}, Prob: pPneu},
+			{Table: "patients", Row: []sqlvalue.Value{pid, john, doc1, tb}, Prob: pTB},
+			{Table: "patients", Row: []sqlvalue.Value{pid, john, doc2, flu}, Prob: pFlu},
+		}
+	}
+	exactlyOne := func(inst cq.Instance) bool {
+		return len(inst["patients"]) == 1
+	}
+	sens := cq.MustFromSQL(s, "SELECT Name, Disease FROM Patients")[0]
+	answer := []sqlvalue.Value{john, pneumonia}
+
+	// Uninformed adversary: uniform over three diseases.
+	uninformed := Prior{Name: "uniform", Fixed: fixed, Vars: candidates(0.5, 0.5, 0.5), Valid: exactlyOne}
+	rU, err := Shift(s, uninformed, actual, p, nil, sens, answer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Neighbor who saw John coughing: strong prior on pneumonia.
+	neighbor := Prior{Name: "cough", Fixed: fixed, Vars: candidates(0.9, 0.3, 0.3), Valid: exactlyOne}
+	rN, err := Shift(s, neighbor, actual, p, nil, sens, answer)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Both posteriors should rise (the views rule out flu), but the
+	// uninformed adversary's shift must be larger.
+	if rU.PosteriorProb <= rU.PriorProb {
+		t.Fatalf("uninformed posterior should rise: %+v", rU)
+	}
+	if rN.PosteriorProb <= rN.PriorProb {
+		t.Fatalf("neighbor posterior should rise: %+v", rN)
+	}
+	if rU.Delta() <= rN.Delta() {
+		t.Fatalf("prior-sensitivity: uninformed delta %.3f should exceed neighbor delta %.3f",
+			rU.Delta(), rN.Delta())
+	}
+	// The views rule out flu but cannot distinguish pneumonia from tb:
+	// the uninformed posterior should be 1/2.
+	if math.Abs(rU.PosteriorProb-0.5) > 1e-9 {
+		t.Fatalf("uninformed posterior = %v, want 0.5 (narrowed to two diseases)", rU.PosteriorProb)
+	}
+}

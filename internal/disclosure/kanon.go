@@ -1,0 +1,78 @@
+package disclosure
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/sqlparser"
+)
+
+// KAnonymity computes the anonymity parameter k of a released table:
+// the minimum number of rows sharing each quasi-identifier
+// combination. The release is given as a SELECT (so multi-table joins
+// work, extending the single-table setting of the classic algorithms
+// as §4.3 calls for); quasi are the released column names forming the
+// quasi-identifier.
+//
+// A release is k-anonymous when every individual's quasi-identifier is
+// shared by at least k rows; k = 0 means the release is empty.
+func KAnonymity(db *engine.DB, releaseSQL string, quasi []string) (int, error) {
+	res, err := db.QuerySQL(releaseSQL, sqlparser.NoArgs)
+	if err != nil {
+		return 0, err
+	}
+	if len(res.Rows) == 0 {
+		return 0, nil
+	}
+	pos := make([]int, len(quasi))
+	for i, qc := range quasi {
+		found := -1
+		for ci, c := range res.Columns {
+			if equalsFold(c, qc) {
+				found = ci
+				break
+			}
+		}
+		if found < 0 {
+			return 0, fmt.Errorf("disclosure: release has no column %q (have %v)", qc, res.Columns)
+		}
+		pos[i] = found
+	}
+	groups := make(map[string]int)
+	for _, row := range res.Rows {
+		key := ""
+		for _, p := range pos {
+			key += row[p].Key() + "\x00"
+		}
+		groups[key]++
+	}
+	k := -1
+	for _, n := range groups {
+		if k < 0 || n < k {
+			k = n
+		}
+	}
+	if k < 0 {
+		k = 0
+	}
+	return k, nil
+}
+
+func equalsFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 32
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 32
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}

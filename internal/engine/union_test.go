@@ -1,0 +1,59 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/sqlparser"
+)
+
+func TestUnionDeduplicates(t *testing.T) {
+	db := calendarDB(t)
+	res := mustQuery(t, db,
+		"SELECT UId FROM Attendance WHERE UId = 1 UNION SELECT UId FROM Attendance WHERE UId = 1")
+	if len(res.Rows) != 1 {
+		t.Fatalf("UNION should dedupe: %v", res)
+	}
+}
+
+func TestUnionAllKeepsDuplicates(t *testing.T) {
+	db := calendarDB(t)
+	res := mustQuery(t, db,
+		"SELECT UId FROM Users WHERE UId = 1 UNION ALL SELECT UId FROM Users WHERE UId = 1")
+	if len(res.Rows) != 2 {
+		t.Fatalf("UNION ALL should keep duplicates: %v", res)
+	}
+}
+
+func TestUnionCombinesArms(t *testing.T) {
+	db := calendarDB(t)
+	res := mustQuery(t, db,
+		"SELECT Name FROM Users WHERE UId = 1 UNION SELECT Name FROM Users WHERE UId = 2 ORDER BY 1")
+	if len(res.Rows) != 2 || res.Rows[0][0].Text() != "alice" || res.Rows[1][0].Text() != "bob" {
+		t.Fatalf("union arms: %v", res)
+	}
+}
+
+func TestUnionOrderLimitOnWhole(t *testing.T) {
+	db := calendarDB(t)
+	res := mustQuery(t, db,
+		"SELECT UId FROM Users WHERE UId <= 2 UNION SELECT UId FROM Users WHERE UId = 3 ORDER BY UId DESC LIMIT 2")
+	if len(res.Rows) != 2 || res.Rows[0][0].Int() != 3 || res.Rows[1][0].Int() != 2 {
+		t.Fatalf("union order/limit: %v", res)
+	}
+}
+
+func TestUnionColumnMismatch(t *testing.T) {
+	db := calendarDB(t)
+	if _, err := db.QuerySQL("SELECT UId FROM Users UNION SELECT UId, Name FROM Users", sqlparser.NoArgs); err == nil {
+		t.Fatal("column mismatch must error")
+	}
+}
+
+func TestUnionThreeArms(t *testing.T) {
+	db := calendarDB(t)
+	res := mustQuery(t, db,
+		"SELECT UId FROM Users WHERE UId = 1 UNION SELECT UId FROM Users WHERE UId = 2 UNION SELECT UId FROM Users WHERE UId = 3 ORDER BY 1")
+	if len(res.Rows) != 3 {
+		t.Fatalf("three arms: %v", res)
+	}
+}

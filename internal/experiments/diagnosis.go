@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/checker"
+	"repro/internal/cq"
+	"repro/internal/diagnose"
+	"repro/internal/engine"
+	"repro/internal/sqlparser"
+)
+
+// RunE8 produces Table 5: diagnosis quality — for every violating
+// corpus query, whether a counterexample was found, how many contained
+// rewritings and access checks were generated, whether a check
+// unblocks the query, and the wall-clock cost.
+func RunE8() (*Table, error) {
+	t := &Table{
+		ID:      "E8",
+		Title:   "Violation diagnosis quality (§5.2)",
+		Columns: []string{"app", "blocked query", "counterex", "rewritings", "checks", "checkUnblocks", "ms"},
+	}
+	totals := struct{ queries, counter, rewrites, checks, unblocks int }{}
+	for _, f := range apps.All() {
+		chk := checker.New(f.Policy())
+		for _, w := range f.Corpus {
+			if w.WantAllowed {
+				continue
+			}
+			sess := f.Session(w.UId)
+			start := time.Now()
+			d, err := diagnose.Diagnose(chk, sess, w.SQL, sqlparser.PositionalArgs(w.Args...), nil)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", f.Name, w.Label, err)
+			}
+			ms := float64(time.Since(start).Microseconds()) / 1000
+
+			unblocks := "-"
+			if len(d.Checks) > 0 {
+				// verified during abduction: a returned check unblocks
+				// by construction.
+				unblocks = "yes"
+				totals.unblocks++
+			}
+			totals.queries++
+			if d.Counter != nil {
+				totals.counter++
+			}
+			if len(d.Rewritings) > 0 {
+				totals.rewrites++
+			}
+			if len(d.Checks) > 0 {
+				totals.checks++
+			}
+			t.Add(f.Name, w.Label,
+				yesNo(d.Counter != nil),
+				fmt.Sprintf("%d", len(d.Rewritings)),
+				fmt.Sprintf("%d", len(d.Checks)),
+				unblocks,
+				fmt.Sprintf("%.2f", ms))
+		}
+	}
+	t.Note("totals over %d blocked queries: counterexample %d, rewriting %d, access check %d (all verified to unblock: %d)",
+		totals.queries, totals.counter, totals.rewrites, totals.checks, totals.unblocks)
+	return t, nil
+}
+
+func yesNo(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+// RunE8Retention extends Table 5 with the retained-answer fraction of
+// the best rewriting on a seeded instance, for queries that have one.
+func RunE8Retention() (*Table, error) {
+	t := &Table{
+		ID:      "E8b",
+		Title:   "Rewriting retention: fraction of the blocked answer kept (§5.2.2)",
+		Columns: []string{"app", "blocked query", "bestRetained"},
+	}
+	for _, f := range apps.All() {
+		chk := checker.New(f.Policy())
+		db := f.MustNewDB(16)
+		inst := instanceOf(db)
+		for _, w := range f.Corpus {
+			if w.WantAllowed {
+				continue
+			}
+			sess := f.Session(w.UId)
+			bound, err := sqlparser.Bind(sqlparser.MustParseSelect(w.SQL), sqlparser.PositionalArgs(w.Args...))
+			if err != nil {
+				return nil, err
+			}
+			ucq, err := (&cq.Translator{Schema: f.Schema}).TranslateSelect(bound.(*sqlparser.SelectStmt))
+			if err != nil {
+				continue // outside the fragment
+			}
+			best := -1.0
+			for _, q := range ucq {
+				rws, err := diagnose.ContainedRewritings(chk, sess, q)
+				if err != nil {
+					return nil, err
+				}
+				for _, r := range rws {
+					if fr := diagnose.RetainedFraction(inst, sess, q, r.CQ); fr > best {
+						best = fr
+					}
+				}
+			}
+			cell := "no rewriting"
+			if best >= 0 {
+				cell = fmt.Sprintf("%.2f", best)
+			}
+			t.Add(f.Name, w.Label, cell)
+		}
+	}
+	return t, nil
+}
+
+// instanceOf snapshots an engine database into a cq.Instance.
+func instanceOf(db *engine.DB) cq.Instance {
+	inst := cq.Instance{}
+	for _, t := range db.Tables() {
+		key := strings.ToLower(t)
+		for _, row := range db.Snapshot(t) {
+			inst[key] = append(inst[key], row)
+		}
+	}
+	return inst
+}

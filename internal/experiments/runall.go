@@ -1,0 +1,27 @@
+package experiments
+
+// RunAll executes the full suite in order. E2/E7 sizes are tuned for a
+// quick interactive run; the benchmarks in bench_test.go use testing.B
+// for calibrated numbers.
+func RunAll() ([]*Table, error) {
+	var out []*Table
+	steps := []func() (*Table, error){
+		RunE1,
+		func() (*Table, error) { return RunE2(64, 200) },
+		RunE3,
+		RunE4,
+		RunE5,
+		RunE6,
+		func() (*Table, error) { return RunE7(5) },
+		RunE8,
+		RunE8Retention,
+	}
+	for _, step := range steps {
+		t, err := step()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

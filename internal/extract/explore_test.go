@@ -1,0 +1,72 @@
+package extract
+
+import (
+	"testing"
+)
+
+func TestExploreRecoversCalendarPolicy(t *testing.T) {
+	s := calendarSchema(t)
+	app := showEventApp()
+	db := seededDB(t, s)
+	opts := DefaultMineOptions()
+	opts.SessionParam = map[string]string{"user_id": "MyUId"}
+	p, err := ExploreAndMine(s, app, db, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := Compare(p, groundTruth(t, s))
+	if acc.Recall() < 1 {
+		t.Fatalf("exploration should cover the ground truth:\n%s\nacc %+v", p, acc)
+	}
+	if acc.Precision() < 1 {
+		t.Fatalf("exploration should not over-generalize:\n%s\nacc %+v", p, acc)
+	}
+}
+
+func TestExplorerCandidateValues(t *testing.T) {
+	s := calendarSchema(t)
+	app := showEventApp()
+	db := seededDB(t, s)
+	ex := &Explorer{Schema: s, App: app, DB: db, MaxValuesPerParam: 3}
+	cands := ex.candidateValues()
+	vals, ok := cands["event_id"]
+	if !ok || len(vals) < 2 {
+		t.Fatalf("event_id candidates: %v", vals)
+	}
+	// Candidates should include actual event ids from the database and
+	// the guaranteed miss.
+	hasReal, hasMiss := false, false
+	for _, v := range vals {
+		switch v.Int() {
+		case 2, 5:
+			hasReal = true
+		case 999983:
+			hasMiss = true
+		}
+	}
+	if !hasReal || !hasMiss {
+		t.Fatalf("candidates should mix real ids and a miss: %v", vals)
+	}
+}
+
+func TestExplorerSkipsInvalidInputsGracefully(t *testing.T) {
+	// A database with no rows: every probe misses, abort paths run,
+	// but exploration must not error.
+	s := calendarSchema(t)
+	app := showEventApp()
+	db := emptyDB(t, s)
+	opts := DefaultMineOptions()
+	opts.SessionParam = map[string]string{"user_id": "MyUId"}
+	ex := &Explorer{Schema: s, App: app, DB: db, Options: opts}
+	p, samples, err := ex.Explore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) == 0 {
+		t.Fatal("abort-path probes still issue the check query")
+	}
+	// Only the access-check view is derivable from abort paths.
+	if p == nil || len(p.Views) == 0 {
+		t.Fatalf("expected at least the probe view: %v", p)
+	}
+}

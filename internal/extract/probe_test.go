@@ -1,0 +1,145 @@
+package extract
+
+import (
+	"testing"
+
+	"repro/internal/sqlvalue"
+)
+
+// TestProberDropsCoincidentalGuard: two queries whose argument values
+// coincide by accident (the handler issues them independently) get a
+// spurious guard from value correlation; a prober that shows the
+// second query is still issued without the first's rows must strip it.
+func TestProberDropsCoincidentalGuard(t *testing.T) {
+	s := calendarSchema(t)
+	iv := func(n int64) sqlvalue.Value { return sqlvalue.NewInt(n) }
+
+	mkSamples := func() []Sample {
+		var out []Sample
+		for _, uid := range []int64{1, 2} {
+			// Entry 0: the user's attendance probe for event uid+10.
+			// Entry 1: an event fetch for the same id — but in this
+			// fake app the fetch is unconditional (no real guard).
+			eid := uid + 10
+			out = append(out, Sample{
+				Handler: "h",
+				Session: map[string]sqlvalue.Value{"user_id": iv(uid)},
+				Entries: []MinedEntry{
+					{
+						SQL:     "SELECT 1 FROM Attendance WHERE UId = ? AND EId = ?",
+						Args:    []sqlvalue.Value{iv(uid), iv(eid)},
+						Columns: []string{"1"},
+						Rows:    [][]sqlvalue.Value{{iv(1)}},
+					},
+					{
+						SQL:     "SELECT Title FROM Events WHERE EId = ?",
+						Args:    []sqlvalue.Value{iv(eid)},
+						Columns: []string{"Title"},
+						Rows:    [][]sqlvalue.Value{{sqlvalue.NewText("x")}},
+					},
+				},
+			})
+		}
+		return out
+	}
+
+	opts := DefaultMineOptions()
+	opts.SessionParam = map[string]string{"user_id": "MyUId"}
+
+	// Without probing: correlation installs the guard.
+	guarded, err := Mine(s, mkSamples(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasGuardedFetch := false
+	for _, v := range guarded.Views {
+		for _, q := range v.CQs {
+			hasTable := map[string]bool{}
+			for _, a := range q.Atoms {
+				hasTable[a.Table] = true
+			}
+			if hasTable["events"] && hasTable["attendance"] {
+				hasGuardedFetch = true
+			}
+		}
+	}
+	if !hasGuardedFetch {
+		t.Fatal("setup: correlation should install a guard without probing")
+	}
+
+	// With a prober reporting the fetch still happens when the guard
+	// rows are removed, the guard must be dropped.
+	opts.Prober = func(sm Sample, guardIdx int) ([]string, error) {
+		var sqls []string
+		for _, e := range sm.Entries {
+			sqls = append(sqls, e.SQL) // unconditional re-issue
+		}
+		return sqls, nil
+	}
+	unguarded, err := Mine(s, mkSamples(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range unguarded.Views {
+		for _, q := range v.CQs {
+			hasEvents, hasAtt := false, false
+			for _, a := range q.Atoms {
+				if a.Table == "events" {
+					hasEvents = true
+				}
+				if a.Table == "attendance" {
+					hasAtt = true
+				}
+			}
+			if hasEvents && hasAtt {
+				t.Fatalf("refuted guard survived probing: %s", q)
+			}
+		}
+	}
+}
+
+// TestProberConfirmsRealGuard: when the probe shows the fetch
+// disappears without the guard rows, the guard stays.
+func TestProberConfirmsRealGuard(t *testing.T) {
+	s := calendarSchema(t)
+	db := seededDB(t, s)
+	app := showEventApp()
+	samples := mineSamples(t, s, app, db, []struct {
+		uid     int64
+		eventID int64
+	}{
+		{uid: 1, eventID: 2},
+		{uid: 2, eventID: 5},
+	})
+	opts := DefaultMineOptions()
+	opts.SessionParam = map[string]string{"user_id": "MyUId"}
+	opts.Prober = func(sm Sample, guardIdx int) ([]string, error) {
+		// The guard is real: removing its rows aborts the handler
+		// before the fetch.
+		return []string{sm.Entries[guardIdx].SQL}, nil
+	}
+	p, err := Mine(s, samples, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := Compare(p, groundTruth(t, s))
+	if !acc.Exact() {
+		t.Fatalf("confirmed guard should keep extraction exact: %+v\n%s", acc, p)
+	}
+	// Sanity: the guarded fetch view still joins both tables.
+	joined := false
+	for _, v := range p.Views {
+		for _, q := range v.CQs {
+			tables := map[string]bool{}
+			for _, a := range q.Atoms {
+				tables[a.Table] = true
+			}
+			if tables["events"] && tables["attendance"] {
+				joined = true
+			}
+		}
+	}
+	if !joined {
+		t.Fatal("guarded fetch view missing after confirmation")
+	}
+}

@@ -1,0 +1,166 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/schema"
+	"repro/internal/sqlvalue"
+)
+
+func calSchema(t testing.TB) *schema.Schema {
+	t.Helper()
+	s, err := schema.NewBuilder().
+		Table("Events").
+		NotNullCol("EId", sqlvalue.Int).
+		NotNullCol("Title", sqlvalue.Text).
+		Col("Notes", sqlvalue.Text).
+		PK("EId").Done().
+		Table("Attendance").
+		NotNullCol("UId", sqlvalue.Int).
+		NotNullCol("EId", sqlvalue.Int).
+		PK("UId", "EId").Done().
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewAndLookup(t *testing.T) {
+	s := calSchema(t)
+	p := MustNew(s, map[string]string{
+		"V1": "SELECT EId FROM Attendance WHERE UId = ?MyUId",
+		"V2": "SELECT * FROM Events e JOIN Attendance a ON e.EId = a.EId WHERE a.UId = ?MyUId",
+	})
+	if len(p.Views) != 2 {
+		t.Fatalf("views: %d", len(p.Views))
+	}
+	v, ok := p.View("V1")
+	if !ok || v.SQL == "" || len(v.CQs) != 1 {
+		t.Fatalf("V1: %+v", v)
+	}
+	if _, ok := p.View("nope"); ok {
+		t.Fatal("unknown view lookup should fail")
+	}
+}
+
+func TestParams(t *testing.T) {
+	s := calSchema(t)
+	p := MustNew(s, map[string]string{
+		"V1": "SELECT EId FROM Attendance WHERE UId = ?MyUId",
+		"V2": "SELECT Title FROM Events WHERE EId = ?MyTeam",
+	})
+	ps := p.Params()
+	if len(ps) != 2 || ps[0] != "MyTeam" || ps[1] != "MyUId" {
+		t.Fatalf("params: %v", ps)
+	}
+}
+
+func TestAddRejectsNonCQ(t *testing.T) {
+	s := calSchema(t)
+	p := &Policy{Schema: s}
+	if err := p.Add("Bad", "SELECT Title FROM Events WHERE Notes IS NULL"); err == nil {
+		t.Fatal("non-CQ view must be rejected")
+	}
+	if err := p.Add("Bad2", "SELECT Title FROM Evnts"); err == nil {
+		t.Fatal("unknown table must be rejected")
+	}
+}
+
+func TestDisjunctsBinding(t *testing.T) {
+	s := calSchema(t)
+	p := MustNew(s, map[string]string{
+		"V1": "SELECT EId FROM Attendance WHERE UId = ?MyUId",
+	})
+	free := p.Disjuncts(nil)
+	if len(free) != 1 || len(free[0].Params()) != 1 {
+		t.Fatalf("free disjuncts: %v", free)
+	}
+	bound := p.Disjuncts(map[string]sqlvalue.Value{"MyUId": sqlvalue.NewInt(9)})
+	if len(bound[0].Params()) != 0 {
+		t.Fatalf("bound disjuncts: %v", bound)
+	}
+}
+
+func TestSubsumesAndMinimize(t *testing.T) {
+	s := calSchema(t)
+	p := MustNew(s, map[string]string{
+		"Narrow": "SELECT EId FROM Attendance WHERE UId = ?MyUId AND EId = 3",
+		"Wide":   "SELECT EId FROM Attendance WHERE UId = ?MyUId",
+	})
+	n, _ := p.View("Narrow")
+	w, _ := p.View("Wide")
+	if !Subsumes(s, n, w) {
+		t.Fatal("Narrow should be subsumed by Wide")
+	}
+	if Subsumes(s, w, n) {
+		t.Fatal("Wide must not be subsumed by Narrow")
+	}
+	m := Minimize(p)
+	if len(m.Views) != 1 || m.Views[0].Name != "Wide" {
+		t.Fatalf("minimized: %s", m)
+	}
+}
+
+func TestMinimizeKeepsOneOfEquivalent(t *testing.T) {
+	s := calSchema(t)
+	p := MustNew(s, map[string]string{
+		"A": "SELECT EId FROM Attendance WHERE UId = ?MyUId",
+		"B": "SELECT a.EId FROM Attendance a WHERE a.UId = ?MyUId",
+	})
+	m := Minimize(p)
+	if len(m.Views) != 1 || m.Views[0].Name != "A" {
+		t.Fatalf("minimized equivalents: %s", m)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	s := calSchema(t)
+	a := MustNew(s, map[string]string{
+		"V1": "SELECT EId FROM Attendance WHERE UId = ?MyUId",
+		"V2": "SELECT Title FROM Events",
+	})
+	b := MustNew(s, map[string]string{
+		"W1": "SELECT EId FROM Attendance WHERE UId = ?MyUId",
+	})
+	d := Diff(a, b)
+	if len(d.OnlyA) != 1 || d.OnlyA[0].Name != "V2" {
+		t.Fatalf("onlyA: %+v", d.OnlyA)
+	}
+	if len(d.OnlyB) != 0 {
+		t.Fatalf("onlyB: %+v", d.OnlyB)
+	}
+}
+
+func TestFingerprintChangesWithPolicy(t *testing.T) {
+	s := calSchema(t)
+	p := MustNew(s, map[string]string{"V1": "SELECT EId FROM Attendance WHERE UId = ?MyUId"})
+	f1 := p.Fingerprint()
+	if err := p.Add("V2", "SELECT Title FROM Events"); err != nil {
+		t.Fatal(err)
+	}
+	if p.Fingerprint() == f1 {
+		t.Fatal("fingerprint must change when a view is added")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := calSchema(t)
+	p := MustNew(s, map[string]string{"V1": "SELECT EId FROM Attendance WHERE UId = ?MyUId"})
+	if !strings.Contains(p.String(), "V1: SELECT EId") {
+		t.Errorf("rendering: %s", p)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := calSchema(t)
+	p := MustNew(s, map[string]string{"V1": "SELECT EId FROM Attendance WHERE UId = ?MyUId"})
+	c := p.Clone()
+	if err := c.Add("V2", "SELECT Title FROM Events"); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Views) != 1 || len(c.Views) != 2 {
+		t.Fatal("clone shares view list")
+	}
+}

@@ -1,0 +1,121 @@
+package proxy
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/sqlvalue"
+)
+
+// ErrBlocked is returned by Client.Query when the proxy blocks the
+// query for policy violation.
+var ErrBlocked = errors.New("query blocked by policy")
+
+// BlockedError carries the proxy's explanation.
+type BlockedError struct{ Reason string }
+
+// Error implements error.
+func (e *BlockedError) Error() string {
+	return fmt.Sprintf("%v: %s", ErrBlocked, e.Reason)
+}
+
+// Unwrap makes errors.Is(err, ErrBlocked) work.
+func (e *BlockedError) Unwrap() error { return ErrBlocked }
+
+// Client is a connection to the proxy server.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+	enc  *json.Encoder
+}
+
+// Dial connects to the proxy.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn), enc: json.NewEncoder(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(req *Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return nil, err
+	}
+	line, err := c.r.ReadBytes('\n')
+	if err != nil {
+		return nil, err
+	}
+	var resp Response
+	if err := json.Unmarshal(line, &resp); err != nil {
+		return nil, err
+	}
+	if resp.Error != "" {
+		return nil, errors.New(resp.Error)
+	}
+	return &resp, nil
+}
+
+// Hello establishes the session principal.
+func (c *Client) Hello(attrs map[string]any) error {
+	_, err := c.roundTrip(&Request{Op: "hello", Session: attrs})
+	return err
+}
+
+// Rows is a client-side result set.
+type Rows struct {
+	Columns []string
+	Rows    [][]sqlvalue.Value
+}
+
+// Empty reports whether no rows were returned.
+func (r *Rows) Empty() bool { return len(r.Rows) == 0 }
+
+// Query runs a SELECT with positional args; a policy block surfaces as
+// a *BlockedError.
+func (c *Client) Query(sql string, args ...any) (*Rows, error) {
+	resp, err := c.roundTrip(&Request{Op: "query", SQL: sql, Args: args})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Blocked {
+		return nil, &BlockedError{Reason: resp.Reason}
+	}
+	out := &Rows{Columns: resp.Columns}
+	for _, r := range resp.Rows {
+		vals, err := decodeValues(r)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, vals)
+	}
+	return out, nil
+}
+
+// Exec runs a DML statement with positional args.
+func (c *Client) Exec(sql string, args ...any) (int, error) {
+	resp, err := c.roundTrip(&Request{Op: "exec", SQL: sql, Args: args})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Affected, nil
+}
+
+// Stats fetches server counters.
+func (c *Client) Stats() (*StatsBody, error) {
+	resp, err := c.roundTrip(&Request{Op: "stats"})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Stats, nil
+}

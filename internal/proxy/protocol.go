@@ -1,0 +1,115 @@
+// Package proxy implements the SQL enforcement proxy of the paper's
+// §2.2: a network server that intercepts each application-issued
+// query, vets it against the policy with the compliance checker
+// (considering the session's query history), and either forwards it to
+// the database engine as-is or blocks it outright.
+//
+// The wire protocol is line-delimited JSON over TCP: one Request per
+// line from the client, one Response per line back. Sessions are
+// established with a "hello" carrying the principal's attributes
+// (e.g. MyUId), which bind the policy's parameters.
+package proxy
+
+import (
+	"fmt"
+
+	"repro/internal/sqlvalue"
+)
+
+// Mode selects the proxy's enforcement behaviour.
+type Mode int
+
+// Enforcement modes.
+const (
+	// Enforce blocks non-compliant queries.
+	Enforce Mode = iota
+	// LogOnly decides but always forwards, recording violations.
+	LogOnly
+	// Off forwards everything without deciding.
+	Off
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Enforce:
+		return "enforce"
+	case LogOnly:
+		return "log-only"
+	case Off:
+		return "off"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Request is one client message.
+type Request struct {
+	// Op is "hello", "query", "exec", or "stats".
+	Op string `json:"op"`
+	// Session attributes for "hello" (policy parameter values).
+	Session map[string]any `json:"session,omitempty"`
+	// SQL and arguments for "query"/"exec".
+	SQL   string         `json:"sql,omitempty"`
+	Args  []any          `json:"args,omitempty"`
+	Named map[string]any `json:"named,omitempty"`
+}
+
+// Response is one server message.
+type Response struct {
+	OK       bool       `json:"ok"`
+	Error    string     `json:"error,omitempty"`
+	Blocked  bool       `json:"blocked,omitempty"`
+	Reason   string     `json:"reason,omitempty"`
+	Views    []string   `json:"views,omitempty"`
+	Columns  []string   `json:"columns,omitempty"`
+	Rows     [][]any    `json:"rows,omitempty"`
+	Affected int        `json:"affected,omitempty"`
+	Stats    *StatsBody `json:"stats,omitempty"`
+}
+
+// StatsBody reports server counters over the wire.
+type StatsBody struct {
+	Queries    int `json:"queries"`
+	Allowed    int `json:"allowed"`
+	Blocked    int `json:"blocked"`
+	CacheHits  int `json:"cacheHits"`
+	Violations int `json:"violations"` // log-only mode
+}
+
+// encodeRows converts engine values to JSON-friendly values.
+func encodeRows(rows [][]sqlvalue.Value) [][]any {
+	out := make([][]any, len(rows))
+	for i, r := range rows {
+		row := make([]any, len(r))
+		for j, v := range r {
+			row[j] = v.Any()
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// decodeValues converts JSON-decoded values to engine values.
+// encoding/json decodes numbers as float64; integral floats become
+// INTEGERs to keep key comparisons exact.
+func decodeValues(vals []any) ([]sqlvalue.Value, error) {
+	out := make([]sqlvalue.Value, len(vals))
+	for i, v := range vals {
+		sv, err := decodeValue(v)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = sv
+	}
+	return out, nil
+}
+
+func decodeValue(v any) (sqlvalue.Value, error) {
+	if f, ok := v.(float64); ok {
+		if f == float64(int64(f)) {
+			return sqlvalue.NewInt(int64(f)), nil
+		}
+		return sqlvalue.NewReal(f), nil
+	}
+	return sqlvalue.FromAny(v)
+}

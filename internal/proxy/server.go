@@ -1,0 +1,239 @@
+package proxy
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/checker"
+	"repro/internal/engine"
+	"repro/internal/sqlparser"
+	"repro/internal/sqlvalue"
+	"repro/internal/trace"
+)
+
+// Server is the enforcement proxy: it owns the database engine and a
+// compliance checker and serves the line protocol.
+type Server struct {
+	DB      *engine.DB
+	Checker *checker.Checker
+	Mode    Mode
+
+	mu         sync.Mutex
+	ln         net.Listener
+	violations int
+	queries    int
+}
+
+// NewServer builds a proxy server over the engine and checker.
+func NewServer(db *engine.DB, c *checker.Checker, mode Mode) *Server {
+	return &Server{DB: db, Checker: c, Mode: mode}
+}
+
+// Listen starts accepting connections on addr (e.g. "127.0.0.1:0").
+// It returns the bound address immediately; connections are served on
+// background goroutines until Close.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln != nil {
+		err := s.ln.Close()
+		s.ln = nil
+		return err
+	}
+	return nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go s.serveConn(conn)
+	}
+}
+
+// session is per-connection state: principal attributes and history.
+type session struct {
+	attrs map[string]sqlvalue.Value
+	tr    *trace.Trace
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	sess := &session{attrs: map[string]sqlvalue.Value{}, tr: &trace.Trace{}}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	enc := json.NewEncoder(conn)
+	for sc.Scan() {
+		var req Request
+		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
+			_ = enc.Encode(Response{Error: fmt.Sprintf("bad request: %v", err)})
+			continue
+		}
+		resp := s.Handle(&req, sess)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// Handle processes one request against a session. It is exported so
+// in-process callers (tests, benchmarks, the examples) can use the
+// proxy logic without a socket.
+func (s *Server) Handle(req *Request, sess *session) Response {
+	switch req.Op {
+	case "hello":
+		attrs := make(map[string]sqlvalue.Value, len(req.Session))
+		for k, v := range req.Session {
+			sv, err := decodeValue(v)
+			if err != nil {
+				return Response{Error: fmt.Sprintf("session attribute %s: %v", k, err)}
+			}
+			attrs[k] = sv
+		}
+		sess.attrs = attrs
+		sess.tr = &trace.Trace{}
+		return Response{OK: true}
+
+	case "query":
+		return s.handleQuery(req, sess)
+
+	case "exec":
+		return s.handleExec(req)
+
+	case "stats":
+		cs := s.Checker.Stats()
+		s.mu.Lock()
+		body := &StatsBody{
+			Queries:    s.queries,
+			Allowed:    cs.Allowed,
+			Blocked:    cs.Blocked,
+			CacheHits:  cs.CacheHits,
+			Violations: s.violations,
+		}
+		s.mu.Unlock()
+		return Response{OK: true, Stats: body}
+	}
+	return Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+}
+
+// NewSession creates a fresh in-process session for Handle.
+func NewSession(attrs map[string]sqlvalue.Value) *Session {
+	if attrs == nil {
+		attrs = map[string]sqlvalue.Value{}
+	}
+	return &Session{inner: &session{attrs: attrs, tr: &trace.Trace{}}}
+}
+
+// Session is the exported handle for in-process use.
+type Session struct{ inner *session }
+
+// Trace exposes the session's query history.
+func (s *Session) Trace() *trace.Trace { return s.inner.tr }
+
+// HandleIn processes a request against an exported session.
+func (s *Server) HandleIn(req *Request, sess *Session) Response {
+	return s.Handle(req, sess.inner)
+}
+
+func (s *Server) handleQuery(req *Request, sess *session) Response {
+	s.mu.Lock()
+	s.queries++
+	s.mu.Unlock()
+
+	args, err := buildArgs(req)
+	if err != nil {
+		return Response{Error: err.Error()}
+	}
+	sel, err := sqlparser.ParseSelect(req.SQL)
+	if err != nil {
+		return Response{Error: err.Error()}
+	}
+
+	if s.Mode != Off {
+		d := s.Checker.Check(sel, args, sess.attrs, sess.tr)
+		if !d.Allowed {
+			if s.Mode == Enforce {
+				return Response{OK: true, Blocked: true, Reason: d.Reason}
+			}
+			s.mu.Lock()
+			s.violations++
+			s.mu.Unlock()
+		}
+	}
+
+	bound, err := sqlparser.Bind(sel, args)
+	if err != nil {
+		return Response{Error: err.Error()}
+	}
+	res, err := s.DB.Query(bound.(*sqlparser.SelectStmt))
+	if err != nil {
+		return Response{Error: err.Error()}
+	}
+
+	// Record in history (queries the application actually saw answers
+	// to are what future decisions may rely on).
+	rows := make([][]sqlvalue.Value, len(res.Rows))
+	for i, r := range res.Rows {
+		rows[i] = append([]sqlvalue.Value(nil), r...)
+	}
+	sess.tr.Append(trace.Entry{
+		SQL: req.SQL, Stmt: sel, Args: args,
+		Columns: res.Columns, Rows: rows,
+	})
+
+	return Response{OK: true, Columns: res.Columns, Rows: encodeRows(rows)}
+}
+
+func (s *Server) handleExec(req *Request) Response {
+	args, err := buildArgs(req)
+	if err != nil {
+		return Response{Error: err.Error()}
+	}
+	// Writes pass through: the paper's setting controls data
+	// revelation (reads); write authorization stays in the app.
+	_, n, err := s.DB.Exec(req.SQL, args)
+	if err != nil {
+		return Response{Error: err.Error()}
+	}
+	return Response{OK: true, Affected: n}
+}
+
+func buildArgs(req *Request) (sqlparser.Args, error) {
+	var args sqlparser.Args
+	if len(req.Args) > 0 {
+		vals, err := decodeValues(req.Args)
+		if err != nil {
+			return args, err
+		}
+		args.Positional = vals
+	}
+	if len(req.Named) > 0 {
+		args.Named = make(map[string]sqlvalue.Value, len(req.Named))
+		for k, v := range req.Named {
+			sv, err := decodeValue(v)
+			if err != nil {
+				return args, err
+			}
+			args.Named[k] = sv
+		}
+	}
+	return args, nil
+}

@@ -1,0 +1,155 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sqlvalue"
+)
+
+func calendarSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewBuilder().
+		Table("Users").
+		NotNullCol("UId", sqlvalue.Int).
+		NotNullCol("Name", sqlvalue.Text).
+		PK("UId").Done().
+		Table("Events").
+		OpaqueCol("EId", sqlvalue.Int).
+		NotNullCol("Title", sqlvalue.Text).
+		Col("Notes", sqlvalue.Text).
+		PK("EId").Done().
+		Table("Attendance").
+		NotNullCol("UId", sqlvalue.Int).
+		NotNullCol("EId", sqlvalue.Int).
+		PK("UId", "EId").
+		FK([]string{"UId"}, "Users", []string{"UId"}).
+		FK([]string{"EId"}, "Events", []string{"EId"}).Done().
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestBuilderAndLookup(t *testing.T) {
+	s := calendarSchema(t)
+	if len(s.Tables()) != 3 {
+		t.Fatalf("want 3 tables, got %d", len(s.Tables()))
+	}
+	tab, ok := s.Table("attendance") // case-insensitive
+	if !ok {
+		t.Fatal("lookup attendance failed")
+	}
+	if tab.Name != "Attendance" {
+		t.Errorf("declared spelling lost: %q", tab.Name)
+	}
+	i, ok := tab.ColumnIndex("eid")
+	if !ok || i != 1 {
+		t.Errorf("ColumnIndex(eid) = %d,%v", i, ok)
+	}
+	c, ok := s.MustTable("Events").Column("EId")
+	if !ok || !c.Opaque || c.Type != sqlvalue.Int {
+		t.Errorf("Events.EId = %+v", c)
+	}
+}
+
+func TestIsKey(t *testing.T) {
+	s := calendarSchema(t)
+	att := s.MustTable("Attendance")
+	if !att.IsKey([]string{"UId", "EId"}) {
+		t.Error("composite PK should be a key")
+	}
+	if !att.IsKey([]string{"eid", "uid", "extra"}) {
+		t.Error("superset of PK should be a key")
+	}
+	if att.IsKey([]string{"UId"}) {
+		t.Error("half of composite PK is not a key")
+	}
+	ev := s.MustTable("Events")
+	if !ev.IsKey([]string{"EId"}) {
+		t.Error("PK column should be a key")
+	}
+	if ev.IsKey(nil) {
+		t.Error("empty column set is never a key")
+	}
+}
+
+func TestUniqueKeyIsKey(t *testing.T) {
+	s, err := NewBuilder().
+		Table("T").NotNullCol("a", sqlvalue.Int).NotNullCol("b", sqlvalue.Text).
+		PK("a").Unique("b").Done().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.MustTable("T").IsKey([]string{"b"}) {
+		t.Error("unique column should be a key")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() (*Schema, error)
+	}{
+		{"duplicate table", func() (*Schema, error) {
+			return NewBuilder().
+				Table("T").Col("a", sqlvalue.Int).Done().
+				Table("t").Col("a", sqlvalue.Int).Done().Build()
+		}},
+		{"duplicate column", func() (*Schema, error) {
+			return NewBuilder().Table("T").Col("a", sqlvalue.Int).Col("A", sqlvalue.Int).Done().Build()
+		}},
+		{"no columns", func() (*Schema, error) {
+			return NewBuilder().Table("T").Done().Build()
+		}},
+		{"bad PK column", func() (*Schema, error) {
+			return NewBuilder().Table("T").Col("a", sqlvalue.Int).PK("b").Done().Build()
+		}},
+		{"FK to unknown table", func() (*Schema, error) {
+			return NewBuilder().Table("T").Col("a", sqlvalue.Int).
+				FK([]string{"a"}, "Nope", []string{"x"}).Done().Build()
+		}},
+		{"FK arity mismatch", func() (*Schema, error) {
+			return NewBuilder().
+				Table("U").Col("x", sqlvalue.Int).Done().
+				Table("T").Col("a", sqlvalue.Int).
+				FK([]string{"a"}, "U", []string{"x", "y"}).Done().Build()
+		}},
+		{"FK type mismatch", func() (*Schema, error) {
+			return NewBuilder().
+				Table("U").Col("x", sqlvalue.Text).Done().
+				Table("T").Col("a", sqlvalue.Int).
+				FK([]string{"a"}, "U", []string{"x"}).Done().Build()
+		}},
+	}
+	for _, c := range cases {
+		if _, err := c.build(); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := calendarSchema(t)
+	out := s.String()
+	for _, want := range []string{
+		"CREATE TABLE Attendance",
+		"PRIMARY KEY (UId, EId)",
+		"FOREIGN KEY (EId) REFERENCES Events (EId)",
+		"Title TEXT NOT NULL",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("schema string missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestColumnIndexWithoutMap(t *testing.T) {
+	// A Table built directly (not via AddTable) still resolves columns.
+	tab := &Table{Name: "X", Columns: []Column{{Name: "Foo", Type: sqlvalue.Int}}}
+	i, ok := tab.ColumnIndex("foo")
+	if !ok || i != 0 {
+		t.Errorf("ColumnIndex on raw table = %d,%v", i, ok)
+	}
+}

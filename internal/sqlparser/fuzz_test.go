@@ -1,0 +1,48 @@
+package sqlparser
+
+import (
+	"testing"
+)
+
+// FuzzParse asserts two invariants on arbitrary input: the parser
+// never panics, and when it accepts, printing and re-parsing is
+// stable (print∘parse is idempotent). Run `go test -fuzz=FuzzParse`
+// for continuous fuzzing; the seed corpus runs in every `go test`.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT EId FROM Attendance WHERE UId = ?MyUId",
+		"SELECT * FROM Events e JOIN Attendance a ON e.EId = a.EId WHERE a.UId = 1",
+		"SELECT DISTINCT d, COUNT(*) AS n FROM Emp GROUP BY d HAVING COUNT(*) > 2 ORDER BY n DESC LIMIT 5",
+		"SELECT x FROM T WHERE a IN (1, 2) OR b NOT IN (SELECT id FROM U)",
+		"SELECT a FROM T UNION ALL SELECT b FROM U ORDER BY 1",
+		"INSERT INTO T (a, b) VALUES (1, 'x''y'), (2, NULL)",
+		"UPDATE T SET a = a + 1 WHERE id = ?",
+		"DELETE FROM T WHERE id = 3",
+		"CREATE TABLE T (a INTEGER PRIMARY KEY, b TEXT NOT NULL, UNIQUE (b))",
+		"SELECT x FROM T WHERE NOT (a = 1 AND b BETWEEN 2 AND 3) -- c",
+		"SELECT 'unterminated",
+		"SELECT ((((1))))",
+		"SELECT a FROM T WHERE EXISTS (SELECT 1 FROM U WHERE U.x = T.x)",
+		"select lower(a), 1.5e FROM t",
+		")(*&^%$#@!",
+		"SELECT a FROM T WHERE x IS NOT NULL AND y LIKE '%_%'",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		stmt, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		out1 := stmt.SQL()
+		stmt2, err := Parse(out1)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected own rendering %q: %v", src, out1, err)
+		}
+		out2 := stmt2.SQL()
+		if out1 != out2 {
+			t.Fatalf("print∘parse not idempotent:\n 1: %s\n 2: %s", out1, out2)
+		}
+	})
+}

@@ -1,0 +1,157 @@
+// Package trace records the query history the compliance checker
+// reasons over: each entry is an issued query with its arguments and
+// observed result. From a trace we derive ground facts — rows known to
+// exist in the database, and patterns known to match no row — which is
+// what lets the checker allow queries that would be non-compliant in
+// isolation (the paper's Example 2.1).
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cq"
+	"repro/internal/schema"
+	"repro/internal/sqlparser"
+	"repro/internal/sqlvalue"
+)
+
+// Entry is one observed query with its result.
+type Entry struct {
+	SQL  string
+	Stmt *sqlparser.SelectStmt // parsed, unbound
+	Args sqlparser.Args
+	// Rows are the result tuples (projected through the query's select
+	// list); Columns their labels.
+	Columns []string
+	Rows    [][]sqlvalue.Value
+}
+
+// Trace is an append-only query history for one request/session.
+type Trace struct {
+	Entries []Entry
+}
+
+// Append records a query and its observed result.
+func (t *Trace) Append(e Entry) { t.Entries = append(t.Entries, e) }
+
+// Len returns the number of entries.
+func (t *Trace) Len() int { return len(t.Entries) }
+
+// Clone copies the trace (entries are immutable once appended, so a
+// shallow copy of the slice suffices).
+func (t *Trace) Clone() *Trace {
+	return &Trace{Entries: append([]Entry(nil), t.Entries...)}
+}
+
+// String renders the trace compactly.
+func (t *Trace) String() string {
+	var b strings.Builder
+	for i, e := range t.Entries {
+		fmt.Fprintf(&b, "[%d] %s -> %d row(s)\n", i+1, e.SQL, len(e.Rows))
+	}
+	return b.String()
+}
+
+// Facts derives ground facts from the trace. A positive fact
+// R(c1..cn) is derived from a returned row when the query is a
+// single-disjunct CQ and every argument of an atom is forced: either a
+// constant/bound parameter, or a head variable whose value the row
+// supplies. A negative fact (pattern known to match no rows) is
+// derived from an empty result for a single-atom CQ: no row of R
+// matches the pattern.
+func Facts(s *schema.Schema, t *Trace) []cq.Fact {
+	var out []cq.Fact
+	seen := make(map[string]bool)
+	add := func(f cq.Fact) {
+		k := f.String()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, f)
+		}
+	}
+	tr := &cq.Translator{Schema: s}
+	for _, e := range t.Entries {
+		bound, err := sqlparser.Bind(e.Stmt, e.Args)
+		if err != nil {
+			continue
+		}
+		ucq, err := tr.TranslateSelect(bound.(*sqlparser.SelectStmt))
+		if err != nil {
+			continue // outside the fragment: no facts derivable
+		}
+		if len(ucq) != 1 {
+			continue // disjunctive queries don't pin down which branch matched
+		}
+		q := ucq[0]
+		if q.AggApprox {
+			// Aggregate answers don't expose row contents; no positive
+			// facts. (A COUNT(*)=0 observation would justify a negative
+			// fact, but the aggregate result row is non-empty either
+			// way, so we conservatively derive nothing.)
+			continue
+		}
+		if len(e.Rows) == 0 {
+			// Empty result: for a single-atom query, the pattern has
+			// no matching row (conservatively skip queries with
+			// comparisons beyond the atom's own constants, where
+			// emptiness doesn't localize to the atom).
+			if len(q.Atoms) == 1 && len(q.Comps) == 0 {
+				add(cq.Fact{Atom: q.Atoms[0].Clone(), Negated: true})
+			}
+			continue
+		}
+		// Positive facts per returned row.
+		for _, row := range e.Rows {
+			if len(row) != len(q.Head) {
+				continue
+			}
+			// Head variable -> observed value.
+			bind := make(map[string]sqlvalue.Value)
+			okRow := true
+			for i, h := range q.Head {
+				switch {
+				case h.IsVar():
+					if prev, dup := bind[h.Var]; dup && !sqlvalue.Identical(prev, row[i]) {
+						okRow = false
+					}
+					bind[h.Var] = row[i]
+				case h.IsConst():
+					// Sanity: observed value should equal the constant.
+					if !sqlvalue.Identical(h.Const, row[i]) {
+						okRow = false
+					}
+				}
+			}
+			if !okRow {
+				continue
+			}
+			for _, a := range q.Atoms {
+				ground := cq.Atom{Table: a.Table, Args: make([]cq.Term, len(a.Args))}
+				full := true
+				for i, arg := range a.Args {
+					switch {
+					case arg.IsConst():
+						ground.Args[i] = arg
+					case arg.IsVar():
+						v, ok := bind[arg.Var]
+						if !ok {
+							full = false
+						} else {
+							ground.Args[i] = cq.C(v)
+						}
+					default: // unbound parameter: not ground
+						full = false
+					}
+					if !full {
+						break
+					}
+				}
+				if full {
+					add(cq.Fact{Atom: ground})
+				}
+			}
+		}
+	}
+	return out
+}
