@@ -1,0 +1,29 @@
+# Development targets. `make ci` is what a gate should run: vet, the
+# tier-1 suite, and the race-detector pass (which includes the
+# concurrency stress tests in internal/proxy and internal/checker).
+
+GO ?= go
+
+.PHONY: build test vet race bench hotpath ci
+
+build:
+	$(GO) build ./...
+
+# Tier-1 suite (ROADMAP.md).
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# Hot-path and evaluation benchmarks.
+bench:
+	$(GO) test -bench 'CheckLongTrace|ParallelPrincipals|FactsLongTrace|ProxyRoundTrip' -benchmem ./...
+
+hotpath:
+	$(GO) run ./cmd/acbench -hotpath
+
+ci: vet test race

@@ -6,6 +6,8 @@ package beyond_test
 // code paths, and bench_output.txt records a full run.
 
 import (
+	"fmt"
+	"sync/atomic"
 	"testing"
 
 	beyond "repro"
@@ -17,6 +19,8 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/extract"
 	"repro/internal/sqlparser"
+	"repro/internal/sqlvalue"
+	"repro/internal/trace"
 )
 
 // BenchmarkE1Decisions measures the full decision matrix of Table 1:
@@ -240,6 +244,90 @@ func BenchmarkProxyRoundTrip(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// longTrace builds an n-entry session history of allowed point
+// lookups, the shape a real application session accumulates.
+func longTrace(n int) *trace.Trace {
+	tr := &trace.Trace{}
+	for i := 0; i < n; i++ {
+		sql := fmt.Sprintf("SELECT 1 FROM Attendance WHERE UId=1 AND EId=%d", i+2)
+		st := sqlparser.MustParseSelect(sql)
+		tr.Append(trace.Entry{
+			SQL: sql, Stmt: st, Args: sqlparser.NoArgs,
+			Columns: []string{"1"},
+			Rows:    [][]sqlvalue.Value{{sqlvalue.NewInt(1)}},
+		})
+	}
+	return tr
+}
+
+// BenchmarkCheckLongTrace is the enforcement hot path on a long
+// session history (200 entries): "incremental" uses the trace-fact
+// cache and the checker's generalization memo; "naive" re-derives the
+// whole history per check, which is what every check paid before the
+// incremental cache (O(n²) per session).
+func BenchmarkCheckLongTrace(b *testing.B) {
+	f := apps.Calendar()
+	sel := sqlparser.MustParseSelect("SELECT * FROM Events WHERE EId=2")
+	sess := f.Session(1)
+	for _, cfg := range []struct {
+		name         string
+		useFactCache bool
+	}{
+		{"incremental", true},
+		{"naive", false},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			opts := checker.DefaultOptions()
+			opts.UseFactCache = cfg.useFactCache
+			chk := checker.NewWithOptions(f.Policy(), opts)
+			tr := longTrace(200)
+			chk.Check(sel, sqlparser.NoArgs, sess, tr) // warm caches
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				chk.Check(sel, sqlparser.NoArgs, sess, tr)
+			}
+		})
+	}
+}
+
+// BenchmarkCheckLongTraceGrowing measures the whole-session cost: one
+// iteration appends an entry and re-checks, so per-op cost reflects
+// the amortized incremental derivation rather than a fully warm cache.
+func BenchmarkCheckLongTraceGrowing(b *testing.B) {
+	f := apps.Calendar()
+	sel := sqlparser.MustParseSelect("SELECT * FROM Events WHERE EId=2")
+	sess := f.Session(1)
+	chk := checker.New(f.Policy())
+	tr := longTrace(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sql := fmt.Sprintf("SELECT 1 FROM Attendance WHERE UId=1 AND EId=%d", i+1000)
+		st := sqlparser.MustParseSelect(sql)
+		tr.Append(trace.Entry{SQL: sql, Stmt: st, Args: sqlparser.NoArgs,
+			Columns: []string{"1"}, Rows: [][]sqlvalue.Value{{sqlvalue.NewInt(1)}}})
+		chk.Check(sel, sqlparser.NoArgs, sess, tr)
+	}
+}
+
+// BenchmarkCheckParallelPrincipals hammers one checker from all procs
+// with per-principal sessions on a warm template: the sharded decision
+// cache keeps concurrent hits from serializing on a single mutex.
+func BenchmarkCheckParallelPrincipals(b *testing.B) {
+	f := apps.Calendar()
+	chk := checker.New(f.Policy())
+	sel := sqlparser.MustParseSelect("SELECT EId FROM Attendance WHERE UId = ?")
+	chk.Check(sel, sqlparser.PositionalArgs(1), f.Session(1), nil) // warm template
+	var uid atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		me := uid.Add(1)
+		sess := f.Session(me)
+		args := sqlparser.PositionalArgs(me)
+		for pb.Next() {
+			chk.Check(sel, args, sess, nil)
+		}
+	})
 }
 
 func benchName(prefix string, n int) string {

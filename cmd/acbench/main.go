@@ -6,20 +6,40 @@
 //
 //	acbench            # run everything
 //	acbench -only E1   # one experiment
+//	acbench -hotpath   # enforcement hot-path scaling table only
+//
+// -hotpath measures the per-check cost against growing session
+// histories with the incremental trace-fact cache on and off, and the
+// throughput of parallel principals hitting the sharded decision
+// cache — the scaling story behind the proxy's production posture.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"runtime"
 	"strings"
+	"sync"
+	"time"
 
+	"repro/internal/apps"
+	"repro/internal/checker"
 	"repro/internal/experiments"
+	"repro/internal/sqlparser"
+	"repro/internal/sqlvalue"
+	"repro/internal/trace"
 )
 
 func main() {
 	only := flag.String("only", "", "comma-separated experiment ids (E1..E8)")
+	hotpath := flag.Bool("hotpath", false, "run only the enforcement hot-path scaling table")
 	flag.Parse()
+
+	if *hotpath {
+		runHotPath()
+		return
+	}
 
 	tables, err := experiments.RunAll()
 	if err != nil {
@@ -37,4 +57,77 @@ func main() {
 		}
 		fmt.Println(t)
 	}
+}
+
+// runHotPath prints per-check latencies for long-history sessions
+// (fact cache on/off) and parallel-principal throughput on a warm
+// decision template.
+func runHotPath() {
+	f := apps.Calendar()
+	sel := sqlparser.MustParseSelect("SELECT * FROM Events WHERE EId=2")
+	sess := f.Session(1)
+
+	fmt.Println("Hot path: per-check latency vs session history length")
+	fmt.Printf("%-10s %15s %15s %10s\n", "history", "incremental", "naive", "speedup")
+	for _, n := range []int{25, 50, 100, 200, 400} {
+		tr := mkTrace(n)
+		inc := timeChecks(f, sel, sess, tr, true)
+		naive := timeChecks(f, sel, sess, tr, false)
+		fmt.Printf("%-10d %15s %15s %9.1fx\n", n, inc, naive, float64(naive)/float64(inc))
+	}
+
+	fmt.Println()
+	workers := runtime.GOMAXPROCS(0)
+	const perWorker = 5000
+	chk := checker.New(f.Policy())
+	warm := sqlparser.MustParseSelect("SELECT EId FROM Attendance WHERE UId = ?")
+	chk.Check(warm, sqlparser.PositionalArgs(1), f.Session(1), nil)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(uid int64) {
+			defer wg.Done()
+			s := f.Session(uid)
+			args := sqlparser.PositionalArgs(uid)
+			for i := 0; i < perWorker; i++ {
+				chk.Check(warm, args, s, nil)
+			}
+		}(int64(w + 1))
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	total := workers * perWorker
+	fmt.Printf("Parallel principals: %d workers x %d checks in %s (%.0f checks/sec, cache hits %d)\n",
+		workers, perWorker, elapsed.Round(time.Millisecond),
+		float64(total)/elapsed.Seconds(), chk.Stats().CacheHits)
+}
+
+func mkTrace(n int) *trace.Trace {
+	tr := &trace.Trace{}
+	for i := 0; i < n; i++ {
+		sql := fmt.Sprintf("SELECT 1 FROM Attendance WHERE UId=1 AND EId=%d", i+2)
+		st := sqlparser.MustParseSelect(sql)
+		tr.Append(trace.Entry{SQL: sql, Stmt: st, Args: sqlparser.NoArgs,
+			Columns: []string{"1"}, Rows: [][]sqlvalue.Value{{sqlvalue.NewInt(1)}}})
+	}
+	return tr
+}
+
+// timeChecks reports the mean per-check latency over enough
+// iterations to be stable at each history size.
+func timeChecks(f *apps.Fixture, sel *sqlparser.SelectStmt, sess map[string]sqlvalue.Value, tr *trace.Trace, useFactCache bool) time.Duration {
+	opts := checker.DefaultOptions()
+	opts.UseFactCache = useFactCache
+	chk := checker.NewWithOptions(f.Policy(), opts)
+	chk.Check(sel, sqlparser.NoArgs, sess, tr) // warm
+	iters := 50
+	if !useFactCache {
+		iters = 10
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		chk.Check(sel, sqlparser.NoArgs, sess, tr)
+	}
+	return time.Since(start) / time.Duration(iters)
 }

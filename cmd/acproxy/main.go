@@ -4,10 +4,14 @@
 //
 // Usage:
 //
-//	acproxy -app calendar -addr 127.0.0.1:7070 -size 50 -mode enforce
+//	acproxy -app calendar -addr 127.0.0.1:7070 -size 50 -mode enforce \
+//	        -max-conns 1024 -read-timeout 5m -cache-size 8192
 //
 // Clients speak the line protocol of internal/proxy; see
-// examples/calendar for a driver.
+// examples/calendar for a driver. On SIGINT/SIGTERM the proxy drains
+// in-flight connections and prints extended statistics: decision and
+// fact-cache hit rates plus latency percentiles over the recent
+// window.
 package main
 
 import (
@@ -16,8 +20,11 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"syscall"
+	"time"
 
 	beyond "repro"
+	"repro/internal/checker"
 )
 
 func main() {
@@ -25,6 +32,9 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "listen address")
 	size := flag.Int("size", 50, "seed rows per main table")
 	mode := flag.String("mode", "enforce", "enforce|log-only|off")
+	maxConns := flag.Int("max-conns", 0, "simultaneous connection limit (0 = default, <0 = unlimited)")
+	readTimeout := flag.Duration("read-timeout", 10*time.Minute, "per-connection idle read deadline (0 disables)")
+	cacheSize := flag.Int("cache-size", 0, "decision-template cache bound (0 = default)")
 	flag.Parse()
 
 	f, err := beyond.FixtureByName(*app)
@@ -43,8 +53,12 @@ func main() {
 		log.Fatalf("unknown mode %q", *mode)
 	}
 	db := f.MustNewDB(*size)
-	chk := beyond.NewChecker(f.Policy())
+	opts := checker.DefaultOptions()
+	opts.CacheSize = *cacheSize
+	chk := beyond.NewCheckerWithOptions(f.Policy(), opts)
 	srv := beyond.NewProxy(db, chk, m)
+	srv.MaxConns = *maxConns
+	srv.ReadTimeout = *readTimeout
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		log.Fatal(err)
@@ -53,10 +67,22 @@ func main() {
 		f.Name, len(f.Policy().Views), m, bound)
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	srv.Close()
-	st := chk.Stats()
-	fmt.Printf("\nacproxy: decisions=%d allowed=%d blocked=%d cacheHits=%d\n",
-		st.Decisions, st.Allowed, st.Blocked, st.CacheHits)
+	fmt.Println("\nacproxy: draining connections...")
+	if err := srv.Close(); err != nil {
+		log.Printf("acproxy: close: %v", err)
+	}
+
+	st := srv.StatsSnapshot()
+	fmt.Printf("acproxy: queries=%d decisions=%d allowed=%d blocked=%d violations=%d\n",
+		st.Queries, st.Decisions, st.Allowed, st.Blocked, st.Violations)
+	fmt.Printf("acproxy: decision cache: hits=%d (%.1f%%), %d templates resident\n",
+		st.CacheHits, 100*st.CacheHitRate, st.CacheEntries)
+	fmt.Printf("acproxy: fact cache: reused=%d translated=%d (%.1f%% hit rate)\n",
+		st.FactEntriesReused, st.FactEntriesTranslated, 100*st.FactCacheHitRate)
+	fmt.Printf("acproxy: latency: p50=%dµs p90=%dµs p99=%dµs mean=%.0fµs over %d queries\n",
+		st.LatencyP50Micros, st.LatencyP90Micros, st.LatencyP99Micros,
+		st.LatencyMeanMicros, st.LatencySamples)
+	fmt.Printf("acproxy: connections: total=%d rejected=%d\n", st.TotalConns, st.RejectedConns)
 }

@@ -16,7 +16,16 @@
 // Decisions are memoized as parameter-generic templates (Blockaid's
 // "decision cache"): constants equal to session attributes are
 // abstracted to parameters, so one cold decision serves every
-// principal issuing the same query shape.
+// principal issuing the same query shape. The template cache is
+// sharded and bounded (see cache.go) so concurrent sessions with warm
+// templates never serialize on one mutex, and the session-parameter
+// generalization of trace facts is memoized so long histories don't
+// pay repeated rewriting.
+//
+// A Checker is safe for concurrent use: the policy snapshot (view
+// disjuncts plus fingerprint) is published through an atomic pointer,
+// so ResetCache can swap it while checks are in flight, and all
+// counters are atomic.
 package checker
 
 import (
@@ -24,6 +33,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cq"
 	"repro/internal/policy"
@@ -50,6 +60,12 @@ type Stats struct {
 	CacheHits int
 	Allowed   int
 	Blocked   int
+	// CacheEntries is the current number of cached decision templates.
+	CacheEntries int
+	// FactGenHits / FactGenMisses count memoized vs computed
+	// session-parameter generalizations of trace facts.
+	FactGenHits   int
+	FactGenMisses int
 }
 
 // Options configure a Checker.
@@ -59,13 +75,44 @@ type Options struct {
 	UseHistory bool
 	// UseCache enables decision templates.
 	UseCache bool
+	// UseFactCache enables the trace's incremental fact cache and the
+	// checker's fact-generalization memo. Disabling it re-derives the
+	// whole history on every check (the pre-optimization behaviour,
+	// kept for ablation benchmarks).
+	UseFactCache bool
 	// MaxHomsPerView bounds the embedding search per view disjunct.
 	MaxHomsPerView int
+	// CacheSize bounds the decision-template cache (total entries
+	// across shards); 0 means the default.
+	CacheSize int
 }
+
+// DefaultCacheSize bounds the decision-template cache when Options
+// leaves CacheSize zero.
+const DefaultCacheSize = 8192
+
+// genCacheMax bounds the fact-generalization memo; past it the memo
+// is dropped wholesale and rebuilt (epoch reset, no tracking cost).
+const genCacheMax = 1 << 16
 
 // DefaultOptions returns the production configuration.
 func DefaultOptions() Options {
-	return Options{UseHistory: true, UseCache: true, MaxHomsPerView: 64}
+	return Options{UseHistory: true, UseCache: true, UseFactCache: true, MaxHomsPerView: 64}
+}
+
+// polSnapshot is the immutable view of the policy a single decision
+// works against. It is published atomically so ResetCache never races
+// with in-flight decisions.
+type polSnapshot struct {
+	fp       string
+	viewDisj []*cq.Query // parameter-form view disjuncts
+}
+
+// genEntry is one memoized fact generalization: the rewritten fact
+// plus its canonical string (reused for decision-cache keys).
+type genEntry struct {
+	f   cq.Fact
+	key string
 }
 
 // Checker vets queries against a policy.
@@ -73,12 +120,21 @@ type Checker struct {
 	pol  *policy.Policy
 	opts Options
 
-	mu       sync.Mutex
-	cache    map[string]Decision
-	fp       string
-	stats    Stats
-	tr       *cq.Translator
-	viewDisj []*cq.Query // parameter-form view disjuncts
+	snap  atomic.Pointer[polSnapshot]
+	cache *decisionCache
+	tr    *cq.Translator // stateless; safe to share
+
+	// Session-parameterized fact generalization memo.
+	genMu sync.RWMutex
+	gen   map[string]genEntry
+
+	// Counters (atomic: Check never takes a lock).
+	nDecisions atomic.Int64
+	nCacheHits atomic.Int64
+	nAllowed   atomic.Int64
+	nBlocked   atomic.Int64
+	nGenHits   atomic.Int64
+	nGenMisses atomic.Int64
 }
 
 // New creates a checker for the policy with default options.
@@ -89,14 +145,18 @@ func NewWithOptions(p *policy.Policy, opts Options) *Checker {
 	if opts.MaxHomsPerView <= 0 {
 		opts.MaxHomsPerView = 64
 	}
-	return &Checker{
-		pol:      p,
-		opts:     opts,
-		cache:    make(map[string]Decision),
-		fp:       p.Fingerprint(),
-		tr:       &cq.Translator{Schema: p.Schema},
-		viewDisj: p.Disjuncts(nil),
+	if opts.CacheSize <= 0 {
+		opts.CacheSize = DefaultCacheSize
 	}
+	c := &Checker{
+		pol:   p,
+		opts:  opts,
+		cache: newDecisionCache(opts.CacheSize),
+		tr:    &cq.Translator{Schema: p.Schema},
+		gen:   make(map[string]genEntry),
+	}
+	c.snap.Store(&polSnapshot{fp: p.Fingerprint(), viewDisj: p.Disjuncts(nil)})
+	return c
 }
 
 // Policy returns the checker's policy.
@@ -104,19 +164,32 @@ func (c *Checker) Policy() *policy.Policy { return c.pol }
 
 // Stats returns a copy of the counters.
 func (c *Checker) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	return Stats{
+		Decisions:     int(c.nDecisions.Load()),
+		CacheHits:     int(c.nCacheHits.Load()),
+		Allowed:       int(c.nAllowed.Load()),
+		Blocked:       int(c.nBlocked.Load()),
+		CacheEntries:  c.cache.Len(),
+		FactGenHits:   int(c.nGenHits.Load()),
+		FactGenMisses: int(c.nGenMisses.Load()),
+	}
 }
 
-// ResetCache drops all decision templates (used when the policy is
-// edited in place).
+// ResetCache drops all decision templates and republishes the policy
+// snapshot (used when the policy is edited in place). Checks already
+// in flight keep using the snapshot they started with; new checks see
+// the new policy.
 func (c *Checker) ResetCache() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.cache = make(map[string]Decision)
-	c.fp = c.pol.Fingerprint()
-	c.viewDisj = c.pol.Disjuncts(nil)
+	c.snap.Store(&polSnapshot{fp: c.pol.Fingerprint(), viewDisj: c.pol.Disjuncts(nil)})
+	for i := range c.cache.shards {
+		sh := &c.cache.shards[i]
+		sh.mu.Lock()
+		sh.m = make(map[string]*cacheEntry)
+		sh.mu.Unlock()
+	}
+	c.genMu.Lock()
+	c.gen = make(map[string]genEntry)
+	c.genMu.Unlock()
 }
 
 // CheckSQL parses and checks a SELECT.
@@ -129,28 +202,25 @@ func (c *Checker) CheckSQL(sql string, args sqlparser.Args, session map[string]s
 }
 
 // Check decides whether the query may run for the given principal
-// session, considering the trace when history is enabled.
+// session, considering the trace when history is enabled. It is safe
+// for concurrent use.
 func (c *Checker) Check(sel *sqlparser.SelectStmt, args sqlparser.Args, session map[string]sqlvalue.Value, tr *trace.Trace) Decision {
-	c.mu.Lock()
-	c.stats.Decisions++
-	c.mu.Unlock()
-
+	c.nDecisions.Add(1)
 	d := c.decide(sel, args, session, tr)
-
-	c.mu.Lock()
 	if d.Allowed {
-		c.stats.Allowed++
+		c.nAllowed.Add(1)
 	} else {
-		c.stats.Blocked++
+		c.nBlocked.Add(1)
 	}
 	if d.FromCache {
-		c.stats.CacheHits++
+		c.nCacheHits.Add(1)
 	}
-	c.mu.Unlock()
 	return d
 }
 
 func (c *Checker) decide(sel *sqlparser.SelectStmt, args sqlparser.Args, session map[string]sqlvalue.Value, tr *trace.Trace) Decision {
+	snap := c.snap.Load()
+
 	// Named parameters that match session attributes bind implicitly:
 	// ?MyUId in an application query means the current principal.
 	if len(session) > 0 {
@@ -182,31 +252,42 @@ func (c *Checker) decide(sel *sqlparser.SelectStmt, args sqlparser.Args, session
 		tpl[i] = generalizeConsts(tpl[i], session)
 	}
 
-	// Facts from the trace, likewise parameterized.
+	// Facts from the trace, likewise parameterized. factKeys carries
+	// each generalized fact's canonical string for the cache key, so
+	// it is rendered once per (fact, session shape), not per check.
 	var facts []cq.Fact
+	var factKeys []string
 	if c.opts.UseHistory && tr != nil {
-		for _, f := range trace.Facts(c.pol.Schema, tr) {
-			facts = append(facts, generalizeFact(f, session))
+		sig := sessionSig(session)
+		var raw []cq.Fact
+		if c.opts.UseFactCache {
+			raw = tr.Facts(c.pol.Schema)
+		} else {
+			raw = trace.FactsUncached(c.pol.Schema, tr)
+		}
+		facts = make([]cq.Fact, 0, len(raw))
+		factKeys = make([]string, 0, len(raw))
+		for _, f := range raw {
+			g := c.generalizeFactMemo(f, session, sig)
+			facts = append(facts, g.f)
+			factKeys = append(factKeys, g.key)
 		}
 	}
 
 	// Decision-template cache.
 	var key string
 	if c.opts.UseCache {
-		key = c.cacheKey(tpl, facts)
-		c.mu.Lock()
-		if d, ok := c.cache[key]; ok {
-			c.mu.Unlock()
+		key = cacheKey(snap.fp, tpl, factKeys)
+		if d, ok := c.cache.Get(key); ok {
 			d.FromCache = true
 			return d
 		}
-		c.mu.Unlock()
 	}
 
 	d := Decision{Allowed: true}
 	usedViews := map[string]bool{}
 	for _, q := range tpl {
-		res := c.coverDisjunct(q, facts)
+		res := c.coverDisjunct(snap, q, facts)
 		if !res.ok {
 			d = Decision{Allowed: false, Reason: res.reason}
 			break
@@ -228,26 +309,73 @@ func (c *Checker) decide(sel *sqlparser.SelectStmt, args sqlparser.Args, session
 	}
 
 	if c.opts.UseCache {
-		c.mu.Lock()
-		c.cache[key] = d
-		c.mu.Unlock()
+		c.cache.Put(key, d)
 	}
 	return d
 }
 
-func (c *Checker) cacheKey(tpl []*cq.Query, facts []cq.Fact) string {
-	parts := make([]string, 0, len(tpl)+len(facts)+1)
+// sessionSig renders the session attributes deterministically; it
+// namespaces the fact-generalization memo, since the same ground fact
+// generalizes differently under different principals.
+func sessionSig(session map[string]sqlvalue.Value) string {
+	if len(session) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(session))
+	for n := range session {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		b.WriteString(n)
+		b.WriteByte('=')
+		b.WriteString(session[n].Key())
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// generalizeFactMemo returns the session-parameterized form of a
+// trace fact, memoized per (fact, session signature). Memoized facts
+// are shared; callers must treat their atoms as immutable. The memo
+// is skipped when the fact cache is disabled (ablation mode measures
+// the unmemoized path).
+func (c *Checker) generalizeFactMemo(f cq.Fact, session map[string]sqlvalue.Value, sig string) genEntry {
+	if !c.opts.UseFactCache {
+		g := generalizeFact(f, session)
+		return genEntry{f: g, key: g.String()}
+	}
+	k := sig + "\x00" + f.String()
+	c.genMu.RLock()
+	e, ok := c.gen[k]
+	c.genMu.RUnlock()
+	if ok {
+		c.nGenHits.Add(1)
+		return e
+	}
+	c.nGenMisses.Add(1)
+	g := generalizeFact(f, session)
+	e = genEntry{f: g, key: g.String()}
+	c.genMu.Lock()
+	if len(c.gen) >= genCacheMax {
+		c.gen = make(map[string]genEntry)
+	}
+	c.gen[k] = e
+	c.genMu.Unlock()
+	return e
+}
+
+func cacheKey(fp string, tpl []*cq.Query, factKeys []string) string {
+	parts := make([]string, 0, len(tpl)+len(factKeys)+2)
 	for _, q := range tpl {
 		parts = append(parts, q.CanonicalKey())
 	}
 	parts = append(parts, "#")
-	fs := make([]string, 0, len(facts))
-	for _, f := range facts {
-		fs = append(fs, f.String())
-	}
+	fs := append([]string(nil), factKeys...)
 	sort.Strings(fs)
 	parts = append(parts, fs...)
-	parts = append(parts, c.fp)
+	parts = append(parts, fp)
 	return strings.Join(parts, "\x00")
 }
 
@@ -324,8 +452,9 @@ type candidate struct {
 	enforced map[string]bool
 }
 
-// coverDisjunct decides one conjunctive disjunct.
-func (c *Checker) coverDisjunct(q *cq.Query, facts []cq.Fact) coverResult {
+// coverDisjunct decides one conjunctive disjunct against a policy
+// snapshot.
+func (c *Checker) coverDisjunct(snap *polSnapshot, q *cq.Query, facts []cq.Fact) coverResult {
 	// A query whose comparisons are unsatisfiable returns nothing.
 	cs := cq.NewConstraints()
 	cs.AddAll(q.Comps)
@@ -375,7 +504,7 @@ func (c *Checker) coverDisjunct(q *cq.Query, facts []cq.Fact) coverResult {
 
 	// Enumerate view embeddings and derive candidates.
 	var cands []candidate
-	for _, v := range c.viewDisj {
+	for _, v := range snap.viewDisj {
 		homs := cq.FindHoms(v, target, nil, c.opts.MaxHomsPerView)
 		for _, h := range homs {
 			cand := candidate{

@@ -8,6 +8,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"time"
 
@@ -169,14 +170,23 @@ func RunE2(dbSize, iters int) (*Table, error) {
 	}
 	bsel := bound.(*sqlparser.SelectStmt)
 
+	// Best-of-3 passes: the minimum mean is the least noisy estimator
+	// of the true cost, which keeps the cached-vs-cold comparison
+	// stable even under the race detector's scheduling jitter.
 	measure := func(fn func() error) (float64, error) {
-		start := time.Now()
-		for i := 0; i < iters; i++ {
-			if err := fn(); err != nil {
-				return 0, err
+		best := math.MaxFloat64
+		for pass := 0; pass < 3; pass++ {
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				if err := fn(); err != nil {
+					return 0, err
+				}
+			}
+			if ns := float64(time.Since(start).Nanoseconds()) / float64(iters); ns < best {
+				best = ns
 			}
 		}
-		return float64(time.Since(start).Nanoseconds()) / float64(iters), nil
+		return best, nil
 	}
 
 	pass, err := measure(func() error {

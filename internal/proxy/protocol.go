@@ -67,13 +67,36 @@ type Response struct {
 	Stats    *StatsBody `json:"stats,omitempty"`
 }
 
-// StatsBody reports server counters over the wire.
+// StatsBody reports server counters over the wire: decision counts,
+// cache effectiveness (decision templates and the per-session
+// trace-fact cache), recent-window latency percentiles, and
+// connection accounting.
 type StatsBody struct {
 	Queries    int `json:"queries"`
+	Decisions  int `json:"decisions"`
 	Allowed    int `json:"allowed"`
 	Blocked    int `json:"blocked"`
 	CacheHits  int `json:"cacheHits"`
 	Violations int `json:"violations"` // log-only mode
+
+	// Cache effectiveness.
+	CacheHitRate          float64 `json:"cacheHitRate"`
+	CacheEntries          int     `json:"cacheEntries"`
+	FactEntriesReused     uint64  `json:"factEntriesReused"`
+	FactEntriesTranslated uint64  `json:"factEntriesTranslated"`
+	FactCacheHitRate      float64 `json:"factCacheHitRate"`
+
+	// Latency over the recent-query window, in microseconds.
+	LatencyP50Micros  int64   `json:"latencyP50Micros"`
+	LatencyP90Micros  int64   `json:"latencyP90Micros"`
+	LatencyP99Micros  int64   `json:"latencyP99Micros"`
+	LatencyMeanMicros float64 `json:"latencyMeanMicros"`
+	LatencySamples    int     `json:"latencySamples"`
+
+	// Connection accounting.
+	ActiveConns   int `json:"activeConns"`
+	TotalConns    int `json:"totalConns"`
+	RejectedConns int `json:"rejectedConns"`
 }
 
 // encodeRows converts engine values to JSON-friendly values.

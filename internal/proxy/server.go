@@ -4,8 +4,11 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"log"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/checker"
 	"repro/internal/engine"
@@ -14,22 +17,134 @@ import (
 	"repro/internal/trace"
 )
 
+// Default hardening knobs (overridable per Server before Listen).
+const (
+	// DefaultMaxConns bounds simultaneous connections.
+	DefaultMaxConns = 1024
+	// DefaultMaxLineBytes bounds one request line.
+	DefaultMaxLineBytes = 16 * 1024 * 1024
+	// latencyWindow is how many recent query latencies the percentile
+	// estimator keeps.
+	latencyWindow = 4096
+)
+
 // Server is the enforcement proxy: it owns the database engine and a
-// compliance checker and serves the line protocol.
+// compliance checker and serves the line protocol. The exported knob
+// fields must be set before Listen.
 type Server struct {
 	DB      *engine.DB
 	Checker *checker.Checker
 	Mode    Mode
 
-	mu         sync.Mutex
-	ln         net.Listener
-	violations int
-	queries    int
+	// MaxConns bounds simultaneous connections; excess connections get
+	// one error Response and are closed. 0 means DefaultMaxConns;
+	// negative means unlimited.
+	MaxConns int
+	// ReadTimeout is the per-connection idle read deadline; a
+	// connection that sends nothing for this long is dropped. 0
+	// disables the deadline.
+	ReadTimeout time.Duration
+	// MaxLineBytes bounds one request line; an over-long line gets a
+	// final error Response and the connection is closed. 0 means
+	// DefaultMaxLineBytes.
+	MaxLineBytes int
+	// Logf, when set, receives connection-level diagnostics (dropped
+	// connections, rejected dials). Defaults to log.Printf.
+	Logf func(format string, args ...any)
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+	closed bool
+
+	violations    atomic.Int64
+	queries       atomic.Int64
+	totalConns    atomic.Int64
+	rejectedConns atomic.Int64
+
+	// Fact-cache counters aggregated across (short-lived) sessions.
+	factReused     atomic.Uint64
+	factTranslated atomic.Uint64
+
+	lat latencyRing
+}
+
+// latencyRing keeps the most recent query latencies for percentile
+// estimation — a fixed window so stats cost stays O(1) per query.
+type latencyRing struct {
+	mu    sync.Mutex
+	buf   [latencyWindow]int64 // microseconds
+	n     int                  // total recorded
+	total int64                // sum over all recorded, microseconds
+}
+
+func (r *latencyRing) record(d time.Duration) {
+	us := d.Microseconds()
+	r.mu.Lock()
+	r.buf[r.n%latencyWindow] = us
+	r.n++
+	r.total += us
+	r.mu.Unlock()
+}
+
+// percentiles returns p50/p90/p99 over the window plus the sample
+// count and overall mean.
+func (r *latencyRing) percentiles() (p50, p90, p99 int64, samples int, mean float64) {
+	r.mu.Lock()
+	n := r.n
+	if n > latencyWindow {
+		n = latencyWindow
+	}
+	window := append([]int64(nil), r.buf[:n]...)
+	total, count := r.total, r.n
+	r.mu.Unlock()
+	if n == 0 {
+		return 0, 0, 0, count, 0
+	}
+	// Insertion sort is fine at window size; avoids importing sort for
+	// int64 pre-1.21-slices idiom.
+	for i := 1; i < len(window); i++ {
+		for j := i; j > 0 && window[j] < window[j-1]; j-- {
+			window[j], window[j-1] = window[j-1], window[j]
+		}
+	}
+	at := func(p float64) int64 {
+		i := int(p * float64(n-1))
+		return window[i]
+	}
+	return at(0.50), at(0.90), at(0.99), count, float64(total) / float64(count)
 }
 
 // NewServer builds a proxy server over the engine and checker.
 func NewServer(db *engine.DB, c *checker.Checker, mode Mode) *Server {
-	return &Server{DB: db, Checker: c, Mode: mode}
+	return &Server{DB: db, Checker: c, Mode: mode, conns: make(map[net.Conn]struct{})}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
+func (s *Server) maxConns() int {
+	switch {
+	case s.MaxConns > 0:
+		return s.MaxConns
+	case s.MaxConns < 0:
+		return int(^uint(0) >> 1) // unlimited
+	default:
+		return DefaultMaxConns
+	}
+}
+
+func (s *Server) maxLineBytes() int {
+	if s.MaxLineBytes > 0 {
+		return s.MaxLineBytes
+	}
+	return DefaultMaxLineBytes
 }
 
 // Listen starts accepting connections on addr (e.g. "127.0.0.1:0").
@@ -41,22 +156,40 @@ func (s *Server) Listen(addr string) (string, error) {
 		return "", err
 	}
 	s.mu.Lock()
+	if s.conns == nil {
+		s.conns = make(map[net.Conn]struct{})
+	}
+	s.closed = false
 	s.ln = ln
 	s.mu.Unlock()
 	go s.acceptLoop(ln)
 	return ln.Addr().String(), nil
 }
 
-// Close stops the listener.
+// Close stops the listener and drains in-flight connections: it
+// interrupts each connection's pending read, lets any request already
+// being handled finish and write its response, and only then returns.
 func (s *Server) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.ln != nil {
-		err := s.ln.Close()
-		s.ln = nil
-		return err
+	if s.closed && s.ln == nil {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
 	}
-	return nil
+	s.closed = true
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+		s.ln = nil
+	}
+	// Wake blocked readers (and writers stuck on dead peers); handlers
+	// mid-request finish normally and notice on the next read.
+	for c := range s.conns {
+		_ = c.SetDeadline(time.Now())
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
 }
 
 func (s *Server) acceptLoop(ln net.Listener) {
@@ -65,6 +198,24 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		if err != nil {
 			return // listener closed
 		}
+		s.totalConns.Add(1)
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		if len(s.conns) >= s.maxConns() {
+			s.mu.Unlock()
+			s.rejectedConns.Add(1)
+			_ = json.NewEncoder(conn).Encode(Response{Error: "server at connection limit"})
+			conn.Close()
+			s.logf("proxy: rejected %s: connection limit (%d) reached", conn.RemoteAddr(), s.maxConns())
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
 		go s.serveConn(conn)
 	}
 }
@@ -73,25 +224,74 @@ func (s *Server) acceptLoop(ln net.Listener) {
 type session struct {
 	attrs map[string]sqlvalue.Value
 	tr    *trace.Trace
+	// Last-seen fact-cache counters, for delta aggregation into the
+	// server totals (the trace is replaced on every hello).
+	factReused, factTranslated uint64
 }
 
 func (s *Server) serveConn(conn net.Conn) {
-	defer conn.Close()
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
 	sess := &session{attrs: map[string]sqlvalue.Value{}, tr: &trace.Trace{}}
 	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	// The scanner's limit is max(cap(buf), limit), so the initial
+	// buffer must not exceed the configured line bound.
+	initial := 64 * 1024
+	if m := s.maxLineBytes(); m < initial {
+		initial = m
+	}
+	sc.Buffer(make([]byte, 0, initial), s.maxLineBytes())
 	enc := json.NewEncoder(conn)
-	for sc.Scan() {
+	for {
+		if s.ReadTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.ReadTimeout))
+		}
+		if !sc.Scan() {
+			break
+		}
 		var req Request
 		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
 			_ = enc.Encode(Response{Error: fmt.Sprintf("bad request: %v", err)})
 			continue
 		}
 		resp := s.Handle(&req, sess)
+		s.accumulateFactStats(sess)
 		if err := enc.Encode(resp); err != nil {
 			return
 		}
 	}
+	// A scanner failure (over-long line, read error or timeout) drops
+	// the connection; surface the cause to the client where the write
+	// side still works, and log the drop. A clean EOF stays silent,
+	// as does the deliberate read interruption of a graceful Close.
+	if err := sc.Err(); err != nil {
+		s.mu.Lock()
+		closing := s.closed
+		s.mu.Unlock()
+		if !closing {
+			_ = enc.Encode(Response{Error: fmt.Sprintf("connection dropped: %v", err)})
+			s.logf("proxy: dropping %s: %v", conn.RemoteAddr(), err)
+		}
+	}
+}
+
+// accumulateFactStats folds the session trace's fact-cache counters
+// into the server totals as deltas (traces are per-session and die
+// with the connection or the next hello).
+func (s *Server) accumulateFactStats(sess *session) {
+	st := sess.tr.FactCacheStats()
+	if d := st.Reused - sess.factReused; d > 0 {
+		s.factReused.Add(d)
+	}
+	if d := st.Translated - sess.factTranslated; d > 0 {
+		s.factTranslated.Add(d)
+	}
+	sess.factReused, sess.factTranslated = st.Reused, st.Translated
 }
 
 // Handle processes one request against a session. It is exported so
@@ -110,6 +310,7 @@ func (s *Server) Handle(req *Request, sess *session) Response {
 		}
 		sess.attrs = attrs
 		sess.tr = &trace.Trace{}
+		sess.factReused, sess.factTranslated = 0, 0
 		return Response{OK: true}
 
 	case "query":
@@ -119,19 +320,43 @@ func (s *Server) Handle(req *Request, sess *session) Response {
 		return s.handleExec(req)
 
 	case "stats":
-		cs := s.Checker.Stats()
-		s.mu.Lock()
-		body := &StatsBody{
-			Queries:    s.queries,
-			Allowed:    cs.Allowed,
-			Blocked:    cs.Blocked,
-			CacheHits:  cs.CacheHits,
-			Violations: s.violations,
-		}
-		s.mu.Unlock()
-		return Response{OK: true, Stats: body}
+		return Response{OK: true, Stats: s.StatsSnapshot()}
 	}
 	return Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+}
+
+// StatsSnapshot assembles the extended server counters: decision and
+// fact-cache hit rates, latency percentiles over the recent window,
+// and connection accounting.
+func (s *Server) StatsSnapshot() *StatsBody {
+	cs := s.Checker.Stats()
+	body := &StatsBody{
+		Queries:    int(s.queries.Load()),
+		Decisions:  cs.Decisions,
+		Allowed:    cs.Allowed,
+		Blocked:    cs.Blocked,
+		CacheHits:  cs.CacheHits,
+		Violations: int(s.violations.Load()),
+
+		CacheEntries:          cs.CacheEntries,
+		FactEntriesReused:     s.factReused.Load(),
+		FactEntriesTranslated: s.factTranslated.Load(),
+
+		TotalConns:    int(s.totalConns.Load()),
+		RejectedConns: int(s.rejectedConns.Load()),
+	}
+	if cs.Decisions > 0 {
+		body.CacheHitRate = float64(cs.CacheHits) / float64(cs.Decisions)
+	}
+	if tot := body.FactEntriesReused + body.FactEntriesTranslated; tot > 0 {
+		body.FactCacheHitRate = float64(body.FactEntriesReused) / float64(tot)
+	}
+	s.mu.Lock()
+	body.ActiveConns = len(s.conns)
+	s.mu.Unlock()
+	body.LatencyP50Micros, body.LatencyP90Micros, body.LatencyP99Micros,
+		body.LatencySamples, body.LatencyMeanMicros = s.lat.percentiles()
+	return body
 }
 
 // NewSession creates a fresh in-process session for Handle.
@@ -154,9 +379,9 @@ func (s *Server) HandleIn(req *Request, sess *Session) Response {
 }
 
 func (s *Server) handleQuery(req *Request, sess *session) Response {
-	s.mu.Lock()
-	s.queries++
-	s.mu.Unlock()
+	start := time.Now()
+	defer func() { s.lat.record(time.Since(start)) }()
+	s.queries.Add(1)
 
 	args, err := buildArgs(req)
 	if err != nil {
@@ -173,9 +398,7 @@ func (s *Server) handleQuery(req *Request, sess *session) Response {
 			if s.Mode == Enforce {
 				return Response{OK: true, Blocked: true, Reason: d.Reason}
 			}
-			s.mu.Lock()
-			s.violations++
-			s.mu.Unlock()
+			s.violations.Add(1)
 		}
 	}
 

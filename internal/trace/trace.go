@@ -4,11 +4,19 @@
 // exist in the database, and patterns known to match no row — which is
 // what lets the checker allow queries that would be non-compliant in
 // isolation (the paper's Example 2.1).
+//
+// Fact derivation is incremental: a Trace memoizes the facts derived
+// from each appended entry, so a session of n queries costs n entry
+// translations in total rather than n per check (which made the
+// enforcement hot path O(n²)). Entries are immutable once appended,
+// so the cache never needs per-entry invalidation — only extension
+// for newly appended entries, or a rebuild if the schema changes.
 package trace
 
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/cq"
 	"repro/internal/schema"
@@ -28,24 +36,62 @@ type Entry struct {
 }
 
 // Trace is an append-only query history for one request/session.
+// The zero value is ready to use. A Trace may be shared by concurrent
+// checkers: Append and fact derivation are internally synchronized.
 type Trace struct {
 	Entries []Entry
+
+	mu sync.Mutex
+	fc *factCache
+	// Cache counters: entries whose derivation was reused vs freshly
+	// translated (see FactCacheStats).
+	reused, translated uint64
 }
 
-// Append records a query and its observed result.
-func (t *Trace) Append(e Entry) { t.Entries = append(t.Entries, e) }
+// factCache holds incrementally derived facts for one schema.
+type factCache struct {
+	schema *schema.Schema
+	upto   int // entries processed so far
+	seen   map[string]bool
+	facts  []cq.Fact
+}
+
+// FactCacheStats reports the incremental fact cache's effectiveness:
+// Reused counts entries whose derived facts were served from cache,
+// Translated counts entries that had to be parsed/bound/translated.
+type FactCacheStats struct {
+	Reused     uint64
+	Translated uint64
+}
+
+// Append records a query and its observed result. The entry must not
+// be mutated afterwards.
+func (t *Trace) Append(e Entry) {
+	t.mu.Lock()
+	t.Entries = append(t.Entries, e)
+	t.mu.Unlock()
+}
 
 // Len returns the number of entries.
-func (t *Trace) Len() int { return len(t.Entries) }
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.Entries)
+}
 
 // Clone copies the trace (entries are immutable once appended, so a
-// shallow copy of the slice suffices).
+// shallow copy of the slice suffices). The clone starts with an empty
+// fact cache; it is rebuilt lazily on first use.
 func (t *Trace) Clone() *Trace {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return &Trace{Entries: append([]Entry(nil), t.Entries...)}
 }
 
 // String renders the trace compactly.
 func (t *Trace) String() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	var b strings.Builder
 	for i, e := range t.Entries {
 		fmt.Fprintf(&b, "[%d] %s -> %d row(s)\n", i+1, e.SQL, len(e.Rows))
@@ -53,105 +99,163 @@ func (t *Trace) String() string {
 	return b.String()
 }
 
-// Facts derives ground facts from the trace. A positive fact
-// R(c1..cn) is derived from a returned row when the query is a
-// single-disjunct CQ and every argument of an atom is forced: either a
-// constant/bound parameter, or a head variable whose value the row
-// supplies. A negative fact (pattern known to match no rows) is
-// derived from an empty result for a single-atom CQ: no row of R
-// matches the pattern.
+// FactCacheStats returns the cache counters.
+func (t *Trace) FactCacheStats() FactCacheStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return FactCacheStats{Reused: t.reused, Translated: t.translated}
+}
+
+// Facts derives ground facts from the trace, incrementally: entries
+// already processed for this schema are served from the per-trace
+// cache, and only entries appended since the last call are translated.
+// The returned slice is freshly allocated on every call; the facts it
+// holds are shared with the cache and must be treated as immutable
+// (callers that rewrite terms must clone, as cq.Fact.Atom.Clone does).
+func (t *Trace) Facts(s *schema.Schema) []cq.Fact {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	fc := t.fc
+	// (Re)build from scratch when the cache is missing, was built for
+	// a different schema, or the trace shrank (cannot happen through
+	// Append, but a caller rebinding Entries directly gets correctness
+	// over speed).
+	if fc == nil || fc.schema != s || fc.upto > len(t.Entries) {
+		fc = &factCache{schema: s, seen: make(map[string]bool)}
+		t.fc = fc
+	}
+	t.reused += uint64(fc.upto)
+	if fc.upto < len(t.Entries) {
+		tr := &cq.Translator{Schema: s}
+		for i := fc.upto; i < len(t.Entries); i++ {
+			appendEntryFacts(tr, &t.Entries[i], func(f cq.Fact) {
+				k := f.String()
+				if !fc.seen[k] {
+					fc.seen[k] = true
+					fc.facts = append(fc.facts, f)
+				}
+			})
+			t.translated++
+		}
+		fc.upto = len(t.Entries)
+	}
+	return append([]cq.Fact(nil), fc.facts...)
+}
+
+// Facts derives ground facts from the trace, using the trace's
+// incremental cache. See (*Trace).Facts for the derivation rules.
 func Facts(s *schema.Schema, t *Trace) []cq.Fact {
+	return t.Facts(s)
+}
+
+// FactsUncached derives the facts from scratch without touching the
+// trace's cache. It exists for ablation benchmarks and as an oracle in
+// tests; production paths should use (*Trace).Facts.
+func FactsUncached(s *schema.Schema, t *Trace) []cq.Fact {
+	t.mu.Lock()
+	entries := append([]Entry(nil), t.Entries...)
+	t.mu.Unlock()
 	var out []cq.Fact
 	seen := make(map[string]bool)
-	add := func(f cq.Fact) {
-		k := f.String()
-		if !seen[k] {
-			seen[k] = true
-			out = append(out, f)
-		}
-	}
 	tr := &cq.Translator{Schema: s}
-	for _, e := range t.Entries {
-		bound, err := sqlparser.Bind(e.Stmt, e.Args)
-		if err != nil {
-			continue
-		}
-		ucq, err := tr.TranslateSelect(bound.(*sqlparser.SelectStmt))
-		if err != nil {
-			continue // outside the fragment: no facts derivable
-		}
-		if len(ucq) != 1 {
-			continue // disjunctive queries don't pin down which branch matched
-		}
-		q := ucq[0]
-		if q.AggApprox {
-			// Aggregate answers don't expose row contents; no positive
-			// facts. (A COUNT(*)=0 observation would justify a negative
-			// fact, but the aggregate result row is non-empty either
-			// way, so we conservatively derive nothing.)
-			continue
-		}
-		if len(e.Rows) == 0 {
-			// Empty result: for a single-atom query, the pattern has
-			// no matching row (conservatively skip queries with
-			// comparisons beyond the atom's own constants, where
-			// emptiness doesn't localize to the atom).
-			if len(q.Atoms) == 1 && len(q.Comps) == 0 {
-				add(cq.Fact{Atom: q.Atoms[0].Clone(), Negated: true})
+	for i := range entries {
+		appendEntryFacts(tr, &entries[i], func(f cq.Fact) {
+			k := f.String()
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, f)
 			}
-			continue
-		}
-		// Positive facts per returned row.
-		for _, row := range e.Rows {
-			if len(row) != len(q.Head) {
-				continue
-			}
-			// Head variable -> observed value.
-			bind := make(map[string]sqlvalue.Value)
-			okRow := true
-			for i, h := range q.Head {
-				switch {
-				case h.IsVar():
-					if prev, dup := bind[h.Var]; dup && !sqlvalue.Identical(prev, row[i]) {
-						okRow = false
-					}
-					bind[h.Var] = row[i]
-				case h.IsConst():
-					// Sanity: observed value should equal the constant.
-					if !sqlvalue.Identical(h.Const, row[i]) {
-						okRow = false
-					}
-				}
-			}
-			if !okRow {
-				continue
-			}
-			for _, a := range q.Atoms {
-				ground := cq.Atom{Table: a.Table, Args: make([]cq.Term, len(a.Args))}
-				full := true
-				for i, arg := range a.Args {
-					switch {
-					case arg.IsConst():
-						ground.Args[i] = arg
-					case arg.IsVar():
-						v, ok := bind[arg.Var]
-						if !ok {
-							full = false
-						} else {
-							ground.Args[i] = cq.C(v)
-						}
-					default: // unbound parameter: not ground
-						full = false
-					}
-					if !full {
-						break
-					}
-				}
-				if full {
-					add(cq.Fact{Atom: ground})
-				}
-			}
-		}
+		})
 	}
 	return out
+}
+
+// appendEntryFacts derives the facts of a single entry and hands each
+// to add (which owns deduplication). A positive fact R(c1..cn) is
+// derived from a returned row when the query is a single-disjunct CQ
+// and every argument of an atom is forced: either a constant/bound
+// parameter, or a head variable whose value the row supplies. A
+// negative fact (pattern known to match no rows) is derived from an
+// empty result for a single-atom CQ: no row of R matches the pattern.
+func appendEntryFacts(tr *cq.Translator, e *Entry, add func(cq.Fact)) {
+	bound, err := sqlparser.Bind(e.Stmt, e.Args)
+	if err != nil {
+		return
+	}
+	ucq, err := tr.TranslateSelect(bound.(*sqlparser.SelectStmt))
+	if err != nil {
+		return // outside the fragment: no facts derivable
+	}
+	if len(ucq) != 1 {
+		return // disjunctive queries don't pin down which branch matched
+	}
+	q := ucq[0]
+	if q.AggApprox {
+		// Aggregate answers don't expose row contents; no positive
+		// facts. (A COUNT(*)=0 observation would justify a negative
+		// fact, but the aggregate result row is non-empty either
+		// way, so we conservatively derive nothing.)
+		return
+	}
+	if len(e.Rows) == 0 {
+		// Empty result: for a single-atom query, the pattern has
+		// no matching row (conservatively skip queries with
+		// comparisons beyond the atom's own constants, where
+		// emptiness doesn't localize to the atom).
+		if len(q.Atoms) == 1 && len(q.Comps) == 0 {
+			add(cq.Fact{Atom: q.Atoms[0].Clone(), Negated: true})
+		}
+		return
+	}
+	// Positive facts per returned row.
+	for _, row := range e.Rows {
+		if len(row) != len(q.Head) {
+			continue
+		}
+		// Head variable -> observed value.
+		bind := make(map[string]sqlvalue.Value)
+		okRow := true
+		for i, h := range q.Head {
+			switch {
+			case h.IsVar():
+				if prev, dup := bind[h.Var]; dup && !sqlvalue.Identical(prev, row[i]) {
+					okRow = false
+				}
+				bind[h.Var] = row[i]
+			case h.IsConst():
+				// Sanity: observed value should equal the constant.
+				if !sqlvalue.Identical(h.Const, row[i]) {
+					okRow = false
+				}
+			}
+		}
+		if !okRow {
+			continue
+		}
+		for _, a := range q.Atoms {
+			ground := cq.Atom{Table: a.Table, Args: make([]cq.Term, len(a.Args))}
+			full := true
+			for i, arg := range a.Args {
+				switch {
+				case arg.IsConst():
+					ground.Args[i] = arg
+				case arg.IsVar():
+					v, ok := bind[arg.Var]
+					if !ok {
+						full = false
+					} else {
+						ground.Args[i] = cq.C(v)
+					}
+				default: // unbound parameter: not ground
+					full = false
+				}
+				if !full {
+					break
+				}
+			}
+			if full {
+				add(cq.Fact{Atom: ground})
+			}
+		}
+	}
 }
