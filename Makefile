@@ -1,10 +1,11 @@
-# Development targets. `make ci` is what a gate should run: vet, the
-# tier-1 suite, and the race-detector pass (which includes the
-# concurrency stress tests in internal/proxy and internal/checker).
+# Development targets. `make ci` is what a gate should run: formatting,
+# vet, the tier-1 suite, the race-detector pass (which includes the
+# concurrency stress tests in internal/proxy and internal/checker),
+# and a short fuzz smoke of the SQL parser.
 
 GO ?= go
 
-.PHONY: build test vet race bench hotpath ci
+.PHONY: build test vet race bench hotpath pipeline fmtcheck fuzz ci
 
 build:
 	$(GO) build ./...
@@ -26,4 +27,17 @@ bench:
 hotpath:
 	$(GO) run ./cmd/acbench -hotpath
 
-ci: vet test race
+# Pipelining throughput table (protocol v2, window sweep).
+pipeline:
+	$(GO) run ./cmd/acbench -pipeline
+
+fmtcheck:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Ten-second fuzz smoke of the SQL parser; the corpus lives in
+# internal/sqlparser/testdata.
+fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/sqlparser
+
+ci: fmtcheck vet test race fuzz

@@ -6,6 +6,7 @@ package beyond_test
 // code paths, and bench_output.txt records a full run.
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"testing"
@@ -47,7 +48,7 @@ func BenchmarkE1Decisions(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, p := range ps {
 			for k, sel := range p.sels {
-				p.chk.Check(sel, p.args[k], p.f.Session(p.uids[k]), nil)
+				p.chk.Check(context.Background(), sel, p.args[k], p.f.Session(p.uids[k]), nil)
 			}
 		}
 	}
@@ -80,7 +81,7 @@ func BenchmarkE2Latency(b *testing.B) {
 		opts.UseCache = false
 		chk := checker.NewWithOptions(f.Policy(), opts)
 		for i := 0; i < b.N; i++ {
-			chk.Check(sel, argv, sess, nil)
+			chk.Check(context.Background(), sel, argv, sess, nil)
 			if _, err := db.Query(bsel); err != nil {
 				b.Fatal(err)
 			}
@@ -88,10 +89,10 @@ func BenchmarkE2Latency(b *testing.B) {
 	})
 	b.Run("checker-cached", func(b *testing.B) {
 		chk := checker.New(f.Policy())
-		chk.Check(sel, argv, sess, nil)
+		chk.Check(context.Background(), sel, argv, sess, nil)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			chk.Check(sel, argv, sess, nil)
+			chk.Check(context.Background(), sel, argv, sess, nil)
 			if _, err := db.Query(bsel); err != nil {
 				b.Fatal(err)
 			}
@@ -122,11 +123,11 @@ func BenchmarkE3Cache(b *testing.B) {
 	chk := checker.New(f.Policy())
 	sel := sqlparser.MustParseSelect("SELECT EId FROM Attendance WHERE UId = ?")
 	b.Run("cross-principal-hit", func(b *testing.B) {
-		chk.Check(sel, sqlparser.PositionalArgs(1), f.Session(1), nil)
+		chk.Check(context.Background(), sel, sqlparser.PositionalArgs(1), f.Session(1), nil)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			uid := int64(i%100 + 1)
-			chk.Check(sel, sqlparser.PositionalArgs(uid), f.Session(uid), nil)
+			chk.Check(context.Background(), sel, sqlparser.PositionalArgs(uid), f.Session(uid), nil)
 		}
 	})
 	b.Run("miss", func(b *testing.B) {
@@ -134,7 +135,7 @@ func BenchmarkE3Cache(b *testing.B) {
 		opts.UseCache = false
 		cold := checker.NewWithOptions(f.Policy(), opts)
 		for i := 0; i < b.N; i++ {
-			cold.Check(sel, sqlparser.PositionalArgs(1), f.Session(1), nil)
+			cold.Check(context.Background(), sel, sqlparser.PositionalArgs(1), f.Session(1), nil)
 		}
 	})
 }
@@ -174,7 +175,7 @@ func BenchmarkE6Disclosure(b *testing.B) {
 		pol := f.Policy()
 		b.Run(f.Name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := disclosure.Audit(pol, f.Sensitive); err != nil {
+				if _, err := disclosure.Audit(context.Background(), pol, f.Sensitive); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -209,7 +210,7 @@ func BenchmarkE8Diagnose(b *testing.B) {
 	chk := checker.New(f.Policy())
 	sess := f.Session(1)
 	for i := 0; i < b.N; i++ {
-		d, err := diagnose.Diagnose(chk, sess, "SELECT * FROM Events WHERE EId=2", sqlparser.NoArgs, nil)
+		d, err := diagnose.Diagnose(context.Background(), chk, sess, "SELECT * FROM Events WHERE EId=2", sqlparser.NoArgs, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -235,12 +236,12 @@ func BenchmarkProxyRoundTrip(b *testing.B) {
 		b.Fatal(err)
 	}
 	defer cl.Close()
-	if err := cl.Hello(map[string]any{"MyUId": 1}); err != nil {
+	if err := cl.Hello(context.Background(), map[string]any{"MyUId": 1}); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := cl.Query("SELECT EId FROM Attendance WHERE UId = ?", 1); err != nil {
+		if _, err := cl.Query(context.Background(), "SELECT EId FROM Attendance WHERE UId = ?", 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -283,10 +284,10 @@ func BenchmarkCheckLongTrace(b *testing.B) {
 			opts.UseFactCache = cfg.useFactCache
 			chk := checker.NewWithOptions(f.Policy(), opts)
 			tr := longTrace(200)
-			chk.Check(sel, sqlparser.NoArgs, sess, tr) // warm caches
+			chk.Check(context.Background(), sel, sqlparser.NoArgs, sess, tr) // warm caches
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				chk.Check(sel, sqlparser.NoArgs, sess, tr)
+				chk.Check(context.Background(), sel, sqlparser.NoArgs, sess, tr)
 			}
 		})
 	}
@@ -307,7 +308,7 @@ func BenchmarkCheckLongTraceGrowing(b *testing.B) {
 		st := sqlparser.MustParseSelect(sql)
 		tr.Append(trace.Entry{SQL: sql, Stmt: st, Args: sqlparser.NoArgs,
 			Columns: []string{"1"}, Rows: [][]sqlvalue.Value{{sqlvalue.NewInt(1)}}})
-		chk.Check(sel, sqlparser.NoArgs, sess, tr)
+		chk.Check(context.Background(), sel, sqlparser.NoArgs, sess, tr)
 	}
 }
 
@@ -318,14 +319,14 @@ func BenchmarkCheckParallelPrincipals(b *testing.B) {
 	f := apps.Calendar()
 	chk := checker.New(f.Policy())
 	sel := sqlparser.MustParseSelect("SELECT EId FROM Attendance WHERE UId = ?")
-	chk.Check(sel, sqlparser.PositionalArgs(1), f.Session(1), nil) // warm template
+	chk.Check(context.Background(), sel, sqlparser.PositionalArgs(1), f.Session(1), nil) // warm template
 	var uid atomic.Int64
 	b.RunParallel(func(pb *testing.PB) {
 		me := uid.Add(1)
 		sess := f.Session(me)
 		args := sqlparser.PositionalArgs(me)
 		for pb.Next() {
-			chk.Check(sel, args, sess, nil)
+			chk.Check(context.Background(), sel, args, sess, nil)
 		}
 	})
 }

@@ -33,12 +33,23 @@
 //		"V1": "SELECT EId FROM Attendance WHERE UId = ?MyUId",
 //	})
 //	chk := beyond.NewChecker(pol)
-//	d, _ := chk.CheckSQL("SELECT EId FROM Attendance WHERE UId = 1",
+//	d, _ := chk.CheckSQL(context.Background(),
+//		"SELECT EId FROM Attendance WHERE UId = 1",
 //		beyond.Args(), beyond.Session(map[string]any{"MyUId": 1}), nil)
 //	fmt.Println(d.Allowed)
+//
+// Every public entry point that can do nontrivial work takes a
+// context.Context first; cancellation aborts compliance checks,
+// engine scans, counterexample search, and audits mid-decision.
+// Failures surface as typed errors — errors.Is(err, beyond.ErrBlocked
+// / ErrParse / ErrTooManyConns / ErrCanceled).
 package beyond
 
 import (
+	"context"
+	"time"
+
+	"repro/internal/acerr"
 	"repro/internal/appdsl"
 	"repro/internal/apps"
 	"repro/internal/baseline"
@@ -167,22 +178,111 @@ func MustNewPolicy(s *Schema, views map[string]string) *Policy {
 	return policy.MustNew(s, views)
 }
 
-// NewChecker builds a compliance checker with default options
-// (history-aware, decision templates on).
-func NewChecker(p *Policy) *Checker { return checker.New(p) }
+// Typed error taxonomy: match with errors.Is / errors.As.
+var (
+	// ErrBlocked marks a query refused by policy.
+	ErrBlocked = acerr.ErrBlocked
+	// ErrParse marks unparseable SQL.
+	ErrParse = acerr.ErrParse
+	// ErrTooManyConns marks a proxy dial rejected at the connection
+	// limit.
+	ErrTooManyConns = acerr.ErrTooManyConns
+	// ErrCanceled marks work aborted by context cancellation or
+	// deadline.
+	ErrCanceled = acerr.ErrCanceled
+)
 
-// NewCheckerWithOptions builds a checker with explicit options.
+// CheckerOption configures NewChecker.
+type CheckerOption func(*CheckerOptions)
+
+// WithCacheSize bounds the decision-template cache (total entries
+// across shards).
+func WithCacheSize(n int) CheckerOption {
+	return func(o *CheckerOptions) { o.CacheSize = n }
+}
+
+// WithHistory toggles trace-derived facts (disable for the paper's E3
+// ablation).
+func WithHistory(on bool) CheckerOption {
+	return func(o *CheckerOptions) { o.UseHistory = on }
+}
+
+// WithCache toggles decision templates.
+func WithCache(on bool) CheckerOption {
+	return func(o *CheckerOptions) { o.UseCache = on }
+}
+
+// WithFactCache toggles the incremental trace-fact cache.
+func WithFactCache(on bool) CheckerOption {
+	return func(o *CheckerOptions) { o.UseFactCache = on }
+}
+
+// WithMaxHomsPerView bounds the embedding search per view disjunct.
+func WithMaxHomsPerView(n int) CheckerOption {
+	return func(o *CheckerOptions) { o.MaxHomsPerView = n }
+}
+
+// NewChecker builds a compliance checker. Defaults are history-aware
+// with decision templates and the fact cache on; options override
+// individual knobs:
+//
+//	beyond.NewChecker(p, beyond.WithCacheSize(1<<16), beyond.WithHistory(false))
+func NewChecker(p *Policy, opts ...CheckerOption) *Checker {
+	o := checker.DefaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return checker.NewWithOptions(p, o)
+}
+
+// NewCheckerWithOptions builds a checker from an explicit options
+// struct (the internal configuration surface; most callers want
+// NewChecker with CheckerOptions).
 func NewCheckerWithOptions(p *Policy, o CheckerOptions) *Checker {
 	return checker.NewWithOptions(p, o)
 }
 
-// NewProxy builds an enforcement proxy over a database and checker.
-func NewProxy(db *DB, c *Checker, mode ProxyMode) *ProxyServer {
-	return proxy.NewServer(db, c, mode)
+// ProxyOption configures NewProxy.
+type ProxyOption func(*ProxyServer)
+
+// WithMaxConns bounds simultaneous proxy connections (negative means
+// unlimited).
+func WithMaxConns(n int) ProxyOption {
+	return func(s *ProxyServer) { s.MaxConns = n }
+}
+
+// WithReadTimeout sets the per-connection idle read deadline.
+func WithReadTimeout(d time.Duration) ProxyOption {
+	return func(s *ProxyServer) { s.ReadTimeout = d }
+}
+
+// WithMaxLineBytes bounds one request line.
+func WithMaxLineBytes(n int) ProxyOption {
+	return func(s *ProxyServer) { s.MaxLineBytes = n }
+}
+
+// WithMaxInFlight bounds the per-connection pipelined window
+// (protocol v2).
+func WithMaxInFlight(n int) ProxyOption {
+	return func(s *ProxyServer) { s.MaxInFlight = n }
+}
+
+// NewProxy builds an enforcement proxy over a database and checker:
+//
+//	beyond.NewProxy(db, chk, beyond.Enforce,
+//		beyond.WithMaxConns(256), beyond.WithReadTimeout(30*time.Second))
+func NewProxy(db *DB, c *Checker, mode ProxyMode, opts ...ProxyOption) *ProxyServer {
+	s := proxy.NewServer(db, c, mode)
+	for _, o := range opts {
+		o(s)
+	}
+	return s
 }
 
 // DialProxy connects a client to a proxy address.
-func DialProxy(addr string) (*ProxyClient, error) { return proxy.Dial(addr) }
+func DialProxy(addr string, opts ...proxy.ClientOption) (*ProxyClient, error) {
+	return proxy.Dial(addr, opts...)
+}
 
 // Args builds positional query arguments from Go values.
 func Args(vals ...any) sqlparser.Args { return sqlparser.PositionalArgs(vals...) }
@@ -215,9 +315,10 @@ func CompareExtraction(extracted, truth *Policy) ExtractionAccuracy {
 }
 
 // AuditPolicy checks PQI and NQI for each named sensitive query
-// (§4.3).
-func AuditPolicy(p *Policy, sensitive map[string]string) (*DisclosureReport, error) {
-	return disclosure.Audit(p, sensitive)
+// (§4.3). The ctx bounds the audit; cancellation aborts it between
+// queries.
+func AuditPolicy(ctx context.Context, p *Policy, sensitive map[string]string) (*DisclosureReport, error) {
+	return disclosure.Audit(ctx, p, sensitive)
 }
 
 // KAnonymity computes the k parameter of a released view over a
@@ -227,9 +328,10 @@ func KAnonymity(db *DB, releaseSQL string, quasi []string) (int, error) {
 }
 
 // DiagnoseBlocked explains a blocked query and proposes patches
-// (§5.2).
-func DiagnoseBlocked(c *Checker, session map[string]Value, sql string, args sqlparser.Args, tr *Trace) (*Diagnosis, error) {
-	return diagnose.Diagnose(c, session, sql, args, tr)
+// (§5.2). The ctx bounds the (potentially expensive) counterexample
+// and rewriting search; cancellation aborts it mid-pass.
+func DiagnoseBlocked(ctx context.Context, c *Checker, session map[string]Value, sql string, args sqlparser.Args, tr *Trace) (*Diagnosis, error) {
+	return diagnose.Diagnose(ctx, c, session, sql, args, tr)
 }
 
 // Fixtures returns the bundled model applications.

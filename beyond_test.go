@@ -1,6 +1,7 @@
 package beyond_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -30,11 +31,11 @@ func TestPublicAPIQuickstart(t *testing.T) {
 	chk := beyond.NewChecker(pol)
 	sess := beyond.Session(map[string]any{"MyUId": 1})
 
-	d, err := chk.CheckSQL("SELECT EId FROM Attendance WHERE UId = 1", beyond.Args(), sess, nil)
+	d, err := chk.CheckSQL(context.Background(), "SELECT EId FROM Attendance WHERE UId = 1", beyond.Args(), sess, nil)
 	if err != nil || !d.Allowed {
 		t.Fatalf("own attendance should be allowed: %+v %v", d, err)
 	}
-	d, err = chk.CheckSQL("SELECT Title FROM Events", beyond.Args(), sess, nil)
+	d, err = chk.CheckSQL(context.Background(), "SELECT Title FROM Events", beyond.Args(), sess, nil)
 	if err != nil || d.Allowed {
 		t.Fatalf("titles should be blocked: %+v %v", d, err)
 	}
@@ -77,14 +78,14 @@ func TestPublicAPIProxyAndDiagnosis(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cl.Close()
-	if err := cl.Hello(map[string]any{"MyUId": 1}); err != nil {
+	if err := cl.Hello(context.Background(), map[string]any{"MyUId": 1}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cl.Query("SELECT EId FROM Attendance WHERE UId = ?", 1); err != nil {
+	if _, err := cl.Query(context.Background(), "SELECT EId FROM Attendance WHERE UId = ?", 1); err != nil {
 		t.Fatal(err)
 	}
 
-	diag, err := beyond.DiagnoseBlocked(chk, f.Session(1),
+	diag, err := beyond.DiagnoseBlocked(context.Background(), chk, f.Session(1),
 		"SELECT * FROM Events WHERE EId=2", beyond.Args(), nil)
 	if err != nil {
 		t.Fatal(err)
@@ -102,7 +103,7 @@ func TestPublicAPIAudit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := beyond.AuditPolicy(f.Policy(), f.Sensitive)
+	rep, err := beyond.AuditPolicy(context.Background(), f.Policy(), f.Sensitive)
 	if err != nil {
 		t.Fatal(err)
 	}

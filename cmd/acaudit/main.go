@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -30,7 +31,7 @@ func main() {
 	}
 	pol := f.Policy()
 	fmt.Printf("auditing policy:\n%s\n", pol)
-	rep, err := beyond.AuditPolicy(pol, f.Sensitive)
+	rep, err := beyond.AuditPolicy(context.Background(), pol, f.Sensitive)
 	if err != nil {
 		log.Fatal(err)
 	}

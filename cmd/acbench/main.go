@@ -7,14 +7,21 @@
 //	acbench            # run everything
 //	acbench -only E1   # one experiment
 //	acbench -hotpath   # enforcement hot-path scaling table only
+//	acbench -pipeline  # protocol-v2 pipelining throughput table only
 //
 // -hotpath measures the per-check cost against growing session
 // histories with the incremental trace-fact cache on and off, and the
 // throughput of parallel principals hitting the sharded decision
 // cache — the scaling story behind the proxy's production posture.
+//
+// -pipeline measures end-to-end proxy throughput for a mixed
+// 8-session workload over one connection as the client's in-flight
+// window grows: window 1 is the serial (v1-equivalent) baseline, and
+// larger windows show what protocol v2's pipelining buys.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -26,6 +33,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/checker"
 	"repro/internal/experiments"
+	"repro/internal/proxy"
 	"repro/internal/sqlparser"
 	"repro/internal/sqlvalue"
 	"repro/internal/trace"
@@ -34,10 +42,17 @@ import (
 func main() {
 	only := flag.String("only", "", "comma-separated experiment ids (E1..E8)")
 	hotpath := flag.Bool("hotpath", false, "run only the enforcement hot-path scaling table")
+	pipeline := flag.Bool("pipeline", false, "run only the protocol-v2 pipelining throughput table")
 	flag.Parse()
 
 	if *hotpath {
 		runHotPath()
+		return
+	}
+	if *pipeline {
+		if err := runPipeline(); err != nil {
+			log.Fatal(err)
+		}
 		return
 	}
 
@@ -81,7 +96,7 @@ func runHotPath() {
 	const perWorker = 5000
 	chk := checker.New(f.Policy())
 	warm := sqlparser.MustParseSelect("SELECT EId FROM Attendance WHERE UId = ?")
-	chk.Check(warm, sqlparser.PositionalArgs(1), f.Session(1), nil)
+	chk.Check(context.Background(), warm, sqlparser.PositionalArgs(1), f.Session(1), nil)
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -91,7 +106,7 @@ func runHotPath() {
 			s := f.Session(uid)
 			args := sqlparser.PositionalArgs(uid)
 			for i := 0; i < perWorker; i++ {
-				chk.Check(warm, args, s, nil)
+				chk.Check(context.Background(), warm, args, s, nil)
 			}
 		}(int64(w + 1))
 	}
@@ -101,6 +116,125 @@ func runHotPath() {
 	fmt.Printf("Parallel principals: %d workers x %d checks in %s (%.0f checks/sec, cache hits %d)\n",
 		workers, perWorker, elapsed.Round(time.Millisecond),
 		float64(total)/elapsed.Seconds(), chk.Stats().CacheHits)
+}
+
+// runPipeline measures proxy throughput over one TCP connection for a
+// mixed 8-session workload (each session its own principal, warm
+// decision templates) as the client's in-flight window varies. Window
+// 1 ping-pongs like protocol v1; wider windows overlap client, wire,
+// and server work.
+func runPipeline() error {
+	ctx := context.Background()
+	f := apps.Calendar()
+	const (
+		sessions = 8
+		requests = 16000
+	)
+	// Mixed per-principal read workload, every shape covered by the
+	// Calendar policy views so enforcement allows all of it. All three
+	// are point lookups: the table isolates per-request protocol and
+	// decision overhead, which is what the in-flight window amortizes.
+	shapes := []string{
+		"SELECT EId FROM Attendance WHERE UId = ?",
+		"SELECT Name FROM Users WHERE UId = ?",
+		"SELECT 1 FROM Attendance WHERE UId = ? AND EId = ?",
+	}
+
+	run := func(mode proxy.Mode, window int) (float64, error) {
+		db := f.MustNewDB(sessions)
+		chk := checker.New(f.Policy())
+		srv := proxy.NewServer(db, chk, mode)
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			return 0, err
+		}
+		defer srv.Close()
+
+		cl, err := proxy.Dial(addr, proxy.WithWindow(window))
+		if err != nil {
+			return 0, err
+		}
+		defer cl.Close()
+		if err := cl.Hello(ctx, map[string]any{"MyUId": 1}); err != nil {
+			return 0, err
+		}
+		lanes := make([]*proxy.Lane, sessions)
+		for i := range lanes {
+			lanes[i] = cl.Lane(uint64(i + 1))
+			if err := lanes[i].Hello(ctx, map[string]any{"MyUId": i + 1}); err != nil {
+				return 0, err
+			}
+		}
+
+		// Producer pipelines sends; consumer drains responses. The
+		// client's window semaphore keeps exactly `window` in flight.
+		pend := make(chan *proxy.PendingRows, window)
+		errc := make(chan error, 1)
+		start := time.Now()
+		go func() {
+			defer close(pend)
+			for i := 0; i < requests; i++ {
+				ln := lanes[i%sessions]
+				uid := i%sessions + 1
+				args := []any{uid}
+				if i%len(shapes) == 2 {
+					args = append(args, i%5+1) // probe a rotating event
+				}
+				p, err := ln.QueryAsync(ctx, shapes[i%len(shapes)], args...)
+				if err != nil {
+					errc <- err
+					return
+				}
+				pend <- p
+			}
+		}()
+		for p := range pend {
+			if _, err := p.Wait(ctx); err != nil {
+				return 0, err
+			}
+		}
+		select {
+		case err := <-errc:
+			return 0, err
+		default:
+		}
+		return float64(requests) / time.Since(start).Seconds(), nil
+	}
+
+	fmt.Printf("Protocol v2 pipelining: mixed workload, %d sessions multiplexed over one connection, %d requests\n", sessions, requests)
+	fmt.Printf("window 1 is the serial v1-equivalent baseline; speedup is vs window 1 in the same mode\n\n")
+	for _, m := range []struct {
+		mode  proxy.Mode
+		label string
+	}{
+		{proxy.Off, "enforcement off (protocol cost only)"},
+		{proxy.Enforce, "enforcement on (checker + trace in path)"},
+	} {
+		fmt.Printf("mode: %s\n", m.label)
+		fmt.Printf("%-8s %12s %9s\n", "window", "req/s", "speedup")
+		var base float64
+		for _, w := range []int{1, 2, 4, 8, 16} {
+			// Best of three trials: each trial is a fresh server and
+			// connection, so a GC pause or scheduler hiccup in one
+			// trial doesn't misstate the steady-state capability.
+			var rps float64
+			for t := 0; t < 3; t++ {
+				r, err := run(m.mode, w)
+				if err != nil {
+					return err
+				}
+				if r > rps {
+					rps = r
+				}
+			}
+			if w == 1 {
+				base = rps
+			}
+			fmt.Printf("%-8d %12.0f %8.2fx\n", w, rps, rps/base)
+		}
+		fmt.Println()
+	}
+	return nil
 }
 
 func mkTrace(n int) *trace.Trace {
@@ -120,14 +254,14 @@ func timeChecks(f *apps.Fixture, sel *sqlparser.SelectStmt, sess map[string]sqlv
 	opts := checker.DefaultOptions()
 	opts.UseFactCache = useFactCache
 	chk := checker.NewWithOptions(f.Policy(), opts)
-	chk.Check(sel, sqlparser.NoArgs, sess, tr) // warm
+	chk.Check(context.Background(), sel, sqlparser.NoArgs, sess, tr) // warm
 	iters := 50
 	if !useFactCache {
 		iters = 10
 	}
 	start := time.Now()
 	for i := 0; i < iters; i++ {
-		chk.Check(sel, sqlparser.NoArgs, sess, tr)
+		chk.Check(context.Background(), sel, sqlparser.NoArgs, sess, tr)
 	}
 	return time.Since(start) / time.Duration(iters)
 }

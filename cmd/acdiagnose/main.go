@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -27,7 +28,7 @@ func main() {
 	}
 	chk := beyond.NewChecker(f.Policy())
 	sess := f.Session(*uid)
-	diag, err := beyond.DiagnoseBlocked(chk, sess, *sql, beyond.Args(), nil)
+	diag, err := beyond.DiagnoseBlocked(context.Background(), chk, sess, *sql, beyond.Args(), nil)
 	if err != nil {
 		log.Fatal(err)
 	}

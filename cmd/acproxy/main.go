@@ -5,7 +5,7 @@
 // Usage:
 //
 //	acproxy -app calendar -addr 127.0.0.1:7070 -size 50 -mode enforce \
-//	        -max-conns 1024 -read-timeout 5m -cache-size 8192
+//	        -max-conns 1024 -read-timeout 5m -cache-size 8192 -max-inflight 64
 //
 // Clients speak the line protocol of internal/proxy; see
 // examples/calendar for a driver. On SIGINT/SIGTERM the proxy drains
@@ -24,7 +24,6 @@ import (
 	"time"
 
 	beyond "repro"
-	"repro/internal/checker"
 )
 
 func main() {
@@ -35,6 +34,7 @@ func main() {
 	maxConns := flag.Int("max-conns", 0, "simultaneous connection limit (0 = default, <0 = unlimited)")
 	readTimeout := flag.Duration("read-timeout", 10*time.Minute, "per-connection idle read deadline (0 disables)")
 	cacheSize := flag.Int("cache-size", 0, "decision-template cache bound (0 = default)")
+	maxInFlight := flag.Int("max-inflight", 0, "per-connection pipelined window, protocol v2 (0 = default)")
 	flag.Parse()
 
 	f, err := beyond.FixtureByName(*app)
@@ -53,12 +53,11 @@ func main() {
 		log.Fatalf("unknown mode %q", *mode)
 	}
 	db := f.MustNewDB(*size)
-	opts := checker.DefaultOptions()
-	opts.CacheSize = *cacheSize
-	chk := beyond.NewCheckerWithOptions(f.Policy(), opts)
-	srv := beyond.NewProxy(db, chk, m)
-	srv.MaxConns = *maxConns
-	srv.ReadTimeout = *readTimeout
+	chk := beyond.NewChecker(f.Policy(), beyond.WithCacheSize(*cacheSize))
+	srv := beyond.NewProxy(db, chk, m,
+		beyond.WithMaxConns(*maxConns),
+		beyond.WithReadTimeout(*readTimeout),
+		beyond.WithMaxInFlight(*maxInFlight))
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		log.Fatal(err)
@@ -84,5 +83,5 @@ func main() {
 	fmt.Printf("acproxy: latency: p50=%dµs p90=%dµs p99=%dµs mean=%.0fµs over %d queries\n",
 		st.LatencyP50Micros, st.LatencyP90Micros, st.LatencyP99Micros,
 		st.LatencyMeanMicros, st.LatencySamples)
-	fmt.Printf("acproxy: connections: total=%d rejected=%d\n", st.TotalConns, st.RejectedConns)
+	fmt.Printf("acproxy: connections: total=%d rejected=%d canceled-requests=%d\n", st.TotalConns, st.RejectedConns, st.CanceledReqs)
 }

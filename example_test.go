@@ -1,6 +1,7 @@
 package beyond_test
 
 import (
+	"context"
 	"fmt"
 
 	beyond "repro"
@@ -28,7 +29,7 @@ func Example() {
 	chk := beyond.NewChecker(pol)
 	sess := beyond.Session(map[string]any{"MyUId": 1})
 
-	d, _ := chk.CheckSQL("SELECT * FROM Events WHERE EId=2", beyond.Args(), sess, nil)
+	d, _ := chk.CheckSQL(context.Background(), "SELECT * FROM Events WHERE EId=2", beyond.Args(), sess, nil)
 	fmt.Println("Q2 alone:", d.Allowed)
 
 	// The application's access check ran and returned a row.
@@ -41,7 +42,7 @@ func Example() {
 		Columns: []string{"1"},
 		Rows:    [][]beyond.Value{{beyond.Session(map[string]any{"v": 1})["v"]}},
 	})
-	d, _ = chk.CheckSQL("SELECT * FROM Events WHERE EId=2", beyond.Args(), sess, tr)
+	d, _ = chk.CheckSQL(context.Background(), "SELECT * FROM Events WHERE EId=2", beyond.Args(), sess, tr)
 	fmt.Println("Q2 after Q1:", d.Allowed)
 	// Output:
 	// Q2 alone: false
@@ -64,7 +65,7 @@ func ExampleExtractPolicy() {
 // not treat (NQI).
 func ExampleAuditPolicy() {
 	f, _ := beyond.FixtureByName("hospital")
-	rep, _ := beyond.AuditPolicy(f.Policy(), map[string]string{
+	rep, _ := beyond.AuditPolicy(context.Background(), f.Policy(), map[string]string{
 		"SPatientDisease": "SELECT PName, Disease FROM Patients",
 	})
 	fmt.Println("NQI:", rep.Findings[0].NQI.Holds)
@@ -77,7 +78,7 @@ func ExampleAuditPolicy() {
 func ExampleDiagnoseBlocked() {
 	f, _ := beyond.FixtureByName("calendar")
 	chk := beyond.NewChecker(f.Policy())
-	d, _ := beyond.DiagnoseBlocked(chk, f.Session(1),
+	d, _ := beyond.DiagnoseBlocked(context.Background(), chk, f.Session(1),
 		"SELECT * FROM Events WHERE EId=2", beyond.Args(), nil)
 	fmt.Println(d.Checks[0].CheckSQL)
 	// Output:

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -14,6 +15,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	fixture, err := beyond.FixtureByName("calendar")
 	if err != nil {
 		log.Fatal(err)
@@ -35,12 +37,12 @@ func main() {
 		log.Fatal(err)
 	}
 	defer cl.Close()
-	if err := cl.Hello(map[string]any{"MyUId": 1}); err != nil {
+	if err := cl.Hello(ctx, map[string]any{"MyUId": 1}); err != nil {
 		log.Fatal(err)
 	}
 
 	// The application tries to fetch an event directly: blocked.
-	_, err = cl.Query("SELECT * FROM Events WHERE EId = ?", 2)
+	_, err = cl.Query(ctx, "SELECT * FROM Events WHERE EId = ?", 2)
 	if errors.Is(err, proxy.ErrBlocked) {
 		fmt.Printf("direct fetch blocked: %v\n", err)
 	} else {
@@ -48,7 +50,7 @@ func main() {
 	}
 
 	// Listing 1's discipline: access check first, then fetch.
-	check, err := cl.Query("SELECT 1 FROM Attendance WHERE UId = ? AND EId = ?", 1, 2)
+	check, err := cl.Query(ctx, "SELECT 1 FROM Attendance WHERE UId = ? AND EId = ?", 1, 2)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,13 +58,13 @@ func main() {
 		fmt.Println("user 1 does not attend event 2; rendering 404")
 		return
 	}
-	event, err := cl.Query("SELECT * FROM Events WHERE EId = ?", 2)
+	event, err := cl.Query(ctx, "SELECT * FROM Events WHERE EId = ?", 2)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("event fetched after access check: %s\n", event.Rows[0][1].Text())
 
-	st, err := cl.Stats()
+	st, err := cl.Stats(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}

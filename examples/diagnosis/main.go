@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,6 +16,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	fixture, err := beyond.FixtureByName("calendar")
 	if err != nil {
 		log.Fatal(err)
@@ -23,7 +25,7 @@ func main() {
 	sess := beyond.Session(map[string]any{"MyUId": 1})
 
 	blocked := "SELECT * FROM Events WHERE EId=2"
-	diag, err := beyond.DiagnoseBlocked(chk, sess, blocked, beyond.Args(), nil)
+	diag, err := beyond.DiagnoseBlocked(ctx, chk, sess, blocked, beyond.Args(), nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -48,15 +50,15 @@ func main() {
 		log.Fatal(err)
 	}
 	defer cl.Close()
-	if err := cl.Hello(map[string]any{"MyUId": 1}); err != nil {
+	if err := cl.Hello(ctx, map[string]any{"MyUId": 1}); err != nil {
 		log.Fatal(err)
 	}
 	// The patched application issues the probe first (seeded data has
 	// user 1 attending event 2).
-	if _, err := cl.Query("SELECT 1 FROM Attendance WHERE UId = ? AND EId = ?", 1, 2); err != nil {
+	if _, err := cl.Query(ctx, "SELECT 1 FROM Attendance WHERE UId = ? AND EId = ?", 1, 2); err != nil {
 		log.Fatal(err)
 	}
-	rows, err := cl.Query(blocked)
+	rows, err := cl.Query(ctx, blocked)
 	if err != nil {
 		log.Fatalf("patched flow should be allowed: %v", err)
 	}
@@ -73,7 +75,7 @@ func main() {
 	for _, v := range patches {
 		fmt.Printf("  add %s: %s\n", v.Name, v.SQL)
 	}
-	ok, err := diagnose.PatchAllowsQuery(broadened, patches, sess, blocked, beyond.Args(), nil)
+	ok, err := diagnose.PatchAllowsQuery(ctx, broadened, patches, sess, blocked, beyond.Args(), nil)
 	if err != nil {
 		log.Fatal(err)
 	}

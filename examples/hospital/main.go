@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,7 +25,7 @@ func main() {
 	fmt.Printf("policy under audit:\n%s\n", pol)
 
 	// PQI/NQI audit of the operator's sensitive queries.
-	rep, err := beyond.AuditPolicy(pol, fixture.Sensitive)
+	rep, err := beyond.AuditPolicy(context.Background(), pol, fixture.Sensitive)
 	if err != nil {
 		log.Fatal(err)
 	}

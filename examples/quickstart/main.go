@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -41,7 +42,7 @@ func main() {
 
 	// Q2 in isolation: blocked.
 	q2 := "SELECT * FROM Events WHERE EId=2"
-	d, err := chk.CheckSQL(q2, beyond.Args(), sess, nil)
+	d, err := chk.CheckSQL(context.Background(), q2, beyond.Args(), sess, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func main() {
 
 	// Q1: allowed, and its result enters the history.
 	q1 := "SELECT 1 FROM Attendance WHERE UId=1 AND EId=2"
-	d, err = chk.CheckSQL(q1, beyond.Args(), sess, nil)
+	d, err = chk.CheckSQL(context.Background(), q1, beyond.Args(), sess, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func main() {
 	})
 
 	// Q2 with Q1's non-empty result in the history: allowed.
-	d, err = chk.CheckSQL(q2, beyond.Args(), sess, tr)
+	d, err = chk.CheckSQL(context.Background(), q2, beyond.Args(), sess, tr)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,107 @@
+// Package acerr defines the toolkit's error taxonomy: a small set of
+// sentinel errors that every layer (parser, checker, engine, proxy)
+// wraps so callers can branch with errors.Is/errors.As instead of
+// string matching, plus the stable machine-readable codes the proxy
+// protocol uses to carry these errors across the wire.
+//
+// The sentinels and codes are a closed vocabulary: adding one is a
+// protocol change and must be reflected in DESIGN.md §6.
+package acerr
+
+import (
+	"context"
+	"errors"
+)
+
+// Sentinel errors. Wrap them (fmt.Errorf("...: %w", acerr.ErrBlocked))
+// or attach them via Coded; test with errors.Is.
+var (
+	// ErrBlocked marks a query the policy checker refused.
+	ErrBlocked = errors.New("blocked by policy")
+	// ErrParse marks SQL the parser rejected.
+	ErrParse = errors.New("parse error")
+	// ErrTooManyConns marks a dial rejected by the proxy's connection
+	// limit.
+	ErrTooManyConns = errors.New("too many connections")
+	// ErrCanceled marks work aborted by context cancellation or
+	// deadline expiry.
+	ErrCanceled = errors.New("canceled")
+)
+
+// Wire codes: the stable machine-readable strings carried in the
+// proxy protocol's Response.Code field. Clients map them back to the
+// sentinels above with FromCode.
+const (
+	CodeBlocked      = "blocked"
+	CodeParse        = "parse"
+	CodeTooManyConns = "too_many_conns"
+	CodeCanceled     = "canceled"
+	CodeBadRequest   = "bad_request"
+	CodeEngine       = "engine"
+	CodeInternal     = "internal"
+)
+
+// CodeOf maps an error to its wire code. nil maps to ""; context
+// cancellation and deadline errors count as canceled even when the
+// ErrCanceled sentinel was never attached.
+func CodeOf(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrBlocked):
+		return CodeBlocked
+	case errors.Is(err, ErrParse):
+		return CodeParse
+	case errors.Is(err, ErrTooManyConns):
+		return CodeTooManyConns
+	case errors.Is(err, ErrCanceled),
+		errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
+		return CodeCanceled
+	}
+	return CodeInternal
+}
+
+// codedError carries a human message while unwrapping to a sentinel,
+// so the message survives the wire round trip verbatim and errors.Is
+// still works.
+type codedError struct {
+	msg      string
+	sentinel error
+}
+
+func (e *codedError) Error() string { return e.msg }
+func (e *codedError) Unwrap() error { return e.sentinel }
+
+// FromCode reconstructs a typed error from a wire code and message.
+// Unknown or uncoded errors come back as plain errors with the
+// message alone.
+func FromCode(code, msg string) error {
+	var sentinel error
+	switch code {
+	case CodeBlocked:
+		sentinel = ErrBlocked
+	case CodeParse:
+		sentinel = ErrParse
+	case CodeTooManyConns:
+		sentinel = ErrTooManyConns
+	case CodeCanceled:
+		sentinel = ErrCanceled
+	default:
+		return errors.New(msg)
+	}
+	if msg == "" {
+		return sentinel
+	}
+	return &codedError{msg: msg, sentinel: sentinel}
+}
+
+// Canceled wraps a context error (or any cause) with ErrCanceled,
+// preserving the cause's message. It is what ctx-aware loops return
+// when they bail out early.
+func Canceled(cause error) error {
+	if cause == nil {
+		return ErrCanceled
+	}
+	return &codedError{msg: "canceled: " + cause.Error(), sentinel: ErrCanceled}
+}

@@ -1,6 +1,7 @@
 package apps
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/baseline"
@@ -72,7 +73,7 @@ func TestCorpusLabels(t *testing.T) {
 						Columns: res.Columns, Rows: rows,
 					})
 				}
-				d, err := chk.CheckSQL(w.SQL, args(w.Args...), f.Session(w.UId), tr)
+				d, err := chk.CheckSQL(context.Background(), w.SQL, args(w.Args...), f.Session(w.UId), tr)
 				if err != nil {
 					t.Fatalf("%s: %v", w.Label, err)
 				}

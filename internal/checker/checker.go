@@ -29,12 +29,14 @@
 package checker
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/acerr"
 	"repro/internal/cq"
 	"repro/internal/policy"
 	"repro/internal/sqlparser"
@@ -115,6 +117,24 @@ type genEntry struct {
 	key string
 }
 
+// frontKey identifies a concrete check: the policy snapshot, the
+// parsed statement BY POINTER (sqlparser.ParseCached returns one
+// shared immutable statement per SQL text, so the pointer stands in
+// for the text), and the rendered session attributes and arguments.
+// Holding the pointer as a map key also keeps the statement alive, so
+// an address can never be reused while its entry exists. Statements
+// parsed outside the cache simply miss here and fall through to the
+// template path.
+type frontKey struct {
+	fp  string
+	sel *sqlparser.SelectStmt
+	sig string
+}
+
+// frontCacheMax bounds the front cache; past it an arbitrary entry is
+// evicted (the workload's key population is far below the cap).
+const frontCacheMax = 4096
+
 // Checker vets queries against a policy.
 type Checker struct {
 	pol  *policy.Policy
@@ -127,6 +147,13 @@ type Checker struct {
 	// Session-parameterized fact generalization memo.
 	genMu sync.RWMutex
 	gen   map[string]genEntry
+
+	// Front cache for trace-independent decisions, keyed by identity
+	// of the shared parsed statement (see frontKey). Holds only
+	// decisions allowed with zero history facts, which stay valid
+	// under every trace.
+	frontMu sync.RWMutex
+	front   map[frontKey]Decision
 
 	// Counters (atomic: Check never takes a lock).
 	nDecisions atomic.Int64
@@ -154,6 +181,7 @@ func NewWithOptions(p *policy.Policy, opts Options) *Checker {
 		cache: newDecisionCache(opts.CacheSize),
 		tr:    &cq.Translator{Schema: p.Schema},
 		gen:   make(map[string]genEntry),
+		front: make(map[frontKey]Decision),
 	}
 	c.snap.Store(&polSnapshot{fp: p.Fingerprint(), viewDisj: p.Disjuncts(nil)})
 	return c
@@ -190,23 +218,53 @@ func (c *Checker) ResetCache() {
 	c.genMu.Lock()
 	c.gen = make(map[string]genEntry)
 	c.genMu.Unlock()
+	c.frontMu.Lock()
+	c.front = make(map[frontKey]Decision)
+	c.frontMu.Unlock()
 }
 
-// CheckSQL parses and checks a SELECT.
-func (c *Checker) CheckSQL(sql string, args sqlparser.Args, session map[string]sqlvalue.Value, tr *trace.Trace) (Decision, error) {
-	sel, err := sqlparser.ParseSelect(sql)
-	if err != nil {
-		return Decision{}, err
+func (c *Checker) frontGet(k frontKey) (Decision, bool) {
+	c.frontMu.RLock()
+	d, ok := c.front[k]
+	c.frontMu.RUnlock()
+	return d, ok
+}
+
+func (c *Checker) frontPut(k frontKey, d Decision) {
+	c.frontMu.Lock()
+	if len(c.front) >= frontCacheMax {
+		for old := range c.front {
+			delete(c.front, old)
+			break
+		}
 	}
-	return c.Check(sel, args, session, tr), nil
+	c.front[k] = d
+	c.frontMu.Unlock()
+}
+
+// CheckSQL parses and checks a SELECT. A parse failure wraps
+// acerr.ErrParse; a context cancellation mid-check wraps
+// acerr.ErrCanceled (the accompanying Decision conservatively blocks).
+func (c *Checker) CheckSQL(ctx context.Context, sql string, args sqlparser.Args, session map[string]sqlvalue.Value, tr *trace.Trace) (Decision, error) {
+	sel, err := sqlparser.ParseSelectCached(sql)
+	if err != nil {
+		return Decision{}, fmt.Errorf("%w: %v", acerr.ErrParse, err)
+	}
+	d := c.Check(ctx, sel, args, session, tr)
+	if err := ctx.Err(); err != nil {
+		return d, acerr.Canceled(err)
+	}
+	return d, nil
 }
 
 // Check decides whether the query may run for the given principal
 // session, considering the trace when history is enabled. It is safe
-// for concurrent use.
-func (c *Checker) Check(sel *sqlparser.SelectStmt, args sqlparser.Args, session map[string]sqlvalue.Value, tr *trace.Trace) Decision {
+// for concurrent use. A canceled ctx aborts the embedding search and
+// yields a conservative blocked Decision (never cached); callers that
+// care should inspect ctx.Err.
+func (c *Checker) Check(ctx context.Context, sel *sqlparser.SelectStmt, args sqlparser.Args, session map[string]sqlvalue.Value, tr *trace.Trace) Decision {
 	c.nDecisions.Add(1)
-	d := c.decide(sel, args, session, tr)
+	d := c.decide(ctx, sel, args, session, tr)
 	if d.Allowed {
 		c.nAllowed.Add(1)
 	} else {
@@ -218,8 +276,32 @@ func (c *Checker) Check(sel *sqlparser.SelectStmt, args sqlparser.Args, session 
 	return d
 }
 
-func (c *Checker) decide(sel *sqlparser.SelectStmt, args sqlparser.Args, session map[string]sqlvalue.Value, tr *trace.Trace) Decision {
+// canceledDecision is the conservative verdict for an aborted check.
+// It is never cached: the search did not finish, so the template would
+// poison future decisions.
+func canceledDecision(ctx context.Context) Decision {
+	return Decision{Allowed: false, Reason: fmt.Sprintf("check canceled: %v", ctx.Err())}
+}
+
+func (c *Checker) decide(ctx context.Context, sel *sqlparser.SelectStmt, args sqlparser.Args, session map[string]sqlvalue.Value, tr *trace.Trace) Decision {
 	snap := c.snap.Load()
+	if ctx.Err() != nil {
+		return canceledDecision(ctx)
+	}
+
+	// Fast path: an identical concrete check (same shared statement,
+	// principal, and arguments) whose decision is known to be
+	// trace-independent skips binding, translation, and template
+	// rendering entirely.
+	var fkey frontKey
+	useFront := c.opts.UseCache && c.opts.UseHistory
+	if useFront {
+		fkey = frontKey{fp: snap.fp, sel: sel, sig: sessionSig(session) + "\x00" + argsSig(args)}
+		if d, ok := c.frontGet(fkey); ok {
+			d.FromCache = true
+			return d
+		}
+	}
 
 	// Named parameters that match session attributes bind implicitly:
 	// ?MyUId in an application query means the current principal.
@@ -252,6 +334,40 @@ func (c *Checker) decide(sel *sqlparser.SelectStmt, args sqlparser.Args, session
 		tpl[i] = generalizeConsts(tpl[i], session)
 	}
 
+	// History-free tier of the decision cache. Coverage is monotone in
+	// the trace facts (facts only add atoms a homomorphism may land
+	// on), so a template allowed with ZERO facts stays allowed under
+	// every trace. Such decisions cache on (policy, template) alone and
+	// never churn as the trace grows — without this, the full key below
+	// changes on every write and view-only-allowed hot queries would
+	// re-derive from scratch each request. A cached history-free DENIAL
+	// is only a marker that the template needs facts; it is never
+	// returned as the answer.
+	if c.opts.UseCache && c.opts.UseHistory && tr != nil {
+		freeKey := cacheKey(snap.fp, tpl, nil)
+		if d, ok := c.cache.Get(freeKey); ok {
+			if d.Allowed {
+				if useFront {
+					c.frontPut(fkey, d)
+				}
+				d.FromCache = true
+				return d
+			}
+		} else {
+			d := c.coverAll(ctx, snap, tpl, nil)
+			if ctx.Err() != nil {
+				return canceledDecision(ctx)
+			}
+			c.cache.Put(freeKey, d)
+			if d.Allowed {
+				if useFront {
+					c.frontPut(fkey, d)
+				}
+				return d
+			}
+		}
+	}
+
 	// Facts from the trace, likewise parameterized. factKeys carries
 	// each generalized fact's canonical string for the cache key, so
 	// it is rendered once per (fact, session shape), not per check.
@@ -267,7 +383,10 @@ func (c *Checker) decide(sel *sqlparser.SelectStmt, args sqlparser.Args, session
 		}
 		facts = make([]cq.Fact, 0, len(raw))
 		factKeys = make([]string, 0, len(raw))
-		for _, f := range raw {
+		for i, f := range raw {
+			if i&63 == 63 && ctx.Err() != nil {
+				return canceledDecision(ctx)
+			}
 			g := c.generalizeFactMemo(f, session, sig)
 			facts = append(facts, g.f)
 			factKeys = append(factKeys, g.key)
@@ -284,32 +403,44 @@ func (c *Checker) decide(sel *sqlparser.SelectStmt, args sqlparser.Args, session
 		}
 	}
 
+	d := c.coverAll(ctx, snap, tpl, facts)
+	if ctx.Err() != nil {
+		return canceledDecision(ctx)
+	}
+
+	if c.opts.UseCache {
+		c.cache.Put(key, d)
+	}
+	return d
+}
+
+// coverAll runs the coverage check for every disjunct of a decision
+// template against the given fact set. Callers must check ctx.Err()
+// before caching the result: a cancellation mid-loop yields a
+// decision that must not be stored.
+func (c *Checker) coverAll(ctx context.Context, snap *polSnapshot, tpl []*cq.Query, facts []cq.Fact) Decision {
 	d := Decision{Allowed: true}
 	usedViews := map[string]bool{}
 	for _, q := range tpl {
-		res := c.coverDisjunct(snap, q, facts)
+		res := c.coverDisjunct(ctx, snap, q, facts)
+		if ctx.Err() != nil {
+			return canceledDecision(ctx)
+		}
 		if !res.ok {
-			d = Decision{Allowed: false, Reason: res.reason}
-			break
+			return Decision{Allowed: false, Reason: res.reason}
 		}
 		for _, v := range res.views {
 			usedViews[v] = true
 		}
 	}
-	if d.Allowed {
-		for v := range usedViews {
-			d.Views = append(d.Views, v)
-		}
-		sort.Strings(d.Views)
-		if len(d.Views) > 0 {
-			d.Reason = "covered by " + strings.Join(d.Views, ", ")
-		} else {
-			d.Reason = "reveals no database content"
-		}
+	for v := range usedViews {
+		d.Views = append(d.Views, v)
 	}
-
-	if c.opts.UseCache {
-		c.cache.Put(key, d)
+	sort.Strings(d.Views)
+	if len(d.Views) > 0 {
+		d.Reason = "covered by " + strings.Join(d.Views, ", ")
+	} else {
+		d.Reason = "reveals no database content"
 	}
 	return d
 }
@@ -320,6 +451,11 @@ func (c *Checker) decide(sel *sqlparser.SelectStmt, args sqlparser.Args, session
 func sessionSig(session map[string]sqlvalue.Value) string {
 	if len(session) == 0 {
 		return ""
+	}
+	if len(session) == 1 {
+		for n, v := range session {
+			return n + "=" + v.Key() + ";"
+		}
 	}
 	names := make([]string, 0, len(session))
 	for n := range session {
@@ -332,6 +468,37 @@ func sessionSig(session map[string]sqlvalue.Value) string {
 		b.WriteByte('=')
 		b.WriteString(session[n].Key())
 		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// argsSig renders the bound arguments deterministically for the
+// front-cache key.
+func argsSig(args sqlparser.Args) string {
+	if len(args.Positional) == 0 && len(args.Named) == 0 {
+		return ""
+	}
+	if len(args.Named) == 0 && len(args.Positional) == 1 {
+		return args.Positional[0].Key() + ","
+	}
+	var b strings.Builder
+	for _, v := range args.Positional {
+		b.WriteString(v.Key())
+		b.WriteByte(',')
+	}
+	if len(args.Named) > 0 {
+		names := make([]string, 0, len(args.Named))
+		for n := range args.Named {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			b.WriteByte('@')
+			b.WriteString(n)
+			b.WriteByte('=')
+			b.WriteString(args.Named[n].Key())
+			b.WriteByte(';')
+		}
 	}
 	return b.String()
 }
@@ -453,8 +620,10 @@ type candidate struct {
 }
 
 // coverDisjunct decides one conjunctive disjunct against a policy
-// snapshot.
-func (c *Checker) coverDisjunct(snap *polSnapshot, q *cq.Query, facts []cq.Fact) coverResult {
+// snapshot. Cancellation is polled between view-embedding searches —
+// the expensive inner step — and surfaces as a not-ok result the
+// caller must discard after seeing ctx.Err.
+func (c *Checker) coverDisjunct(ctx context.Context, snap *polSnapshot, q *cq.Query, facts []cq.Fact) coverResult {
 	// A query whose comparisons are unsatisfiable returns nothing.
 	cs := cq.NewConstraints()
 	cs.AddAll(q.Comps)
@@ -505,6 +674,9 @@ func (c *Checker) coverDisjunct(snap *polSnapshot, q *cq.Query, facts []cq.Fact)
 	// Enumerate view embeddings and derive candidates.
 	var cands []candidate
 	for _, v := range snap.viewDisj {
+		if ctx.Err() != nil {
+			return coverResult{reason: "check canceled"}
+		}
 		homs := cq.FindHoms(v, target, nil, c.opts.MaxHomsPerView)
 		for _, h := range homs {
 			cand := candidate{

@@ -1,6 +1,7 @@
 package checker
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -50,7 +51,7 @@ func session(uid int64) map[string]sqlvalue.Value {
 
 func mustCheck(t *testing.T, c *Checker, sql string, sess map[string]sqlvalue.Value, tr *trace.Trace) Decision {
 	t.Helper()
-	d, err := c.CheckSQL(sql, sqlparser.NoArgs, sess, tr)
+	d, err := c.CheckSQL(context.Background(), sql, sqlparser.NoArgs, sess, tr)
 	if err != nil {
 		t.Fatalf("check %q: %v", sql, err)
 	}
@@ -298,7 +299,7 @@ func TestJoinOnInvisibleColumnBlocked(t *testing.T) {
 
 func TestPositionalArgsChecked(t *testing.T) {
 	c := New(calendarPolicy(t))
-	d, err := c.CheckSQL("SELECT 1 FROM Attendance WHERE UId = ? AND EId = ?",
+	d, err := c.CheckSQL(context.Background(), "SELECT 1 FROM Attendance WHERE UId = ? AND EId = ?",
 		sqlparser.PositionalArgs(1, 2), session(1), nil)
 	if err != nil {
 		t.Fatal(err)

@@ -1,6 +1,7 @@
 package checker
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -38,7 +39,7 @@ func TestParallelCheck(t *testing.T) {
 				if i%len(shapes) != 2 {
 					sql = fmt.Sprintf(sql, uid)
 				}
-				d, err := c.CheckSQL(sql, sqlparser.NoArgs, session(uid), tr)
+				d, err := c.CheckSQL(context.Background(), sql, sqlparser.NoArgs, session(uid), tr)
 				if err != nil {
 					errs <- err
 					return
@@ -87,7 +88,7 @@ func TestResetCacheConcurrentWithCheck(t *testing.T) {
 		go func(uid int64) {
 			defer checkers.Done()
 			for i := 0; i < 200; i++ {
-				d, err := c.CheckSQL("SELECT EId FROM Attendance WHERE UId = ?",
+				d, err := c.CheckSQL(context.Background(), "SELECT EId FROM Attendance WHERE UId = ?",
 					sqlparser.PositionalArgs(uid), session(uid), nil)
 				if err != nil {
 					t.Error(err)

@@ -1,6 +1,7 @@
 package checker
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -69,7 +70,7 @@ func TestCheckerSoundnessRandomized(t *testing.T) {
 		chk := New(pol)
 		views := pol.Disjuncts(session)
 		for _, src := range queries {
-			d, err := chk.CheckSQL(src, sqlparser.NoArgs, session, nil)
+			d, err := chk.CheckSQL(context.Background(), src, sqlparser.NoArgs, session, nil)
 			if err != nil {
 				t.Fatalf("%s: %v", src, err)
 			}
@@ -160,7 +161,7 @@ func TestCheckerSoundnessWithHistory(t *testing.T) {
 	tr := traceWithRow(probeSQL, probe)
 
 	q2 := "SELECT * FROM Events WHERE EId=2"
-	d, err := chk.CheckSQL(q2, sqlparser.NoArgs, sess, tr)
+	d, err := chk.CheckSQL(context.Background(), q2, sqlparser.NoArgs, sess, tr)
 	if err != nil || !d.Allowed {
 		t.Fatalf("setup: Q2 with history should be allowed: %+v %v", d, err)
 	}

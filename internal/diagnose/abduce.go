@@ -1,6 +1,7 @@
 package diagnose
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -43,7 +44,7 @@ const maxChecks = 16
 // re-checking the query with the hypothetical probe appended to the
 // trace, and must be consistent with the trace (not contradicted by a
 // known-empty pattern).
-func AbduceAccessChecks(chk *checker.Checker, session map[string]sqlvalue.Value, sel *sqlparser.SelectStmt, args sqlparser.Args, tr *trace.Trace) ([]AccessCheck, error) {
+func AbduceAccessChecks(ctx context.Context, chk *checker.Checker, session map[string]sqlvalue.Value, sel *sqlparser.SelectStmt, args sqlparser.Args, tr *trace.Trace) ([]AccessCheck, error) {
 	s := chk.Policy().Schema
 	bound, err := sqlparser.Bind(sel, args)
 	if err != nil {
@@ -76,7 +77,7 @@ func AbduceAccessChecks(chk *checker.Checker, session map[string]sqlvalue.Value,
 				if contradictsTrace(check.Atom, facts, session) {
 					continue
 				}
-				if verifyCheck(chk, session, sel, args, tr, check) {
+				if verifyCheck(ctx, chk, session, sel, args, tr, check) {
 					out = append(out, check)
 				}
 			}
@@ -293,7 +294,7 @@ func negPatternCovers(pattern, cand cq.Atom, session map[string]sqlvalue.Value) 
 
 // verifyCheck re-runs the compliance decision with the hypothetical
 // probe appended to the trace as a one-row result.
-func verifyCheck(chk *checker.Checker, session map[string]sqlvalue.Value, sel *sqlparser.SelectStmt, args sqlparser.Args, tr *trace.Trace, check AccessCheck) bool {
+func verifyCheck(ctx context.Context, chk *checker.Checker, session map[string]sqlvalue.Value, sel *sqlparser.SelectStmt, args sqlparser.Args, tr *trace.Trace, check AccessCheck) bool {
 	probeSel, err := sqlparser.ParseSelect(check.CheckSQL)
 	if err != nil {
 		return false
@@ -321,6 +322,6 @@ func verifyCheck(chk *checker.Checker, session map[string]sqlvalue.Value, sel *s
 		Columns: []string{"1"},
 		Rows:    [][]sqlvalue.Value{{sqlvalue.NewInt(1)}},
 	})
-	d := chk.Check(sel, args, session, hypo)
+	d := chk.Check(ctx, sel, args, session, hypo)
 	return d.Allowed
 }

@@ -16,6 +16,7 @@
 package diagnose
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -74,8 +75,14 @@ func writeInstance(b *strings.Builder, inst cq.Instance) {
 // every view answer unchanged while removing a query answer.
 //
 // The search is bounded and sound: any returned counterexample is
-// genuine. Absence of a result does not prove compliance.
-func FindCounterexample(s *schema.Schema, p *policy.Policy, session map[string]sqlvalue.Value, q *cq.Query, facts []cq.Fact) (*Counterexample, bool) {
+// genuine. Absence of a result does not prove compliance. A canceled
+// ctx aborts the search between probe evaluations and reports no
+// counterexample; callers distinguish "none found" from "gave up" via
+// ctx.Err.
+func FindCounterexample(ctx context.Context, s *schema.Schema, p *policy.Policy, session map[string]sqlvalue.Value, q *cq.Query, facts []cq.Fact) (*Counterexample, bool) {
+	if ctx.Err() != nil {
+		return nil, false
+	}
 	bound := q.BindParams(session)
 	inst, _, err := cq.Freeze(s, bound)
 	if err != nil {
@@ -163,6 +170,9 @@ func FindCounterexample(s *schema.Schema, p *policy.Policy, session map[string]s
 		n = 12 // bound the subset search
 	}
 	for mask := 1; mask < 1<<n; mask++ {
+		if mask&15 == 0 && ctx.Err() != nil {
+			return nil, false
+		}
 		d2 := cq.Instance{}
 		skip := map[tupleRef]bool{}
 		for b := 0; b < n; b++ {
@@ -219,6 +229,9 @@ func FindCounterexample(s *schema.Schema, p *policy.Policy, session map[string]s
 				continue
 			}
 			for _, mut := range muts {
+				if ctx.Err() != nil {
+					return nil, false
+				}
 				if sqlvalue.Identical(mut, orig) {
 					continue
 				}
@@ -275,6 +288,9 @@ func FindCounterexample(s *schema.Schema, p *policy.Policy, session map[string]s
 					sqlvalue.NewInt(c-1), sqlvalue.NewInt(c), sqlvalue.NewInt(c+1))
 			}
 			for _, v1 := range cands {
+				if ctx.Err() != nil {
+					return nil, false
+				}
 				d1 := inst.Clone()
 				d1[ref.table][ref.idx][col] = v1
 				if !negFactsHold(d1, facts, session) {

@@ -1,6 +1,7 @@
 package diagnose
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/apps"
@@ -21,7 +22,7 @@ func TestCounterexampleRespectsNegativeFacts(t *testing.T) {
 		Atom:    cq.Atom{Table: "attendance", Args: []cq.Term{cq.CInt(1), cq.CInt(2)}},
 		Negated: true,
 	}}
-	if _, ok := FindCounterexample(s, p, session(1), q, neg); ok {
+	if _, ok := FindCounterexample(context.Background(), s, p, session(1), q, neg); ok {
 		t.Fatal("counterexample must not contradict a negative trace fact")
 	}
 }
@@ -35,7 +36,7 @@ func TestCounterexampleNegativePatternWithVariables(t *testing.T) {
 		Atom:    cq.Atom{Table: "attendance", Args: []cq.Term{cq.CInt(1), cq.V("x")}},
 		Negated: true,
 	}}
-	if _, ok := FindCounterexample(s, p, session(1), q, neg); ok {
+	if _, ok := FindCounterexample(context.Background(), s, p, session(1), q, neg); ok {
 		t.Fatal("freeze contradicts the all-events-empty pattern; search must give up")
 	}
 }
@@ -50,7 +51,7 @@ func TestCounterexamplePositiveFactProtected(t *testing.T) {
 	pos := []cq.Fact{{
 		Atom: cq.Atom{Table: "attendance", Args: []cq.Term{cq.CInt(1), cq.CInt(2)}},
 	}}
-	if ce, ok := FindCounterexample(s, p, session(1), q, pos); ok {
+	if ce, ok := FindCounterexample(context.Background(), s, p, session(1), q, pos); ok {
 		t.Fatalf("compliant-with-history query must have no counterexample, got\n%s", ce)
 	}
 }
@@ -62,7 +63,7 @@ func TestCounterexamplePairMutation(t *testing.T) {
 	f := apps.Employees()
 	p := f.Policy()
 	q := cq.MustFromSQL(f.Schema, "SELECT Name FROM Employees WHERE Age >= 18")[0]
-	ce, ok := FindCounterexample(f.Schema, p, f.Session(1), q, nil)
+	ce, ok := FindCounterexample(context.Background(), f.Schema, p, f.Session(1), q, nil)
 	if !ok {
 		t.Fatal("pair mutation should find a counterexample for the adults query")
 	}
@@ -87,7 +88,7 @@ func TestCounterexampleCellMutationHiddenColumn(t *testing.T) {
 	f := apps.Hospital()
 	p := f.Policy()
 	q := cq.MustFromSQL(f.Schema, "SELECT PName, Disease FROM Patients")[0]
-	ce, ok := FindCounterexample(f.Schema, p, f.Session(1), q, nil)
+	ce, ok := FindCounterexample(context.Background(), f.Schema, p, f.Session(1), q, nil)
 	if !ok {
 		t.Fatal("cell mutation should find a counterexample for the hidden disease column")
 	}
@@ -99,7 +100,7 @@ func TestCounterexampleCellMutationHiddenColumn(t *testing.T) {
 func TestCounterexampleUnsatisfiableQuery(t *testing.T) {
 	p := calendarPolicy(t)
 	q := cq.MustFromSQL(p.Schema, "SELECT EId FROM Attendance WHERE UId = 1 AND UId = 2")[0]
-	if _, ok := FindCounterexample(p.Schema, p, session(1), q, nil); ok {
+	if _, ok := FindCounterexample(context.Background(), p.Schema, p, session(1), q, nil); ok {
 		t.Fatal("unsatisfiable query cannot have a counterexample")
 	}
 }
@@ -111,7 +112,7 @@ func TestAbduceNoCheckForHopelessQuery(t *testing.T) {
 	f := apps.Calendar()
 	chk := checker.New(f.Policy())
 	sel := sqlparser.MustParseSelect("SELECT Name FROM Users WHERE UId = 2")
-	checks, err := AbduceAccessChecks(chk, f.Session(1), sel, sqlparser.NoArgs, nil)
+	checks, err := AbduceAccessChecks(context.Background(), chk, f.Session(1), sel, sqlparser.NoArgs, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,9 +1,11 @@
 package diagnose
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	"repro/internal/acerr"
 	"repro/internal/checker"
 	"repro/internal/cq"
 	"repro/internal/policy"
@@ -58,13 +60,16 @@ func (d *Diagnosis) String() string {
 	return b.String()
 }
 
-// Diagnose produces the full diagnosis for a blocked query.
-func Diagnose(chk *checker.Checker, session map[string]sqlvalue.Value, sql string, args sqlparser.Args, tr *trace.Trace) (*Diagnosis, error) {
+// Diagnose produces the full diagnosis for a blocked query. The ctx
+// bounds the whole search: a cancellation or deadline aborts the
+// counterexample and patch enumeration mid-way and returns whatever
+// was assembled so far alongside acerr.ErrCanceled.
+func Diagnose(ctx context.Context, chk *checker.Checker, session map[string]sqlvalue.Value, sql string, args sqlparser.Args, tr *trace.Trace) (*Diagnosis, error) {
 	sel, err := sqlparser.ParseSelect(sql)
 	if err != nil {
 		return nil, err
 	}
-	d := chk.Check(sel, args, session, tr)
+	d := chk.Check(ctx, sel, args, session, tr)
 	out := &Diagnosis{Query: sql, Reason: d.Reason}
 	if d.Allowed {
 		out.Reason = "query is allowed; nothing to diagnose"
@@ -79,21 +84,24 @@ func Diagnose(chk *checker.Checker, session map[string]sqlvalue.Value, sql strin
 	facts := FactsFromTrace(s, tr)
 	if ucq, terr := (&cq.Translator{Schema: s}).TranslateSelect(bound.(*sqlparser.SelectStmt)); terr == nil {
 		for _, q := range ucq {
-			if ce, ok := FindCounterexample(s, chk.Policy(), session, q, facts); ok {
+			if ce, ok := FindCounterexample(ctx, s, chk.Policy(), session, q, facts); ok {
 				out.Counter = ce
 				break
 			}
 		}
 		for _, q := range ucq {
-			rw, rerr := ContainedRewritings(chk, session, q)
+			rw, rerr := ContainedRewritings(ctx, chk, session, q)
 			if rerr == nil {
 				out.Rewritings = append(out.Rewritings, rw...)
 			}
 		}
 	}
-	checks, err := AbduceAccessChecks(chk, session, sel, args, tr)
+	checks, err := AbduceAccessChecks(ctx, chk, session, sel, args, tr)
 	if err == nil {
 		out.Checks = checks
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return out, acerr.Canceled(cerr)
 	}
 	return out, nil
 }
@@ -111,7 +119,7 @@ func SuggestPolicyPatches(current, extracted *policy.Policy) []*policy.View {
 // PatchAllowsQuery reports whether adding the candidate views to the
 // policy would allow the blocked query — the sanity check an operator
 // runs before accepting a policy patch.
-func PatchAllowsQuery(p *policy.Policy, patches []*policy.View, session map[string]sqlvalue.Value, sql string, args sqlparser.Args, tr *trace.Trace) (bool, error) {
+func PatchAllowsQuery(ctx context.Context, p *policy.Policy, patches []*policy.View, session map[string]sqlvalue.Value, sql string, args sqlparser.Args, tr *trace.Trace) (bool, error) {
 	patched := p.Clone()
 	for i, v := range patches {
 		name := v.Name
@@ -123,7 +131,7 @@ func PatchAllowsQuery(p *policy.Policy, patches []*policy.View, session map[stri
 		}
 	}
 	chk := checker.New(patched)
-	d, err := chk.CheckSQL(sql, args, session, tr)
+	d, err := chk.CheckSQL(ctx, sql, args, session, tr)
 	if err != nil {
 		return false, err
 	}

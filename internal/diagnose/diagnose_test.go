@@ -1,6 +1,7 @@
 package diagnose
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -52,7 +53,7 @@ func TestCounterexampleForBlockedQ2(t *testing.T) {
 	p := calendarPolicy(t)
 	s := p.Schema
 	q := cq.MustFromSQL(s, "SELECT * FROM Events WHERE EId=2")[0]
-	ce, ok := FindCounterexample(s, p, session(1), q, nil)
+	ce, ok := FindCounterexample(context.Background(), s, p, session(1), q, nil)
 	if !ok {
 		t.Fatal("blocked Q2 must have a counterexample")
 	}
@@ -74,7 +75,7 @@ func TestNoCounterexampleForAllowedQuery(t *testing.T) {
 	// V1's own instantiation: allowed, so the bounded search must not
 	// find a counterexample (checker soundness cross-check).
 	q := cq.MustFromSQL(s, "SELECT EId FROM Attendance WHERE UId = 1")[0]
-	if _, ok := FindCounterexample(s, p, session(1), q, nil); ok {
+	if _, ok := FindCounterexample(context.Background(), s, p, session(1), q, nil); ok {
 		t.Fatal("allowed query must not have a counterexample")
 	}
 }
@@ -84,7 +85,7 @@ func TestNoCounterexampleWithHistory(t *testing.T) {
 	s := p.Schema
 	q := cq.MustFromSQL(s, "SELECT * FROM Events WHERE EId=2")[0]
 	facts := []cq.Fact{{Atom: cq.Atom{Table: "attendance", Args: []cq.Term{cq.CInt(1), cq.CInt(2)}}}}
-	if _, ok := FindCounterexample(s, p, session(1), q, facts); ok {
+	if _, ok := FindCounterexample(context.Background(), s, p, session(1), q, facts); ok {
 		t.Fatal("with the attendance fact, Q2 is compliant — no counterexample may exist")
 	}
 }
@@ -108,7 +109,7 @@ func TestCheckerSoundnessAgainstCounterexamples(t *testing.T) {
 		"SELECT Name FROM Users WHERE UId = 1",
 	}
 	for _, sql := range queries {
-		d, err := chk.CheckSQL(sql, sqlparser.NoArgs, session(1), nil)
+		d, err := chk.CheckSQL(context.Background(), sql, sqlparser.NoArgs, session(1), nil)
 		if err != nil {
 			t.Fatalf("%s: %v", sql, err)
 		}
@@ -117,7 +118,7 @@ func TestCheckerSoundnessAgainstCounterexamples(t *testing.T) {
 			t.Fatalf("%s: %v", sql, err)
 		}
 		for _, q := range ucq {
-			_, found := FindCounterexample(s, p, session(1), q, nil)
+			_, found := FindCounterexample(context.Background(), s, p, session(1), q, nil)
 			if d.Allowed && found {
 				t.Errorf("UNSOUND: checker allowed %q but a counterexample exists", sql)
 			}
@@ -129,7 +130,7 @@ func TestContainedRewritingForQ2(t *testing.T) {
 	p := calendarPolicy(t)
 	chk := checker.New(p)
 	q := cq.MustFromSQL(p.Schema, "SELECT * FROM Events WHERE EId=2")[0]
-	rws, err := ContainedRewritings(chk, session(1), q)
+	rws, err := ContainedRewritings(context.Background(), chk, session(1), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestContainedRewritingForQ2(t *testing.T) {
 		if !cq.Contains(r.CQ, q) {
 			t.Errorf("rewriting not contained: %s", r.SQL)
 		}
-		d, err := chk.CheckSQL(r.SQL, sqlparser.NoArgs, session(1), nil)
+		d, err := chk.CheckSQL(context.Background(), r.SQL, sqlparser.NoArgs, session(1), nil)
 		if err != nil || !d.Allowed {
 			t.Errorf("rewriting not allowed: %s (%v %v)", r.SQL, d, err)
 		}
@@ -152,7 +153,7 @@ func TestRewritingRetainsAnswersWhenPermitted(t *testing.T) {
 	p := calendarPolicy(t)
 	chk := checker.New(p)
 	q := cq.MustFromSQL(p.Schema, "SELECT * FROM Events WHERE EId=2")[0]
-	rws, err := ContainedRewritings(chk, session(1), q)
+	rws, err := ContainedRewritings(context.Background(), chk, session(1), q)
 	if err != nil || len(rws) == 0 {
 		t.Fatalf("rewritings: %v %v", rws, err)
 	}
@@ -188,7 +189,7 @@ func TestAbduceAccessCheckExample21(t *testing.T) {
 	p := calendarPolicy(t)
 	chk := checker.New(p)
 	sel := sqlparser.MustParseSelect("SELECT * FROM Events WHERE EId=2")
-	checks, err := AbduceAccessChecks(chk, session(1), sel, sqlparser.NoArgs, nil)
+	checks, err := AbduceAccessChecks(context.Background(), chk, session(1), sel, sqlparser.NoArgs, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +219,7 @@ func TestAbduceRespectsNegativeTraceFacts(t *testing.T) {
 	probe := sqlparser.MustParseSelect("SELECT 1 FROM Attendance WHERE UId=1 AND EId=2")
 	tr.Append(trace.Entry{SQL: probe.SQL(), Stmt: probe, Args: sqlparser.NoArgs, Columns: []string{"1"}})
 	sel := sqlparser.MustParseSelect("SELECT * FROM Events WHERE EId=2")
-	checks, err := AbduceAccessChecks(chk, session(1), sel, sqlparser.NoArgs, tr)
+	checks, err := AbduceAccessChecks(context.Background(), chk, session(1), sel, sqlparser.NoArgs, tr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +233,7 @@ func TestAbduceRespectsNegativeTraceFacts(t *testing.T) {
 func TestDiagnoseEndToEnd(t *testing.T) {
 	p := calendarPolicy(t)
 	chk := checker.New(p)
-	d, err := Diagnose(chk, session(1), "SELECT * FROM Events WHERE EId=2", sqlparser.NoArgs, nil)
+	d, err := Diagnose(context.Background(), chk, session(1), "SELECT * FROM Events WHERE EId=2", sqlparser.NoArgs, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,7 +257,7 @@ func TestDiagnoseEndToEnd(t *testing.T) {
 func TestDiagnoseAllowedQuery(t *testing.T) {
 	p := calendarPolicy(t)
 	chk := checker.New(p)
-	d, err := Diagnose(chk, session(1), "SELECT EId FROM Attendance WHERE UId = 1", sqlparser.NoArgs, nil)
+	d, err := Diagnose(context.Background(), chk, session(1), "SELECT EId FROM Attendance WHERE UId = 1", sqlparser.NoArgs, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,7 +276,7 @@ func TestSuggestPolicyPatches(t *testing.T) {
 	if len(patches) != 1 || patches[0].Name != "X2" {
 		t.Fatalf("patches: %+v", patches)
 	}
-	ok, err := PatchAllowsQuery(p, patches, session(1), "SELECT Name FROM Users WHERE UId = 1", sqlparser.NoArgs, nil)
+	ok, err := PatchAllowsQuery(context.Background(), p, patches, session(1), "SELECT Name FROM Users WHERE UId = 1", sqlparser.NoArgs, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,7 +285,7 @@ func TestSuggestPolicyPatches(t *testing.T) {
 	}
 	// Without the patch it stays blocked.
 	chk := checker.New(p)
-	d, _ := chk.CheckSQL("SELECT Name FROM Users WHERE UId = 1", sqlparser.NoArgs, session(1), nil)
+	d, _ := chk.CheckSQL(context.Background(), "SELECT Name FROM Users WHERE UId = 1", sqlparser.NoArgs, session(1), nil)
 	if d.Allowed {
 		t.Fatal("setup: query should be blocked pre-patch")
 	}

@@ -1,6 +1,7 @@
 package diagnose
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -27,7 +28,7 @@ const maxRewriteCandidates = 512
 // strictly contained in the original, (b) satisfiable, and (c) allowed
 // by the checker. Only maximal candidates are returned, most-general
 // first.
-func ContainedRewritings(chk *checker.Checker, session map[string]sqlvalue.Value, q *cq.Query) ([]Rewriting, error) {
+func ContainedRewritings(ctx context.Context, chk *checker.Checker, session map[string]sqlvalue.Value, q *cq.Query) ([]Rewriting, error) {
 	s := chk.Policy().Schema
 	var candidates []*cq.Query
 	for _, vd := range chk.Policy().Disjuncts(nil) {
@@ -64,7 +65,7 @@ func ContainedRewritings(chk *checker.Checker, session map[string]sqlvalue.Value
 		if err != nil {
 			continue
 		}
-		d, err := chk.CheckSQL(sql, sqlparser.NoArgs, session, nil)
+		d, err := chk.CheckSQL(ctx, sql, sqlparser.NoArgs, session, nil)
 		if err != nil || !d.Allowed {
 			continue
 		}

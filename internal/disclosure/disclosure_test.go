@@ -1,6 +1,7 @@
 package disclosure
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -171,7 +172,7 @@ func TestAuditReport(t *testing.T) {
 	p := policy.MustNew(s, map[string]string{
 		"Q1": "SELECT Name FROM Employees WHERE Age >= 60",
 	})
-	rep, err := Audit(p, map[string]string{
+	rep, err := Audit(context.Background(), p, map[string]string{
 		"SAdults": "SELECT Name FROM Employees WHERE Age >= 18",
 		"SIds":    "SELECT Id FROM Employees",
 	})

@@ -20,10 +20,12 @@
 package disclosure
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
+	"repro/internal/acerr"
 	"repro/internal/cq"
 	"repro/internal/policy"
 	"repro/internal/schema"
@@ -253,8 +255,9 @@ type Finding struct {
 	NQI  Verdict
 }
 
-// Audit checks PQI and NQI for every sensitive query.
-func Audit(p *policy.Policy, sensitive map[string]string) (*Report, error) {
+// Audit checks PQI and NQI for every sensitive query. The ctx bounds
+// the audit; cancellation between queries returns acerr.ErrCanceled.
+func Audit(ctx context.Context, p *policy.Policy, sensitive map[string]string) (*Report, error) {
 	names := make([]string, 0, len(sensitive))
 	for n := range sensitive {
 		names = append(names, n)
@@ -262,6 +265,9 @@ func Audit(p *policy.Policy, sensitive map[string]string) (*Report, error) {
 	sort.Strings(names)
 	rep := &Report{}
 	for _, n := range names {
+		if err := ctx.Err(); err != nil {
+			return nil, acerr.Canceled(err)
+		}
 		q, err := sensitiveCQ(p.Schema, sensitive[n])
 		if err != nil {
 			return nil, fmt.Errorf("disclosure: %s: %w", n, err)

@@ -1,10 +1,12 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
+	"repro/internal/acerr"
 	"repro/internal/schema"
 	"repro/internal/sqlparser"
 	"repro/internal/sqlvalue"
@@ -12,9 +14,16 @@ import (
 
 // Query runs a SELECT whose parameters are already bound.
 func (db *DB) Query(sel *sqlparser.SelectStmt) (*Result, error) {
+	return db.QueryCtx(context.Background(), sel)
+}
+
+// QueryCtx runs a SELECT whose parameters are already bound, aborting
+// mid-scan when ctx is canceled or its deadline passes. The returned
+// error then satisfies errors.Is(err, acerr.ErrCanceled).
+func (db *DB) QueryCtx(ctx context.Context, sel *sqlparser.SelectStmt) (*Result, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	ev := &evaluator{db: db}
+	ev := &evaluator{db: db, ctx: ctx}
 	return ev.execSelect(sel, nil)
 }
 
@@ -87,7 +96,23 @@ type env struct {
 }
 
 type evaluator struct {
-	db *DB
+	db  *DB
+	ctx context.Context
+	ops int
+}
+
+// tick is called once per row produced or filtered in the hot loops;
+// every 1024 ticks it polls the context so a canceled query stops
+// scanning within a bounded number of rows.
+func (ev *evaluator) tick() error {
+	ev.ops++
+	if ev.ops&1023 != 0 || ev.ctx == nil {
+		return nil
+	}
+	if err := ev.ctx.Err(); err != nil {
+		return fmt.Errorf("engine: query %w", acerr.Canceled(err))
+	}
+	return nil
 }
 
 // execSelect runs a SELECT against the (already read-locked) storage,
@@ -213,7 +238,10 @@ func (ev *evaluator) execSingleSelect(sel *sqlparser.SelectStmt, parent *env) (*
 			if err != nil {
 				return nil, err
 			}
-			rows = crossProduct(rows, teRows)
+			rows, err = ev.crossProduct(rows, teRows)
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
 
@@ -221,6 +249,9 @@ func (ev *evaluator) execSingleSelect(sel *sqlparser.SelectStmt, parent *env) (*
 	if sel.Where != nil {
 		var kept []Row
 		for _, r := range rows {
+			if err := ev.tick(); err != nil {
+				return nil, err
+			}
 			ok, err := ev.predicateEnv(sel.Where, &env{scope: sc, row: r, parent: parent})
 			if err != nil {
 				return nil, err
@@ -475,6 +506,9 @@ func (ev *evaluator) tableRows(te sqlparser.TableExpr, sc *scope, parent *env) (
 		for _, lr := range leftRows {
 			matched := false
 			for _, rr := range rightRows {
+				if err := ev.tick(); err != nil {
+					return nil, err
+				}
 				combined := make(Row, 0, leftWidth+rightWidth)
 				combined = append(combined, lr...)
 				combined = append(combined, rr...)
@@ -512,20 +546,23 @@ func (ev *evaluator) tableRows(te sqlparser.TableExpr, sc *scope, parent *env) (
 	return nil, fmt.Errorf("engine: unsupported FROM item %T", te)
 }
 
-func crossProduct(acc, next []Row) []Row {
+func (ev *evaluator) crossProduct(acc, next []Row) ([]Row, error) {
 	if len(next) == 0 {
-		return nil
+		return nil, nil
 	}
 	out := make([]Row, 0, len(acc)*len(next))
 	for _, a := range acc {
 		for _, b := range next {
+			if err := ev.tick(); err != nil {
+				return nil, err
+			}
 			r := make(Row, 0, len(a)+len(b))
 			r = append(r, a...)
 			r = append(r, b...)
 			out = append(out, r)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // outputColumns derives the result column names.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -33,7 +34,7 @@ func RunE8() (*Table, error) {
 			}
 			sess := f.Session(w.UId)
 			start := time.Now()
-			d, err := diagnose.Diagnose(chk, sess, w.SQL, sqlparser.PositionalArgs(w.Args...), nil)
+			d, err := diagnose.Diagnose(context.Background(), chk, sess, w.SQL, sqlparser.PositionalArgs(w.Args...), nil)
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s: %w", f.Name, w.Label, err)
 			}
@@ -103,7 +104,7 @@ func RunE8Retention() (*Table, error) {
 			}
 			best := -1.0
 			for _, q := range ucq {
-				rws, err := diagnose.ContainedRewritings(chk, sess, q)
+				rws, err := diagnose.ContainedRewritings(context.Background(), chk, sess, q)
 				if err != nil {
 					return nil, err
 				}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -23,7 +24,7 @@ func RunE6() (*Table, error) {
 	}
 	for _, f := range apps.All() {
 		p := f.Policy()
-		rep, err := disclosure.Audit(p, f.Sensitive)
+		rep, err := disclosure.Audit(context.Background(), p, f.Sensitive)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", f.Name, err)
 		}

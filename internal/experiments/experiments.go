@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -119,7 +120,7 @@ func RunE1() (*Table, error) {
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s: %w", f.Name, w.Label, err)
 			}
-			d, err := chk.CheckSQL(w.SQL, sqlparser.PositionalArgs(w.Args...), f.Session(w.UId), tr)
+			d, err := chk.CheckSQL(context.Background(), w.SQL, sqlparser.PositionalArgs(w.Args...), f.Session(w.UId), tr)
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s: %w", f.Name, w.Label, err)
 			}
@@ -201,7 +202,7 @@ func RunE2(dbSize, iters int) (*Table, error) {
 	coldOpts.UseCache = false
 	coldChk := checker.NewWithOptions(f.Policy(), coldOpts)
 	cold, err := measure(func() error {
-		coldChk.Check(sel, argv, sess, nil)
+		coldChk.Check(context.Background(), sel, argv, sess, nil)
 		_, e := db.Query(bsel)
 		return e
 	})
@@ -210,9 +211,9 @@ func RunE2(dbSize, iters int) (*Table, error) {
 	}
 
 	cachedChk := checker.New(f.Policy())
-	cachedChk.Check(sel, argv, sess, nil) // warm the template
+	cachedChk.Check(context.Background(), sel, argv, sess, nil) // warm the template
 	cached, err := measure(func() error {
-		cachedChk.Check(sel, argv, sess, nil)
+		cachedChk.Check(context.Background(), sel, argv, sess, nil)
 		_, e := db.Query(bsel)
 		return e
 	})
@@ -240,14 +241,14 @@ func RunE2(dbSize, iters int) (*Table, error) {
 	// Decision-only costs (no query execution), the stable signal for
 	// the cached-vs-cold comparison.
 	decCold, err := measure(func() error {
-		coldChk.Check(sel, argv, sess, nil)
+		coldChk.Check(context.Background(), sel, argv, sess, nil)
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	decCached, err := measure(func() error {
-		cachedChk.Check(sel, argv, sess, nil)
+		cachedChk.Check(context.Background(), sel, argv, sess, nil)
 		return nil
 	})
 	if err != nil {
@@ -268,7 +269,7 @@ func RunE2(dbSize, iters int) (*Table, error) {
 		p := SyntheticPolicy(f, nviews)
 		chk := checker.NewWithOptions(p, coldOpts)
 		ns, err := measure(func() error {
-			chk.Check(sel, argv, sess, nil)
+			chk.Check(context.Background(), sel, argv, sess, nil)
 			return nil
 		})
 		if err != nil {
@@ -303,11 +304,11 @@ func RunE3() (*Table, error) {
 				if err != nil {
 					return nil, err
 				}
-				d, err := chk.CheckSQL(w.SQL, sqlparser.PositionalArgs(w.Args...), f.Session(uid), tr)
+				d, err := chk.CheckSQL(context.Background(), w.SQL, sqlparser.PositionalArgs(w.Args...), f.Session(uid), tr)
 				if err != nil {
 					return nil, err
 				}
-				dn, err := chkNoHist.CheckSQL(w.SQL, sqlparser.PositionalArgs(w.Args...), f.Session(uid), tr)
+				dn, err := chkNoHist.CheckSQL(context.Background(), w.SQL, sqlparser.PositionalArgs(w.Args...), f.Session(uid), tr)
 				if err != nil {
 					return nil, err
 				}

@@ -2,6 +2,7 @@ package proxy
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -79,10 +80,10 @@ func TestConnectionLimit(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cl2.Close()
-	if err := cl1.Hello(map[string]any{"MyUId": 1}); err != nil {
+	if err := cl1.Hello(context.Background(), map[string]any{"MyUId": 1}); err != nil {
 		t.Fatal(err)
 	}
-	if err := cl2.Hello(map[string]any{"MyUId": 2}); err != nil {
+	if err := cl2.Hello(context.Background(), map[string]any{"MyUId": 2}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -106,7 +107,7 @@ func TestConnectionLimit(t *testing.T) {
 	}
 
 	// Existing sessions unaffected.
-	if _, err := cl1.Query("SELECT EId FROM Attendance WHERE UId = 1"); err != nil {
+	if _, err := cl1.Query(context.Background(), "SELECT EId FROM Attendance WHERE UId = 1"); err != nil {
 		t.Fatalf("existing connection broken by rejected dial: %v", err)
 	}
 
@@ -118,7 +119,7 @@ func TestConnectionLimit(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := cl3.Hello(map[string]any{"MyUId": 3}); err == nil {
+		if err := cl3.Hello(context.Background(), map[string]any{"MyUId": 3}); err == nil {
 			cl3.Close()
 			break
 		}
@@ -176,7 +177,7 @@ func TestGracefulCloseDrains(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cl.Close()
-	if err := cl.Hello(map[string]any{"MyUId": 1}); err != nil {
+	if err := cl.Hello(context.Background(), map[string]any{"MyUId": 1}); err != nil {
 		t.Fatal(err)
 	}
 	var wg sync.WaitGroup
@@ -184,7 +185,7 @@ func TestGracefulCloseDrains(t *testing.T) {
 	queryErr := make(chan error, 1)
 	go func() {
 		defer wg.Done()
-		_, err := cl.Query("SELECT EId FROM Attendance WHERE UId = 1")
+		_, err := cl.Query(context.Background(), "SELECT EId FROM Attendance WHERE UId = 1")
 		queryErr <- err
 	}()
 	// Close concurrently; it must return (drain) without hanging.
@@ -248,37 +249,37 @@ func TestConcurrentMixedOps(t *testing.T) {
 				return
 			}
 			defer cl.Close()
-			if err := cl.Hello(map[string]any{"MyUId": uid}); err != nil {
+			if err := cl.Hello(context.Background(), map[string]any{"MyUId": uid}); err != nil {
 				errs <- err
 				return
 			}
 			for i := 0; i < 15; i++ {
 				switch i % 4 {
 				case 0:
-					if _, err := cl.Query("SELECT EId FROM Attendance WHERE UId = ?", uid); err != nil {
+					if _, err := cl.Query(context.Background(), "SELECT EId FROM Attendance WHERE UId = ?", uid); err != nil {
 						errs <- fmt.Errorf("g%d query: %w", g, err)
 						return
 					}
 				case 1:
 					// Cross-user reads block but must not error the wire.
-					if _, err := cl.Query("SELECT * FROM Attendance"); err == nil {
+					if _, err := cl.Query(context.Background(), "SELECT * FROM Attendance"); err == nil {
 						errs <- fmt.Errorf("g%d: table scan was not blocked", g)
 						return
 					}
 				case 2:
-					if _, err := cl.Exec("INSERT INTO Attendance (UId, EId) VALUES (?, ?)", uid, 100+g*100+i); err != nil {
+					if _, err := cl.Exec(context.Background(), "INSERT INTO Attendance (UId, EId) VALUES (?, ?)", uid, 100+g*100+i); err != nil {
 						errs <- fmt.Errorf("g%d exec: %w", g, err)
 						return
 					}
 				default:
-					if _, err := cl.Stats(); err != nil {
+					if _, err := cl.Stats(context.Background()); err != nil {
 						errs <- fmt.Errorf("g%d stats: %w", g, err)
 						return
 					}
 				}
 			}
 			// Re-hello resets the session history mid-connection.
-			if err := cl.Hello(map[string]any{"MyUId": uid}); err != nil {
+			if err := cl.Hello(context.Background(), map[string]any{"MyUId": uid}); err != nil {
 				errs <- err
 				return
 			}
@@ -301,20 +302,20 @@ func TestExtendedStats(t *testing.T) {
 	srv := testServer(t, Enforce)
 	quietLog(t, srv)
 	cl := dialTest(t, srv)
-	if err := cl.Hello(map[string]any{"MyUId": 1}); err != nil {
+	if err := cl.Hello(context.Background(), map[string]any{"MyUId": 1}); err != nil {
 		t.Fatal(err)
 	}
 	// Build history so the fact cache sees reuse: each query derives
 	// facts over the prior entries.
-	if _, err := cl.Query("SELECT 1 FROM Attendance WHERE UId=1 AND EId=2"); err != nil {
+	if _, err := cl.Query(context.Background(), "SELECT 1 FROM Attendance WHERE UId=1 AND EId=2"); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 3; i++ {
-		if _, err := cl.Query("SELECT * FROM Events WHERE EId=2"); err != nil {
+		if _, err := cl.Query(context.Background(), "SELECT * FROM Events WHERE EId=2"); err != nil {
 			t.Fatal(err)
 		}
 	}
-	st, err := cl.Stats()
+	st, err := cl.Stats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,353 @@
+package proxy
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/acerr"
+)
+
+// dialV2 dials the server and negotiates protocol v2 as user 1.
+func dialV2(t *testing.T, srv *Server, opts ...ClientOption) *Client {
+	t.Helper()
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	cl, err := Dial(addr, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	if err := cl.Hello(context.Background(), map[string]any{"MyUId": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Proto() != ProtoV2 {
+		t.Fatalf("negotiated proto %d, want %d", cl.Proto(), ProtoV2)
+	}
+	return cl
+}
+
+// seedWide inserts enough users that a 3-way cross join takes real
+// time in the engine (with context ticks along the way).
+func seedWide(t *testing.T, srv *Server, n int) {
+	t.Helper()
+	for i := 10; i < 10+n; i++ {
+		srv.DB.MustExec(fmt.Sprintf("INSERT INTO Users (UId, Name) VALUES (%d, 'u%d')", i, i))
+	}
+}
+
+const (
+	slowJoin3 = "SELECT u1.UId FROM Users u1 CROSS JOIN Users u2 CROSS JOIN Users u3"
+	slowJoin4 = "SELECT u1.UId FROM Users u1 CROSS JOIN Users u2 CROSS JOIN Users u3 CROSS JOIN Users u4"
+)
+
+func TestPipelinedOutOfOrderAcrossLanes(t *testing.T) {
+	srv := testServer(t, Off)
+	seedWide(t, srv, 80)
+	cl := dialV2(t, srv)
+	ctx := context.Background()
+
+	slow, err := cl.Lane(1).QueryAsync(ctx, slowJoin3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := cl.Lane(2).QueryAsync(ctx, "SELECT Name FROM Users WHERE UId = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var fastDone, slowDone time.Time
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		if _, err := slow.Wait(ctx); err != nil {
+			t.Errorf("slow query: %v", err)
+		}
+		slowDone = time.Now()
+	}()
+	go func() {
+		defer wg.Done()
+		if _, err := fast.Wait(ctx); err != nil {
+			t.Errorf("fast query: %v", err)
+		}
+		fastDone = time.Now()
+	}()
+	wg.Wait()
+	if !fastDone.Before(slowDone) {
+		t.Fatalf("expected the fast lane to complete first (fast %v, slow %v): responses were not reordered",
+			fastDone, slowDone)
+	}
+}
+
+func TestPipelinedSessionOrderPreserved(t *testing.T) {
+	// Example 2.1 pipelined: the access probe and the event fetch are
+	// sent back-to-back without waiting. Because one lane serializes,
+	// the probe's answer must be in the history by the time the fetch
+	// is checked, so the fetch is allowed.
+	srv := testServer(t, Enforce)
+	cl := dialV2(t, srv)
+	ctx := context.Background()
+
+	probe, err := cl.QueryAsync(ctx, "SELECT 1 FROM Attendance WHERE UId=1 AND EId=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fetch, err := cl.QueryAsync(ctx, "SELECT * FROM Events WHERE EId=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := probe.Wait(ctx); err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+	rows, err := fetch.Wait(ctx)
+	if err != nil {
+		t.Fatalf("pipelined fetch after probe must be allowed: %v", err)
+	}
+	if len(rows.Rows) != 1 {
+		t.Fatalf("rows: %+v", rows.Rows)
+	}
+}
+
+func TestBatchMidBlocked(t *testing.T) {
+	srv := testServer(t, Enforce)
+	cl := dialV2(t, srv)
+	ctx := context.Background()
+
+	res, err := cl.Batch(ctx, []BatchItem{
+		{SQL: "SELECT 1 FROM Attendance WHERE UId=1 AND EId=2"},
+		{SQL: "SELECT Name FROM Users WHERE UId = 2"}, // no view covers Users
+		{SQL: "SELECT * FROM Events WHERE EId=2"},
+		{SQL: "INSERT INTO Attendance (UId, EId) VALUES (1, 3)", Exec: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 4 {
+		t.Fatalf("got %d results, want 4", len(res))
+	}
+	if res[0].Err != nil || len(res[0].Rows.Rows) != 1 {
+		t.Fatalf("probe: %+v", res[0])
+	}
+	if !errors.Is(res[1].Err, ErrBlocked) {
+		t.Fatalf("blocked item: %v", res[1].Err)
+	}
+	var be *BlockedError
+	if !errors.As(res[1].Err, &be) || be.Reason == "" {
+		t.Fatalf("blocked item should carry a reason: %v", res[1].Err)
+	}
+	// The block must not abort the rest, and the probe's history
+	// applies to the later fetch.
+	if res[2].Err != nil || len(res[2].Rows.Rows) != 1 {
+		t.Fatalf("fetch after mid-batch block: %+v", res[2])
+	}
+	if res[3].Err != nil || res[3].Affected != 1 {
+		t.Fatalf("exec item: %+v", res[3])
+	}
+}
+
+func TestCancelAbortsSlowQuery(t *testing.T) {
+	srv := testServer(t, Off)
+	seedWide(t, srv, 80)
+	cl := dialV2(t, srv)
+
+	p, err := cl.QueryAsync(context.Background(), slowJoin4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitCtx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = p.Wait(waitCtx)
+	if !errors.Is(err, acerr.ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancel took %v", elapsed)
+	}
+
+	// The connection must stay usable, and the server must have
+	// aborted the join (a 41M-row cross product would take far longer
+	// than this query round trip).
+	rows, err := cl.Query(context.Background(), "SELECT Name FROM Users WHERE UId = 1")
+	if err != nil || len(rows.Rows) != 1 {
+		t.Fatalf("connection unusable after cancel: %v %+v", err, rows)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, err := cl.Stats(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.CanceledReqs >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cancel never reached the in-flight request: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestV1WireCompat drives the server with a raw v1 client: no hello
+// negotiation, no IDs. Responses must come back strictly in order
+// with v1 shapes.
+func TestV1WireCompat(t *testing.T) {
+	srv := testServer(t, Enforce)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc := json.NewEncoder(conn)
+	r := bufio.NewReader(conn)
+	read := func() Response {
+		t.Helper()
+		line, err := r.ReadBytes('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		var resp Response
+		if err := json.Unmarshal(line, &resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	if err := enc.Encode(Request{Op: "hello", Session: map[string]any{"MyUId": 1}}); err != nil {
+		t.Fatal(err)
+	}
+	h := read()
+	if !h.OK || h.Proto != 0 || h.ID != 0 {
+		t.Fatalf("v1 hello response changed shape: %+v", h)
+	}
+
+	// Two pipelined-on-the-wire requests: a v1 server loop still
+	// answers them one at a time, in order.
+	if err := enc.Encode(Request{Op: "query", SQL: "SELECT EId FROM Attendance WHERE UId = 1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(Request{Op: "query", SQL: "SELECT Name FROM Users WHERE UId = 2"}); err != nil {
+		t.Fatal(err)
+	}
+	first := read()
+	if !first.OK || first.Blocked || len(first.Rows) != 1 {
+		t.Fatalf("first response: %+v", first)
+	}
+	second := read()
+	if !second.OK || !second.Blocked {
+		t.Fatalf("second response should be the policy block: %+v", second)
+	}
+}
+
+func TestPipelineStress(t *testing.T) {
+	srv := testServer(t, Enforce)
+	cl := dialV2(t, srv, WithWindow(16))
+
+	const (
+		lanes   = 4
+		perLane = 40
+	)
+	var wg sync.WaitGroup
+	for l := 1; l <= lanes; l++ {
+		wg.Add(1)
+		go func(sid uint64) {
+			defer wg.Done()
+			ctx := context.Background()
+			ln := cl.Lane(sid)
+			if err := ln.Hello(ctx, map[string]any{"MyUId": int(sid)}); err != nil {
+				t.Errorf("lane %d hello: %v", sid, err)
+				return
+			}
+			for i := 0; i < perLane; i++ {
+				if i%5 == 4 {
+					// A blocked query mixed in.
+					_, err := ln.Query(ctx, "SELECT Name FROM Users WHERE UId = 99")
+					if !errors.Is(err, ErrBlocked) {
+						t.Errorf("lane %d: want block, got %v", sid, err)
+					}
+					continue
+				}
+				rows, err := ln.Query(ctx, "SELECT EId FROM Attendance WHERE UId = ?", int(sid))
+				if err != nil {
+					t.Errorf("lane %d: %v", sid, err)
+					return
+				}
+				_ = rows
+			}
+		}(uint64(l))
+	}
+	wg.Wait()
+}
+
+func TestWindowBackpressure(t *testing.T) {
+	// With a client window of 2, a third async send must block until a
+	// response drains. Verify it completes rather than deadlocks.
+	srv := testServer(t, Off)
+	seedWide(t, srv, 40)
+	cl := dialV2(t, srv, WithWindow(2))
+	ctx := context.Background()
+
+	var pending []*PendingRows
+	for i := 0; i < 8; i++ {
+		lane := cl.Lane(uint64(i%2 + 1))
+		p, err := lane.QueryAsync(ctx, "SELECT Name FROM Users WHERE UId = 1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		pending = append(pending, p)
+		if i == 1 {
+			// Drain the first two so later sends can proceed.
+			for _, q := range pending {
+				if _, err := q.Wait(ctx); err != nil {
+					t.Fatal(err)
+				}
+			}
+			pending = pending[:0]
+		}
+	}
+	for _, q := range pending {
+		if _, err := q.Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestServerMaxInFlightBackpressure(t *testing.T) {
+	// Server window of 2, client window of 8: the server stops reading
+	// past two queued requests, TCP pushes back, and everything still
+	// completes in order per lane.
+	srv := testServer(t, Enforce)
+	srv.MaxInFlight = 2 // before Listen: the per-connection window is sized at accept
+	cl := dialV2(t, srv, WithWindow(8))
+	ctx := context.Background()
+
+	var pending []*PendingRows
+	for i := 0; i < 12; i++ {
+		p, err := cl.QueryAsync(ctx, "SELECT EId FROM Attendance WHERE UId = 1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		pending = append(pending, p)
+	}
+	for _, p := range pending {
+		rows, err := p.Wait(ctx)
+		if err != nil || len(rows.Rows) != 1 {
+			t.Fatalf("under server backpressure: %v %+v", err, rows)
+		}
+	}
+}

@@ -8,6 +8,37 @@
 // line from the client, one Response per line back. Sessions are
 // established with a "hello" carrying the principal's attributes
 // (e.g. MyUId), which bind the policy's parameters.
+//
+// # Protocol v2 (pipelining)
+//
+// A client that sends "hello" with MaxProto >= 2 upgrades the
+// connection to protocol v2, negotiated in the hello response's Proto
+// field. Under v2:
+//
+//   - Every request carries a client-assigned sequence ID, echoed in
+//     its response. Responses may return OUT OF ORDER; clients demux
+//     by ID.
+//   - A connection multiplexes independent sessions ("lanes") keyed
+//     by the request's SID. Requests within one session are executed
+//     strictly in arrival order — the history-dependence of compliance
+//     decisions requires it — while different sessions' checks run
+//     concurrently on a bounded per-connection worker pool.
+//   - The server stops reading when Server.MaxInFlight requests are
+//     queued or executing (TCP backpressure).
+//   - "batch" submits sub-requests (query/exec) in one round trip;
+//     they execute in order on the batch's session and return one
+//     sub-response each, in order, inside the enclosing response. A
+//     blocked or failing sub-query does not abort the rest.
+//   - "cancel" (Target = an in-flight request ID) cancels that
+//     request's context; the canceled request responds with the
+//     "canceled" error code.
+//   - Per-request TimeoutMillis bounds queueing plus execution.
+//   - Error responses carry a stable machine-readable Code (see
+//     internal/acerr) alongside the human-readable Error string.
+//
+// v1 clients are untouched: without the MaxProto >= 2 hello the
+// server keeps the serial read-handle-respond loop, in-order
+// responses, and v1 response shapes.
 package proxy
 
 import (
@@ -42,22 +73,54 @@ func (m Mode) String() string {
 	return fmt.Sprintf("Mode(%d)", int(m))
 }
 
+// Protocol versions. ProtoV1 is the implicit version of clients that
+// never negotiate; ProtoV2 adds pipelining, sessions lanes, batch,
+// and cancel.
+const (
+	ProtoV1 = 1
+	ProtoV2 = 2
+)
+
 // Request is one client message.
 type Request struct {
-	// Op is "hello", "query", "exec", or "stats".
+	// Op is "hello", "query", "exec", "stats", "batch", or "cancel".
 	Op string `json:"op"`
+	// ID is the client-assigned sequence number (v2). Echoed in the
+	// response; 0 means "no ID" (v1 clients).
+	ID uint64 `json:"id,omitempty"`
+	// SID selects the session lane this request executes on (v2).
+	// Lane 0 is the connection's default session.
+	SID uint64 `json:"sid,omitempty"`
+	// MaxProto, on "hello", is the highest protocol version the client
+	// speaks; the server answers with the negotiated version.
+	MaxProto int `json:"maxProto,omitempty"`
 	// Session attributes for "hello" (policy parameter values).
 	Session map[string]any `json:"session,omitempty"`
 	// SQL and arguments for "query"/"exec".
 	SQL   string         `json:"sql,omitempty"`
 	Args  []any          `json:"args,omitempty"`
 	Named map[string]any `json:"named,omitempty"`
+	// Batch holds the sub-requests of a "batch" op (query/exec only).
+	Batch []Request `json:"batch,omitempty"`
+	// Target is the in-flight request ID a "cancel" op aborts.
+	Target uint64 `json:"target,omitempty"`
+	// TimeoutMillis bounds this request's queueing plus execution; 0
+	// means no per-request deadline.
+	TimeoutMillis int64 `json:"timeoutMillis,omitempty"`
 }
 
 // Response is one server message.
 type Response struct {
-	OK       bool       `json:"ok"`
-	Error    string     `json:"error,omitempty"`
+	// ID echoes the request's sequence number (v2).
+	ID uint64 `json:"id,omitempty"`
+	OK bool   `json:"ok"`
+	// Proto, on a hello response, is the negotiated protocol version.
+	Proto int    `json:"proto,omitempty"`
+	Error string `json:"error,omitempty"`
+	// Code is the stable machine-readable error code (internal/acerr
+	// wire codes); set alongside Error, and to "blocked" on policy
+	// blocks.
+	Code     string     `json:"code,omitempty"`
 	Blocked  bool       `json:"blocked,omitempty"`
 	Reason   string     `json:"reason,omitempty"`
 	Views    []string   `json:"views,omitempty"`
@@ -65,6 +128,8 @@ type Response struct {
 	Rows     [][]any    `json:"rows,omitempty"`
 	Affected int        `json:"affected,omitempty"`
 	Stats    *StatsBody `json:"stats,omitempty"`
+	// Batch holds sub-responses of a "batch" op, in request order.
+	Batch []Response `json:"batch,omitempty"`
 }
 
 // StatsBody reports server counters over the wire: decision counts,
@@ -97,6 +162,9 @@ type StatsBody struct {
 	ActiveConns   int `json:"activeConns"`
 	TotalConns    int `json:"totalConns"`
 	RejectedConns int `json:"rejectedConns"`
+	// CanceledReqs counts in-flight requests aborted by a v2 "cancel"
+	// op.
+	CanceledReqs int `json:"canceledReqs,omitempty"`
 }
 
 // encodeRows converts engine values to JSON-friendly values.

@@ -1,6 +1,7 @@
 package proxy
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -60,18 +61,18 @@ func dialTest(t *testing.T, srv *Server) *Client {
 func TestEndToEndExample21(t *testing.T) {
 	srv := testServer(t, Enforce)
 	cl := dialTest(t, srv)
-	if err := cl.Hello(map[string]any{"MyUId": 1}); err != nil {
+	if err := cl.Hello(context.Background(), map[string]any{"MyUId": 1}); err != nil {
 		t.Fatal(err)
 	}
 
 	// Q2 alone: blocked.
-	_, err := cl.Query("SELECT * FROM Events WHERE EId=2")
+	_, err := cl.Query(context.Background(), "SELECT * FROM Events WHERE EId=2")
 	if !errors.Is(err, ErrBlocked) {
 		t.Fatalf("Q2 alone should be blocked, got %v", err)
 	}
 
 	// Q1: allowed, returns one row.
-	rows, err := cl.Query("SELECT 1 FROM Attendance WHERE UId=1 AND EId=2")
+	rows, err := cl.Query(context.Background(), "SELECT 1 FROM Attendance WHERE UId=1 AND EId=2")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestEndToEndExample21(t *testing.T) {
 	}
 
 	// Q2 after Q1: allowed by history.
-	rows, err = cl.Query("SELECT * FROM Events WHERE EId=2")
+	rows, err = cl.Query(context.Background(), "SELECT * FROM Events WHERE EId=2")
 	if err != nil {
 		t.Fatalf("Q2 after Q1 should be allowed: %v", err)
 	}
@@ -92,11 +93,11 @@ func TestEndToEndExample21(t *testing.T) {
 func TestSessionIsolation(t *testing.T) {
 	srv := testServer(t, Enforce)
 	cl1 := dialTest(t, srv)
-	if err := cl1.Hello(map[string]any{"MyUId": 1}); err != nil {
+	if err := cl1.Hello(context.Background(), map[string]any{"MyUId": 1}); err != nil {
 		t.Fatal(err)
 	}
 	// Prime history on connection 1.
-	if _, err := cl1.Query("SELECT 1 FROM Attendance WHERE UId=1 AND EId=2"); err != nil {
+	if _, err := cl1.Query(context.Background(), "SELECT 1 FROM Attendance WHERE UId=1 AND EId=2"); err != nil {
 		t.Fatal(err)
 	}
 
@@ -106,10 +107,10 @@ func TestSessionIsolation(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cl2.Close()
-	if err := cl2.Hello(map[string]any{"MyUId": 2}); err != nil {
+	if err := cl2.Hello(context.Background(), map[string]any{"MyUId": 2}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cl2.Query("SELECT * FROM Events WHERE EId=2"); !errors.Is(err, ErrBlocked) {
+	if _, err := cl2.Query(context.Background(), "SELECT * FROM Events WHERE EId=2"); !errors.Is(err, ErrBlocked) {
 		t.Fatalf("user 2 must not benefit from user 1's history: %v", err)
 	}
 }
@@ -117,17 +118,17 @@ func TestSessionIsolation(t *testing.T) {
 func TestLogOnlyMode(t *testing.T) {
 	srv := testServer(t, LogOnly)
 	cl := dialTest(t, srv)
-	if err := cl.Hello(map[string]any{"MyUId": 1}); err != nil {
+	if err := cl.Hello(context.Background(), map[string]any{"MyUId": 1}); err != nil {
 		t.Fatal(err)
 	}
-	rows, err := cl.Query("SELECT * FROM Events WHERE EId=2")
+	rows, err := cl.Query(context.Background(), "SELECT * FROM Events WHERE EId=2")
 	if err != nil {
 		t.Fatalf("log-only must forward: %v", err)
 	}
 	if rows.Empty() {
 		t.Fatal("expected data in log-only mode")
 	}
-	st, err := cl.Stats()
+	st, err := cl.Stats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,10 +140,10 @@ func TestLogOnlyMode(t *testing.T) {
 func TestOffMode(t *testing.T) {
 	srv := testServer(t, Off)
 	cl := dialTest(t, srv)
-	if err := cl.Hello(map[string]any{"MyUId": 1}); err != nil {
+	if err := cl.Hello(context.Background(), map[string]any{"MyUId": 1}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cl.Query("SELECT * FROM Attendance"); err != nil {
+	if _, err := cl.Query(context.Background(), "SELECT * FROM Attendance"); err != nil {
 		t.Fatalf("off mode forwards everything: %v", err)
 	}
 }
@@ -150,14 +151,14 @@ func TestOffMode(t *testing.T) {
 func TestExecPassthrough(t *testing.T) {
 	srv := testServer(t, Enforce)
 	cl := dialTest(t, srv)
-	if err := cl.Hello(map[string]any{"MyUId": 1}); err != nil {
+	if err := cl.Hello(context.Background(), map[string]any{"MyUId": 1}); err != nil {
 		t.Fatal(err)
 	}
-	n, err := cl.Exec("INSERT INTO Attendance (UId, EId) VALUES (?, ?)", 1, 3)
+	n, err := cl.Exec(context.Background(), "INSERT INTO Attendance (UId, EId) VALUES (?, ?)", 1, 3)
 	if err != nil || n != 1 {
 		t.Fatalf("exec: n=%d err=%v", n, err)
 	}
-	rows, err := cl.Query("SELECT EId FROM Attendance WHERE UId = 1 ORDER BY EId")
+	rows, err := cl.Query(context.Background(), "SELECT EId FROM Attendance WHERE UId = 1 ORDER BY EId")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,14 +170,14 @@ func TestExecPassthrough(t *testing.T) {
 func TestQueryErrorsSurface(t *testing.T) {
 	srv := testServer(t, Enforce)
 	cl := dialTest(t, srv)
-	if err := cl.Hello(map[string]any{"MyUId": 1}); err != nil {
+	if err := cl.Hello(context.Background(), map[string]any{"MyUId": 1}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cl.Query("SELECT nope FROM"); err == nil {
+	if _, err := cl.Query(context.Background(), "SELECT nope FROM"); err == nil {
 		t.Fatal("parse error should surface")
 	}
 	// Connection still usable afterwards.
-	if _, err := cl.Query("SELECT EId FROM Attendance WHERE UId = 1"); err != nil {
+	if _, err := cl.Query(context.Background(), "SELECT EId FROM Attendance WHERE UId = 1"); err != nil {
 		t.Fatalf("connection should survive an error: %v", err)
 	}
 }
@@ -196,12 +197,12 @@ func TestInProcessHandle(t *testing.T) {
 func TestStatsOverWire(t *testing.T) {
 	srv := testServer(t, Enforce)
 	cl := dialTest(t, srv)
-	if err := cl.Hello(map[string]any{"MyUId": 1}); err != nil {
+	if err := cl.Hello(context.Background(), map[string]any{"MyUId": 1}); err != nil {
 		t.Fatal(err)
 	}
-	_, _ = cl.Query("SELECT EId FROM Attendance WHERE UId = 1")
-	_, _ = cl.Query("SELECT * FROM Attendance")
-	st, err := cl.Stats()
+	_, _ = cl.Query(context.Background(), "SELECT EId FROM Attendance WHERE UId = 1")
+	_, _ = cl.Query(context.Background(), "SELECT * FROM Attendance")
+	st, err := cl.Stats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

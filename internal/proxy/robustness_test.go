@@ -2,6 +2,7 @@ package proxy
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -33,19 +34,19 @@ func TestConcurrentClients(t *testing.T) {
 				return
 			}
 			defer cl.Close()
-			if err := cl.Hello(map[string]any{"MyUId": uid}); err != nil {
+			if err := cl.Hello(context.Background(), map[string]any{"MyUId": uid}); err != nil {
 				errs <- err
 				return
 			}
 			for i := 0; i < 20; i++ {
-				rows, err := cl.Query("SELECT EId FROM Attendance WHERE UId = ?", uid)
+				rows, err := cl.Query(context.Background(), "SELECT EId FROM Attendance WHERE UId = ?", uid)
 				if err != nil {
 					errs <- fmt.Errorf("uid %d: %w", uid, err)
 					return
 				}
 				_ = rows
 				// Cross-user access must block on every iteration.
-				if _, err := cl.Query("SELECT EId FROM Attendance WHERE UId = ?", uid+1); err == nil {
+				if _, err := cl.Query(context.Background(), "SELECT EId FROM Attendance WHERE UId = ?", uid+1); err == nil {
 					errs <- fmt.Errorf("uid %d: cross-user query was not blocked", uid)
 					return
 				}
@@ -129,10 +130,10 @@ func TestLargeResultOverWire(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cl.Close()
-	if err := cl.Hello(map[string]any{"MyUId": 1}); err != nil {
+	if err := cl.Hello(context.Background(), map[string]any{"MyUId": 1}); err != nil {
 		t.Fatal(err)
 	}
-	rows, err := cl.Query("SELECT * FROM Events")
+	rows, err := cl.Query(context.Background(), "SELECT * FROM Events")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,14 +2,18 @@ package proxy
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/acerr"
 	"repro/internal/checker"
 	"repro/internal/engine"
 	"repro/internal/sqlparser"
@@ -23,6 +27,10 @@ const (
 	DefaultMaxConns = 1024
 	// DefaultMaxLineBytes bounds one request line.
 	DefaultMaxLineBytes = 16 * 1024 * 1024
+	// DefaultMaxInFlight bounds pipelined (v2) requests queued or
+	// executing per connection; past it the server stops reading and
+	// lets TCP flow control push back on the client.
+	DefaultMaxInFlight = 64
 	// latencyWindow is how many recent query latencies the percentile
 	// estimator keeps.
 	latencyWindow = 4096
@@ -48,6 +56,10 @@ type Server struct {
 	// final error Response and the connection is closed. 0 means
 	// DefaultMaxLineBytes.
 	MaxLineBytes int
+	// MaxInFlight bounds the per-connection pipelined window (protocol
+	// v2): requests queued or executing at once. 0 means
+	// DefaultMaxInFlight.
+	MaxInFlight int
 	// Logf, when set, receives connection-level diagnostics (dropped
 	// connections, rejected dials). Defaults to log.Printf.
 	Logf func(format string, args ...any)
@@ -57,11 +69,17 @@ type Server struct {
 	conns  map[net.Conn]struct{}
 	wg     sync.WaitGroup
 	closed bool
+	// closeCtx is the ancestor of every request context served by this
+	// listener; Close cancels it so in-flight checks and scans abort
+	// instead of delaying the drain.
+	closeCtx    context.Context
+	closeCancel context.CancelFunc
 
 	violations    atomic.Int64
 	queries       atomic.Int64
 	totalConns    atomic.Int64
 	rejectedConns atomic.Int64
+	canceledReqs  atomic.Int64
 
 	// Fact-cache counters aggregated across (short-lived) sessions.
 	factReused     atomic.Uint64
@@ -147,6 +165,13 @@ func (s *Server) maxLineBytes() int {
 	return DefaultMaxLineBytes
 }
 
+func (s *Server) maxInFlight() int {
+	if s.MaxInFlight > 0 {
+		return s.MaxInFlight
+	}
+	return DefaultMaxInFlight
+}
+
 // Listen starts accepting connections on addr (e.g. "127.0.0.1:0").
 // It returns the bound address immediately; connections are served on
 // background goroutines until Close.
@@ -161,14 +186,16 @@ func (s *Server) Listen(addr string) (string, error) {
 	}
 	s.closed = false
 	s.ln = ln
+	s.closeCtx, s.closeCancel = context.WithCancel(context.Background())
 	s.mu.Unlock()
 	go s.acceptLoop(ln)
 	return ln.Addr().String(), nil
 }
 
 // Close stops the listener and drains in-flight connections: it
-// interrupts each connection's pending read, lets any request already
-// being handled finish and write its response, and only then returns.
+// cancels every in-flight request context (aborting checks and scans
+// mid-decision), interrupts each connection's pending read, lets
+// handlers write their final responses, and only then returns.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed && s.ln == nil {
@@ -181,6 +208,9 @@ func (s *Server) Close() error {
 	if s.ln != nil {
 		err = s.ln.Close()
 		s.ln = nil
+	}
+	if s.closeCancel != nil {
+		s.closeCancel()
 	}
 	// Wake blocked readers (and writers stuck on dead peers); handlers
 	// mid-request finish normally and notice on the next read.
@@ -208,7 +238,10 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		if len(s.conns) >= s.maxConns() {
 			s.mu.Unlock()
 			s.rejectedConns.Add(1)
-			_ = json.NewEncoder(conn).Encode(Response{Error: "server at connection limit"})
+			_ = json.NewEncoder(conn).Encode(Response{
+				Error: "server at connection limit",
+				Code:  acerr.CodeTooManyConns,
+			})
 			conn.Close()
 			s.logf("proxy: rejected %s: connection limit (%d) reached", conn.RemoteAddr(), s.maxConns())
 			continue
@@ -220,13 +253,249 @@ func (s *Server) acceptLoop(ln net.Listener) {
 	}
 }
 
-// session is per-connection state: principal attributes and history.
+// session is per-connection (v1) or per-lane (v2) state: principal
+// attributes and history.
 type session struct {
 	attrs map[string]sqlvalue.Value
 	tr    *trace.Trace
 	// Last-seen fact-cache counters, for delta aggregation into the
 	// server totals (the trace is replaced on every hello).
 	factReused, factTranslated uint64
+}
+
+func newSessionState() *session {
+	return &session{attrs: map[string]sqlvalue.Value{}, tr: &trace.Trace{}}
+}
+
+// pipeJob is one dispatched v2 request: the decoded request, its
+// already-started context (the per-request deadline ticks from
+// dispatch, so queue time counts), and the un-registration hook.
+type pipeJob struct {
+	req  *Request
+	ctx  context.Context
+	done func()
+}
+
+// lane is one session's ordered execution queue. A single goroutine
+// drains it, so requests within a session execute — and append to the
+// session's history — in exactly the order the client sent them.
+type lane struct {
+	sess *session
+	ch   chan pipeJob
+}
+
+// pipeConn is the per-connection pipelining state for protocol v2.
+// The reader goroutine dispatches into session lanes; lane goroutines
+// execute and hand responses (out of order across lanes) to a writer
+// goroutine that coalesces bursts into single flushes; the sem
+// channel is the in-flight window.
+type pipeConn struct {
+	s   *Server
+	ctx context.Context
+
+	writeMu sync.Mutex
+	bw      *bufio.Writer
+	enc     *json.Encoder
+	scratch []byte
+
+	sem   chan struct{}
+	out   chan *Response
+	wdone chan struct{}
+
+	mu       sync.Mutex
+	lanes    map[uint64]*lane
+	inflight map[uint64]context.CancelFunc
+
+	wg sync.WaitGroup
+}
+
+func newPipeConn(s *Server, ctx context.Context, conn net.Conn) *pipeConn {
+	bw := bufio.NewWriterSize(conn, 64*1024)
+	return &pipeConn{
+		s:        s,
+		ctx:      ctx,
+		bw:       bw,
+		enc:      json.NewEncoder(bw),
+		sem:      make(chan struct{}, s.maxInFlight()),
+		lanes:    make(map[uint64]*lane),
+		inflight: make(map[uint64]context.CancelFunc),
+	}
+}
+
+// encodeResp writes one response into the buffered writer, using the
+// hand-rolled encoder for common shapes. writeMu must be held.
+func (pc *pipeConn) encodeResp(resp *Response) error {
+	if buf, ok := appendResponse(pc.scratch[:0], resp); ok {
+		pc.scratch = buf[:0]
+		_, err := pc.bw.Write(buf)
+		return err
+	}
+	return pc.enc.Encode(resp)
+}
+
+// write encodes and flushes one response synchronously. It is the
+// serial (v1) path; after the v2 upgrade all writes go through send.
+func (pc *pipeConn) write(resp *Response) error {
+	pc.writeMu.Lock()
+	defer pc.writeMu.Unlock()
+	if err := pc.encodeResp(resp); err != nil {
+		return err
+	}
+	return pc.bw.Flush()
+}
+
+// startWriter begins coalesced (v2) output: responses queue on out
+// and the writer goroutine batches every burst into one flush, so
+// under a full window many responses share a single write syscall.
+func (pc *pipeConn) startWriter() {
+	pc.out = make(chan *Response, cap(pc.sem)+16)
+	pc.wdone = make(chan struct{})
+	go pc.runWriter()
+}
+
+// send queues a response for the coalescing writer (v2 mode only).
+func (pc *pipeConn) send(resp *Response) {
+	pc.out <- resp
+}
+
+func (pc *pipeConn) runWriter() {
+	defer close(pc.wdone)
+	for resp := range pc.out {
+		pc.writeMu.Lock()
+		err := pc.encodeResp(resp)
+		yielded := false
+	drain:
+		for err == nil {
+			select {
+			case more, ok := <-pc.out:
+				if !ok {
+					break drain
+				}
+				err = pc.encodeResp(more)
+			default:
+				// Before paying a write syscall for a short batch,
+				// yield once: lanes that are about to produce more
+				// responses get to enqueue them into this flush.
+				if !yielded {
+					yielded = true
+					runtime.Gosched()
+					continue
+				}
+				break drain
+			}
+		}
+		if err == nil {
+			err = pc.bw.Flush()
+		}
+		pc.writeMu.Unlock()
+		// A write failure means the connection is dying; keep
+		// draining so lanes never block, the read side surfaces the
+		// drop.
+		_ = err
+	}
+}
+
+// adoptDefaultSession installs the pre-upgrade serial session as lane
+// 0, so a connection that talked v1 first keeps its history across
+// the upgrade.
+func (pc *pipeConn) adoptDefaultSession(sess *session) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if _, ok := pc.lanes[0]; !ok {
+		pc.startLaneLocked(0, sess)
+	}
+}
+
+// lane returns (creating on first use) the ordered queue for a
+// session ID. Only the reader goroutine calls it, so creation never
+// races with shutdown.
+func (pc *pipeConn) lane(sid uint64) *lane {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	ln, ok := pc.lanes[sid]
+	if !ok {
+		ln = pc.startLaneLocked(sid, newSessionState())
+	}
+	return ln
+}
+
+func (pc *pipeConn) startLaneLocked(sid uint64, sess *session) *lane {
+	// Channel capacity equals the window, so a dispatch that holds a
+	// window slot can never block on the lane send.
+	ln := &lane{sess: sess, ch: make(chan pipeJob, cap(pc.sem))}
+	pc.lanes[sid] = ln
+	pc.wg.Add(1)
+	go pc.runLane(ln)
+	return ln
+}
+
+func (pc *pipeConn) runLane(ln *lane) {
+	defer pc.wg.Done()
+	for job := range ln.ch {
+		resp := pc.s.HandleCtx(job.ctx, job.req, ln.sess)
+		job.done()
+		pc.s.accumulateFactStats(ln.sess)
+		resp.ID = job.req.ID
+		pc.send(&resp)
+		<-pc.sem
+	}
+}
+
+// beginRequest derives the request context (per-request deadline on
+// top of the connection context) and registers its cancel fn under
+// the request ID so a "cancel" op can abort it mid-decision.
+func (pc *pipeConn) beginRequest(req *Request) (context.Context, func()) {
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if req.TimeoutMillis > 0 {
+		ctx, cancel = context.WithTimeout(pc.ctx, time.Duration(req.TimeoutMillis)*time.Millisecond)
+	} else {
+		ctx, cancel = context.WithCancel(pc.ctx)
+	}
+	id := req.ID
+	if id != 0 {
+		pc.mu.Lock()
+		pc.inflight[id] = cancel
+		pc.mu.Unlock()
+	}
+	return ctx, func() {
+		if id != 0 {
+			pc.mu.Lock()
+			delete(pc.inflight, id)
+			pc.mu.Unlock()
+		}
+		cancel()
+	}
+}
+
+// cancelRequest aborts an in-flight (dispatched, possibly executing)
+// request. Unknown IDs — already completed, or never dispatched — are
+// a no-op.
+func (pc *pipeConn) cancelRequest(target uint64) {
+	pc.mu.Lock()
+	cancel := pc.inflight[target]
+	pc.mu.Unlock()
+	if cancel != nil {
+		pc.s.canceledReqs.Add(1)
+		cancel()
+	}
+}
+
+// shutdown closes every lane and waits for their workers to drain.
+// The caller has already stopped dispatching and canceled the
+// connection context, so queued jobs finish quickly with canceled
+// responses that fail to write — both are fine.
+func (pc *pipeConn) shutdown() {
+	pc.mu.Lock()
+	lanes := make([]*lane, 0, len(pc.lanes))
+	for _, ln := range pc.lanes {
+		lanes = append(lanes, ln)
+	}
+	pc.mu.Unlock()
+	for _, ln := range lanes {
+		close(ln.ch)
+	}
+	pc.wg.Wait()
 }
 
 func (s *Server) serveConn(conn net.Conn) {
@@ -237,7 +506,17 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		conn.Close()
 	}()
-	sess := &session{attrs: map[string]sqlvalue.Value{}, tr: &trace.Trace{}}
+	s.mu.Lock()
+	base := s.closeCtx
+	s.mu.Unlock()
+	if base == nil {
+		base = context.Background()
+	}
+	connCtx, connCancel := context.WithCancel(base)
+	defer connCancel()
+
+	pc := newPipeConn(s, connCtx, conn)
+	sess := newSessionState()
 	sc := bufio.NewScanner(conn)
 	// The scanner's limit is max(cap(buf), limit), so the initial
 	// buffer must not exceed the configured line bound.
@@ -246,7 +525,8 @@ func (s *Server) serveConn(conn net.Conn) {
 		initial = m
 	}
 	sc.Buffer(make([]byte, 0, initial), s.maxLineBytes())
-	enc := json.NewEncoder(conn)
+
+	v2 := false
 	for {
 		if s.ReadTimeout > 0 {
 			_ = conn.SetReadDeadline(time.Now().Add(s.ReadTimeout))
@@ -255,16 +535,49 @@ func (s *Server) serveConn(conn net.Conn) {
 			break
 		}
 		var req Request
-		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
-			_ = enc.Encode(Response{Error: fmt.Sprintf("bad request: %v", err)})
+		if !decodeRequest(sc.Bytes(), &req) {
+			req = Request{}
+			if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
+				bad := &Response{
+					Error: fmt.Sprintf("bad request: %v", err),
+					Code:  acerr.CodeBadRequest,
+				}
+				if v2 {
+					pc.send(bad)
+				} else {
+					_ = pc.write(bad)
+				}
+				continue
+			}
+		}
+		if !v2 {
+			// Serial (v1) mode: read, handle, respond, in order. A
+			// hello carrying MaxProto >= 2 upgrades the connection to
+			// pipelined mode from the next request on.
+			resp := s.HandleCtx(connCtx, &req, sess)
+			s.accumulateFactStats(sess)
+			resp.ID = req.ID
+			if resp.Proto >= ProtoV2 {
+				v2 = true
+				pc.adoptDefaultSession(sess)
+				pc.startWriter()
+			}
+			if err := pc.write(&resp); err != nil {
+				break
+			}
 			continue
 		}
-		resp := s.Handle(&req, sess)
-		s.accumulateFactStats(sess)
-		if err := enc.Encode(resp); err != nil {
-			return
-		}
+		s.dispatchV2(pc, &req)
 	}
+	// Reader is done: abort in-flight work for this connection, drain
+	// the lanes, then retire the writer once no lane can send again.
+	connCancel()
+	pc.shutdown()
+	if v2 {
+		close(pc.out)
+		<-pc.wdone
+	}
+
 	// A scanner failure (over-long line, read error or timeout) drops
 	// the connection; surface the cause to the client where the write
 	// side still works, and log the drop. A clean EOF stays silent,
@@ -274,10 +587,31 @@ func (s *Server) serveConn(conn net.Conn) {
 		closing := s.closed
 		s.mu.Unlock()
 		if !closing {
-			_ = enc.Encode(Response{Error: fmt.Sprintf("connection dropped: %v", err)})
+			_ = pc.write(&Response{Error: fmt.Sprintf("connection dropped: %v", err)})
 			s.logf("proxy: dropping %s: %v", conn.RemoteAddr(), err)
 		}
 	}
+}
+
+// dispatchV2 routes one pipelined request. Control ops (cancel,
+// stats) are answered inline from the read loop — they must overtake
+// the queued work they report on or abort. Everything else acquires a
+// window slot (the backpressure point) and joins its session lane.
+func (s *Server) dispatchV2(pc *pipeConn, req *Request) {
+	switch req.Op {
+	case "cancel":
+		pc.cancelRequest(req.Target)
+		if req.ID != 0 {
+			pc.send(&Response{ID: req.ID, OK: true})
+		}
+		return
+	case "stats":
+		pc.send(&Response{ID: req.ID, OK: true, Stats: s.StatsSnapshot()})
+		return
+	}
+	pc.sem <- struct{}{}
+	ctx, done := pc.beginRequest(req)
+	pc.lane(req.SID).ch <- pipeJob{req: req, ctx: ctx, done: done}
 }
 
 // accumulateFactStats folds the session trace's fact-cache counters
@@ -294,35 +628,56 @@ func (s *Server) accumulateFactStats(sess *session) {
 	sess.factReused, sess.factTranslated = st.Reused, st.Translated
 }
 
-// Handle processes one request against a session. It is exported so
-// in-process callers (tests, benchmarks, the examples) can use the
-// proxy logic without a socket.
+// Handle processes one request against a session with a background
+// context. It is exported so in-process callers (tests, benchmarks,
+// the examples) can use the proxy logic without a socket.
 func (s *Server) Handle(req *Request, sess *session) Response {
+	return s.HandleCtx(context.Background(), req, sess)
+}
+
+// HandleCtx processes one request against a session. The ctx bounds
+// the compliance check and the engine scan; cancellation yields a
+// response with the "canceled" error code.
+func (s *Server) HandleCtx(ctx context.Context, req *Request, sess *session) Response {
 	switch req.Op {
 	case "hello":
 		attrs := make(map[string]sqlvalue.Value, len(req.Session))
 		for k, v := range req.Session {
 			sv, err := decodeValue(v)
 			if err != nil {
-				return Response{Error: fmt.Sprintf("session attribute %s: %v", k, err)}
+				return Response{
+					Error: fmt.Sprintf("session attribute %s: %v", k, err),
+					Code:  acerr.CodeBadRequest,
+				}
 			}
 			attrs[k] = sv
 		}
 		sess.attrs = attrs
 		sess.tr = &trace.Trace{}
 		sess.factReused, sess.factTranslated = 0, 0
-		return Response{OK: true}
+		resp := Response{OK: true}
+		if req.MaxProto >= ProtoV2 {
+			resp.Proto = ProtoV2
+		}
+		return resp
 
 	case "query":
-		return s.handleQuery(req, sess)
+		return s.handleQuery(ctx, req, sess)
 
 	case "exec":
-		return s.handleExec(req)
+		return s.handleExec(ctx, req)
+
+	case "batch":
+		return s.handleBatch(ctx, req, sess)
+
+	case "cancel":
+		// Serial mode has nothing in flight to cancel; acknowledge.
+		return Response{OK: true}
 
 	case "stats":
 		return Response{OK: true, Stats: s.StatsSnapshot()}
 	}
-	return Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+	return Response{Error: fmt.Sprintf("unknown op %q", req.Op), Code: acerr.CodeBadRequest}
 }
 
 // StatsSnapshot assembles the extended server counters: decision and
@@ -344,6 +699,7 @@ func (s *Server) StatsSnapshot() *StatsBody {
 
 		TotalConns:    int(s.totalConns.Load()),
 		RejectedConns: int(s.rejectedConns.Load()),
+		CanceledReqs:  int(s.canceledReqs.Load()),
 	}
 	if cs.Decisions > 0 {
 		body.CacheHitRate = float64(cs.CacheHits) / float64(cs.Decisions)
@@ -378,25 +734,44 @@ func (s *Server) HandleIn(req *Request, sess *Session) Response {
 	return s.Handle(req, sess.inner)
 }
 
-func (s *Server) handleQuery(req *Request, sess *session) Response {
+// HandleInCtx processes a request against an exported session under a
+// caller-supplied context.
+func (s *Server) HandleInCtx(ctx context.Context, req *Request, sess *Session) Response {
+	return s.HandleCtx(ctx, req, sess.inner)
+}
+
+func canceledResponse(ctx context.Context) Response {
+	return Response{
+		Error: fmt.Sprintf("canceled: %v", ctx.Err()),
+		Code:  acerr.CodeCanceled,
+	}
+}
+
+func (s *Server) handleQuery(ctx context.Context, req *Request, sess *session) Response {
 	start := time.Now()
 	defer func() { s.lat.record(time.Since(start)) }()
 	s.queries.Add(1)
 
+	if ctx.Err() != nil {
+		return canceledResponse(ctx)
+	}
 	args, err := buildArgs(req)
 	if err != nil {
-		return Response{Error: err.Error()}
+		return Response{Error: err.Error(), Code: acerr.CodeBadRequest}
 	}
-	sel, err := sqlparser.ParseSelect(req.SQL)
+	sel, err := sqlparser.ParseSelectCached(req.SQL)
 	if err != nil {
-		return Response{Error: err.Error()}
+		return Response{Error: err.Error(), Code: acerr.CodeParse}
 	}
 
 	if s.Mode != Off {
-		d := s.Checker.Check(sel, args, sess.attrs, sess.tr)
+		d := s.Checker.Check(ctx, sel, args, sess.attrs, sess.tr)
+		if ctx.Err() != nil {
+			return canceledResponse(ctx)
+		}
 		if !d.Allowed {
 			if s.Mode == Enforce {
-				return Response{OK: true, Blocked: true, Reason: d.Reason}
+				return Response{OK: true, Blocked: true, Reason: d.Reason, Code: acerr.CodeBlocked}
 			}
 			s.violations.Add(1)
 		}
@@ -404,39 +779,79 @@ func (s *Server) handleQuery(req *Request, sess *session) Response {
 
 	bound, err := sqlparser.Bind(sel, args)
 	if err != nil {
-		return Response{Error: err.Error()}
+		return Response{Error: err.Error(), Code: acerr.CodeBadRequest}
 	}
-	res, err := s.DB.Query(bound.(*sqlparser.SelectStmt))
+	res, err := s.DB.QueryCtx(ctx, bound.(*sqlparser.SelectStmt))
 	if err != nil {
-		return Response{Error: err.Error()}
+		if errors.Is(err, acerr.ErrCanceled) {
+			return Response{Error: err.Error(), Code: acerr.CodeCanceled}
+		}
+		return Response{Error: err.Error(), Code: acerr.CodeEngine}
 	}
 
 	// Record in history (queries the application actually saw answers
-	// to are what future decisions may rely on).
+	// to are what future decisions may rely on). With enforcement off
+	// nothing ever reads the trace, so don't grow it.
 	rows := make([][]sqlvalue.Value, len(res.Rows))
 	for i, r := range res.Rows {
 		rows[i] = append([]sqlvalue.Value(nil), r...)
 	}
-	sess.tr.Append(trace.Entry{
-		SQL: req.SQL, Stmt: sel, Args: args,
-		Columns: res.Columns, Rows: rows,
-	})
+	if s.Mode != Off {
+		sess.tr.Append(trace.Entry{
+			SQL: req.SQL, Stmt: sel, Args: args,
+			Columns: res.Columns, Rows: rows,
+		})
+	}
 
 	return Response{OK: true, Columns: res.Columns, Rows: encodeRows(rows)}
 }
 
-func (s *Server) handleExec(req *Request) Response {
+func (s *Server) handleExec(ctx context.Context, req *Request) Response {
+	if ctx.Err() != nil {
+		return canceledResponse(ctx)
+	}
 	args, err := buildArgs(req)
 	if err != nil {
-		return Response{Error: err.Error()}
+		return Response{Error: err.Error(), Code: acerr.CodeBadRequest}
 	}
 	// Writes pass through: the paper's setting controls data
 	// revelation (reads); write authorization stays in the app.
-	_, n, err := s.DB.Exec(req.SQL, args)
+	stmt, err := sqlparser.ParseCached(req.SQL)
 	if err != nil {
-		return Response{Error: err.Error()}
+		return Response{Error: err.Error(), Code: acerr.CodeParse}
+	}
+	_, n, err := s.DB.ExecStmt(stmt, args)
+	if err != nil {
+		return Response{Error: err.Error(), Code: acerr.CodeEngine}
 	}
 	return Response{OK: true, Affected: n}
+}
+
+// handleBatch executes a batch's sub-requests in order on the batch's
+// session and collects one sub-response each. Sub-requests share the
+// batch's context; a blocked or failing sub-query records its outcome
+// and the batch continues — the client decides what a partial batch
+// means.
+func (s *Server) handleBatch(ctx context.Context, req *Request, sess *session) Response {
+	out := Response{OK: true, Batch: make([]Response, 0, len(req.Batch))}
+	for i := range req.Batch {
+		sub := &req.Batch[i]
+		var r Response
+		switch sub.Op {
+		case "query":
+			r = s.handleQuery(ctx, sub, sess)
+		case "exec":
+			r = s.handleExec(ctx, sub)
+		default:
+			r = Response{
+				Error: fmt.Sprintf("batch: unsupported op %q", sub.Op),
+				Code:  acerr.CodeBadRequest,
+			}
+		}
+		r.ID = sub.ID
+		out.Batch = append(out.Batch, r)
+	}
+	return out
 }
 
 func buildArgs(req *Request) (sqlparser.Args, error) {

@@ -1,0 +1,572 @@
+package proxy
+
+import (
+	"encoding/json"
+	"strconv"
+)
+
+// The proxy frames v2 traffic as one JSON object per line, and the
+// overwhelming majority of those objects have a tiny, flat shape:
+// {"op":"query","id":7,"sid":3,"sql":"...","args":[1]} one way and
+// {"id":7,"ok":true,"columns":["EId"],"rows":[["i:2"]]} back. The
+// reflection-based encoding/json round trip costs more than the
+// access check it transports, so the helpers below hand-encode and
+// hand-decode exactly those shapes. Anything they do not fully
+// understand — batches, stats bodies, nested values, escaped strings
+// — falls back to encoding/json, so the wire format stays identical
+// and the fallback is always correct.
+
+// plainJSONString reports whether s can be emitted between quotes
+// with no escaping.
+func plainJSONString(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 0x20 || c == '"' || c == '\\' || c >= 0x80 {
+			return false
+		}
+	}
+	return true
+}
+
+// appendString appends s as a JSON string, delegating to
+// encoding/json when escaping is needed.
+func appendString(buf []byte, s string) []byte {
+	if plainJSONString(s) {
+		buf = append(buf, '"')
+		buf = append(buf, s...)
+		return append(buf, '"')
+	}
+	b, _ := json.Marshal(s)
+	return append(buf, b...)
+}
+
+// appendResponse hand-encodes the common response shapes. It returns
+// ok=false when resp needs the reflective encoder (stats, batch,
+// views, or an error payload).
+func appendResponse(buf []byte, resp *Response) ([]byte, bool) {
+	if resp.Error != "" || resp.Stats != nil || resp.Batch != nil || resp.Views != nil {
+		return buf, false
+	}
+	buf = append(buf, '{')
+	if resp.ID != 0 {
+		buf = append(buf, `"id":`...)
+		buf = strconv.AppendUint(buf, resp.ID, 10)
+		buf = append(buf, ',')
+	}
+	buf = append(buf, `"ok":`...)
+	buf = strconv.AppendBool(buf, resp.OK)
+	if resp.Proto != 0 {
+		buf = append(buf, `,"proto":`...)
+		buf = strconv.AppendInt(buf, int64(resp.Proto), 10)
+	}
+	if resp.Code != "" {
+		buf = append(buf, `,"code":`...)
+		buf = appendString(buf, resp.Code)
+	}
+	if resp.Blocked {
+		buf = append(buf, `,"blocked":true,"reason":`...)
+		buf = appendString(buf, resp.Reason)
+	}
+	if len(resp.Columns) > 0 {
+		buf = append(buf, `,"columns":[`...)
+		for i, c := range resp.Columns {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = appendString(buf, c)
+		}
+		buf = append(buf, ']')
+	}
+	if len(resp.Rows) > 0 {
+		buf = append(buf, `,"rows":[`...)
+		for i, row := range resp.Rows {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = append(buf, '[')
+			for j, cell := range row {
+				if j > 0 {
+					buf = append(buf, ',')
+				}
+				var ok bool
+				buf, ok = appendScalar(buf, cell)
+				if !ok {
+					return buf, false
+				}
+			}
+			buf = append(buf, ']')
+		}
+		buf = append(buf, ']')
+	}
+	if resp.Affected != 0 {
+		buf = append(buf, `,"affected":`...)
+		buf = strconv.AppendInt(buf, int64(resp.Affected), 10)
+	}
+	buf = append(buf, '}', '\n')
+	return buf, true
+}
+
+// appendRequest hand-encodes the common request shapes (flat scalar
+// args and session attrs). ok=false falls back to encoding/json.
+func appendRequest(buf []byte, req *Request) ([]byte, bool) {
+	if req.Batch != nil || req.Named != nil {
+		return buf, false
+	}
+	buf = append(buf, `{"op":`...)
+	buf = appendString(buf, req.Op)
+	if req.ID != 0 {
+		buf = append(buf, `,"id":`...)
+		buf = strconv.AppendUint(buf, req.ID, 10)
+	}
+	if req.SID != 0 {
+		buf = append(buf, `,"sid":`...)
+		buf = strconv.AppendUint(buf, req.SID, 10)
+	}
+	if req.MaxProto != 0 {
+		buf = append(buf, `,"maxProto":`...)
+		buf = strconv.AppendInt(buf, int64(req.MaxProto), 10)
+	}
+	if len(req.Session) > 0 {
+		buf = append(buf, `,"session":{`...)
+		first := true
+		for k, v := range req.Session {
+			cell, ok := appendScalar(nil, v)
+			if !ok {
+				return buf, false
+			}
+			if !first {
+				buf = append(buf, ',')
+			}
+			first = false
+			buf = appendString(buf, k)
+			buf = append(buf, ':')
+			buf = append(buf, cell...)
+		}
+		buf = append(buf, '}')
+	}
+	if req.SQL != "" {
+		buf = append(buf, `,"sql":`...)
+		buf = appendString(buf, req.SQL)
+	}
+	if len(req.Args) > 0 {
+		buf = append(buf, `,"args":[`...)
+		for i, a := range req.Args {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			var ok bool
+			buf, ok = appendScalar(buf, a)
+			if !ok {
+				return buf, false
+			}
+		}
+		buf = append(buf, ']')
+	}
+	if req.Target != 0 {
+		buf = append(buf, `,"target":`...)
+		buf = strconv.AppendUint(buf, req.Target, 10)
+	}
+	if req.TimeoutMillis != 0 {
+		buf = append(buf, `,"timeoutMillis":`...)
+		buf = strconv.AppendInt(buf, req.TimeoutMillis, 10)
+	}
+	buf = append(buf, '}', '\n')
+	return buf, true
+}
+
+func appendScalar(buf []byte, v any) ([]byte, bool) {
+	switch x := v.(type) {
+	case nil:
+		return append(buf, `null`...), true
+	case bool:
+		return strconv.AppendBool(buf, x), true
+	case int:
+		return strconv.AppendInt(buf, int64(x), 10), true
+	case int64:
+		return strconv.AppendInt(buf, x, 10), true
+	case uint64:
+		return strconv.AppendUint(buf, x, 10), true
+	case float64:
+		if x != x || x > 1e308 || x < -1e308 {
+			return buf, false // NaN/Inf have no JSON form
+		}
+		if x == float64(int64(x)) && x >= -1e15 && x <= 1e15 {
+			return strconv.AppendInt(buf, int64(x), 10), true
+		}
+		return strconv.AppendFloat(buf, x, 'g', -1, 64), true
+	case string:
+		return appendString(buf, x), true
+	}
+	return buf, false
+}
+
+// wireScanner is a minimal scanner over one line of JSON for the
+// hand-rolled decoders. Any syntax it does not expect aborts the fast
+// path; the caller then re-parses with encoding/json, which also
+// produces the proper error for genuinely malformed input.
+type wireScanner struct {
+	b   []byte
+	pos int
+}
+
+func (s *wireScanner) ws() {
+	for s.pos < len(s.b) {
+		switch s.b[s.pos] {
+		case ' ', '\t', '\r', '\n':
+			s.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (s *wireScanner) eat(c byte) bool {
+	s.ws()
+	if s.pos < len(s.b) && s.b[s.pos] == c {
+		s.pos++
+		return true
+	}
+	return false
+}
+
+func (s *wireScanner) peek() byte {
+	s.ws()
+	if s.pos < len(s.b) {
+		return s.b[s.pos]
+	}
+	return 0
+}
+
+// str scans a JSON string with no escapes; ok=false on escapes or
+// syntax errors.
+func (s *wireScanner) str() (string, bool) {
+	if !s.eat('"') {
+		return "", false
+	}
+	start := s.pos
+	for s.pos < len(s.b) {
+		c := s.b[s.pos]
+		if c == '"' {
+			out := string(s.b[start:s.pos])
+			s.pos++
+			return out, true
+		}
+		if c == '\\' || c < 0x20 {
+			return "", false
+		}
+		s.pos++
+	}
+	return "", false
+}
+
+func (s *wireScanner) number() (float64, bool) {
+	s.ws()
+	start := s.pos
+	for s.pos < len(s.b) {
+		switch c := s.b[s.pos]; {
+		case c >= '0' && c <= '9', c == '-', c == '+', c == '.', c == 'e', c == 'E':
+			s.pos++
+		default:
+			goto done
+		}
+	}
+done:
+	if s.pos == start {
+		return 0, false
+	}
+	f, err := strconv.ParseFloat(string(s.b[start:s.pos]), 64)
+	return f, err == nil
+}
+
+func (s *wireScanner) lit(word string) bool {
+	s.ws()
+	if len(s.b)-s.pos < len(word) || string(s.b[s.pos:s.pos+len(word)]) != word {
+		return false
+	}
+	s.pos += len(word)
+	return true
+}
+
+// scalar scans null / bool / number / escape-free string.
+func (s *wireScanner) scalar() (any, bool) {
+	switch s.peek() {
+	case '"':
+		v, ok := s.str()
+		return v, ok
+	case 't':
+		return true, s.lit("true")
+	case 'f':
+		return false, s.lit("false")
+	case 'n':
+		return nil, s.lit("null")
+	default:
+		v, ok := s.number()
+		return v, ok
+	}
+}
+
+func (s *wireScanner) uintVal() (uint64, bool) {
+	f, ok := s.number()
+	if !ok || f < 0 || f != float64(uint64(f)) {
+		return 0, false
+	}
+	return uint64(f), true
+}
+
+// decodeRequest hand-decodes a flat request line. ok=false (shape or
+// syntax beyond the fast path) means: fall back to encoding/json.
+func decodeRequest(line []byte, req *Request) bool {
+	s := wireScanner{b: line}
+	if !s.eat('{') {
+		return false
+	}
+	if s.eat('}') {
+		return s.end()
+	}
+	for {
+		key, ok := s.str()
+		if !ok || !s.eat(':') {
+			return false
+		}
+		switch key {
+		case "op":
+			if req.Op, ok = s.str(); !ok {
+				return false
+			}
+		case "sql":
+			if req.SQL, ok = s.str(); !ok {
+				return false
+			}
+		case "id":
+			if req.ID, ok = s.uintVal(); !ok {
+				return false
+			}
+		case "sid":
+			if req.SID, ok = s.uintVal(); !ok {
+				return false
+			}
+		case "target":
+			if req.Target, ok = s.uintVal(); !ok {
+				return false
+			}
+		case "maxProto":
+			f, ok := s.number()
+			if !ok {
+				return false
+			}
+			req.MaxProto = int(f)
+		case "timeoutMillis":
+			f, ok := s.number()
+			if !ok {
+				return false
+			}
+			req.TimeoutMillis = int64(f)
+		case "args":
+			if req.Args, ok = s.scalarArray(); !ok {
+				return false
+			}
+		case "session":
+			if req.Session, ok = s.scalarMap(); !ok {
+				return false
+			}
+		case "named":
+			if req.Named, ok = s.scalarMap(); !ok {
+				return false
+			}
+		default:
+			// batch or an unknown field: let encoding/json handle it.
+			return false
+		}
+		if s.eat(',') {
+			continue
+		}
+		if s.eat('}') {
+			return s.end()
+		}
+		return false
+	}
+}
+
+func (s *wireScanner) scalarArray() ([]any, bool) {
+	if !s.eat('[') {
+		return nil, false
+	}
+	out := []any{}
+	if s.eat(']') {
+		return out, true
+	}
+	for {
+		v, ok := s.scalar()
+		if !ok {
+			return nil, false
+		}
+		out = append(out, v)
+		if s.eat(',') {
+			continue
+		}
+		if s.eat(']') {
+			return out, true
+		}
+		return nil, false
+	}
+}
+
+func (s *wireScanner) scalarMap() (map[string]any, bool) {
+	if !s.eat('{') {
+		return nil, false
+	}
+	out := map[string]any{}
+	if s.eat('}') {
+		return out, true
+	}
+	for {
+		k, ok := s.str()
+		if !ok || !s.eat(':') {
+			return nil, false
+		}
+		v, ok := s.scalar()
+		if !ok {
+			return nil, false
+		}
+		out[k] = v
+		if s.eat(',') {
+			continue
+		}
+		if s.eat('}') {
+			return out, true
+		}
+		return nil, false
+	}
+}
+
+func (s *wireScanner) stringArray() ([]string, bool) {
+	if !s.eat('[') {
+		return nil, false
+	}
+	out := []string{}
+	if s.eat(']') {
+		return out, true
+	}
+	for {
+		v, ok := s.str()
+		if !ok {
+			return nil, false
+		}
+		out = append(out, v)
+		if s.eat(',') {
+			continue
+		}
+		if s.eat(']') {
+			return out, true
+		}
+		return nil, false
+	}
+}
+
+// end verifies only whitespace remains.
+func (s *wireScanner) end() bool {
+	s.ws()
+	return s.pos == len(s.b)
+}
+
+// decodeResponse hand-decodes the common response line shapes (rows,
+// blocks, plain acks). ok=false falls back to encoding/json.
+func decodeResponse(line []byte, resp *Response) bool {
+	s := wireScanner{b: line}
+	if !s.eat('{') {
+		return false
+	}
+	if s.eat('}') {
+		return s.end()
+	}
+	for {
+		key, ok := s.str()
+		if !ok || !s.eat(':') {
+			return false
+		}
+		switch key {
+		case "id":
+			if resp.ID, ok = s.uintVal(); !ok {
+				return false
+			}
+		case "ok":
+			switch s.peek() {
+			case 't':
+				resp.OK = true
+				ok = s.lit("true")
+			case 'f':
+				resp.OK = false
+				ok = s.lit("false")
+			default:
+				ok = false
+			}
+			if !ok {
+				return false
+			}
+		case "blocked":
+			if !s.lit("true") {
+				return false
+			}
+			resp.Blocked = true
+		case "proto":
+			f, ok := s.number()
+			if !ok {
+				return false
+			}
+			resp.Proto = int(f)
+		case "affected":
+			f, ok := s.number()
+			if !ok {
+				return false
+			}
+			resp.Affected = int(f)
+		case "reason":
+			if resp.Reason, ok = s.str(); !ok {
+				return false
+			}
+		case "error":
+			if resp.Error, ok = s.str(); !ok {
+				return false
+			}
+		case "code":
+			if resp.Code, ok = s.str(); !ok {
+				return false
+			}
+		case "columns":
+			if resp.Columns, ok = s.stringArray(); !ok {
+				return false
+			}
+		case "rows":
+			if !s.eat('[') {
+				return false
+			}
+			resp.Rows = [][]any{}
+			if !s.eat(']') {
+				for {
+					row, ok := s.scalarArray()
+					if !ok {
+						return false
+					}
+					resp.Rows = append(resp.Rows, row)
+					if s.eat(',') {
+						continue
+					}
+					if s.eat(']') {
+						break
+					}
+					return false
+				}
+			}
+		default:
+			// stats, batch, views: reflective decode.
+			return false
+		}
+		if s.eat(',') {
+			continue
+		}
+		if s.eat('}') {
+			return s.end()
+		}
+		return false
+	}
+}

@@ -1,0 +1,161 @@
+package proxy
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// The hand-rolled wire codec is an optimization, not a format: every
+// message it encodes must be byte-compatible JSON, and every message
+// it decodes must produce exactly what encoding/json would. These
+// tests pin that equivalence; anything the fast path cannot represent
+// must bail (second return false) rather than guess.
+
+func TestWireEncodeResponseMatchesJSON(t *testing.T) {
+	cases := []Response{
+		{ID: 7, OK: true, Proto: 2},
+		{OK: true},
+		{ID: 1, OK: true, Columns: []string{"EId", "Title"}, Rows: [][]any{{int64(3), "standup"}, {int64(4), "retro"}}},
+		{ID: 2, OK: true, Affected: 5},
+		{ID: 3, OK: false, Blocked: true, Reason: "not covered by any view", Code: "blocked"},
+		{ID: 9, OK: true, Rows: [][]any{{nil, true, 1.5, int64(-12)}}},
+		{ID: 10, OK: true, Columns: []string{"n"}, Rows: [][]any{}},
+		{ID: 11, OK: true, Columns: []string{"quote\"here"}, Rows: [][]any{{"tab\tnewline\n"}}},
+	}
+	for i, resp := range cases {
+		buf, ok := appendResponse(nil, &resp)
+		if !ok {
+			t.Fatalf("case %d: fast encoder refused a representable response: %+v", i, resp)
+		}
+		want, err := json.Marshal(&resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := bytes.TrimRight(buf, "\n"); !bytes.Equal(got, want) {
+			t.Errorf("case %d:\n fast %s\n json %s", i, got, want)
+		}
+	}
+}
+
+func TestWireEncodeResponseBailsOnComplex(t *testing.T) {
+	cases := []Response{
+		{ID: 1, Error: "boom"},
+		{ID: 2, OK: true, Stats: &StatsBody{}},
+		{ID: 3, OK: true, Batch: []Response{{OK: true}}},
+		{ID: 4, OK: true, Rows: [][]any{{map[string]any{"k": 1}}}},
+	}
+	for i, resp := range cases {
+		if _, ok := appendResponse(nil, &resp); ok {
+			t.Errorf("case %d: fast encoder should have bailed: %+v", i, resp)
+		}
+	}
+}
+
+func TestWireEncodeRequestMatchesJSON(t *testing.T) {
+	cases := []Request{
+		{Op: "query", ID: 3, SID: 1, SQL: "SELECT EId FROM Attendance WHERE UId = ?", Args: []any{int64(4)}},
+		{Op: "hello", MaxProto: 2, Session: map[string]any{"MyUId": int64(7)}},
+		{Op: "cancel", ID: 12, Target: 9},
+		{Op: "exec", ID: 4, SQL: "UPDATE Users SET Name = ? WHERE UId = ?", Args: []any{"bob", int64(2)}, TimeoutMillis: 250},
+		{Op: "stats"},
+	}
+	for i, req := range cases {
+		buf, ok := appendRequest(nil, &req)
+		if !ok {
+			t.Fatalf("case %d: fast encoder refused a representable request: %+v", i, req)
+		}
+		want, err := json.Marshal(&req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := bytes.TrimRight(buf, "\n"); !bytes.Equal(got, want) {
+			t.Errorf("case %d:\n fast %s\n json %s", i, got, want)
+		}
+	}
+}
+
+// roundTripEquivalence asserts the fast decoder agrees field-for-field
+// with encoding/json on the same line.
+func decodeBothRequest(t *testing.T, line []byte) (fast Request, ok bool, slow Request) {
+	t.Helper()
+	ok = decodeRequest(line, &fast)
+	if err := json.Unmarshal(line, &slow); err != nil {
+		t.Fatalf("reference decode failed: %v\n%s", err, line)
+	}
+	return
+}
+
+func TestWireDecodeRequestMatchesJSON(t *testing.T) {
+	lines := []string{
+		`{"op":"query","id":3,"sid":1,"sql":"SELECT 1","args":[4,"x",true,null]}`,
+		`{"op":"hello","maxProto":2,"session":{"MyUId":7}}`,
+		`{"op":"cancel","id":5,"target":3}`,
+		`{"op":"exec","sql":"DELETE FROM T","timeoutMillis":100}`,
+		`{"op":"query","sql":"SELECT 1","named":{"a":1}}`,
+	}
+	for _, l := range lines {
+		fast, ok, slow := decodeBothRequest(t, []byte(l))
+		if !ok {
+			t.Errorf("fast decoder refused: %s", l)
+			continue
+		}
+		if !reflect.DeepEqual(fast, slow) {
+			t.Errorf("decode mismatch on %s:\n fast %+v\n json %+v", l, fast, slow)
+		}
+	}
+}
+
+func TestWireDecodeRequestBailsOnComplex(t *testing.T) {
+	lines := []string{
+		`{"op":"batch","batch":[{"op":"query","sql":"SELECT 1"}]}`,
+		`{"op":"query","sql":"quote \" inside"}`,
+		`{"op":"query","args":[{"nested":1}]}`,
+		`{"op":"query","sql":"SELECT 1"`,
+	}
+	for _, l := range lines {
+		var req Request
+		if decodeRequest([]byte(l), &req) {
+			t.Errorf("fast decoder should have bailed: %s", l)
+		}
+	}
+}
+
+func TestWireDecodeResponseMatchesJSON(t *testing.T) {
+	lines := []string{
+		`{"id":7,"ok":true,"proto":2}`,
+		`{"id":1,"ok":true,"columns":["a","b"],"rows":[[1,"x"],[2,null]]}`,
+		`{"id":3,"ok":false,"code":"blocked","blocked":true,"reason":"no view"}`,
+		`{"id":4,"ok":false,"error":"parse: bad","code":"parse"}`,
+		`{"id":5,"ok":true,"affected":2}`,
+	}
+	for _, l := range lines {
+		var fast, slow Response
+		if !decodeResponse([]byte(l), &fast) {
+			t.Errorf("fast decoder refused: %s", l)
+			continue
+		}
+		if err := json.Unmarshal([]byte(l), &slow); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(fast, slow) {
+			t.Errorf("decode mismatch on %s:\n fast %+v\n json %+v", l, fast, slow)
+		}
+	}
+}
+
+func TestWireDecodeResponseBailsOnComplex(t *testing.T) {
+	lines := []string{
+		`{"id":1,"ok":true,"stats":{"conns":1}}`,
+		`{"id":2,"ok":true,"batch":[{"ok":true}]}`,
+		`{"id":3,"ok":true,"views":["V1"],"rows":[[1]]}`,
+		`{"id":4,"ok":true,"columns":["\u0041"]}`,
+	}
+	for _, l := range lines {
+		var resp Response
+		if decodeResponse([]byte(l), &resp) {
+			t.Errorf("fast decoder should have bailed: %s", l)
+		}
+	}
+}

@@ -156,6 +156,11 @@ scan:
 			return token{}, l.errf(start, "unterminated quoted identifier")
 		}
 		text := l.src[l.pos:n]
+		if text == "" {
+			// An empty identifier cannot survive a print∘parse round
+			// trip (it renders as nothing), so reject it here.
+			return token{}, l.errf(start, "empty quoted identifier")
+		}
 		l.pos = n + 1
 		return token{kind: tokIdent, text: text, pos: start}, nil
 

@@ -1,0 +1,101 @@
+package sqlparser
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Applications issue the same statement shapes over and over (only
+// the bound arguments change), so the proxy hot path would otherwise
+// re-lex and re-parse identical SQL on every request. The cache below
+// memoizes parse results process-wide. Cached statements are SHARED:
+// callers must treat them as immutable templates — Bind and MapExprs
+// already deep-copy, which is how every evaluation path consumes them.
+
+const (
+	parseCacheShards    = 16
+	parseCachePerShard  = 512
+	parseCacheMaxSQLLen = 4096 // don't retain giant one-off statements
+)
+
+type parseShard struct {
+	mu sync.Mutex
+	m  map[string]parseEntry
+}
+
+type parseEntry struct {
+	stmt Statement
+	err  error
+}
+
+var parseCache [parseCacheShards]parseShard
+
+func parseShardFor(sql string) *parseShard {
+	// FNV-1a over the statement text.
+	h := uint32(2166136261)
+	for i := 0; i < len(sql); i++ {
+		h = (h ^ uint32(sql[i])) * 16777619
+	}
+	return &parseCache[h%parseCacheShards]
+}
+
+func cachedParse(sql string) (Statement, error, bool) {
+	if len(sql) > parseCacheMaxSQLLen {
+		return nil, nil, false
+	}
+	sh := parseShardFor(sql)
+	sh.mu.Lock()
+	e, ok := sh.m[sql]
+	sh.mu.Unlock()
+	if !ok {
+		return nil, nil, false
+	}
+	return e.stmt, e.err, true
+}
+
+func storeParse(sql string, stmt Statement, err error) {
+	if len(sql) > parseCacheMaxSQLLen {
+		return
+	}
+	sh := parseShardFor(sql)
+	sh.mu.Lock()
+	if sh.m == nil {
+		sh.m = make(map[string]parseEntry, parseCachePerShard)
+	}
+	if len(sh.m) >= parseCachePerShard {
+		// Evict an arbitrary entry; the workload's statement-shape
+		// population is far below the cap, so this path is cold.
+		for k := range sh.m {
+			delete(sh.m, k)
+			break
+		}
+	}
+	sh.m[sql] = parseEntry{stmt: stmt, err: err}
+	sh.mu.Unlock()
+}
+
+// ParseCached is Parse backed by the process-wide statement cache.
+// The returned statement is shared across callers and must not be
+// modified; Bind it (which copies) before evaluation.
+func ParseCached(src string) (Statement, error) {
+	if stmt, err, ok := cachedParse(src); ok {
+		return stmt, err
+	}
+	stmt, err := Parse(src)
+	storeParse(src, stmt, err)
+	return stmt, err
+}
+
+// ParseSelectCached is ParseSelect backed by the statement cache,
+// with the same sharing contract as ParseCached.
+func ParseSelectCached(src string) (*SelectStmt, error) {
+	stmt, err := ParseCached(src)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sql: expected SELECT, got %T", stmt)
+	}
+	return sel, nil
+}
