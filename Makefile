@@ -1,18 +1,20 @@
 # Development targets. `make ci` is what a gate should run: formatting,
-# vet, the tier-1 suite, the race-detector pass (which includes the
-# concurrency stress tests in internal/proxy and internal/checker),
-# and a short fuzz smoke of the SQL parser.
+# vet, the tier-1 suite (shuffled, so inter-test order dependencies
+# can't hide), the race-detector pass (which includes the concurrency
+# stress tests in internal/proxy and internal/checker), a short fuzz
+# smoke of the SQL parser, and staticcheck when installed.
 
 GO ?= go
 
-.PHONY: build test vet race bench hotpath pipeline fmtcheck fuzz ci
+.PHONY: build test vet race bench bench-json hotpath pipeline fmtcheck fuzz staticcheck ci
 
 build:
 	$(GO) build ./...
 
-# Tier-1 suite (ROADMAP.md).
+# Tier-1 suite (ROADMAP.md). -shuffle=on randomizes test execution
+# order within each package.
 test: build
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 vet:
 	$(GO) vet ./...
@@ -22,7 +24,12 @@ race:
 
 # Hot-path and evaluation benchmarks.
 bench:
-	$(GO) test -bench 'CheckLongTrace|ParallelPrincipals|FactsLongTrace|ProxyRoundTrip' -benchmem ./...
+	$(GO) test -bench 'CheckLongTrace|ParallelPrincipals|FactsLongTrace|ProxyRoundTrip|CheckMetrics' -benchmem ./...
+
+# Machine-readable benchmark document; successive BENCH_*.json files
+# checked in at the repo root form the performance trajectory.
+bench-json:
+	$(GO) run ./cmd/acbench -json BENCH_3.json
 
 hotpath:
 	$(GO) run ./cmd/acbench -hotpath
@@ -40,4 +47,12 @@ fmtcheck:
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/sqlparser
 
-ci: fmtcheck vet test race fuzz
+# staticcheck is optional tooling: run it when installed, succeed
+# quietly when not, so CI works on minimal containers.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; fi
+
+ci: fmtcheck vet test race fuzz staticcheck

@@ -58,6 +58,7 @@ import (
 	"repro/internal/disclosure"
 	"repro/internal/engine"
 	"repro/internal/extract"
+	"repro/internal/obsv"
 	"repro/internal/policy"
 	"repro/internal/proxy"
 	"repro/internal/schema"
@@ -103,6 +104,14 @@ type (
 	Decision = checker.Decision
 	// CheckerOptions toggles history, caching, and search bounds.
 	CheckerOptions = checker.Options
+	// Metrics is the observability registry: atomic counters and
+	// bounded latency histograms that the checker, pipeline stages,
+	// proxy, engine, and diagnosis search all report into. See
+	// DESIGN.md §9 for the metric-name inventory.
+	Metrics = obsv.Registry
+	// SpanSet collects a per-request stage-latency breakdown through
+	// context.Context (what the proxy's slow-decision log attaches).
+	SpanSet = obsv.SpanSet
 	// Trace is a session's query history.
 	Trace = trace.Trace
 	// ProxyServer is the network enforcement proxy.
@@ -222,6 +231,21 @@ func WithMaxHomsPerView(n int) CheckerOption {
 	return func(o *CheckerOptions) { o.MaxHomsPerView = n }
 }
 
+// WithMetrics points the checker at an explicit metrics registry —
+// share one across components to get a combined snapshot, or pass
+// DisabledMetrics() for a strictly no-op instrumentation build.
+// Without this option every checker gets its own enabled registry.
+func WithMetrics(reg *Metrics) CheckerOption {
+	return func(o *CheckerOptions) { o.Metrics = reg }
+}
+
+// NewMetrics creates an enabled observability registry.
+func NewMetrics() *Metrics { return obsv.NewRegistry() }
+
+// DisabledMetrics returns the no-op registry: instruments it hands
+// out record nothing and cost one nil check per operation.
+func DisabledMetrics() *Metrics { return obsv.Disabled() }
+
 // NewChecker builds a compliance checker. Defaults are history-aware
 // with decision templates and the fact cache on; options override
 // individual knobs:
@@ -265,6 +289,21 @@ func WithMaxLineBytes(n int) ProxyOption {
 // (protocol v2).
 func WithMaxInFlight(n int) ProxyOption {
 	return func(s *ProxyServer) { s.MaxInFlight = n }
+}
+
+// WithProxyMetrics points the proxy at an explicit metrics registry.
+// By default the proxy reports into its checker's registry, so one
+// snapshot covers checker.*, pipeline.*, proxy.*, and engine.* names.
+func WithProxyMetrics(reg *Metrics) ProxyOption {
+	return func(s *ProxyServer) { s.Metrics = reg }
+}
+
+// WithSlowLog turns on the proxy's structured slow-decision log:
+// queries at or over the threshold emit one JSON line (through the
+// server's Logf) with the verdict, the cache tier that answered, and
+// the per-stage latency breakdown. See DESIGN.md §9 for the schema.
+func WithSlowLog(threshold time.Duration) ProxyOption {
+	return func(s *ProxyServer) { s.SlowLogThreshold = threshold }
 }
 
 // NewProxy builds an enforcement proxy over a database and checker:

@@ -6,6 +6,9 @@
 //
 //	acaudit -app hospital
 //	acaudit -app hospital -release "SELECT p.DocId, t.Disease FROM Patients p JOIN Treats t ON p.DocId = t.DocId" -quasi DocId
+//
+// -timing appends an obsv metrics snapshot with each phase's
+// wall-clock time (audit.micros, kanon.micros).
 package main
 
 import (
@@ -13,7 +16,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
+	"time"
 
 	beyond "repro"
 )
@@ -23,15 +28,19 @@ func main() {
 	release := flag.String("release", "", "optional release SELECT for k-anonymity")
 	quasi := flag.String("quasi", "", "comma-separated quasi-identifier columns")
 	size := flag.Int("size", 20, "seed rows for k-anonymity")
+	timing := flag.Bool("timing", false, "print the phase-timing metrics snapshot (JSON)")
 	flag.Parse()
 
+	reg := beyond.NewMetrics()
 	f, err := beyond.FixtureByName(*app)
 	if err != nil {
 		log.Fatal(err)
 	}
 	pol := f.Policy()
 	fmt.Printf("auditing policy:\n%s\n", pol)
+	auditStart := time.Now()
 	rep, err := beyond.AuditPolicy(context.Background(), pol, f.Sensitive)
+	reg.Histogram("acaudit.audit.micros").ObserveSince(auditStart)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -40,10 +49,19 @@ func main() {
 	if *release != "" {
 		db := f.MustNewDB(*size)
 		cols := strings.Split(*quasi, ",")
+		kStart := time.Now()
 		k, err := beyond.KAnonymity(db, *release, cols)
+		reg.Histogram("acaudit.kanon.micros").ObserveSince(kStart)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("\nk-anonymity of the release (quasi-id %s): k = %d\n", *quasi, k)
+	}
+	if *timing {
+		fmt.Println("\nmetrics:")
+		if err := reg.WriteJSON(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
 	}
 }

@@ -8,6 +8,7 @@
 //	acbench -only E1   # one experiment
 //	acbench -hotpath   # enforcement hot-path scaling table only
 //	acbench -pipeline  # protocol-v2 pipelining throughput table only
+//	acbench -json BENCH_3.json   # machine-readable benchmark document
 //
 // -hotpath measures the per-check cost against growing session
 // histories with the incremental trace-fact cache on and off, and the
@@ -18,13 +19,20 @@
 // 8-session workload over one connection as the client's in-flight
 // window grows: window 1 is the serial (v1-equivalent) baseline, and
 // larger windows show what protocol v2's pipelining buys.
+//
+// -json FILE runs the hot-path, parallel-principal, pipelining, and
+// metrics-overhead benchmarks and writes one JSON document to FILE, so
+// successive checked-in BENCH_*.json files form a performance
+// trajectory for the repo.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"runtime"
 	"strings"
 	"sync"
@@ -33,6 +41,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/checker"
 	"repro/internal/experiments"
+	"repro/internal/obsv"
 	"repro/internal/proxy"
 	"repro/internal/sqlparser"
 	"repro/internal/sqlvalue"
@@ -43,14 +52,21 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment ids (E1..E8)")
 	hotpath := flag.Bool("hotpath", false, "run only the enforcement hot-path scaling table")
 	pipeline := flag.Bool("pipeline", false, "run only the protocol-v2 pipelining throughput table")
+	jsonOut := flag.String("json", "", "write the benchmark document as JSON to this file")
 	flag.Parse()
 
+	if *jsonOut != "" {
+		if err := runJSON(*jsonOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *hotpath {
-		runHotPath()
+		printHotPath()
 		return
 	}
 	if *pipeline {
-		if err := runPipeline(); err != nil {
+		if err := printPipeline(); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -74,24 +90,113 @@ func main() {
 	}
 }
 
-// runHotPath prints per-check latencies for long-history sessions
-// (fact cache on/off) and parallel-principal throughput on a warm
-// decision template.
-func runHotPath() {
+// benchDoc is the -json output: one self-describing document per run,
+// checked in as BENCH_<pr>.json so the sequence forms a trajectory.
+type benchDoc struct {
+	GeneratedAt     string        `json:"generatedAt"`
+	GoVersion       string        `json:"goVersion"`
+	GoMaxProcs      int           `json:"gomaxprocs"`
+	Hotpath         []hotpathRow  `json:"hotpath"`
+	Parallel        parallelRow   `json:"parallelPrincipals"`
+	Pipeline        []pipelineRow `json:"pipeline"`
+	MetricsOverhead overheadRow   `json:"metricsOverhead"`
+}
+
+type hotpathRow struct {
+	History            int     `json:"history"`
+	IncrementalMicros  float64 `json:"incrementalMicros"`
+	NaiveMicros        float64 `json:"naiveMicros"`
+	IncrementalSpeedup float64 `json:"incrementalSpeedup"`
+}
+
+type parallelRow struct {
+	Workers      int     `json:"workers"`
+	ChecksPerSec float64 `json:"checksPerSec"`
+	CacheHits    int     `json:"cacheHits"`
+}
+
+type pipelineRow struct {
+	Mode    string  `json:"mode"`
+	Window  int     `json:"window"`
+	ReqPerS float64 `json:"reqPerSec"`
+	Speedup float64 `json:"speedupVsWindow1"`
+}
+
+type overheadRow struct {
+	InstrumentedMicros float64 `json:"instrumentedMicros"`
+	NoopMicros         float64 `json:"noopMicros"`
+	Ratio              float64 `json:"ratio"`
+}
+
+// runJSON assembles the full benchmark document and writes it.
+func runJSON(path string) error {
+	doc := benchDoc{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+	}
+	fmt.Println("acbench: hot-path scaling...")
+	doc.Hotpath = runHotPath()
+	fmt.Println("acbench: parallel principals...")
+	doc.Parallel = runParallel()
+	fmt.Println("acbench: protocol-v2 pipelining...")
+	pl, err := runPipeline()
+	if err != nil {
+		return err
+	}
+	doc.Pipeline = pl
+	fmt.Println("acbench: metrics overhead...")
+	doc.MetricsOverhead = runMetricsOverhead()
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("acbench: wrote %s\n", path)
+	return nil
+}
+
+// runHotPath measures per-check latencies for long-history sessions
+// with the fact cache on and off.
+func runHotPath() []hotpathRow {
 	f := apps.Calendar()
 	sel := sqlparser.MustParseSelect("SELECT * FROM Events WHERE EId=2")
 	sess := f.Session(1)
-
-	fmt.Println("Hot path: per-check latency vs session history length")
-	fmt.Printf("%-10s %15s %15s %10s\n", "history", "incremental", "naive", "speedup")
+	var rows []hotpathRow
 	for _, n := range []int{25, 50, 100, 200, 400} {
 		tr := mkTrace(n)
 		inc := timeChecks(f, sel, sess, tr, true)
 		naive := timeChecks(f, sel, sess, tr, false)
-		fmt.Printf("%-10d %15s %15s %9.1fx\n", n, inc, naive, float64(naive)/float64(inc))
+		rows = append(rows, hotpathRow{
+			History:            n,
+			IncrementalMicros:  float64(inc.Nanoseconds()) / 1e3,
+			NaiveMicros:        float64(naive.Nanoseconds()) / 1e3,
+			IncrementalSpeedup: float64(naive) / float64(inc),
+		})
 	}
+	return rows
+}
 
+func printHotPath() {
+	fmt.Println("Hot path: per-check latency vs session history length")
+	fmt.Printf("%-10s %15s %15s %10s\n", "history", "incremental", "naive", "speedup")
+	for _, r := range runHotPath() {
+		fmt.Printf("%-10d %14.1fµs %14.1fµs %9.1fx\n",
+			r.History, r.IncrementalMicros, r.NaiveMicros, r.IncrementalSpeedup)
+	}
 	fmt.Println()
+	p := runParallel()
+	fmt.Printf("Parallel principals: %d workers (%.0f checks/sec, cache hits %d)\n",
+		p.Workers, p.ChecksPerSec, p.CacheHits)
+}
+
+// runParallel measures parallel-principal throughput on a warm
+// decision template.
+func runParallel() parallelRow {
+	f := apps.Calendar()
 	workers := runtime.GOMAXPROCS(0)
 	const perWorker = 5000
 	chk := checker.New(f.Policy())
@@ -113,9 +218,66 @@ func runHotPath() {
 	wg.Wait()
 	elapsed := time.Since(start)
 	total := workers * perWorker
-	fmt.Printf("Parallel principals: %d workers x %d checks in %s (%.0f checks/sec, cache hits %d)\n",
-		workers, perWorker, elapsed.Round(time.Millisecond),
-		float64(total)/elapsed.Seconds(), chk.Stats().CacheHits)
+	return parallelRow{
+		Workers:      workers,
+		ChecksPerSec: float64(total) / elapsed.Seconds(),
+		CacheHits:    chk.Stats().CacheHits,
+	}
+}
+
+// runMetricsOverhead compares the default (instrumented) checker to an
+// obsv.Disabled build on the hot-path workload: warm trace-dependent
+// checks against a 50-entry history. The same comparison gates CI via
+// TestMetricsOverheadGuard.
+func runMetricsOverhead() overheadRow {
+	f := apps.Calendar()
+	sel := sqlparser.MustParseSelect("SELECT * FROM Events WHERE EId=2")
+	sess := f.Session(1)
+	tr := mkTrace(50)
+	build := func(reg *obsv.Registry) *checker.Checker {
+		opts := checker.DefaultOptions()
+		opts.Metrics = reg
+		c := checker.NewWithOptions(f.Policy(), opts)
+		c.Check(context.Background(), sel, sqlparser.NoArgs, sess, tr) // warm
+		return c
+	}
+	cOn, cOff := build(nil), build(obsv.Disabled())
+	const (
+		iters  = 50
+		trials = 30
+	)
+	measure := func(c *checker.Checker) time.Duration {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			c.Check(context.Background(), sel, sqlparser.NoArgs, sess, tr)
+		}
+		return time.Since(start)
+	}
+	measure(cOn) // warmup
+	measure(cOff)
+	minOn, minOff := time.Duration(1<<62), time.Duration(1<<62)
+	for t := 0; t < trials; t++ {
+		if t%2 == 0 {
+			if d := measure(cOn); d < minOn {
+				minOn = d
+			}
+			if d := measure(cOff); d < minOff {
+				minOff = d
+			}
+		} else {
+			if d := measure(cOff); d < minOff {
+				minOff = d
+			}
+			if d := measure(cOn); d < minOn {
+				minOn = d
+			}
+		}
+	}
+	return overheadRow{
+		InstrumentedMicros: float64(minOn.Nanoseconds()) / 1e3 / iters,
+		NoopMicros:         float64(minOff.Nanoseconds()) / 1e3 / iters,
+		Ratio:              float64(minOn) / float64(minOff),
+	}
 }
 
 // runPipeline measures proxy throughput over one TCP connection for a
@@ -123,7 +285,7 @@ func runHotPath() {
 // decision templates) as the client's in-flight window varies. Window
 // 1 ping-pongs like protocol v1; wider windows overlap client, wire,
 // and server work.
-func runPipeline() error {
+func runPipeline() ([]pipelineRow, error) {
 	ctx := context.Background()
 	f := apps.Calendar()
 	const (
@@ -201,17 +363,14 @@ func runPipeline() error {
 		return float64(requests) / time.Since(start).Seconds(), nil
 	}
 
-	fmt.Printf("Protocol v2 pipelining: mixed workload, %d sessions multiplexed over one connection, %d requests\n", sessions, requests)
-	fmt.Printf("window 1 is the serial v1-equivalent baseline; speedup is vs window 1 in the same mode\n\n")
+	var rows []pipelineRow
 	for _, m := range []struct {
 		mode  proxy.Mode
 		label string
 	}{
-		{proxy.Off, "enforcement off (protocol cost only)"},
-		{proxy.Enforce, "enforcement on (checker + trace in path)"},
+		{proxy.Off, "off"},
+		{proxy.Enforce, "enforce"},
 	} {
-		fmt.Printf("mode: %s\n", m.label)
-		fmt.Printf("%-8s %12s %9s\n", "window", "req/s", "speedup")
 		var base float64
 		for _, w := range []int{1, 2, 4, 8, 16} {
 			// Best of three trials: each trial is a fresh server and
@@ -221,7 +380,7 @@ func runPipeline() error {
 			for t := 0; t < 3; t++ {
 				r, err := run(m.mode, w)
 				if err != nil {
-					return err
+					return nil, err
 				}
 				if r > rps {
 					rps = r
@@ -230,10 +389,38 @@ func runPipeline() error {
 			if w == 1 {
 				base = rps
 			}
-			fmt.Printf("%-8d %12.0f %8.2fx\n", w, rps, rps/base)
+			rows = append(rows, pipelineRow{
+				Mode: m.label, Window: w, ReqPerS: rps, Speedup: rps / base,
+			})
 		}
-		fmt.Println()
 	}
+	return rows, nil
+}
+
+func printPipeline() error {
+	rows, err := runPipeline()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Protocol v2 pipelining: mixed workload, 8 sessions multiplexed over one connection, 16000 requests")
+	fmt.Printf("window 1 is the serial v1-equivalent baseline; speedup is vs window 1 in the same mode\n\n")
+	labels := map[string]string{
+		"off":     "enforcement off (protocol cost only)",
+		"enforce": "enforcement on (checker + trace in path)",
+	}
+	lastMode := ""
+	for _, r := range rows {
+		if r.Mode != lastMode {
+			if lastMode != "" {
+				fmt.Println()
+			}
+			lastMode = r.Mode
+			fmt.Printf("mode: %s\n", labels[r.Mode])
+			fmt.Printf("%-8s %12s %9s\n", "window", "req/s", "speedup")
+		}
+		fmt.Printf("%-8d %12.0f %8.2fx\n", r.Window, r.ReqPerS, r.Speedup)
+	}
+	fmt.Println()
 	return nil
 }
 

@@ -5,6 +5,10 @@
 // Usage:
 //
 //	acdiagnose -app calendar -uid 1 -sql "SELECT * FROM Events WHERE EId=2"
+//
+// -stats appends the checker's metrics snapshot (decision counters,
+// pipeline stage timings, diagnose.micros) as JSON, so the cost of the
+// diagnosis search itself is visible.
 package main
 
 import (
@@ -12,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	beyond "repro"
 )
@@ -20,6 +25,7 @@ func main() {
 	app := flag.String("app", "calendar", "fixture: calendar|hospital|employees|forum")
 	uid := flag.Int64("uid", 1, "principal id (MyUId)")
 	sql := flag.String("sql", "SELECT * FROM Events WHERE EId=2", "the query to diagnose")
+	stats := flag.Bool("stats", false, "print the metrics snapshot (JSON) after the diagnosis")
 	flag.Parse()
 
 	f, err := beyond.FixtureByName(*app)
@@ -33,4 +39,11 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println(diag)
+	if *stats {
+		fmt.Println("\nmetrics:")
+		if err := chk.Metrics().WriteJSON(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
 }

@@ -7,12 +7,17 @@
 //	acextract -app calendar -mode symbolic
 //	acextract -app calendar -mode mine           # auto-explored inputs
 //	acextract -app calendar -mode mine -explore=false
+//
+// -timing appends an obsv metrics snapshot with the extraction's
+// wall-clock time (extract.micros).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"time"
 
 	beyond "repro"
 	"repro/internal/appdsl"
@@ -27,12 +32,15 @@ func main() {
 	hints := flag.Bool("hints", true, "use opaque-ID hints (mine mode)")
 	guards := flag.Bool("guards", true, "infer access-check guards (mine mode)")
 	explore := flag.Bool("explore", true, "auto-generate request inputs (mine mode)")
+	timing := flag.Bool("timing", false, "print the phase-timing metrics snapshot (JSON)")
 	flag.Parse()
 
 	f, err := beyond.FixtureByName(*app)
 	if err != nil {
 		log.Fatal(err)
 	}
+	reg := beyond.NewMetrics()
+	extractStart := time.Now()
 	var p *beyond.Policy
 	switch *mode {
 	case "symbolic":
@@ -51,6 +59,7 @@ func main() {
 	default:
 		log.Fatalf("unknown mode %q", *mode)
 	}
+	reg.Histogram("acextract.extract.micros").ObserveSince(extractStart)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -58,6 +67,13 @@ func main() {
 	acc := beyond.CompareExtraction(p, f.AppTruth())
 	fmt.Printf("accuracy vs app-embodied ground truth: recall %.2f, precision %.2f, exact=%v\n",
 		acc.Recall(), acc.Precision(), acc.Exact())
+	if *timing {
+		fmt.Println("\nmetrics:")
+		if err := reg.WriteJSON(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
 }
 
 // mine runs every handler for two principals and mines the traces.

@@ -5,19 +5,34 @@
 // Usage:
 //
 //	acproxy -app calendar -addr 127.0.0.1:7070 -size 50 -mode enforce \
-//	        -max-conns 1024 -read-timeout 5m -cache-size 8192 -max-inflight 64
+//	        -max-conns 1024 -read-timeout 5m -cache-size 8192 -max-inflight 64 \
+//	        -metrics 127.0.0.1:7071 -pprof -slowlog 50ms
 //
 // Clients speak the line protocol of internal/proxy; see
-// examples/calendar for a driver. On SIGINT/SIGTERM the proxy drains
-// in-flight connections and prints extended statistics: decision and
-// fact-cache hit rates plus latency percentiles over the recent
-// window.
+// examples/calendar for a driver.
+//
+// Observability:
+//
+//   - -metrics ADDR serves the live obsv registry as JSON over HTTP
+//     at /metrics: per-stage pipeline counters and latencies, cache
+//     tier hit counts, proxy query percentiles, engine scan timings.
+//   - -pprof exposes net/http/pprof profiling endpoints on the same
+//     HTTP server (or 127.0.0.1:6060 when -metrics is unset).
+//   - -slowlog D emits one structured JSON line for every query that
+//     takes at least D, with the verdict, the cache tier that
+//     answered, and the per-stage breakdown (DESIGN.md §9).
+//
+// On SIGINT/SIGTERM the proxy drains in-flight connections and prints
+// extended statistics: decision and fact-cache hit rates plus latency
+// percentiles over the recent window.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -35,6 +50,9 @@ func main() {
 	readTimeout := flag.Duration("read-timeout", 10*time.Minute, "per-connection idle read deadline (0 disables)")
 	cacheSize := flag.Int("cache-size", 0, "decision-template cache bound (0 = default)")
 	maxInFlight := flag.Int("max-inflight", 0, "per-connection pipelined window, protocol v2 (0 = default)")
+	metricsAddr := flag.String("metrics", "", "serve /metrics JSON over HTTP on this address (empty disables)")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof (on -metrics address, or 127.0.0.1:6060)")
+	slowLog := flag.Duration("slowlog", 0, "log queries at or over this duration as structured JSON (0 disables)")
 	flag.Parse()
 
 	f, err := beyond.FixtureByName(*app)
@@ -57,13 +75,18 @@ func main() {
 	srv := beyond.NewProxy(db, chk, m,
 		beyond.WithMaxConns(*maxConns),
 		beyond.WithReadTimeout(*readTimeout),
-		beyond.WithMaxInFlight(*maxInFlight))
+		beyond.WithMaxInFlight(*maxInFlight),
+		beyond.WithSlowLog(*slowLog))
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("acproxy: %s app, policy %d views, mode %s, listening on %s\n",
 		f.Name, len(f.Policy().Views), m, bound)
+
+	if err := startHTTP(srv, *metricsAddr, *pprofOn); err != nil {
+		log.Fatal(err)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -84,4 +107,53 @@ func main() {
 		st.LatencyP50Micros, st.LatencyP90Micros, st.LatencyP99Micros,
 		st.LatencyMeanMicros, st.LatencySamples)
 	fmt.Printf("acproxy: connections: total=%d rejected=%d canceled-requests=%d\n", st.TotalConns, st.RejectedConns, st.CanceledReqs)
+}
+
+// startHTTP stands up the observability HTTP server: /metrics (the
+// obsv registry as JSON) when metricsAddr is set, pprof endpoints when
+// requested. Both share one server; with -pprof but no -metrics the
+// default profiling address is 127.0.0.1:6060.
+func startHTTP(srv *beyond.ProxyServer, metricsAddr string, pprofOn bool) error {
+	if metricsAddr == "" && !pprofOn {
+		return nil
+	}
+	httpAddr := metricsAddr
+	if httpAddr == "" {
+		httpAddr = "127.0.0.1:6060"
+	}
+	mux := http.NewServeMux()
+	if metricsAddr != "" {
+		reg := srv.MetricsRegistry()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			if err := reg.WriteJSON(w); err != nil {
+				log.Printf("acproxy: metrics: %v", err)
+			}
+		})
+	}
+	if pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	hs := &http.Server{Addr: httpAddr, Handler: mux}
+	go func() {
+		if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Printf("acproxy: http: %v", err)
+		}
+	}()
+	what := ""
+	if metricsAddr != "" {
+		what = "metrics at /metrics"
+	}
+	if pprofOn {
+		if what != "" {
+			what += ", "
+		}
+		what += "pprof at /debug/pprof/"
+	}
+	fmt.Printf("acproxy: serving %s on http://%s\n", what, httpAddr)
+	return nil
 }

@@ -13,6 +13,16 @@
 // enough to decide all of the paper's examples; queries outside the
 // fragment are conservatively blocked.
 //
+// The decide path is an explicit staged pipeline (stages.go, built on
+// internal/pipeline): front-cache probe → bind/translate →
+// history-free template probe → fact derivation → template-cache
+// probe → policy coverage → verdict. Each stage is named, and every
+// stage reports run counts and latency into the checker's
+// obsv.Registry, so per-phase time (the Blockaid-style parse / cache
+// probe / solver breakdown) is observable at runtime rather than
+// reconstructed from ad-hoc benchmarks. The coverage algorithm itself
+// lives in cover.go.
+//
 // Decisions are memoized as parameter-generic templates (Blockaid's
 // "decision cache"): constants equal to session attributes are
 // abstracted to parameters, so one cold decision serves every
@@ -25,7 +35,7 @@
 // A Checker is safe for concurrent use: the policy snapshot (view
 // disjuncts plus fingerprint) is published through an atomic pointer,
 // so ResetCache can swap it while checks are in flight, and all
-// counters are atomic.
+// counters are atomic (obsv instruments).
 package checker
 
 import (
@@ -35,13 +45,27 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/acerr"
 	"repro/internal/cq"
+	"repro/internal/obsv"
+	"repro/internal/pipeline"
 	"repro/internal/policy"
 	"repro/internal/sqlparser"
 	"repro/internal/sqlvalue"
 	"repro/internal/trace"
+)
+
+// Cache-tier labels reported in Decision.Tier and the proxy's
+// slow-decision log.
+const (
+	// TierFront marks a statement-identity front-cache hit.
+	TierFront = "front"
+	// TierHistFree marks a history-free decision-template hit.
+	TierHistFree = "histfree"
+	// TierTemplate marks a full (trace-keyed) decision-template hit.
+	TierTemplate = "template"
 )
 
 // Decision is the outcome of a compliance check.
@@ -54,9 +78,14 @@ type Decision struct {
 	Views []string
 	// FromCache reports a decision-template hit.
 	FromCache bool
+	// Tier names the cache tier that answered ("front", "histfree",
+	// "template"); empty for a cold decision.
+	Tier string
 }
 
-// Stats counts checker activity.
+// Stats counts checker activity. It is assembled from the checker's
+// obsv instruments; with a Disabled metrics registry every field
+// except CacheEntries reads zero.
 type Stats struct {
 	Decisions int
 	CacheHits int
@@ -87,6 +116,12 @@ type Options struct {
 	// CacheSize bounds the decision-template cache (total entries
 	// across shards); 0 means the default.
 	CacheSize int
+	// Metrics is the observability registry every pipeline stage and
+	// counter reports into. Nil means a fresh private registry;
+	// obsv.Disabled() turns instrumentation off (stage clock reads are
+	// skipped entirely). Sharing one registry across checkers
+	// aggregates their instruments.
+	Metrics *obsv.Registry
 }
 
 // DefaultCacheSize bounds the decision-template cache when Options
@@ -155,13 +190,18 @@ type Checker struct {
 	frontMu sync.RWMutex
 	front   map[frontKey]Decision
 
-	// Counters (atomic: Check never takes a lock).
-	nDecisions atomic.Int64
-	nCacheHits atomic.Int64
-	nAllowed   atomic.Int64
-	nBlocked   atomic.Int64
-	nGenHits   atomic.Int64
-	nGenMisses atomic.Int64
+	// Observability: the staged decide pipeline plus named obsv
+	// instruments, resolved once here so the hot path never touches
+	// the registry map. All are nil-safe no-ops under obsv.Disabled().
+	reg  *obsv.Registry
+	pipe *pipeline.Pipeline[*decideState]
+
+	mDecisions, mAllowed, mBlocked, mCacheHits *obsv.Counter
+	mFrontHit, mFrontMiss                      *obsv.Counter
+	mHistFreeHit, mTemplateHit, mTemplateMiss  *obsv.Counter
+	mGenHits, mGenMisses                       *obsv.Counter
+	mParseErrors                               *obsv.Counter
+	mParse                                     *obsv.Histogram
 }
 
 // New creates a checker for the policy with default options.
@@ -175,6 +215,9 @@ func NewWithOptions(p *policy.Policy, opts Options) *Checker {
 	if opts.CacheSize <= 0 {
 		opts.CacheSize = DefaultCacheSize
 	}
+	if opts.Metrics == nil {
+		opts.Metrics = obsv.NewRegistry()
+	}
 	c := &Checker{
 		pol:   p,
 		opts:  opts,
@@ -182,7 +225,23 @@ func NewWithOptions(p *policy.Policy, opts Options) *Checker {
 		tr:    &cq.Translator{Schema: p.Schema},
 		gen:   make(map[string]genEntry),
 		front: make(map[frontKey]Decision),
+		reg:   opts.Metrics,
 	}
+	reg := c.reg
+	c.mDecisions = reg.Counter("checker.decisions")
+	c.mAllowed = reg.Counter("checker.allowed")
+	c.mBlocked = reg.Counter("checker.blocked")
+	c.mCacheHits = reg.Counter("checker.cache.hits")
+	c.mFrontHit = reg.Counter("checker.front.hit")
+	c.mFrontMiss = reg.Counter("checker.front.miss")
+	c.mHistFreeHit = reg.Counter("checker.histfree.hit")
+	c.mTemplateHit = reg.Counter("checker.template.hit")
+	c.mTemplateMiss = reg.Counter("checker.template.miss")
+	c.mGenHits = reg.Counter("checker.factgen.hit")
+	c.mGenMisses = reg.Counter("checker.factgen.miss")
+	c.mParseErrors = reg.Counter("checker.parse.errors")
+	c.mParse = reg.Histogram("checker.parse.micros")
+	c.pipe = c.newDecidePipeline()
 	c.snap.Store(&polSnapshot{fp: p.Fingerprint(), viewDisj: p.Disjuncts(nil)})
 	return c
 }
@@ -190,16 +249,21 @@ func NewWithOptions(p *policy.Policy, opts Options) *Checker {
 // Policy returns the checker's policy.
 func (c *Checker) Policy() *policy.Policy { return c.pol }
 
+// Metrics returns the checker's observability registry (the one every
+// decide stage reports into). Share it with the proxy server and the
+// diagnose search to get one consolidated snapshot.
+func (c *Checker) Metrics() *obsv.Registry { return c.reg }
+
 // Stats returns a copy of the counters.
 func (c *Checker) Stats() Stats {
 	return Stats{
-		Decisions:     int(c.nDecisions.Load()),
-		CacheHits:     int(c.nCacheHits.Load()),
-		Allowed:       int(c.nAllowed.Load()),
-		Blocked:       int(c.nBlocked.Load()),
+		Decisions:     int(c.mDecisions.Value()),
+		CacheHits:     int(c.mCacheHits.Value()),
+		Allowed:       int(c.mAllowed.Value()),
+		Blocked:       int(c.mBlocked.Value()),
 		CacheEntries:  c.cache.Len(),
-		FactGenHits:   int(c.nGenHits.Load()),
-		FactGenMisses: int(c.nGenMisses.Load()),
+		FactGenHits:   int(c.mGenHits.Value()),
+		FactGenMisses: int(c.mGenMisses.Value()),
 	}
 }
 
@@ -245,9 +309,22 @@ func (c *Checker) frontPut(k frontKey, d Decision) {
 // CheckSQL parses and checks a SELECT. A parse failure wraps
 // acerr.ErrParse; a context cancellation mid-check wraps
 // acerr.ErrCanceled (the accompanying Decision conservatively blocks).
+// Parse time is the pipeline's first stage observationally: it lands
+// in checker.parse.micros and in the request SpanSet as "parse".
 func (c *Checker) CheckSQL(ctx context.Context, sql string, args sqlparser.Args, session map[string]sqlvalue.Value, tr *trace.Trace) (Decision, error) {
+	var start time.Time
+	timed := c.reg.Enabled()
+	if timed {
+		start = time.Now()
+	}
 	sel, err := sqlparser.ParseSelectCached(sql)
+	if timed {
+		d := time.Since(start)
+		c.mParse.Observe(d.Microseconds())
+		obsv.SpanSetFrom(ctx).Record("parse", d)
+	}
 	if err != nil {
+		c.mParseErrors.Inc()
 		return Decision{}, fmt.Errorf("%w: %v", acerr.ErrParse, err)
 	}
 	d := c.Check(ctx, sel, args, session, tr)
@@ -263,15 +340,15 @@ func (c *Checker) CheckSQL(ctx context.Context, sql string, args sqlparser.Args,
 // yields a conservative blocked Decision (never cached); callers that
 // care should inspect ctx.Err.
 func (c *Checker) Check(ctx context.Context, sel *sqlparser.SelectStmt, args sqlparser.Args, session map[string]sqlvalue.Value, tr *trace.Trace) Decision {
-	c.nDecisions.Add(1)
+	c.mDecisions.Inc()
 	d := c.decide(ctx, sel, args, session, tr)
 	if d.Allowed {
-		c.nAllowed.Add(1)
+		c.mAllowed.Inc()
 	} else {
-		c.nBlocked.Add(1)
+		c.mBlocked.Inc()
 	}
 	if d.FromCache {
-		c.nCacheHits.Add(1)
+		c.mCacheHits.Inc()
 	}
 	return d
 }
@@ -281,168 +358,6 @@ func (c *Checker) Check(ctx context.Context, sel *sqlparser.SelectStmt, args sql
 // poison future decisions.
 func canceledDecision(ctx context.Context) Decision {
 	return Decision{Allowed: false, Reason: fmt.Sprintf("check canceled: %v", ctx.Err())}
-}
-
-func (c *Checker) decide(ctx context.Context, sel *sqlparser.SelectStmt, args sqlparser.Args, session map[string]sqlvalue.Value, tr *trace.Trace) Decision {
-	snap := c.snap.Load()
-	if ctx.Err() != nil {
-		return canceledDecision(ctx)
-	}
-
-	// Fast path: an identical concrete check (same shared statement,
-	// principal, and arguments) whose decision is known to be
-	// trace-independent skips binding, translation, and template
-	// rendering entirely.
-	var fkey frontKey
-	useFront := c.opts.UseCache && c.opts.UseHistory
-	if useFront {
-		fkey = frontKey{fp: snap.fp, sel: sel, sig: sessionSig(session) + "\x00" + argsSig(args)}
-		if d, ok := c.frontGet(fkey); ok {
-			d.FromCache = true
-			return d
-		}
-	}
-
-	// Named parameters that match session attributes bind implicitly:
-	// ?MyUId in an application query means the current principal.
-	if len(session) > 0 {
-		merged := make(map[string]sqlvalue.Value, len(args.Named)+len(session))
-		for k, v := range session {
-			merged[k] = v
-		}
-		for k, v := range args.Named {
-			merged[k] = v
-		}
-		args = sqlparser.Args{Positional: args.Positional, Named: merged}
-	}
-	bound, err := sqlparser.Bind(sel, args)
-	if err != nil {
-		return Decision{Reason: fmt.Sprintf("bind: %v", err)}
-	}
-	ucq, err := c.tr.TranslateSelect(bound.(*sqlparser.SelectStmt))
-	if err != nil {
-		return Decision{Reason: fmt.Sprintf("blocked conservatively: %v", err)}
-	}
-
-	// Abstract session constants into parameters (decision template).
-	generalize := constGeneralizer(session)
-	tpl := make([]*cq.Query, len(ucq))
-	for i, q := range ucq {
-		tpl[i] = q.Substitute(generalize)
-		// Substitute only rewrites vars/params; constants need the map
-		// form below.
-		tpl[i] = generalizeConsts(tpl[i], session)
-	}
-
-	// History-free tier of the decision cache. Coverage is monotone in
-	// the trace facts (facts only add atoms a homomorphism may land
-	// on), so a template allowed with ZERO facts stays allowed under
-	// every trace. Such decisions cache on (policy, template) alone and
-	// never churn as the trace grows — without this, the full key below
-	// changes on every write and view-only-allowed hot queries would
-	// re-derive from scratch each request. A cached history-free DENIAL
-	// is only a marker that the template needs facts; it is never
-	// returned as the answer.
-	if c.opts.UseCache && c.opts.UseHistory && tr != nil {
-		freeKey := cacheKey(snap.fp, tpl, nil)
-		if d, ok := c.cache.Get(freeKey); ok {
-			if d.Allowed {
-				if useFront {
-					c.frontPut(fkey, d)
-				}
-				d.FromCache = true
-				return d
-			}
-		} else {
-			d := c.coverAll(ctx, snap, tpl, nil)
-			if ctx.Err() != nil {
-				return canceledDecision(ctx)
-			}
-			c.cache.Put(freeKey, d)
-			if d.Allowed {
-				if useFront {
-					c.frontPut(fkey, d)
-				}
-				return d
-			}
-		}
-	}
-
-	// Facts from the trace, likewise parameterized. factKeys carries
-	// each generalized fact's canonical string for the cache key, so
-	// it is rendered once per (fact, session shape), not per check.
-	var facts []cq.Fact
-	var factKeys []string
-	if c.opts.UseHistory && tr != nil {
-		sig := sessionSig(session)
-		var raw []cq.Fact
-		if c.opts.UseFactCache {
-			raw = tr.Facts(c.pol.Schema)
-		} else {
-			raw = trace.FactsUncached(c.pol.Schema, tr)
-		}
-		facts = make([]cq.Fact, 0, len(raw))
-		factKeys = make([]string, 0, len(raw))
-		for i, f := range raw {
-			if i&63 == 63 && ctx.Err() != nil {
-				return canceledDecision(ctx)
-			}
-			g := c.generalizeFactMemo(f, session, sig)
-			facts = append(facts, g.f)
-			factKeys = append(factKeys, g.key)
-		}
-	}
-
-	// Decision-template cache.
-	var key string
-	if c.opts.UseCache {
-		key = cacheKey(snap.fp, tpl, factKeys)
-		if d, ok := c.cache.Get(key); ok {
-			d.FromCache = true
-			return d
-		}
-	}
-
-	d := c.coverAll(ctx, snap, tpl, facts)
-	if ctx.Err() != nil {
-		return canceledDecision(ctx)
-	}
-
-	if c.opts.UseCache {
-		c.cache.Put(key, d)
-	}
-	return d
-}
-
-// coverAll runs the coverage check for every disjunct of a decision
-// template against the given fact set. Callers must check ctx.Err()
-// before caching the result: a cancellation mid-loop yields a
-// decision that must not be stored.
-func (c *Checker) coverAll(ctx context.Context, snap *polSnapshot, tpl []*cq.Query, facts []cq.Fact) Decision {
-	d := Decision{Allowed: true}
-	usedViews := map[string]bool{}
-	for _, q := range tpl {
-		res := c.coverDisjunct(ctx, snap, q, facts)
-		if ctx.Err() != nil {
-			return canceledDecision(ctx)
-		}
-		if !res.ok {
-			return Decision{Allowed: false, Reason: res.reason}
-		}
-		for _, v := range res.views {
-			usedViews[v] = true
-		}
-	}
-	for v := range usedViews {
-		d.Views = append(d.Views, v)
-	}
-	sort.Strings(d.Views)
-	if len(d.Views) > 0 {
-		d.Reason = "covered by " + strings.Join(d.Views, ", ")
-	} else {
-		d.Reason = "reveals no database content"
-	}
-	return d
 }
 
 // sessionSig renders the session attributes deterministically; it
@@ -504,24 +419,24 @@ func argsSig(args sqlparser.Args) string {
 }
 
 // generalizeFactMemo returns the session-parameterized form of a
-// trace fact, memoized per (fact, session signature). Memoized facts
-// are shared; callers must treat their atoms as immutable. The memo
-// is skipped when the fact cache is disabled (ablation mode measures
-// the unmemoized path).
-func (c *Checker) generalizeFactMemo(f cq.Fact, session map[string]sqlvalue.Value, sig string) genEntry {
+// trace fact, memoized per (fact, session signature), and reports
+// whether it was a memo hit. Counting is left to the caller (the
+// facts stage batches one atomic add per check instead of one per
+// fact). Memoized facts are shared; callers must treat their atoms as
+// immutable. The memo is skipped when the fact cache is disabled
+// (ablation mode measures the unmemoized path).
+func (c *Checker) generalizeFactMemo(f cq.Fact, session map[string]sqlvalue.Value, sig string) (genEntry, bool) {
 	if !c.opts.UseFactCache {
 		g := generalizeFact(f, session)
-		return genEntry{f: g, key: g.String()}
+		return genEntry{f: g, key: g.String()}, false
 	}
 	k := sig + "\x00" + f.String()
 	c.genMu.RLock()
 	e, ok := c.gen[k]
 	c.genMu.RUnlock()
 	if ok {
-		c.nGenHits.Add(1)
-		return e
+		return e, true
 	}
-	c.nGenMisses.Add(1)
 	g := generalizeFact(f, session)
 	e = genEntry{f: g, key: g.String()}
 	c.genMu.Lock()
@@ -530,7 +445,7 @@ func (c *Checker) generalizeFactMemo(f cq.Fact, session map[string]sqlvalue.Valu
 	}
 	c.gen[k] = e
 	c.genMu.Unlock()
-	return e
+	return e, false
 }
 
 func cacheKey(fp string, tpl []*cq.Query, factKeys []string) string {
@@ -595,359 +510,4 @@ func generalizeFact(f cq.Fact, session map[string]sqlvalue.Value) cq.Fact {
 	q := &cq.Query{Atoms: []cq.Atom{f.Atom.Clone()}}
 	q = generalizeConsts(q, session)
 	return cq.Fact{Atom: q.Atoms[0], Negated: f.Negated}
-}
-
-// coverResult is the outcome for one disjunct.
-type coverResult struct {
-	ok     bool
-	views  []string
-	reason string
-}
-
-// candidate is one usable view embedding.
-type candidate struct {
-	viewName string
-	// covers[i] is true when query atom i is in the embedding's image
-	// and every argument position passes the visibility rules.
-	covers []bool
-	// visible holds the term keys exposed by the view head under the
-	// embedding.
-	visible map[string]bool
-	// enforced holds comparison-only query variables whose every
-	// constraint the view's own body implies (so invisibility is
-	// acceptable for them).
-	enforced map[string]bool
-}
-
-// coverDisjunct decides one conjunctive disjunct against a policy
-// snapshot. Cancellation is polled between view-embedding searches —
-// the expensive inner step — and surfaces as a not-ok result the
-// caller must discard after seeing ctx.Err.
-func (c *Checker) coverDisjunct(ctx context.Context, snap *polSnapshot, q *cq.Query, facts []cq.Fact) coverResult {
-	// A query whose comparisons are unsatisfiable returns nothing.
-	cs := cq.NewConstraints()
-	cs.AddAll(q.Comps)
-	if !cs.Consistent() {
-		return coverResult{ok: true}
-	}
-
-	// Vacuity via negative facts: an atom that can only match a
-	// pattern known to be empty makes the disjunct return nothing.
-	for _, a := range q.Atoms {
-		for _, f := range facts {
-			if f.Negated && atomInstanceOf(a, f.Atom, cs) {
-				return coverResult{ok: true}
-			}
-		}
-	}
-
-	if len(q.Atoms) == 0 {
-		return coverResult{ok: true} // reveals no database content
-	}
-
-	// Occurrence census for visibility rules.
-	occ := countVarOccurrences(q)
-
-	// The embedding target: the query's atoms plus positive trace
-	// facts as extra known rows.
-	target := &cq.Query{Atoms: append([]cq.Atom(nil), q.Atoms...), Comps: q.Comps}
-	for _, f := range facts {
-		if !f.Negated {
-			target.Atoms = append(target.Atoms, f.Atom)
-		}
-	}
-
-	// Fact-covered atoms: fully ground atoms whose row is known.
-	factCovered := make([]bool, len(q.Atoms))
-	for i, a := range q.Atoms {
-		if !atomGround(a) {
-			continue
-		}
-		for _, f := range facts {
-			if !f.Negated && atomsEqual(a, f.Atom) {
-				factCovered[i] = true
-				break
-			}
-		}
-	}
-
-	// Enumerate view embeddings and derive candidates.
-	var cands []candidate
-	for _, v := range snap.viewDisj {
-		if ctx.Err() != nil {
-			return coverResult{reason: "check canceled"}
-		}
-		homs := cq.FindHoms(v, target, nil, c.opts.MaxHomsPerView)
-		for _, h := range homs {
-			cand := candidate{
-				viewName: v.Name,
-				covers:   make([]bool, len(q.Atoms)),
-				visible:  make(map[string]bool),
-				enforced: make(map[string]bool),
-			}
-			for _, ht := range v.Head {
-				cand.visible[h.Map.Apply(ht).Key()] = true
-			}
-			// Constraints the view itself enforces, mapped onto query
-			// terms: an invisible view column may still satisfy a
-			// query comparison when the view's own body implies it.
-			viewCS := cq.NewConstraints()
-			for _, vc := range v.Comps {
-				viewCS.Add(h.Map.ApplyComp(vc))
-			}
-			any := false
-			for srcIdx, tgtIdx := range h.AtomImage {
-				if tgtIdx >= len(q.Atoms) {
-					continue // maps onto a fact atom
-				}
-				if c.atomCoverOK(v.Atoms[srcIdx], q.Atoms[tgtIdx], v, viewCS, occ, q, cand.enforced) {
-					cand.covers[tgtIdx] = true
-					any = true
-				}
-			}
-			if any {
-				cands = append(cands, cand)
-			}
-		}
-	}
-
-	// Choose a candidate per uncovered atom; then validate joint
-	// visibility of join and head variables.
-	need := make([]int, 0, len(q.Atoms))
-	for i := range q.Atoms {
-		if !factCovered[i] {
-			need = append(need, i)
-		}
-	}
-	if len(need) == 0 {
-		return coverResult{ok: true}
-	}
-
-	options := make([][]int, len(need))
-	for ni, ai := range need {
-		for ci, cand := range cands {
-			if cand.covers[ai] {
-				options[ni] = append(options[ni], ci)
-			}
-		}
-		if len(options[ni]) == 0 {
-			return coverResult{
-				reason: fmt.Sprintf("atom %s is not covered by any policy view", q.Atoms[ai]),
-			}
-		}
-	}
-
-	assign := make([]int, len(need))
-	if c.searchAssignment(q, occ, cands, need, options, assign, 0) {
-		used := map[string]bool{}
-		for _, ci := range assign {
-			used[cands[ci].viewName] = true
-		}
-		var views []string
-		for v := range used {
-			views = append(views, v)
-		}
-		sort.Strings(views)
-		return coverResult{ok: true, views: views}
-	}
-	return coverResult{
-		reason: "no combination of view embeddings determines the query's answer",
-	}
-}
-
-// searchAssignment tries candidate assignments for the atoms in need.
-func (c *Checker) searchAssignment(q *cq.Query, occ map[string]varOcc, cands []candidate, need []int, options [][]int, assign []int, i int) bool {
-	if i == len(need) {
-		return validateAssignment(q, occ, cands, need, assign)
-	}
-	for _, ci := range options[i] {
-		assign[i] = ci
-		if c.searchAssignment(q, occ, cands, need, options, assign, i+1) {
-			return true
-		}
-	}
-	return false
-}
-
-// validateAssignment enforces the joint visibility conditions: every
-// head variable, comparison variable, and variable shared across
-// atoms must be visible in the candidates covering those atoms.
-func validateAssignment(q *cq.Query, occ map[string]varOcc, cands []candidate, need []int, assign []int) bool {
-	// Candidate per atom index.
-	byAtom := make(map[int]*candidate, len(need))
-	for i, ai := range need {
-		byAtom[ai] = &cands[assign[i]]
-	}
-	for v, o := range occ {
-		key := cq.V(v).Key()
-		distinguishing := o.inHead || o.inComps || len(o.atoms) > 1 || o.multiInAtom
-		if !distinguishing {
-			continue
-		}
-		// A comparison-only variable confined to a single atom is fine
-		// when the covering view enforces its constraints itself.
-		compOnly := o.inComps && !o.inHead && len(o.atoms) == 1 && !o.multiInAtom
-		for ai := range o.atoms {
-			cand, covered := byAtom[ai]
-			if !covered {
-				continue // fact-covered atoms are ground; vars can't occur there
-			}
-			if cand.visible[key] {
-				continue
-			}
-			if compOnly && cand.enforced[v] {
-				continue
-			}
-			return false
-		}
-	}
-	return true
-}
-
-// varOcc summarizes where a query variable occurs.
-type varOcc struct {
-	atoms       map[int]bool
-	inHead      bool
-	inComps     bool
-	multiInAtom bool // appears twice within one atom
-}
-
-func countVarOccurrences(q *cq.Query) map[string]varOcc {
-	out := make(map[string]varOcc)
-	get := func(v string) varOcc {
-		o, ok := out[v]
-		if !ok {
-			o = varOcc{atoms: make(map[int]bool)}
-		}
-		return o
-	}
-	for ai, a := range q.Atoms {
-		seenHere := map[string]bool{}
-		for _, t := range a.Args {
-			if !t.IsVar() {
-				continue
-			}
-			o := get(t.Var)
-			o.atoms[ai] = true
-			if seenHere[t.Var] {
-				o.multiInAtom = true
-			}
-			seenHere[t.Var] = true
-			out[t.Var] = o
-		}
-	}
-	for _, t := range q.Head {
-		if t.IsVar() {
-			o := get(t.Var)
-			o.inHead = true
-			out[t.Var] = o
-		}
-	}
-	for _, cmp := range q.Comps {
-		for _, t := range []cq.Term{cmp.Left, cmp.Right} {
-			if t.IsVar() {
-				o := get(t.Var)
-				o.inComps = true
-				out[t.Var] = o
-			}
-		}
-	}
-	return out
-}
-
-// atomCoverOK applies the per-position visibility rule for a view atom
-// covering a query atom: a position whose query-side term is
-// distinguishing (constant, parameter, head/join/comparison variable)
-// must be visible in the view head, pinned by the view itself
-// (view-side constant or parameter), or — for comparison variables —
-// constrained identically by the view's own body (viewCS carries the
-// view's comparisons mapped to query terms).
-func (c *Checker) atomCoverOK(viewAtom, qAtom cq.Atom, view *cq.Query, viewCS *cq.Constraints, occ map[string]varOcc, q *cq.Query, enforced map[string]bool) bool {
-	viewHead := make(map[string]bool, len(view.Head))
-	for _, t := range view.Head {
-		if t.IsVar() {
-			viewHead[t.Var] = true
-		}
-	}
-	for k, y := range viewAtom.Args {
-		t := qAtom.Args[k]
-		if !y.IsVar() {
-			// View-side constant/parameter pins the position.
-			continue
-		}
-		if viewHead[y.Var] {
-			continue // visible: filterable and joinable by the caller
-		}
-		// Invisible view position: acceptable for a pure existential
-		// query variable, or for a comparison-only variable whose
-		// every constraint the view itself enforces.
-		if !t.IsVar() {
-			return false
-		}
-		o := occ[t.Var]
-		if o.inHead || len(o.atoms) > 1 || o.multiInAtom {
-			return false
-		}
-		if o.inComps {
-			for _, qc := range q.Comps {
-				involves := qc.Left.IsVar() && qc.Left.Var == t.Var ||
-					qc.Right.IsVar() && qc.Right.Var == t.Var
-				if involves && !viewCS.Implies(qc) {
-					return false
-				}
-			}
-			enforced[t.Var] = true
-		}
-	}
-	return true
-}
-
-// --- small atom helpers ---
-
-func atomGround(a cq.Atom) bool {
-	for _, t := range a.Args {
-		if t.IsVar() {
-			return false
-		}
-	}
-	return true
-}
-
-func atomsEqual(a, b cq.Atom) bool {
-	if a.Table != b.Table || len(a.Args) != len(b.Args) {
-		return false
-	}
-	for i := range a.Args {
-		if !a.Args[i].Equal(b.Args[i]) {
-			return false
-		}
-	}
-	return true
-}
-
-// atomInstanceOf reports whether concrete atom a is an instance of
-// pattern p (pattern variables bind consistently; constants and
-// parameters must match, or be forced equal by the query constraints).
-func atomInstanceOf(a, p cq.Atom, cs *cq.Constraints) bool {
-	if a.Table != p.Table || len(a.Args) != len(p.Args) {
-		return false
-	}
-	bind := map[string]cq.Term{}
-	for i, pt := range p.Args {
-		at := a.Args[i]
-		if pt.IsVar() {
-			if prev, ok := bind[pt.Var]; ok {
-				if !prev.Equal(at) && !cs.Implies(cq.Comparison{Op: cq.Eq, Left: prev, Right: at}) {
-					return false
-				}
-			} else {
-				bind[pt.Var] = at
-			}
-			continue
-		}
-		if !pt.Equal(at) && !cs.Implies(cq.Comparison{Op: cq.Eq, Left: pt, Right: at}) {
-			return false
-		}
-	}
-	return true
 }

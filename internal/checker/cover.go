@@ -1,0 +1,402 @@
+package checker
+
+// The policy-coverage decision procedure — the "solver" behind the
+// pipeline's cover stage. coverAll checks every disjunct of a
+// decision template; coverDisjunct enumerates view embeddings and
+// searches for an assignment of covering candidates that satisfies
+// the joint visibility conditions.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cq"
+)
+
+// coverAll runs the coverage check for every disjunct of a decision
+// template against the given fact set. Callers must check ctx.Err()
+// before caching the result: a cancellation mid-loop yields a
+// decision that must not be stored.
+func (c *Checker) coverAll(ctx context.Context, snap *polSnapshot, tpl []*cq.Query, facts []cq.Fact) Decision {
+	d := Decision{Allowed: true}
+	usedViews := map[string]bool{}
+	for _, q := range tpl {
+		res := c.coverDisjunct(ctx, snap, q, facts)
+		if ctx.Err() != nil {
+			return canceledDecision(ctx)
+		}
+		if !res.ok {
+			return Decision{Allowed: false, Reason: res.reason}
+		}
+		for _, v := range res.views {
+			usedViews[v] = true
+		}
+	}
+	for v := range usedViews {
+		d.Views = append(d.Views, v)
+	}
+	sort.Strings(d.Views)
+	if len(d.Views) > 0 {
+		d.Reason = "covered by " + strings.Join(d.Views, ", ")
+	} else {
+		d.Reason = "reveals no database content"
+	}
+	return d
+}
+
+// coverResult is the outcome for one disjunct.
+type coverResult struct {
+	ok     bool
+	views  []string
+	reason string
+}
+
+// candidate is one usable view embedding.
+type candidate struct {
+	viewName string
+	// covers[i] is true when query atom i is in the embedding's image
+	// and every argument position passes the visibility rules.
+	covers []bool
+	// visible holds the term keys exposed by the view head under the
+	// embedding.
+	visible map[string]bool
+	// enforced holds comparison-only query variables whose every
+	// constraint the view's own body implies (so invisibility is
+	// acceptable for them).
+	enforced map[string]bool
+}
+
+// coverDisjunct decides one conjunctive disjunct against a policy
+// snapshot. Cancellation is polled between view-embedding searches —
+// the expensive inner step — and surfaces as a not-ok result the
+// caller must discard after seeing ctx.Err.
+func (c *Checker) coverDisjunct(ctx context.Context, snap *polSnapshot, q *cq.Query, facts []cq.Fact) coverResult {
+	// A query whose comparisons are unsatisfiable returns nothing.
+	cs := cq.NewConstraints()
+	cs.AddAll(q.Comps)
+	if !cs.Consistent() {
+		return coverResult{ok: true}
+	}
+
+	// Vacuity via negative facts: an atom that can only match a
+	// pattern known to be empty makes the disjunct return nothing.
+	for _, a := range q.Atoms {
+		for _, f := range facts {
+			if f.Negated && atomInstanceOf(a, f.Atom, cs) {
+				return coverResult{ok: true}
+			}
+		}
+	}
+
+	if len(q.Atoms) == 0 {
+		return coverResult{ok: true} // reveals no database content
+	}
+
+	// Occurrence census for visibility rules.
+	occ := countVarOccurrences(q)
+
+	// The embedding target: the query's atoms plus positive trace
+	// facts as extra known rows.
+	target := &cq.Query{Atoms: append([]cq.Atom(nil), q.Atoms...), Comps: q.Comps}
+	for _, f := range facts {
+		if !f.Negated {
+			target.Atoms = append(target.Atoms, f.Atom)
+		}
+	}
+
+	// Fact-covered atoms: fully ground atoms whose row is known.
+	factCovered := make([]bool, len(q.Atoms))
+	for i, a := range q.Atoms {
+		if !atomGround(a) {
+			continue
+		}
+		for _, f := range facts {
+			if !f.Negated && atomsEqual(a, f.Atom) {
+				factCovered[i] = true
+				break
+			}
+		}
+	}
+
+	// Enumerate view embeddings and derive candidates.
+	var cands []candidate
+	for _, v := range snap.viewDisj {
+		if ctx.Err() != nil {
+			return coverResult{reason: "check canceled"}
+		}
+		homs := cq.FindHoms(v, target, nil, c.opts.MaxHomsPerView)
+		for _, h := range homs {
+			cand := candidate{
+				viewName: v.Name,
+				covers:   make([]bool, len(q.Atoms)),
+				visible:  make(map[string]bool),
+				enforced: make(map[string]bool),
+			}
+			for _, ht := range v.Head {
+				cand.visible[h.Map.Apply(ht).Key()] = true
+			}
+			// Constraints the view itself enforces, mapped onto query
+			// terms: an invisible view column may still satisfy a
+			// query comparison when the view's own body implies it.
+			viewCS := cq.NewConstraints()
+			for _, vc := range v.Comps {
+				viewCS.Add(h.Map.ApplyComp(vc))
+			}
+			any := false
+			for srcIdx, tgtIdx := range h.AtomImage {
+				if tgtIdx >= len(q.Atoms) {
+					continue // maps onto a fact atom
+				}
+				if c.atomCoverOK(v.Atoms[srcIdx], q.Atoms[tgtIdx], v, viewCS, occ, q, cand.enforced) {
+					cand.covers[tgtIdx] = true
+					any = true
+				}
+			}
+			if any {
+				cands = append(cands, cand)
+			}
+		}
+	}
+
+	// Choose a candidate per uncovered atom; then validate joint
+	// visibility of join and head variables.
+	need := make([]int, 0, len(q.Atoms))
+	for i := range q.Atoms {
+		if !factCovered[i] {
+			need = append(need, i)
+		}
+	}
+	if len(need) == 0 {
+		return coverResult{ok: true}
+	}
+
+	options := make([][]int, len(need))
+	for ni, ai := range need {
+		for ci, cand := range cands {
+			if cand.covers[ai] {
+				options[ni] = append(options[ni], ci)
+			}
+		}
+		if len(options[ni]) == 0 {
+			return coverResult{
+				reason: fmt.Sprintf("atom %s is not covered by any policy view", q.Atoms[ai]),
+			}
+		}
+	}
+
+	assign := make([]int, len(need))
+	if c.searchAssignment(q, occ, cands, need, options, assign, 0) {
+		used := map[string]bool{}
+		for _, ci := range assign {
+			used[cands[ci].viewName] = true
+		}
+		var views []string
+		for v := range used {
+			views = append(views, v)
+		}
+		sort.Strings(views)
+		return coverResult{ok: true, views: views}
+	}
+	return coverResult{
+		reason: "no combination of view embeddings determines the query's answer",
+	}
+}
+
+// searchAssignment tries candidate assignments for the atoms in need.
+func (c *Checker) searchAssignment(q *cq.Query, occ map[string]varOcc, cands []candidate, need []int, options [][]int, assign []int, i int) bool {
+	if i == len(need) {
+		return validateAssignment(q, occ, cands, need, assign)
+	}
+	for _, ci := range options[i] {
+		assign[i] = ci
+		if c.searchAssignment(q, occ, cands, need, options, assign, i+1) {
+			return true
+		}
+	}
+	return false
+}
+
+// validateAssignment enforces the joint visibility conditions: every
+// head variable, comparison variable, and variable shared across
+// atoms must be visible in the candidates covering those atoms.
+func validateAssignment(q *cq.Query, occ map[string]varOcc, cands []candidate, need []int, assign []int) bool {
+	// Candidate per atom index.
+	byAtom := make(map[int]*candidate, len(need))
+	for i, ai := range need {
+		byAtom[ai] = &cands[assign[i]]
+	}
+	for v, o := range occ {
+		key := cq.V(v).Key()
+		distinguishing := o.inHead || o.inComps || len(o.atoms) > 1 || o.multiInAtom
+		if !distinguishing {
+			continue
+		}
+		// A comparison-only variable confined to a single atom is fine
+		// when the covering view enforces its constraints itself.
+		compOnly := o.inComps && !o.inHead && len(o.atoms) == 1 && !o.multiInAtom
+		for ai := range o.atoms {
+			cand, covered := byAtom[ai]
+			if !covered {
+				continue // fact-covered atoms are ground; vars can't occur there
+			}
+			if cand.visible[key] {
+				continue
+			}
+			if compOnly && cand.enforced[v] {
+				continue
+			}
+			return false
+		}
+	}
+	return true
+}
+
+// varOcc summarizes where a query variable occurs.
+type varOcc struct {
+	atoms       map[int]bool
+	inHead      bool
+	inComps     bool
+	multiInAtom bool // appears twice within one atom
+}
+
+func countVarOccurrences(q *cq.Query) map[string]varOcc {
+	out := make(map[string]varOcc)
+	get := func(v string) varOcc {
+		o, ok := out[v]
+		if !ok {
+			o = varOcc{atoms: make(map[int]bool)}
+		}
+		return o
+	}
+	for ai, a := range q.Atoms {
+		seenHere := map[string]bool{}
+		for _, t := range a.Args {
+			if !t.IsVar() {
+				continue
+			}
+			o := get(t.Var)
+			o.atoms[ai] = true
+			if seenHere[t.Var] {
+				o.multiInAtom = true
+			}
+			seenHere[t.Var] = true
+			out[t.Var] = o
+		}
+	}
+	for _, t := range q.Head {
+		if t.IsVar() {
+			o := get(t.Var)
+			o.inHead = true
+			out[t.Var] = o
+		}
+	}
+	for _, cmp := range q.Comps {
+		for _, t := range []cq.Term{cmp.Left, cmp.Right} {
+			if t.IsVar() {
+				o := get(t.Var)
+				o.inComps = true
+				out[t.Var] = o
+			}
+		}
+	}
+	return out
+}
+
+// atomCoverOK applies the per-position visibility rule for a view atom
+// covering a query atom: a position whose query-side term is
+// distinguishing (constant, parameter, head/join/comparison variable)
+// must be visible in the view head, pinned by the view itself
+// (view-side constant or parameter), or — for comparison variables —
+// constrained identically by the view's own body (viewCS carries the
+// view's comparisons mapped to query terms).
+func (c *Checker) atomCoverOK(viewAtom, qAtom cq.Atom, view *cq.Query, viewCS *cq.Constraints, occ map[string]varOcc, q *cq.Query, enforced map[string]bool) bool {
+	viewHead := make(map[string]bool, len(view.Head))
+	for _, t := range view.Head {
+		if t.IsVar() {
+			viewHead[t.Var] = true
+		}
+	}
+	for k, y := range viewAtom.Args {
+		t := qAtom.Args[k]
+		if !y.IsVar() {
+			// View-side constant/parameter pins the position.
+			continue
+		}
+		if viewHead[y.Var] {
+			continue // visible: filterable and joinable by the caller
+		}
+		// Invisible view position: acceptable for a pure existential
+		// query variable, or for a comparison-only variable whose
+		// every constraint the view itself enforces.
+		if !t.IsVar() {
+			return false
+		}
+		o := occ[t.Var]
+		if o.inHead || len(o.atoms) > 1 || o.multiInAtom {
+			return false
+		}
+		if o.inComps {
+			for _, qc := range q.Comps {
+				involves := qc.Left.IsVar() && qc.Left.Var == t.Var ||
+					qc.Right.IsVar() && qc.Right.Var == t.Var
+				if involves && !viewCS.Implies(qc) {
+					return false
+				}
+			}
+			enforced[t.Var] = true
+		}
+	}
+	return true
+}
+
+// --- small atom helpers ---
+
+func atomGround(a cq.Atom) bool {
+	for _, t := range a.Args {
+		if t.IsVar() {
+			return false
+		}
+	}
+	return true
+}
+
+func atomsEqual(a, b cq.Atom) bool {
+	if a.Table != b.Table || len(a.Args) != len(b.Args) {
+		return false
+	}
+	for i := range a.Args {
+		if !a.Args[i].Equal(b.Args[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// atomInstanceOf reports whether concrete atom a is an instance of
+// pattern p (pattern variables bind consistently; constants and
+// parameters must match, or be forced equal by the query constraints).
+func atomInstanceOf(a, p cq.Atom, cs *cq.Constraints) bool {
+	if a.Table != p.Table || len(a.Args) != len(p.Args) {
+		return false
+	}
+	bind := map[string]cq.Term{}
+	for i, pt := range p.Args {
+		at := a.Args[i]
+		if pt.IsVar() {
+			if prev, ok := bind[pt.Var]; ok {
+				if !prev.Equal(at) && !cs.Implies(cq.Comparison{Op: cq.Eq, Left: prev, Right: at}) {
+					return false
+				}
+			} else {
+				bind[pt.Var] = at
+			}
+			continue
+		}
+		if !pt.Equal(at) && !cs.Implies(cq.Comparison{Op: cq.Eq, Left: pt, Right: at}) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package checker
+
+// raceEnabled reports whether this test binary was built with -race;
+// timing guards skip there (the detector inflates atomic costs).
+const raceEnabled = true

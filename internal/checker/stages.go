@@ -1,0 +1,283 @@
+package checker
+
+// The staged decide path. Each stage below is one named unit in an
+// internal/pipeline pipeline; the checker's decide() is nothing but
+// "run the pipeline over a decideState and return its decision". The
+// stage order is the efficient execution order, which differs from
+// the conceptual order in one place: the front-cache probe runs
+// BEFORE bind, because its key is the raw shared-statement identity
+// plus rendered session/args — a hit skips binding and translation
+// entirely. DESIGN.md §9 documents the stages and their metric names.
+//
+// Pipeline invariants the stages maintain:
+//
+//   - st.d always holds the final Decision once the pipeline stops
+//     (Done, Abort, or running off the end after "verdict").
+//   - Abort is used only for context cancellation; an aborted
+//     decision is never cached (the search did not finish, so a
+//     template would poison future decisions).
+//   - Decision.Tier is set only on the way out of a cache probe —
+//     cached entries themselves store an empty Tier.
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/cq"
+	"repro/internal/pipeline"
+	"repro/internal/sqlparser"
+	"repro/internal/sqlvalue"
+	"repro/internal/trace"
+)
+
+// decideState carries one decision through the staged pipeline.
+type decideState struct {
+	c    *Checker
+	snap *polSnapshot
+
+	// Inputs.
+	sel     *sqlparser.SelectStmt
+	args    sqlparser.Args
+	session map[string]sqlvalue.Value
+	tr      *trace.Trace
+
+	// Front-cache keying (stage "front").
+	useFront bool
+	fkey     frontKey
+
+	// Parameter-generic query templates (stage "bind").
+	tpl []*cq.Query
+
+	// Session-generalized trace facts (stage "facts").
+	facts    []cq.Fact
+	factKeys []string
+
+	// Full template-cache key (stage "template").
+	key string
+
+	// The verdict.
+	d Decision
+}
+
+// newDecidePipeline assembles the decide pipeline over the checker's
+// metrics registry. Stage metric names are
+// pipeline.decide.<stage>.{runs,done,micros}.
+func (c *Checker) newDecidePipeline() *pipeline.Pipeline[*decideState] {
+	return pipeline.New("decide", c.reg,
+		pipeline.Stage[*decideState]{Name: "front", Run: stageFront},
+		pipeline.Stage[*decideState]{Name: "bind", Run: stageBind},
+		pipeline.Stage[*decideState]{Name: "histfree", Run: stageHistFree},
+		pipeline.Stage[*decideState]{Name: "facts", Run: stageFacts},
+		pipeline.Stage[*decideState]{Name: "template", Run: stageTemplate},
+		pipeline.Stage[*decideState]{Name: "cover", Run: stageCover},
+		pipeline.Stage[*decideState]{Name: "verdict", Run: stageVerdict},
+	)
+}
+
+// decide runs the staged pipeline for one check.
+func (c *Checker) decide(ctx context.Context, sel *sqlparser.SelectStmt, args sqlparser.Args, session map[string]sqlvalue.Value, tr *trace.Trace) Decision {
+	st := &decideState{
+		c:       c,
+		snap:    c.snap.Load(),
+		sel:     sel,
+		args:    args,
+		session: session,
+		tr:      tr,
+	}
+	c.pipe.Run(ctx, st)
+	return st.d
+}
+
+// stageFront probes the statement-identity front cache: an identical
+// concrete check (same shared statement, principal, and arguments)
+// whose decision is known to be trace-independent skips binding,
+// translation, and template rendering entirely.
+func stageFront(ctx context.Context, st *decideState) pipeline.Outcome {
+	c := st.c
+	if ctx.Err() != nil {
+		st.d = canceledDecision(ctx)
+		return pipeline.Abort
+	}
+	st.useFront = c.opts.UseCache && c.opts.UseHistory
+	if !st.useFront {
+		return pipeline.Continue
+	}
+	st.fkey = frontKey{fp: st.snap.fp, sel: st.sel, sig: sessionSig(st.session) + "\x00" + argsSig(st.args)}
+	if d, ok := c.frontGet(st.fkey); ok {
+		d.FromCache = true
+		d.Tier = TierFront
+		st.d = d
+		c.mFrontHit.Inc()
+		return pipeline.Done
+	}
+	c.mFrontMiss.Inc()
+	return pipeline.Continue
+}
+
+// stageBind normalizes the query into parameter-generic conjunctive
+// templates: session attributes merge into the named arguments
+// (?MyUId in an application query means the current principal), the
+// statement is bound and translated to unions of conjunctive queries,
+// and constants equal to session attributes are abstracted into
+// parameters (the decision template). Bind or translation failures
+// block conservatively and complete the pipeline.
+func stageBind(ctx context.Context, st *decideState) pipeline.Outcome {
+	c := st.c
+	args := st.args
+	if len(st.session) > 0 {
+		merged := make(map[string]sqlvalue.Value, len(args.Named)+len(st.session))
+		for k, v := range st.session {
+			merged[k] = v
+		}
+		for k, v := range args.Named {
+			merged[k] = v
+		}
+		args = sqlparser.Args{Positional: args.Positional, Named: merged}
+	}
+	bound, err := sqlparser.Bind(st.sel, args)
+	if err != nil {
+		st.d = Decision{Reason: fmt.Sprintf("bind: %v", err)}
+		return pipeline.Done
+	}
+	ucq, err := c.tr.TranslateSelect(bound.(*sqlparser.SelectStmt))
+	if err != nil {
+		st.d = Decision{Reason: fmt.Sprintf("blocked conservatively: %v", err)}
+		return pipeline.Done
+	}
+
+	generalize := constGeneralizer(st.session)
+	st.tpl = make([]*cq.Query, len(ucq))
+	for i, q := range ucq {
+		st.tpl[i] = q.Substitute(generalize)
+		// Substitute only rewrites vars/params; constants need the map
+		// form below.
+		st.tpl[i] = generalizeConsts(st.tpl[i], st.session)
+	}
+	return pipeline.Continue
+}
+
+// stageHistFree is the history-free tier of the decision cache.
+// Coverage is monotone in the trace facts (facts only add atoms a
+// homomorphism may land on), so a template allowed with ZERO facts
+// stays allowed under every trace. Such decisions cache on (policy,
+// template) alone and never churn as the trace grows — without this,
+// the full key below changes on every write and view-only-allowed hot
+// queries would re-derive from scratch each request. A cached
+// history-free DENIAL is only a marker that the template needs facts;
+// it is never returned as the answer.
+func stageHistFree(ctx context.Context, st *decideState) pipeline.Outcome {
+	c := st.c
+	if !(c.opts.UseCache && c.opts.UseHistory && st.tr != nil) {
+		return pipeline.Continue
+	}
+	freeKey := cacheKey(st.snap.fp, st.tpl, nil)
+	if d, ok := c.cache.Get(freeKey); ok {
+		if d.Allowed {
+			if st.useFront {
+				c.frontPut(st.fkey, d)
+			}
+			d.FromCache = true
+			d.Tier = TierHistFree
+			st.d = d
+			c.mHistFreeHit.Inc()
+			return pipeline.Done
+		}
+		return pipeline.Continue // denial marker: the template needs facts
+	}
+	d := c.coverAll(ctx, st.snap, st.tpl, nil)
+	if ctx.Err() != nil {
+		st.d = canceledDecision(ctx)
+		return pipeline.Abort
+	}
+	c.cache.Put(freeKey, d)
+	if d.Allowed {
+		if st.useFront {
+			c.frontPut(st.fkey, d)
+		}
+		st.d = d
+		return pipeline.Done
+	}
+	return pipeline.Continue
+}
+
+// stageFacts derives the session-generalized trace facts. factKeys
+// carries each generalized fact's canonical string for the cache key,
+// so it is rendered once per (fact, session shape), not per check.
+func stageFacts(ctx context.Context, st *decideState) pipeline.Outcome {
+	c := st.c
+	if !c.opts.UseHistory || st.tr == nil {
+		return pipeline.Continue
+	}
+	sig := sessionSig(st.session)
+	var raw []cq.Fact
+	if c.opts.UseFactCache {
+		raw = st.tr.Facts(c.pol.Schema)
+	} else {
+		raw = trace.FactsUncached(c.pol.Schema, st.tr)
+	}
+	st.facts = make([]cq.Fact, 0, len(raw))
+	st.factKeys = make([]string, 0, len(raw))
+	var hits, misses int64
+	for i, f := range raw {
+		if i&63 == 63 && ctx.Err() != nil {
+			st.d = canceledDecision(ctx)
+			return pipeline.Abort
+		}
+		g, hit := c.generalizeFactMemo(f, st.session, sig)
+		if hit {
+			hits++
+		} else if c.opts.UseFactCache {
+			misses++
+		}
+		st.facts = append(st.facts, g.f)
+		st.factKeys = append(st.factKeys, g.key)
+	}
+	// One batched add per check instead of one atomic per fact — long
+	// histories would otherwise pay fifty-plus counter bumps here.
+	if hits > 0 {
+		c.mGenHits.Add(hits)
+	}
+	if misses > 0 {
+		c.mGenMisses.Add(misses)
+	}
+	return pipeline.Continue
+}
+
+// stageTemplate probes the full decision-template cache, keyed by
+// (policy, templates, generalized facts).
+func stageTemplate(ctx context.Context, st *decideState) pipeline.Outcome {
+	c := st.c
+	if !c.opts.UseCache {
+		return pipeline.Continue
+	}
+	st.key = cacheKey(st.snap.fp, st.tpl, st.factKeys)
+	if d, ok := c.cache.Get(st.key); ok {
+		d.FromCache = true
+		d.Tier = TierTemplate
+		st.d = d
+		c.mTemplateHit.Inc()
+		return pipeline.Done
+	}
+	c.mTemplateMiss.Inc()
+	return pipeline.Continue
+}
+
+// stageCover runs the policy-coverage decision procedure — the
+// expensive embedding search — against the facts.
+func stageCover(ctx context.Context, st *decideState) pipeline.Outcome {
+	st.d = st.c.coverAll(ctx, st.snap, st.tpl, st.facts)
+	if ctx.Err() != nil {
+		st.d = canceledDecision(ctx)
+		return pipeline.Abort
+	}
+	return pipeline.Continue
+}
+
+// stageVerdict finalizes a cold decision: store the template so the
+// next identical check hits a cache tier instead.
+func stageVerdict(ctx context.Context, st *decideState) pipeline.Outcome {
+	if st.c.opts.UseCache {
+		st.c.cache.Put(st.key, st.d)
+	}
+	return pipeline.Continue
+}

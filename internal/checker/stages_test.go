@@ -1,0 +1,264 @@
+package checker
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obsv"
+	"repro/internal/sqlparser"
+	"repro/internal/sqlvalue"
+	"repro/internal/trace"
+)
+
+func exampleTrace() *trace.Trace {
+	tr := &trace.Trace{}
+	q1 := sqlparser.MustParseSelect("SELECT 1 FROM Attendance WHERE UId=1 AND EId=2")
+	tr.Append(trace.Entry{
+		SQL: q1.SQL(), Stmt: q1, Args: sqlparser.NoArgs,
+		Columns: []string{"1"},
+		Rows:    [][]sqlvalue.Value{{sqlvalue.NewInt(1)}},
+	})
+	return tr
+}
+
+// TestDecisionTiers pins which cache tier answers as the same check
+// repeats: cold first, then the statement-identity front cache; a new
+// principal (same template) rides the history-free tier; and a
+// trace-dependent decision repeats out of the full template cache.
+func TestDecisionTiers(t *testing.T) {
+	c := New(calendarPolicy(t))
+	tr := exampleTrace()
+	ctx := context.Background()
+
+	// Cold decision: no tier.
+	d1, err := c.CheckSQL(ctx, "SELECT EId FROM Attendance WHERE UId = ?",
+		sqlparser.PositionalArgs(1), session(1), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d1.Allowed || d1.FromCache || d1.Tier != "" {
+		t.Fatalf("cold: %+v", d1)
+	}
+
+	// Identical concrete check: front tier.
+	d2, err := c.CheckSQL(ctx, "SELECT EId FROM Attendance WHERE UId = ?",
+		sqlparser.PositionalArgs(1), session(1), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d2.FromCache || d2.Tier != TierFront {
+		t.Fatalf("repeat: want front-tier hit, got %+v", d2)
+	}
+
+	// New principal, same template: the front key misses but the
+	// history-free template answers.
+	d3, err := c.CheckSQL(ctx, "SELECT EId FROM Attendance WHERE UId = ?",
+		sqlparser.PositionalArgs(7), session(7), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d3.FromCache || d3.Tier != TierHistFree {
+		t.Fatalf("new principal: want histfree-tier hit, got %+v", d3)
+	}
+
+	// Trace-dependent decision (Example 2.1's Q2): cold, then the full
+	// template cache answers the repeat.
+	d4 := mustCheck(t, c, "SELECT * FROM Events WHERE EId=2", session(1), tr)
+	if !d4.Allowed || d4.Tier != "" {
+		t.Fatalf("Q2 with history: %+v", d4)
+	}
+	d5 := mustCheck(t, c, "SELECT * FROM Events WHERE EId=2", session(1), tr)
+	if !d5.FromCache || d5.Tier != TierTemplate {
+		t.Fatalf("Q2 repeat: want template-tier hit, got %+v", d5)
+	}
+
+	// The tier counters agree with what we observed.
+	reg := c.Metrics()
+	if got := reg.Counter("checker.front.hit").Value(); got < 1 {
+		t.Errorf("front.hit = %d, want >= 1", got)
+	}
+	if got := reg.Counter("checker.histfree.hit").Value(); got < 1 {
+		t.Errorf("histfree.hit = %d, want >= 1", got)
+	}
+	if got := reg.Counter("checker.template.hit").Value(); got < 1 {
+		t.Errorf("template.hit = %d, want >= 1", got)
+	}
+}
+
+// TestPipelineMetricsRecorded verifies the staged pipeline reports
+// per-stage instruments into the checker's registry, and that parse
+// time from CheckSQL lands there too.
+func TestPipelineMetricsRecorded(t *testing.T) {
+	c := New(calendarPolicy(t))
+	tr := exampleTrace()
+	for i := 0; i < 3; i++ {
+		mustCheck(t, c, "SELECT * FROM Events WHERE EId=2", session(1), tr)
+	}
+	snap := c.Metrics().Snapshot()
+	for _, key := range []string{
+		"pipeline.decide.front.runs",
+		"pipeline.decide.bind.micros",
+		"pipeline.decide.histfree.runs",
+		"pipeline.decide.facts.micros",
+		"pipeline.decide.template.runs",
+		"pipeline.decide.cover.micros",
+		"pipeline.decide.total.micros",
+		"checker.parse.micros",
+		"checker.decisions",
+	} {
+		if _, ok := snap[key]; !ok {
+			t.Errorf("registry snapshot missing %q", key)
+		}
+	}
+	if got := c.Metrics().Counter("pipeline.decide.front.runs").Value(); got != 3 {
+		t.Errorf("front.runs = %d, want 3", got)
+	}
+	// Cover ran for the cold decision only; the repeats hit the
+	// template tier before it.
+	if got := c.Metrics().Counter("pipeline.decide.cover.runs").Value(); got != 1 {
+		t.Errorf("cover.runs = %d, want 1", got)
+	}
+	// Stage latency histograms are sampled (pipeline.SampleEvery), so
+	// only the first of these three runs is guaranteed recorded.
+	if hs := c.Metrics().Histogram("pipeline.decide.total.micros").Snapshot(); hs.Count < 1 {
+		t.Errorf("total.micros count = %d, want >= 1", hs.Count)
+	}
+}
+
+// TestSpanSetBreakdown verifies a caller that installs an
+// obsv.SpanSet gets the per-stage breakdown for its one request —
+// what the proxy's slow-decision log attaches.
+func TestSpanSetBreakdown(t *testing.T) {
+	c := New(calendarPolicy(t))
+	tr := exampleTrace()
+	ctx, ss := obsv.WithSpanSet(context.Background())
+	if _, err := c.CheckSQL(ctx, "SELECT * FROM Events WHERE EId=2", sqlparser.NoArgs, session(1), tr); err != nil {
+		t.Fatal(err)
+	}
+	m := ss.Micros()
+	for _, stage := range []string{"parse", "front", "bind", "facts", "cover", "verdict"} {
+		if _, ok := m[stage]; !ok {
+			t.Errorf("span breakdown missing stage %q: %v", stage, m)
+		}
+	}
+}
+
+// TestDisabledMetricsSameDecisions pins that an obsv.Disabled()
+// checker decides identically (the no-op-metrics build used by the
+// overhead guard) — only Stats() goes dark.
+func TestDisabledMetricsSameDecisions(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Metrics = obsv.Disabled()
+	c := NewWithOptions(calendarPolicy(t), opts)
+	tr := exampleTrace()
+	d := mustCheck(t, c, "SELECT * FROM Events WHERE EId=2", session(1), tr)
+	if !d.Allowed {
+		t.Fatalf("decision must not depend on metrics: %s", d.Reason)
+	}
+	d = mustCheck(t, c, "SELECT * FROM Events WHERE EId=2", session(1), tr)
+	if !d.FromCache || d.Tier != TierTemplate {
+		t.Fatalf("caching must not depend on metrics: %+v", d)
+	}
+	if st := c.Stats(); st.Decisions != 0 {
+		t.Fatalf("disabled metrics must read zero decisions, got %+v", st)
+	}
+	if len(c.Metrics().Snapshot()) != 0 {
+		t.Fatal("disabled registry must snapshot empty")
+	}
+}
+
+// TestResetCacheRaceAllTiers hammers ResetCache (policy-snapshot
+// republication plus wholesale cache drops) against concurrent
+// decisions exercising all three cache tiers at once: the
+// statement-identity front cache (identical repeats), the
+// history-free template tier (rotating principals over one shape),
+// and the sharded full-template cache (trace-dependent decisions).
+// Run under -race in CI.
+func TestResetCacheRaceAllTiers(t *testing.T) {
+	c := New(calendarPolicy(t))
+	tr := exampleTrace()
+	stop := make(chan struct{})
+	var resetter sync.WaitGroup
+	resetter.Add(1)
+	go func() {
+		defer resetter.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				c.ResetCache()
+				time.Sleep(time.Microsecond)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	// Front tier: identical concrete checks (same statement pointer,
+	// principal, args) repeat into the front cache.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 300; i++ {
+			d, err := c.CheckSQL(context.Background(), "SELECT EId FROM Attendance WHERE UId = ?",
+				sqlparser.PositionalArgs(1), session(1), tr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !d.Allowed {
+				errs <- fmt.Errorf("front tier: own attendance blocked: %s", d.Reason)
+				return
+			}
+		}
+	}()
+	// History-free tier: rotating principals share one template, so
+	// each fresh (principal, args) front-misses into the history-free
+	// template entry.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 300; i++ {
+			uid := int64(i%16 + 1)
+			d, err := c.CheckSQL(context.Background(), "SELECT EId FROM Attendance WHERE UId = ?",
+				sqlparser.PositionalArgs(uid), session(uid), tr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !d.Allowed {
+				errs <- fmt.Errorf("histfree tier: uid %d blocked: %s", uid, d.Reason)
+				return
+			}
+		}
+	}()
+	// Full-template tier: a trace-dependent decision (allowed only via
+	// history facts) keys on the generalized facts.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 300; i++ {
+			d, err := c.CheckSQL(context.Background(), "SELECT * FROM Events WHERE EId=2",
+				sqlparser.NoArgs, session(1), tr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !d.Allowed {
+				errs <- fmt.Errorf("template tier: Q2 with history blocked: %s", d.Reason)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	resetter.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/acerr"
 	"repro/internal/checker"
@@ -65,6 +66,13 @@ func (d *Diagnosis) String() string {
 // counterexample and patch enumeration mid-way and returns whatever
 // was assembled so far alongside acerr.ErrCanceled.
 func Diagnose(ctx context.Context, chk *checker.Checker, session map[string]sqlvalue.Value, sql string, args sqlparser.Args, tr *trace.Trace) (*Diagnosis, error) {
+	// Diagnosis searches are the system's slowest paths; time them into
+	// the checker's registry so an operator can tell diagnose load from
+	// enforcement load in one snapshot.
+	if reg := chk.Metrics(); reg.Enabled() {
+		reg.Counter("diagnose.runs").Inc()
+		defer reg.Histogram("diagnose.micros").ObserveSince(time.Now())
+	}
 	sel, err := sqlparser.ParseSelect(sql)
 	if err != nil {
 		return nil, err

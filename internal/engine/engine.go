@@ -11,7 +11,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/obsv"
 	"repro/internal/schema"
 	"repro/internal/sqlparser"
 	"repro/internal/sqlvalue"
@@ -59,6 +61,33 @@ type DB struct {
 	mu     sync.RWMutex
 	schema *schema.Schema
 	tables map[string]*tableData
+
+	// obs holds the optional scan instruments (SetMetrics); an atomic
+	// pointer so installing metrics never races with running queries.
+	obs atomic.Pointer[engineObs]
+}
+
+// engineObs bundles the engine's instruments so they install
+// atomically.
+type engineObs struct {
+	queries *obsv.Counter
+	scan    *obsv.Histogram
+}
+
+// SetMetrics points the engine at an observability registry: every
+// QueryCtx counts into engine.queries and times its scan into
+// engine.scan.micros. Safe to call at any time, including while
+// queries run; a nil registry (or never calling this) keeps the
+// zero-overhead path.
+func (db *DB) SetMetrics(reg *obsv.Registry) {
+	if reg == nil || !reg.Enabled() {
+		db.obs.Store(nil)
+		return
+	}
+	db.obs.Store(&engineObs{
+		queries: reg.Counter("engine.queries"),
+		scan:    reg.Histogram("engine.scan.micros"),
+	})
 }
 
 // New creates an empty database for the schema.

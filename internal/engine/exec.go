@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/acerr"
 	"repro/internal/schema"
@@ -21,10 +22,20 @@ func (db *DB) Query(sel *sqlparser.SelectStmt) (*Result, error) {
 // mid-scan when ctx is canceled or its deadline passes. The returned
 // error then satisfies errors.Is(err, acerr.ErrCanceled).
 func (db *DB) QueryCtx(ctx context.Context, sel *sqlparser.SelectStmt) (*Result, error) {
+	obs := db.obs.Load()
+	var start time.Time
+	if obs != nil {
+		obs.queries.Inc()
+		start = time.Now()
+	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	ev := &evaluator{db: db, ctx: ctx}
-	return ev.execSelect(sel, nil)
+	res, err := ev.execSelect(sel, nil)
+	if obs != nil {
+		obs.scan.ObserveSince(start)
+	}
+	return res, err
 }
 
 // QuerySQL parses, binds, and runs a SELECT.

@@ -1,0 +1,159 @@
+package pipeline
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/obsv"
+)
+
+type state struct {
+	trail []string
+	hit   bool
+}
+
+func mkStage(name string, out Outcome) Stage[*state] {
+	return Stage[*state]{Name: name, Run: func(ctx context.Context, s *state) Outcome {
+		s.trail = append(s.trail, name)
+		return out
+	}}
+}
+
+func TestStagesRunInOrder(t *testing.T) {
+	reg := obsv.NewRegistry()
+	p := New("t", reg,
+		mkStage("a", Continue), mkStage("b", Continue), mkStage("c", Continue))
+	s := &state{}
+	if out := p.Run(context.Background(), s); out != Continue {
+		t.Fatalf("outcome = %v, want Continue", out)
+	}
+	if len(s.trail) != 3 || s.trail[0] != "a" || s.trail[2] != "c" {
+		t.Fatalf("trail = %v", s.trail)
+	}
+	if got := p.Stages(); len(got) != 3 || got[1] != "b" {
+		t.Fatalf("Stages() = %v", got)
+	}
+}
+
+func TestDoneShortCircuits(t *testing.T) {
+	reg := obsv.NewRegistry()
+	p := New("t", reg,
+		mkStage("probe", Done), mkStage("expensive", Continue))
+	s := &state{}
+	if out := p.Run(context.Background(), s); out != Done {
+		t.Fatalf("outcome = %v, want Done", out)
+	}
+	if len(s.trail) != 1 {
+		t.Fatalf("later stages must not run after Done; trail = %v", s.trail)
+	}
+	if reg.Counter("pipeline.t.probe.done").Value() != 1 {
+		t.Fatal("done counter not incremented")
+	}
+	if reg.Counter("pipeline.t.expensive.runs").Value() != 0 {
+		t.Fatal("short-circuited stage must not count a run")
+	}
+}
+
+func TestAbortCountsAndStops(t *testing.T) {
+	reg := obsv.NewRegistry()
+	p := New("t", reg, mkStage("a", Continue), mkStage("boom", Abort), mkStage("c", Continue))
+	s := &state{}
+	if out := p.Run(context.Background(), s); out != Abort {
+		t.Fatalf("outcome = %v, want Abort", out)
+	}
+	if len(s.trail) != 2 {
+		t.Fatalf("trail = %v", s.trail)
+	}
+	if reg.Counter("pipeline.t.aborts").Value() != 1 {
+		t.Fatal("abort counter not incremented")
+	}
+}
+
+func TestMetricsRecorded(t *testing.T) {
+	reg := obsv.NewRegistry()
+	p := New("dec", reg, mkStage("a", Continue), mkStage("b", Continue))
+	runs := 2 * SampleEvery
+	for i := 0; i < runs; i++ {
+		p.Run(context.Background(), &state{})
+	}
+	// Counters are exact on every run.
+	if got := reg.Counter("pipeline.dec.a.runs").Value(); got != int64(runs) {
+		t.Fatalf("a.runs = %d, want %d", got, runs)
+	}
+	// Latency histograms are sampled: the first run and every
+	// SampleEvery-th after it.
+	if snap := reg.Histogram("pipeline.dec.total.micros").Snapshot(); snap.Count != 2 {
+		t.Fatalf("total.micros count = %d, want 2 (sampled 1/%d)", snap.Count, SampleEvery)
+	}
+	if snap := reg.Histogram("pipeline.dec.b.micros").Snapshot(); snap.Count != 2 {
+		t.Fatalf("b.micros count = %d, want 2 (sampled 1/%d)", snap.Count, SampleEvery)
+	}
+}
+
+func TestSpanSetRunsAlwaysTimed(t *testing.T) {
+	reg := obsv.NewRegistry()
+	p := New("dec", reg, mkStage("a", Continue))
+	// Burn the sampled slot so subsequent plain runs are counted-only.
+	p.Run(context.Background(), &state{})
+	before := reg.Histogram("pipeline.dec.a.micros").Snapshot().Count
+	for i := 0; i < 3; i++ {
+		ctx, ss := obsv.WithSpanSet(context.Background())
+		p.Run(ctx, &state{})
+		if _, ok := ss.Micros()["a"]; !ok {
+			t.Fatal("SpanSet run must always collect stage timings")
+		}
+	}
+	after := reg.Histogram("pipeline.dec.a.micros").Snapshot().Count
+	if after-before != 3 {
+		t.Fatalf("SpanSet runs must always hit the histogram: %d -> %d", before, after)
+	}
+}
+
+func TestSpanSetReceivesStageTimings(t *testing.T) {
+	reg := obsv.NewRegistry()
+	p := New("dec", reg, mkStage("bind", Continue), mkStage("cover", Done))
+	ctx, ss := obsv.WithSpanSet(context.Background())
+	p.Run(ctx, &state{})
+	m := ss.Micros()
+	if _, ok := m["bind"]; !ok {
+		t.Fatalf("span set missing bind: %v", m)
+	}
+	if _, ok := m["cover"]; !ok {
+		t.Fatalf("span set missing cover: %v", m)
+	}
+}
+
+func TestDisabledRegistryStillRuns(t *testing.T) {
+	p := New("t", nil, mkStage("a", Continue), mkStage("b", Done))
+	s := &state{}
+	if out := p.Run(context.Background(), s); out != Done {
+		t.Fatalf("outcome = %v, want Done", out)
+	}
+	if len(s.trail) != 2 {
+		t.Fatalf("trail = %v", s.trail)
+	}
+	pd := New("t", obsv.Disabled(), mkStage("a", Continue))
+	if out := pd.Run(context.Background(), &state{}); out != Continue {
+		t.Fatalf("outcome = %v, want Continue", out)
+	}
+}
+
+func TestConcurrentRuns(t *testing.T) {
+	reg := obsv.NewRegistry()
+	p := New("t", reg, mkStage("a", Continue), mkStage("b", Continue))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				p.Run(context.Background(), &state{})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("pipeline.t.a.runs").Value(); got != 1600 {
+		t.Fatalf("a.runs = %d, want 1600", got)
+	}
+}

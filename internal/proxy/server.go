@@ -10,12 +10,12 @@ import (
 	"net"
 	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/acerr"
 	"repro/internal/checker"
 	"repro/internal/engine"
+	"repro/internal/obsv"
 	"repro/internal/sqlparser"
 	"repro/internal/sqlvalue"
 	"repro/internal/trace"
@@ -31,9 +31,6 @@ const (
 	// executing per connection; past it the server stops reading and
 	// lets TCP flow control push back on the client.
 	DefaultMaxInFlight = 64
-	// latencyWindow is how many recent query latencies the percentile
-	// estimator keeps.
-	latencyWindow = 4096
 )
 
 // Server is the enforcement proxy: it owns the database engine and a
@@ -61,8 +58,20 @@ type Server struct {
 	// DefaultMaxInFlight.
 	MaxInFlight int
 	// Logf, when set, receives connection-level diagnostics (dropped
-	// connections, rejected dials). Defaults to log.Printf.
+	// connections, rejected dials) and the slow-decision log. Defaults
+	// to log.Printf.
 	Logf func(format string, args ...any)
+	// Metrics is the observability registry the server reports into.
+	// Nil means the checker's registry, so `stats` responses and an
+	// acproxy -metrics endpoint see checker and proxy instruments side
+	// by side. Set before Listen or the first Handle.
+	Metrics *obsv.Registry
+	// SlowLogThreshold, when positive, turns on the structured
+	// slow-decision log: every query whose end-to-end handling takes at
+	// least this long emits one JSON line through Logf with the
+	// decision, the cache tier that answered, and the per-stage
+	// breakdown. See DESIGN.md §9 for the schema.
+	SlowLogThreshold time.Duration
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -75,68 +84,62 @@ type Server struct {
 	closeCtx    context.Context
 	closeCancel context.CancelFunc
 
-	violations    atomic.Int64
-	queries       atomic.Int64
-	totalConns    atomic.Int64
-	rejectedConns atomic.Int64
-	canceledReqs  atomic.Int64
-
-	// Fact-cache counters aggregated across (short-lived) sessions.
-	factReused     atomic.Uint64
-	factTranslated atomic.Uint64
-
-	lat latencyRing
-}
-
-// latencyRing keeps the most recent query latencies for percentile
-// estimation — a fixed window so stats cost stays O(1) per query.
-type latencyRing struct {
-	mu    sync.Mutex
-	buf   [latencyWindow]int64 // microseconds
-	n     int                  // total recorded
-	total int64                // sum over all recorded, microseconds
-}
-
-func (r *latencyRing) record(d time.Duration) {
-	us := d.Microseconds()
-	r.mu.Lock()
-	r.buf[r.n%latencyWindow] = us
-	r.n++
-	r.total += us
-	r.mu.Unlock()
-}
-
-// percentiles returns p50/p90/p99 over the window plus the sample
-// count and overall mean.
-func (r *latencyRing) percentiles() (p50, p90, p99 int64, samples int, mean float64) {
-	r.mu.Lock()
-	n := r.n
-	if n > latencyWindow {
-		n = latencyWindow
-	}
-	window := append([]int64(nil), r.buf[:n]...)
-	total, count := r.total, r.n
-	r.mu.Unlock()
-	if n == 0 {
-		return 0, 0, 0, count, 0
-	}
-	// Insertion sort is fine at window size; avoids importing sort for
-	// int64 pre-1.21-slices idiom.
-	for i := 1; i < len(window); i++ {
-		for j := i; j > 0 && window[j] < window[j-1]; j-- {
-			window[j], window[j-1] = window[j-1], window[j]
-		}
-	}
-	at := func(p float64) int64 {
-		i := int(p * float64(n-1))
-		return window[i]
-	}
-	return at(0.50), at(0.90), at(0.99), count, float64(total) / float64(count)
+	// All counters and the query-latency histogram live in the obsv
+	// registry (resolved once by initObs); the checker's quantile
+	// machinery is the same code. obsv instruments are nil-safe, so a
+	// disabled registry costs one nil check per bump.
+	obsOnce        sync.Once
+	reg            *obsv.Registry
+	mQueries       *obsv.Counter
+	mViolations    *obsv.Counter
+	mConnsTotal    *obsv.Counter
+	mConnsRejected *obsv.Counter
+	mReqsCanceled  *obsv.Counter
+	mFactReused    *obsv.Counter
+	mFactTrans     *obsv.Counter
+	mSlowQueries   *obsv.Counter
+	mQueryLat      *obsv.Histogram
 }
 
 // NewServer builds a proxy server over the engine and checker.
 func NewServer(db *engine.DB, c *checker.Checker, mode Mode) *Server {
 	return &Server{DB: db, Checker: c, Mode: mode, conns: make(map[net.Conn]struct{})}
+}
+
+// initObs resolves the server's instruments exactly once: the explicit
+// Metrics registry if set, else the checker's (proxy.* and checker.*
+// names then share one snapshot). It also points the engine at the
+// same registry so scan timings surface alongside decision timings.
+func (s *Server) initObs() {
+	s.obsOnce.Do(func() {
+		reg := s.Metrics
+		if reg == nil && s.Checker != nil {
+			reg = s.Checker.Metrics()
+		}
+		if reg == nil {
+			reg = obsv.NewRegistry()
+		}
+		s.reg = reg
+		s.mQueries = reg.Counter("proxy.queries")
+		s.mViolations = reg.Counter("proxy.violations")
+		s.mConnsTotal = reg.Counter("proxy.conns.total")
+		s.mConnsRejected = reg.Counter("proxy.conns.rejected")
+		s.mReqsCanceled = reg.Counter("proxy.reqs.canceled")
+		s.mFactReused = reg.Counter("proxy.factcache.reused")
+		s.mFactTrans = reg.Counter("proxy.factcache.translated")
+		s.mSlowQueries = reg.Counter("proxy.slow.queries")
+		s.mQueryLat = reg.Histogram("proxy.query.micros")
+		if s.DB != nil {
+			s.DB.SetMetrics(reg)
+		}
+	})
+}
+
+// MetricsRegistry returns the registry the server reports into,
+// resolving it on first use.
+func (s *Server) MetricsRegistry() *obsv.Registry {
+	s.initObs()
+	return s.reg
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -176,6 +179,7 @@ func (s *Server) maxInFlight() int {
 // It returns the bound address immediately; connections are served on
 // background goroutines until Close.
 func (s *Server) Listen(addr string) (string, error) {
+	s.initObs()
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
@@ -228,7 +232,7 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		if err != nil {
 			return // listener closed
 		}
-		s.totalConns.Add(1)
+		s.mConnsTotal.Inc()
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -237,7 +241,7 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		}
 		if len(s.conns) >= s.maxConns() {
 			s.mu.Unlock()
-			s.rejectedConns.Add(1)
+			s.mConnsRejected.Inc()
 			_ = json.NewEncoder(conn).Encode(Response{
 				Error: "server at connection limit",
 				Code:  acerr.CodeTooManyConns,
@@ -476,7 +480,7 @@ func (pc *pipeConn) cancelRequest(target uint64) {
 	cancel := pc.inflight[target]
 	pc.mu.Unlock()
 	if cancel != nil {
-		pc.s.canceledReqs.Add(1)
+		pc.s.mReqsCanceled.Inc()
 		cancel()
 	}
 }
@@ -620,10 +624,10 @@ func (s *Server) dispatchV2(pc *pipeConn, req *Request) {
 func (s *Server) accumulateFactStats(sess *session) {
 	st := sess.tr.FactCacheStats()
 	if d := st.Reused - sess.factReused; d > 0 {
-		s.factReused.Add(d)
+		s.mFactReused.Add(int64(d))
 	}
 	if d := st.Translated - sess.factTranslated; d > 0 {
-		s.factTranslated.Add(d)
+		s.mFactTrans.Add(int64(d))
 	}
 	sess.factReused, sess.factTranslated = st.Reused, st.Translated
 }
@@ -639,6 +643,7 @@ func (s *Server) Handle(req *Request, sess *session) Response {
 // the compliance check and the engine scan; cancellation yields a
 // response with the "canceled" error code.
 func (s *Server) HandleCtx(ctx context.Context, req *Request, sess *session) Response {
+	s.initObs()
 	switch req.Op {
 	case "hello":
 		attrs := make(map[string]sqlvalue.Value, len(req.Session))
@@ -684,22 +689,23 @@ func (s *Server) HandleCtx(ctx context.Context, req *Request, sess *session) Res
 // fact-cache hit rates, latency percentiles over the recent window,
 // and connection accounting.
 func (s *Server) StatsSnapshot() *StatsBody {
+	s.initObs()
 	cs := s.Checker.Stats()
 	body := &StatsBody{
-		Queries:    int(s.queries.Load()),
+		Queries:    int(s.mQueries.Value()),
 		Decisions:  cs.Decisions,
 		Allowed:    cs.Allowed,
 		Blocked:    cs.Blocked,
 		CacheHits:  cs.CacheHits,
-		Violations: int(s.violations.Load()),
+		Violations: int(s.mViolations.Value()),
 
 		CacheEntries:          cs.CacheEntries,
-		FactEntriesReused:     s.factReused.Load(),
-		FactEntriesTranslated: s.factTranslated.Load(),
+		FactEntriesReused:     uint64(s.mFactReused.Value()),
+		FactEntriesTranslated: uint64(s.mFactTrans.Value()),
 
-		TotalConns:    int(s.totalConns.Load()),
-		RejectedConns: int(s.rejectedConns.Load()),
-		CanceledReqs:  int(s.canceledReqs.Load()),
+		TotalConns:    int(s.mConnsTotal.Value()),
+		RejectedConns: int(s.mConnsRejected.Value()),
+		CanceledReqs:  int(s.mReqsCanceled.Value()),
 	}
 	if cs.Decisions > 0 {
 		body.CacheHitRate = float64(cs.CacheHits) / float64(cs.Decisions)
@@ -710,8 +716,9 @@ func (s *Server) StatsSnapshot() *StatsBody {
 	s.mu.Lock()
 	body.ActiveConns = len(s.conns)
 	s.mu.Unlock()
-	body.LatencyP50Micros, body.LatencyP90Micros, body.LatencyP99Micros,
-		body.LatencySamples, body.LatencyMeanMicros = s.lat.percentiles()
+	hs := s.mQueryLat.Snapshot()
+	body.LatencyP50Micros, body.LatencyP90Micros, body.LatencyP99Micros = hs.P50, hs.P90, hs.P99
+	body.LatencySamples, body.LatencyMeanMicros = int(hs.Count), hs.Mean
 	return body
 }
 
@@ -747,46 +754,101 @@ func canceledResponse(ctx context.Context) Response {
 	}
 }
 
+// handleQuery wraps the query path in timing: every query lands in the
+// proxy.query.micros histogram, and — when SlowLogThreshold is set — a
+// query that overruns it emits one structured slow-decision line with
+// the verdict, the cache tier that answered, and the per-stage
+// breakdown collected through the request's SpanSet.
 func (s *Server) handleQuery(ctx context.Context, req *Request, sess *session) Response {
 	start := time.Now()
-	defer func() { s.lat.record(time.Since(start)) }()
-	s.queries.Add(1)
+	var spans *obsv.SpanSet
+	if s.SlowLogThreshold > 0 {
+		ctx, spans = obsv.WithSpanSet(ctx)
+	}
+	resp, d := s.runQuery(ctx, req, sess)
+	elapsed := time.Since(start)
+	s.mQueryLat.Observe(elapsed.Microseconds())
+	if spans != nil && elapsed >= s.SlowLogThreshold {
+		s.mSlowQueries.Inc()
+		s.slowLog(req, &resp, d, elapsed, spans)
+	}
+	return resp
+}
+
+// slowLog emits one slow-decision record as a single JSON line through
+// Logf. Schema: DESIGN.md §9.
+func (s *Server) slowLog(req *Request, resp *Response, d checker.Decision, elapsed time.Duration, spans *obsv.SpanSet) {
+	verdict := "allowed"
+	switch {
+	case resp.Blocked:
+		verdict = "blocked"
+	case resp.Error != "":
+		verdict = "error"
+	}
+	rec := struct {
+		Event       string           `json:"event"`
+		SQL         string           `json:"sql"`
+		TotalMicros int64            `json:"totalMicros"`
+		Decision    string           `json:"decision"`
+		Tier        string           `json:"tier,omitempty"`
+		Reason      string           `json:"reason,omitempty"`
+		StageMicros map[string]int64 `json:"stageMicros,omitempty"`
+	}{
+		Event:       "slow_query",
+		SQL:         req.SQL,
+		TotalMicros: elapsed.Microseconds(),
+		Decision:    verdict,
+		Tier:        d.Tier,
+		Reason:      d.Reason,
+		StageMicros: spans.Micros(),
+	}
+	if b, err := json.Marshal(rec); err == nil {
+		s.logf("%s", b)
+	}
+}
+
+// runQuery is the query path proper: check, execute, record history.
+// The returned Decision is the checker's verdict (zero-valued when the
+// request failed before or without a check).
+func (s *Server) runQuery(ctx context.Context, req *Request, sess *session) (Response, checker.Decision) {
+	var d checker.Decision
+	s.mQueries.Inc()
 
 	if ctx.Err() != nil {
-		return canceledResponse(ctx)
+		return canceledResponse(ctx), d
 	}
 	args, err := buildArgs(req)
 	if err != nil {
-		return Response{Error: err.Error(), Code: acerr.CodeBadRequest}
+		return Response{Error: err.Error(), Code: acerr.CodeBadRequest}, d
 	}
 	sel, err := sqlparser.ParseSelectCached(req.SQL)
 	if err != nil {
-		return Response{Error: err.Error(), Code: acerr.CodeParse}
+		return Response{Error: err.Error(), Code: acerr.CodeParse}, d
 	}
 
 	if s.Mode != Off {
-		d := s.Checker.Check(ctx, sel, args, sess.attrs, sess.tr)
+		d = s.Checker.Check(ctx, sel, args, sess.attrs, sess.tr)
 		if ctx.Err() != nil {
-			return canceledResponse(ctx)
+			return canceledResponse(ctx), d
 		}
 		if !d.Allowed {
 			if s.Mode == Enforce {
-				return Response{OK: true, Blocked: true, Reason: d.Reason, Code: acerr.CodeBlocked}
+				return Response{OK: true, Blocked: true, Reason: d.Reason, Code: acerr.CodeBlocked}, d
 			}
-			s.violations.Add(1)
+			s.mViolations.Inc()
 		}
 	}
 
 	bound, err := sqlparser.Bind(sel, args)
 	if err != nil {
-		return Response{Error: err.Error(), Code: acerr.CodeBadRequest}
+		return Response{Error: err.Error(), Code: acerr.CodeBadRequest}, d
 	}
 	res, err := s.DB.QueryCtx(ctx, bound.(*sqlparser.SelectStmt))
 	if err != nil {
 		if errors.Is(err, acerr.ErrCanceled) {
-			return Response{Error: err.Error(), Code: acerr.CodeCanceled}
+			return Response{Error: err.Error(), Code: acerr.CodeCanceled}, d
 		}
-		return Response{Error: err.Error(), Code: acerr.CodeEngine}
+		return Response{Error: err.Error(), Code: acerr.CodeEngine}, d
 	}
 
 	// Record in history (queries the application actually saw answers
@@ -803,7 +865,7 @@ func (s *Server) handleQuery(ctx context.Context, req *Request, sess *session) R
 		})
 	}
 
-	return Response{OK: true, Columns: res.Columns, Rows: encodeRows(rows)}
+	return Response{OK: true, Columns: res.Columns, Rows: encodeRows(rows)}, d
 }
 
 func (s *Server) handleExec(ctx context.Context, req *Request) Response {

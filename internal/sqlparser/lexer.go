@@ -156,10 +156,12 @@ scan:
 			return token{}, l.errf(start, "unterminated quoted identifier")
 		}
 		text := l.src[l.pos:n]
-		if text == "" {
-			// An empty identifier cannot survive a print∘parse round
-			// trip (it renders as nothing), so reject it here.
-			return token{}, l.errf(start, "empty quoted identifier")
+		// The printer renders identifiers bare, so a quoted identifier
+		// only survives a print∘parse round trip if it is a valid bare
+		// identifier and not a keyword. The SQL subset has no use for
+		// exotic names (schemas declare plain ones); reject the rest.
+		if !isBareIdent(text) {
+			return token{}, l.errf(start, "quoted identifier %q is not a plain identifier", text)
 		}
 		l.pos = n + 1
 		return token{kind: tokIdent, text: text, pos: start}, nil
@@ -190,6 +192,20 @@ func isIdentStart(c byte) bool {
 
 func isIdentChar(c byte) bool {
 	return isIdentStart(c) || c >= '0' && c <= '9'
+}
+
+// isBareIdent reports whether s lexes back as a single tokIdent when
+// printed without quotes.
+func isBareIdent(s string) bool {
+	if s == "" || !isIdentStart(s[0]) {
+		return false
+	}
+	for i := 1; i < len(s); i++ {
+		if !isIdentChar(s[i]) {
+			return false
+		}
+	}
+	return !keywords[strings.ToUpper(s)]
 }
 
 // lexAll tokenizes the whole input (used by the parser, which wants
