@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench bench-json hotpath pipeline fmtcheck fuzz staticcheck ci
+.PHONY: build test vet race bench bench-json hotpath pipeline coldpath coldsmoke fmtcheck fuzz staticcheck ci
 
 build:
 	$(GO) build ./...
@@ -28,8 +28,10 @@ bench:
 
 # Machine-readable benchmark document; successive BENCH_*.json files
 # checked in at the repo root form the performance trajectory.
+# -against diffs the fresh document's pinned hotpath numbers against
+# the previous one and fails on a >10% speedup regression.
 bench-json:
-	$(GO) run ./cmd/acbench -json BENCH_3.json
+	$(GO) run ./cmd/acbench -json BENCH_4.json -against BENCH_3.json
 
 hotpath:
 	$(GO) run ./cmd/acbench -hotpath
@@ -37,6 +39,17 @@ hotpath:
 # Pipelining throughput table (protocol v2, window sweep).
 pipeline:
 	$(GO) run ./cmd/acbench -pipeline
+
+# Cold-path policy-size sweep (serial scan vs compiled index vs
+# index + worker pool).
+coldpath:
+	$(GO) run ./cmd/acbench -coldpath
+
+# Fixed-iteration smoke of the cold-path benchmarks: catches a
+# broken/pessimized cold path in CI without the noise sensitivity of
+# time-based benching.
+coldsmoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkColdPath' -benchtime=100x ./internal/checker
 
 fmtcheck:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -55,4 +68,4 @@ staticcheck:
 	else \
 		echo "staticcheck not installed; skipping"; fi
 
-ci: fmtcheck vet test race fuzz staticcheck
+ci: fmtcheck vet test race coldsmoke fuzz staticcheck

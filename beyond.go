@@ -231,6 +231,24 @@ func WithMaxHomsPerView(n int) CheckerOption {
 	return func(o *CheckerOptions) { o.MaxHomsPerView = n }
 }
 
+// WithColdWorkers bounds the checker-owned worker pool the cold
+// coverage search fans out on (across template disjuncts and
+// surviving candidate views). 0 means GOMAXPROCS; 1 keeps the search
+// fully serial. Parallelism never changes the answer: results merge
+// in disjunct and view order, so parallel and serial searches produce
+// identical Decisions.
+func WithColdWorkers(n int) CheckerOption {
+	return func(o *CheckerOptions) { o.ColdWorkers = n }
+}
+
+// WithColdIndex toggles the compiled per-relation policy index the
+// cold coverage search runs against (on by default; off restores the
+// linear scan over every view — the acbench -coldpath ablation
+// baseline).
+func WithColdIndex(on bool) CheckerOption {
+	return func(o *CheckerOptions) { o.ColdIndex = on }
+}
+
 // WithMetrics points the checker at an explicit metrics registry —
 // share one across components to get a combined snapshot, or pass
 // DisabledMetrics() for a strictly no-op instrumentation build.

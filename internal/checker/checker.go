@@ -41,6 +41,7 @@ package checker
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -97,6 +98,14 @@ type Stats struct {
 	// session-parameter generalizations of trace facts.
 	FactGenHits   int
 	FactGenMisses int
+	// ColdViewsKept / ColdViewsPruned count candidate policy views the
+	// compiled index let through vs pruned before any embedding search
+	// (their ratio is the proxy's cold_prune_ratio).
+	ColdViewsKept   int
+	ColdViewsPruned int
+	// ColdWorkersBusy is the current number of extra cold-search
+	// workers running (a gauge; zero when idle or ColdWorkers <= 1).
+	ColdWorkersBusy int
 }
 
 // Options configure a Checker.
@@ -113,6 +122,17 @@ type Options struct {
 	UseFactCache bool
 	// MaxHomsPerView bounds the embedding search per view disjunct.
 	MaxHomsPerView int
+	// ColdIndex runs the cold coverage search against the compiled
+	// per-relation policy index (compile.go); disabling it restores
+	// the original linear scan over every view, kept as the ablation
+	// baseline for acbench -coldpath.
+	ColdIndex bool
+	// ColdWorkers bounds the checker-owned worker pool the cold
+	// coverage search fans out on (across template disjuncts and
+	// candidate views). 0 means GOMAXPROCS; 1 keeps the search fully
+	// serial. Parallel and serial searches produce identical
+	// Decisions.
+	ColdWorkers int
 	// CacheSize bounds the decision-template cache (total entries
 	// across shards); 0 means the default.
 	CacheSize int
@@ -134,15 +154,16 @@ const genCacheMax = 1 << 16
 
 // DefaultOptions returns the production configuration.
 func DefaultOptions() Options {
-	return Options{UseHistory: true, UseCache: true, UseFactCache: true, MaxHomsPerView: 64}
+	return Options{UseHistory: true, UseCache: true, UseFactCache: true, MaxHomsPerView: 64, ColdIndex: true}
 }
 
 // polSnapshot is the immutable view of the policy a single decision
-// works against. It is published atomically so ResetCache never races
+// works against: the fingerprint plus the compiled indexed plan
+// (compile.go). It is published atomically so ResetCache never races
 // with in-flight decisions.
 type polSnapshot struct {
-	fp       string
-	viewDisj []*cq.Query // parameter-form view disjuncts
+	fp   string
+	comp *compiledPolicy
 }
 
 // genEntry is one memoized fact generalization: the rewritten fact
@@ -201,7 +222,15 @@ type Checker struct {
 	mHistFreeHit, mTemplateHit, mTemplateMiss  *obsv.Counter
 	mGenHits, mGenMisses                       *obsv.Counter
 	mParseErrors                               *obsv.Counter
+	mColdKept, mColdPruned                     *obsv.Counter
+	mColdBusy, mColdTasks                      *obsv.Counter
 	mParse                                     *obsv.Histogram
+	mCompile, mColdGather, mColdSearch         *obsv.Histogram
+
+	// cold is the bounded worker pool the cold coverage search fans
+	// out on; shared by every decision, so proxy lanes and the batch
+	// op all dispatch onto one global bound.
+	cold *coldPool
 }
 
 // New creates a checker for the policy with default options.
@@ -214,6 +243,9 @@ func NewWithOptions(p *policy.Policy, opts Options) *Checker {
 	}
 	if opts.CacheSize <= 0 {
 		opts.CacheSize = DefaultCacheSize
+	}
+	if opts.ColdWorkers <= 0 {
+		opts.ColdWorkers = runtime.GOMAXPROCS(0)
 	}
 	if opts.Metrics == nil {
 		opts.Metrics = obsv.NewRegistry()
@@ -240,10 +272,29 @@ func NewWithOptions(p *policy.Policy, opts Options) *Checker {
 	c.mGenHits = reg.Counter("checker.factgen.hit")
 	c.mGenMisses = reg.Counter("checker.factgen.miss")
 	c.mParseErrors = reg.Counter("checker.parse.errors")
+	c.mColdKept = reg.Counter("checker.cold.views.kept")
+	c.mColdPruned = reg.Counter("checker.cold.views.pruned")
+	c.mColdBusy = reg.Counter("checker.cold.workers.busy")
+	c.mColdTasks = reg.Counter("checker.cold.workers.tasks")
 	c.mParse = reg.Histogram("checker.parse.micros")
+	c.mCompile = reg.Histogram("checker.compile.micros")
+	c.mColdGather = reg.Histogram("checker.cold.gather.micros")
+	c.mColdSearch = reg.Histogram("checker.cold.search.micros")
+	c.cold = newColdPool(opts.ColdWorkers, c.mColdBusy, c.mColdTasks)
 	c.pipe = c.newDecidePipeline()
-	c.snap.Store(&polSnapshot{fp: p.Fingerprint(), viewDisj: p.Disjuncts(nil)})
+	c.publishSnapshot()
 	return c
+}
+
+// publishSnapshot compiles the current policy into its indexed plan
+// and publishes it atomically. Compilation happens once per policy
+// change, never per decision; its cost lands in
+// checker.compile.micros.
+func (c *Checker) publishSnapshot() {
+	start := time.Now()
+	comp := compilePolicy(c.pol.Fingerprint(), c.pol.Disjuncts(nil))
+	c.mCompile.Observe(time.Since(start).Microseconds())
+	c.snap.Store(&polSnapshot{fp: comp.fp, comp: comp})
 }
 
 // Policy returns the checker's policy.
@@ -257,13 +308,16 @@ func (c *Checker) Metrics() *obsv.Registry { return c.reg }
 // Stats returns a copy of the counters.
 func (c *Checker) Stats() Stats {
 	return Stats{
-		Decisions:     int(c.mDecisions.Value()),
-		CacheHits:     int(c.mCacheHits.Value()),
-		Allowed:       int(c.mAllowed.Value()),
-		Blocked:       int(c.mBlocked.Value()),
-		CacheEntries:  c.cache.Len(),
-		FactGenHits:   int(c.mGenHits.Value()),
-		FactGenMisses: int(c.mGenMisses.Value()),
+		Decisions:       int(c.mDecisions.Value()),
+		CacheHits:       int(c.mCacheHits.Value()),
+		Allowed:         int(c.mAllowed.Value()),
+		Blocked:         int(c.mBlocked.Value()),
+		CacheEntries:    c.cache.Len(),
+		FactGenHits:     int(c.mGenHits.Value()),
+		FactGenMisses:   int(c.mGenMisses.Value()),
+		ColdViewsKept:   int(c.mColdKept.Value()),
+		ColdViewsPruned: int(c.mColdPruned.Value()),
+		ColdWorkersBusy: int(c.mColdBusy.Value()),
 	}
 }
 
@@ -272,7 +326,7 @@ func (c *Checker) Stats() Stats {
 // in flight keep using the snapshot they started with; new checks see
 // the new policy.
 func (c *Checker) ResetCache() {
-	c.snap.Store(&polSnapshot{fp: c.pol.Fingerprint(), viewDisj: c.pol.Disjuncts(nil)})
+	c.publishSnapshot()
 	for i := range c.cache.shards {
 		sh := &c.cache.shards[i]
 		sh.mu.Lock()

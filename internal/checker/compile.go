@@ -1,0 +1,183 @@
+package checker
+
+// The policy compiler. A policy snapshot is compiled ONCE, when it is
+// published (NewWithOptions / ResetCache), into an indexed plan the
+// cold coverage search runs against — instead of re-deriving per-view
+// metadata on every decision:
+//
+//   - relation symbols are interned to dense small-int ids, so the
+//     hot membership tests in candidate pruning are int compares and
+//     bitmask ops rather than string compares;
+//   - a per-relation inverted index (byRel) maps each interned
+//     relation to the view disjuncts whose bodies mention it, so
+//     coverDisjunct only considers views sharing a relation with the
+//     query instead of linearly scanning the whole policy;
+//   - every view carries a bitset signature over its referenced
+//     relations (relMask) plus the exact sorted id set (rels), so
+//     views that mention a relation the embedding target lacks are
+//     pruned before any homomorphism search — such a view has no hom
+//     into the target at all;
+//   - the view-head variable set is precomputed, replacing the map
+//     the per-position visibility rule used to rebuild on every
+//     atomCoverOK call.
+//
+// Duplicate disjuncts — same view name and same canonical form — are
+// deduped at compile time; they can only produce identical candidate
+// embeddings.
+
+import (
+	"sort"
+
+	"repro/internal/cq"
+)
+
+// symTab interns relation names to dense small-int ids.
+type symTab struct {
+	ids   map[string]int
+	names []string
+}
+
+func (s *symTab) intern(name string) int {
+	if id, ok := s.ids[name]; ok {
+		return id
+	}
+	id := len(s.names)
+	s.ids[name] = id
+	s.names = append(s.names, name)
+	return id
+}
+
+// id returns the interned id for a relation name; ok is false for
+// relations no policy view mentions (such a relation has no candidate
+// views at all).
+func (s *symTab) id(name string) (int, bool) {
+	id, ok := s.ids[name]
+	return id, ok
+}
+
+// relBit is the bitset signature bit for an interned relation id.
+// Ids past 63 alias (a bloom-style signature): the mask test may then
+// pass for a view the exact rels test rejects, never the reverse.
+func relBit(id int) uint64 { return 1 << (uint(id) % 64) }
+
+// compiledView is one policy-view disjunct with its precomputed
+// search metadata.
+type compiledView struct {
+	q *cq.Query
+	// headVars is the view's head variable set (the per-position
+	// visibility rule consults it for every covered atom position).
+	headVars map[string]bool
+	// rels is the sorted set of interned relations the body mentions.
+	rels []int
+	// relMask is the bitset signature over rels.
+	relMask uint64
+}
+
+// compiledPolicy is the immutable indexed plan for one policy
+// snapshot.
+type compiledPolicy struct {
+	fp    string
+	syms  symTab
+	views []compiledView
+	// byRel[id] lists (ascending) the views whose bodies mention the
+	// relation with that interned id.
+	byRel [][]int
+}
+
+// compilePolicy builds the indexed plan from a policy's view
+// disjuncts. It never consults the schema: a view over a relation the
+// schema does not know simply indexes under a symbol no translated
+// query will ever look up.
+func compilePolicy(fp string, disjuncts []*cq.Query) *compiledPolicy {
+	comp := &compiledPolicy{fp: fp, syms: symTab{ids: make(map[string]int)}}
+	seen := make(map[string]bool, len(disjuncts))
+	for _, q := range disjuncts {
+		key := q.Name + "\x00" + q.CanonicalKey()
+		if seen[key] {
+			continue // duplicate disjunct: identical candidates
+		}
+		seen[key] = true
+		v := compiledView{q: q, headVars: make(map[string]bool, len(q.Head))}
+		for _, t := range q.Head {
+			if t.IsVar() {
+				v.headVars[t.Var] = true
+			}
+		}
+		for _, a := range q.Atoms {
+			id := comp.syms.intern(a.Table)
+			if !containsInt(v.rels, id) {
+				v.rels = append(v.rels, id)
+				v.relMask |= relBit(id)
+			}
+		}
+		sort.Ints(v.rels)
+		comp.views = append(comp.views, v)
+	}
+	comp.byRel = make([][]int, len(comp.syms.names))
+	for vi := range comp.views {
+		for _, id := range comp.views[vi].rels {
+			comp.byRel[id] = append(comp.byRel[id], vi)
+		}
+	}
+	return comp
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// subsetSorted reports sub ⊆ super for sorted int slices.
+func subsetSorted(sub, super []int) bool {
+	j := 0
+	for _, x := range sub {
+		for j < len(super) && super[j] < x {
+			j++
+		}
+		if j == len(super) || super[j] != x {
+			return false
+		}
+	}
+	return true
+}
+
+// factIndex buckets one decision's generalized trace facts by
+// relation, so the vacuity and fact-covered scans touch only
+// same-table facts, and carries the facts' relation signature for
+// view pruning. It is built once per coverAll call and shared by
+// every disjunct.
+type factIndex struct {
+	pos map[string][]cq.Fact
+	neg map[string][]cq.Fact
+	// mask and rels cover the interned relations appearing among the
+	// positive facts (fact relations unknown to the policy cannot
+	// help any view embed, so they are omitted).
+	mask uint64
+	rels []int
+}
+
+var emptyFactIndex = &factIndex{}
+
+func (comp *compiledPolicy) indexFacts(facts []cq.Fact) *factIndex {
+	if len(facts) == 0 {
+		return emptyFactIndex
+	}
+	fi := &factIndex{pos: make(map[string][]cq.Fact), neg: make(map[string][]cq.Fact)}
+	for _, f := range facts {
+		if f.Negated {
+			fi.neg[f.Atom.Table] = append(fi.neg[f.Atom.Table], f)
+			continue
+		}
+		fi.pos[f.Atom.Table] = append(fi.pos[f.Atom.Table], f)
+		if id, ok := comp.syms.id(f.Atom.Table); ok && !containsInt(fi.rels, id) {
+			fi.rels = append(fi.rels, id)
+			fi.mask |= relBit(id)
+		}
+	}
+	sort.Ints(fi.rels)
+	return fi
+}

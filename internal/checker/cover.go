@@ -5,35 +5,93 @@ package checker
 // decision template; coverDisjunct enumerates view embeddings and
 // searches for an assignment of covering candidates that satisfies
 // the joint visibility conditions.
+//
+// The search runs against the compiled policy plan (compile.go): the
+// per-relation inverted index and relation-signature masks prune
+// views that cannot embed before any homomorphism search, and the
+// target constraint closure is built once per disjunct instead of
+// once per view. Options.ColdIndex turns the index off for ablation
+// benchmarks, restoring the original linear scan.
+//
+// Both coverAll (across template disjuncts) and the candidate
+// enumeration (across surviving views) can fan out on the checker's
+// bounded worker pool (Options.ColdWorkers). Parallelism never
+// changes the answer: results are merged in disjunct order and
+// candidates in view order, exactly the serial orders, so a parallel
+// checker produces byte-identical Decisions — a blocking disjunct
+// cancels only LATER disjuncts, whose results an earlier block always
+// shadows in the merge.
 
 import (
 	"context"
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/cq"
+	"repro/internal/obsv"
 )
 
 // coverAll runs the coverage check for every disjunct of a decision
-// template against the given fact set. Callers must check ctx.Err()
-// before caching the result: a cancellation mid-loop yields a
+// template against the given fact set. occs optionally carries the
+// per-disjunct variable-occurrence censuses memoized by the pipeline
+// (nil entries are computed here). Callers must check ctx.Err()
+// before caching the result: a cancellation mid-search yields a
 // decision that must not be stored.
-func (c *Checker) coverAll(ctx context.Context, snap *polSnapshot, tpl []*cq.Query, facts []cq.Fact) Decision {
-	d := Decision{Allowed: true}
+func (c *Checker) coverAll(ctx context.Context, snap *polSnapshot, tpl []*cq.Query, occs []map[string]varOcc, facts []cq.Fact) Decision {
+	comp := snap.comp
+	fi := comp.indexFacts(facts)
+	n := len(tpl)
+	res := make([]coverResult, n)
+	if n > 1 && c.cold.parallel() {
+		// Parallel across disjuncts: each gets a derived context so a
+		// definitive block at disjunct i can cancel the now-irrelevant
+		// disjuncts AFTER i (an earlier block always wins the ordered
+		// merge; earlier disjuncts keep running).
+		ctxs := make([]context.Context, n)
+		cancels := make([]context.CancelFunc, n)
+		for i := range tpl {
+			ctxs[i], cancels[i] = context.WithCancel(ctx)
+		}
+		c.cold.run(n, func(i int) {
+			res[i] = c.coverDisjunct(ctxs[i], comp, tpl[i], occAt(occs, tpl, i), fi, facts)
+			if !res[i].ok && ctxs[i].Err() == nil {
+				for j := i + 1; j < n; j++ {
+					cancels[j]()
+				}
+			}
+		})
+		for _, cancel := range cancels {
+			cancel()
+		}
+	} else {
+		for i, q := range tpl {
+			res[i] = c.coverDisjunct(ctx, comp, q, occAt(occs, tpl, i), fi, facts)
+			if ctx.Err() != nil {
+				return canceledDecision(ctx)
+			}
+			if !res[i].ok {
+				return Decision{Allowed: false, Reason: res[i].reason}
+			}
+		}
+	}
+	if ctx.Err() != nil {
+		return canceledDecision(ctx)
+	}
+	// Ordered merge: the first not-ok disjunct decides, exactly as the
+	// serial loop would. A disjunct canceled by an earlier sibling's
+	// block is shadowed by that earlier result here.
 	usedViews := map[string]bool{}
-	for _, q := range tpl {
-		res := c.coverDisjunct(ctx, snap, q, facts)
-		if ctx.Err() != nil {
-			return canceledDecision(ctx)
+	for i := range res {
+		if !res[i].ok {
+			return Decision{Allowed: false, Reason: res[i].reason}
 		}
-		if !res.ok {
-			return Decision{Allowed: false, Reason: res.reason}
-		}
-		for _, v := range res.views {
+		for _, v := range res[i].views {
 			usedViews[v] = true
 		}
 	}
+	d := Decision{Allowed: true}
 	for v := range usedViews {
 		d.Views = append(d.Views, v)
 	}
@@ -44,6 +102,15 @@ func (c *Checker) coverAll(ctx context.Context, snap *polSnapshot, tpl []*cq.Que
 		d.Reason = "reveals no database content"
 	}
 	return d
+}
+
+// occAt returns the memoized occurrence census for disjunct i, or
+// computes it when the caller didn't supply one.
+func occAt(occs []map[string]varOcc, tpl []*cq.Query, i int) map[string]varOcc {
+	if i < len(occs) && occs[i] != nil {
+		return occs[i]
+	}
+	return countVarOccurrences(tpl[i])
 }
 
 // coverResult is the outcome for one disjunct.
@@ -68,11 +135,12 @@ type candidate struct {
 	enforced map[string]bool
 }
 
-// coverDisjunct decides one conjunctive disjunct against a policy
-// snapshot. Cancellation is polled between view-embedding searches —
-// the expensive inner step — and surfaces as a not-ok result the
-// caller must discard after seeing ctx.Err.
-func (c *Checker) coverDisjunct(ctx context.Context, snap *polSnapshot, q *cq.Query, facts []cq.Fact) coverResult {
+// coverDisjunct decides one conjunctive disjunct against a compiled
+// policy. Cancellation is polled inside candidate enumeration and the
+// assignment search and surfaces as a not-ok result the caller must
+// discard after seeing ctx.Err (or, under parallel coverAll, shadow
+// with an earlier disjunct's definitive block).
+func (c *Checker) coverDisjunct(ctx context.Context, comp *compiledPolicy, q *cq.Query, occ map[string]varOcc, fi *factIndex, facts []cq.Fact) coverResult {
 	// A query whose comparisons are unsatisfiable returns nothing.
 	cs := cq.NewConstraints()
 	cs.AddAll(q.Comps)
@@ -83,8 +151,8 @@ func (c *Checker) coverDisjunct(ctx context.Context, snap *polSnapshot, q *cq.Qu
 	// Vacuity via negative facts: an atom that can only match a
 	// pattern known to be empty makes the disjunct return nothing.
 	for _, a := range q.Atoms {
-		for _, f := range facts {
-			if f.Negated && atomInstanceOf(a, f.Atom, cs) {
+		for _, f := range fi.neg[a.Table] {
+			if atomInstanceOf(a, f.Atom, cs) {
 				return coverResult{ok: true}
 			}
 		}
@@ -94,8 +162,11 @@ func (c *Checker) coverDisjunct(ctx context.Context, snap *polSnapshot, q *cq.Qu
 		return coverResult{ok: true} // reveals no database content
 	}
 
-	// Occurrence census for visibility rules.
-	occ := countVarOccurrences(q)
+	// Occurrence census for visibility rules (memoized by the
+	// pipeline; tests may call in with nil).
+	if occ == nil {
+		occ = countVarOccurrences(q)
+	}
 
 	// The embedding target: the query's atoms plus positive trace
 	// facts as extra known rows.
@@ -112,8 +183,8 @@ func (c *Checker) coverDisjunct(ctx context.Context, snap *polSnapshot, q *cq.Qu
 		if !atomGround(a) {
 			continue
 		}
-		for _, f := range facts {
-			if !f.Negated && atomsEqual(a, f.Atom) {
+		for _, f := range fi.pos[a.Table] {
+			if atomsEqual(a, f.Atom) {
 				factCovered[i] = true
 				break
 			}
@@ -121,43 +192,19 @@ func (c *Checker) coverDisjunct(ctx context.Context, snap *polSnapshot, q *cq.Qu
 	}
 
 	// Enumerate view embeddings and derive candidates.
-	var cands []candidate
-	for _, v := range snap.viewDisj {
-		if ctx.Err() != nil {
-			return coverResult{reason: "check canceled"}
-		}
-		homs := cq.FindHoms(v, target, nil, c.opts.MaxHomsPerView)
-		for _, h := range homs {
-			cand := candidate{
-				viewName: v.Name,
-				covers:   make([]bool, len(q.Atoms)),
-				visible:  make(map[string]bool),
-				enforced: make(map[string]bool),
-			}
-			for _, ht := range v.Head {
-				cand.visible[h.Map.Apply(ht).Key()] = true
-			}
-			// Constraints the view itself enforces, mapped onto query
-			// terms: an invisible view column may still satisfy a
-			// query comparison when the view's own body implies it.
-			viewCS := cq.NewConstraints()
-			for _, vc := range v.Comps {
-				viewCS.Add(h.Map.ApplyComp(vc))
-			}
-			any := false
-			for srcIdx, tgtIdx := range h.AtomImage {
-				if tgtIdx >= len(q.Atoms) {
-					continue // maps onto a fact atom
-				}
-				if c.atomCoverOK(v.Atoms[srcIdx], q.Atoms[tgtIdx], v, viewCS, occ, q, cand.enforced) {
-					cand.covers[tgtIdx] = true
-					any = true
-				}
-			}
-			if any {
-				cands = append(cands, cand)
-			}
-		}
+	timed := c.reg.Enabled()
+	var t0 time.Time
+	if timed {
+		t0 = time.Now()
+	}
+	cands, canceled := c.gatherCandidates(ctx, comp, q, target, cs, occ, fi)
+	if timed {
+		el := time.Since(t0)
+		c.mColdGather.Observe(el.Microseconds())
+		obsv.SpanSetFrom(ctx).Record("cover.gather", el)
+	}
+	if canceled {
+		return coverResult{reason: "check canceled"}
 	}
 
 	// Choose a candidate per uncovered atom; then validate joint
@@ -186,8 +233,21 @@ func (c *Checker) coverDisjunct(ctx context.Context, snap *polSnapshot, q *cq.Qu
 		}
 	}
 
+	if timed {
+		t0 = time.Now()
+	}
 	assign := make([]int, len(need))
-	if c.searchAssignment(q, occ, cands, need, options, assign, 0) {
+	var steps int
+	found, searchCanceled := c.searchAssignment(ctx, q, occ, cands, need, options, assign, 0, &steps)
+	if timed {
+		el := time.Since(t0)
+		c.mColdSearch.Observe(el.Microseconds())
+		obsv.SpanSetFrom(ctx).Record("cover.search", el)
+	}
+	if searchCanceled {
+		return coverResult{reason: "check canceled"}
+	}
+	if found {
 		used := map[string]bool{}
 		for _, ci := range assign {
 			used[cands[ci].viewName] = true
@@ -204,18 +264,217 @@ func (c *Checker) coverDisjunct(ctx context.Context, snap *polSnapshot, q *cq.Qu
 	}
 }
 
+// coldParallelViews is the minimum surviving-candidate-view count
+// before the per-disjunct enumeration fans out on the pool; below it
+// the chunk bookkeeping costs more than it saves.
+const coldParallelViews = 8
+
+// coldChunkSize is how many candidate views one parallel enumeration
+// task handles.
+const coldChunkSize = 8
+
+// gatherCandidates enumerates view embeddings into the target and
+// derives covering candidates, in policy-view order (parallel chunks
+// are merged back in view order, so the candidate list — and
+// therefore the assignment the search finds — is identical to the
+// serial one). The bool result reports cancellation.
+func (c *Checker) gatherCandidates(ctx context.Context, comp *compiledPolicy, q *cq.Query, target *cq.Query, targetCS *cq.Constraints, occ map[string]varOcc, fi *factIndex) ([]candidate, bool) {
+	if !c.opts.ColdIndex {
+		// Ablation: the original serial scan over every policy view,
+		// rebuilding the target constraint closure per view.
+		var cands []candidate
+		for vi := range comp.views {
+			if ctx.Err() != nil {
+				return nil, true
+			}
+			v := &comp.views[vi]
+			homs := cq.FindHoms(v.q, target, nil, c.opts.MaxHomsPerView)
+			cands = deriveCandidates(cands, v, homs, q, occ)
+		}
+		return cands, false
+	}
+
+	// Indexed path. The embedding target's relation signature: the
+	// query's atoms plus the positive facts.
+	targetMask := fi.mask
+	qRels := make([]int, 0, len(q.Atoms))
+	for _, a := range q.Atoms {
+		if id, ok := comp.syms.id(a.Table); ok && !containsInt(qRels, id) {
+			qRels = append(qRels, id)
+			targetMask |= relBit(id)
+		}
+	}
+	targetRels := mergeSortedSets(qRels, fi.rels)
+
+	// Gather candidate views from the inverted index — only views
+	// sharing a relation with the query's own atoms can cover one —
+	// and prune those mentioning a relation the target lacks (no hom
+	// can exist). The mask test is a one-word bloom filter; survivors
+	// are confirmed against the exact relation sets.
+	seen := make([]bool, len(comp.views))
+	var idxs []int
+	for _, a := range q.Atoms {
+		id, ok := comp.syms.id(a.Table)
+		if !ok {
+			continue
+		}
+		for _, vi := range comp.byRel[id] {
+			if seen[vi] {
+				continue
+			}
+			seen[vi] = true
+			v := &comp.views[vi]
+			if v.relMask&^targetMask != 0 || !subsetSorted(v.rels, targetRels) {
+				continue
+			}
+			idxs = append(idxs, vi)
+		}
+	}
+	c.mColdKept.Add(int64(len(idxs)))
+	c.mColdPruned.Add(int64(len(comp.views) - len(idxs)))
+	if len(idxs) == 0 {
+		return nil, false
+	}
+	sort.Ints(idxs) // restore policy-view order after index-order discovery
+
+	if !c.cold.parallel() || len(idxs) < coldParallelViews {
+		// Serial: share the disjunct's already-built target closure
+		// across all surviving views.
+		var cands []candidate
+		for _, vi := range idxs {
+			if ctx.Err() != nil {
+				return nil, true
+			}
+			v := &comp.views[vi]
+			homs := cq.FindHomsWith(v.q, target, targetCS, nil, c.opts.MaxHomsPerView)
+			cands = deriveCandidates(cands, v, homs, q, occ)
+		}
+		return cands, false
+	}
+
+	// Parallel: fixed-size contiguous chunks of the (sorted) survivor
+	// list, merged back in chunk order. Each chunk builds a private
+	// target closure — a Constraints memoizes internally and must not
+	// be shared across goroutines.
+	nch := (len(idxs) + coldChunkSize - 1) / coldChunkSize
+	parts := make([][]candidate, nch)
+	c.cold.run(nch, func(ci int) {
+		lo := ci * coldChunkSize
+		hi := lo + coldChunkSize
+		if hi > len(idxs) {
+			hi = len(idxs)
+		}
+		ccs := cq.NewConstraints()
+		ccs.AddAll(target.Comps)
+		var cands []candidate
+		for _, vi := range idxs[lo:hi] {
+			if ctx.Err() != nil {
+				return
+			}
+			v := &comp.views[vi]
+			homs := cq.FindHomsWith(v.q, target, ccs, nil, c.opts.MaxHomsPerView)
+			cands = deriveCandidates(cands, v, homs, q, occ)
+		}
+		parts[ci] = cands
+	})
+	if ctx.Err() != nil {
+		return nil, true
+	}
+	var cands []candidate
+	for _, p := range parts {
+		cands = append(cands, p...)
+	}
+	return cands, false
+}
+
+// mergeSortedSets unions int set a (sorted in place here) with
+// already-sorted set b.
+func mergeSortedSets(a, b []int) []int {
+	sort.Ints(a)
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j == len(b) || (i < len(a) && a[i] < b[j]):
+			out = append(out, a[i])
+			i++
+		case i == len(a) || b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// deriveCandidates turns the homomorphisms of one view into covering
+// candidates, appending to cands.
+func deriveCandidates(cands []candidate, v *compiledView, homs []cq.Hom, q *cq.Query, occ map[string]varOcc) []candidate {
+	for _, h := range homs {
+		cand := candidate{
+			viewName: v.q.Name,
+			covers:   make([]bool, len(q.Atoms)),
+			visible:  make(map[string]bool),
+			enforced: make(map[string]bool),
+		}
+		for _, ht := range v.q.Head {
+			cand.visible[h.Map.Apply(ht).Key()] = true
+		}
+		// Constraints the view itself enforces, mapped onto query
+		// terms: an invisible view column may still satisfy a query
+		// comparison when the view's own body implies it.
+		viewCS := cq.NewConstraints()
+		for _, vc := range v.q.Comps {
+			viewCS.Add(h.Map.ApplyComp(vc))
+		}
+		any := false
+		for srcIdx, tgtIdx := range h.AtomImage {
+			if tgtIdx >= len(q.Atoms) {
+				continue // maps onto a fact atom
+			}
+			if atomCoverOK(v.q.Atoms[srcIdx], q.Atoms[tgtIdx], v.headVars, viewCS, occ, q, cand.enforced) {
+				cand.covers[tgtIdx] = true
+				any = true
+			}
+		}
+		if any {
+			cands = append(cands, cand)
+		}
+	}
+	return cands
+}
+
+// searchPollEvery is how many backtracking nodes the assignment
+// search visits between context polls: a pathological template with
+// many need atoms and many options per atom can otherwise backtrack
+// for seconds with no cancellation check at all.
+const searchPollEvery = 1024
+
 // searchAssignment tries candidate assignments for the atoms in need.
-func (c *Checker) searchAssignment(q *cq.Query, occ map[string]varOcc, cands []candidate, need []int, options [][]int, assign []int, i int) bool {
+// The second result reports cancellation: the search did not finish,
+// so the caller must return the never-cached canceled verdict.
+func (c *Checker) searchAssignment(ctx context.Context, q *cq.Query, occ map[string]varOcc, cands []candidate, need []int, options [][]int, assign []int, i int, steps *int) (found, canceled bool) {
+	*steps++
+	if *steps%searchPollEvery == 0 && ctx.Err() != nil {
+		return false, true
+	}
 	if i == len(need) {
-		return validateAssignment(q, occ, cands, need, assign)
+		return validateAssignment(q, occ, cands, need, assign), false
 	}
 	for _, ci := range options[i] {
 		assign[i] = ci
-		if c.searchAssignment(q, occ, cands, need, options, assign, i+1) {
-			return true
+		found, canceled = c.searchAssignment(ctx, q, occ, cands, need, options, assign, i+1, steps)
+		if found || canceled {
+			return found, canceled
 		}
 	}
-	return false
+	return false, false
 }
 
 // validateAssignment enforces the joint visibility conditions: every
@@ -310,14 +569,9 @@ func countVarOccurrences(q *cq.Query) map[string]varOcc {
 // must be visible in the view head, pinned by the view itself
 // (view-side constant or parameter), or — for comparison variables —
 // constrained identically by the view's own body (viewCS carries the
-// view's comparisons mapped to query terms).
-func (c *Checker) atomCoverOK(viewAtom, qAtom cq.Atom, view *cq.Query, viewCS *cq.Constraints, occ map[string]varOcc, q *cq.Query, enforced map[string]bool) bool {
-	viewHead := make(map[string]bool, len(view.Head))
-	for _, t := range view.Head {
-		if t.IsVar() {
-			viewHead[t.Var] = true
-		}
-	}
+// view's comparisons mapped to query terms). viewHead is the view's
+// precompiled head-variable set.
+func atomCoverOK(viewAtom, qAtom cq.Atom, viewHead map[string]bool, viewCS *cq.Constraints, occ map[string]varOcc, q *cq.Query, enforced map[string]bool) bool {
 	for k, y := range viewAtom.Args {
 		t := qAtom.Args[k]
 		if !y.IsVar() {

@@ -1,0 +1,283 @@
+package checker
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/cq"
+	"repro/internal/engine"
+	"repro/internal/policy"
+	"repro/internal/schema"
+	"repro/internal/sqlparser"
+	"repro/internal/sqlvalue"
+	"repro/internal/trace"
+)
+
+// coldOpts builds checker options for one cold-path configuration:
+// caching off so every check runs the coverage search.
+func coldOpts(index bool, workers int) Options {
+	opts := DefaultOptions()
+	opts.UseCache = false
+	opts.ColdIndex = index
+	opts.ColdWorkers = workers
+	return opts
+}
+
+// TestCoverEmptyPolicy: a policy with no views compiles to an empty
+// plan and blocks every data-revealing query, in every cold-path
+// configuration.
+func TestCoverEmptyPolicy(t *testing.T) {
+	s := calendarSchema(t)
+	empty := policy.MustNew(s, nil)
+	for _, cfg := range []struct {
+		name    string
+		index   bool
+		workers int
+	}{
+		{"scan", false, 1}, {"indexed", true, 1}, {"parallel", true, 8},
+	} {
+		c := NewWithOptions(empty, coldOpts(cfg.index, cfg.workers))
+		comp := c.snap.Load().comp
+		if len(comp.views) != 0 || len(comp.byRel) != 0 {
+			t.Fatalf("%s: empty policy compiled to %d views, %d index buckets",
+				cfg.name, len(comp.views), len(comp.byRel))
+		}
+		d := mustCheck(t, c, "SELECT EId FROM Attendance WHERE UId = 1", session(1), nil)
+		if d.Allowed {
+			t.Fatalf("%s: empty policy allowed a data-revealing query: %+v", cfg.name, d)
+		}
+	}
+}
+
+// ghostView hand-builds a view disjunct over a relation the schema
+// does not declare (the SQL front door rejects such a view, but a
+// policy assembled programmatically can carry one).
+func ghostView() *policy.View {
+	q := &cq.Query{
+		Name:  "VGhost",
+		Head:  []cq.Term{cq.V("x")},
+		Atoms: []cq.Atom{{Table: "ghost", Args: []cq.Term{cq.V("x"), cq.V("y")}}},
+	}
+	return &policy.View{Name: "VGhost", CQs: cq.UCQ{q}}
+}
+
+// TestCompileAbsentRelation: a view over a relation absent from the
+// schema is indexed under its own symbol and never surfaces as a
+// candidate — decisions are identical with and without it, in every
+// configuration.
+func TestCompileAbsentRelation(t *testing.T) {
+	pol := calendarPolicy(t)
+	ghosted := pol.Clone()
+	ghosted.Views = append(ghosted.Views, ghostView())
+
+	comp := compilePolicy(ghosted.Fingerprint(), ghosted.Disjuncts(nil))
+	id, ok := comp.syms.id("ghost")
+	if !ok {
+		t.Fatal("ghost relation not interned")
+	}
+	if n := len(comp.byRel[id]); n != 1 {
+		t.Fatalf("ghost relation indexes %d views, want 1", n)
+	}
+
+	queries := []string{
+		"SELECT EId FROM Attendance WHERE UId = 1",
+		"SELECT * FROM Events WHERE EId = 2",
+		"SELECT Title FROM Events",
+	}
+	for _, cfg := range []struct {
+		name    string
+		index   bool
+		workers int
+	}{
+		{"scan", false, 1}, {"indexed", true, 1}, {"parallel", true, 8},
+	} {
+		base := NewWithOptions(pol, coldOpts(cfg.index, cfg.workers))
+		with := NewWithOptions(ghosted, coldOpts(cfg.index, cfg.workers))
+		for _, q := range queries {
+			dBase := mustCheck(t, base, q, session(1), nil)
+			dWith := mustCheck(t, with, q, session(1), nil)
+			if fmt.Sprintf("%#v", dBase) != fmt.Sprintf("%#v", dWith) {
+				t.Fatalf("%s: ghost view changed the decision for %q:\nwithout: %#v\nwith:    %#v",
+					cfg.name, q, dBase, dWith)
+			}
+		}
+	}
+}
+
+// TestCompileDedupesDuplicateViews: the same disjunct (same name,
+// same canonical form) appearing twice in a policy is indexed once —
+// duplicates can only produce identical candidate embeddings — and
+// decisions are unchanged.
+func TestCompileDedupesDuplicateViews(t *testing.T) {
+	pol := calendarPolicy(t)
+	doubled := pol.Clone()
+	doubled.Views = append(doubled.Views, pol.Views...)
+
+	uniq := compilePolicy(pol.Fingerprint(), pol.Disjuncts(nil))
+	comp := compilePolicy(doubled.Fingerprint(), doubled.Disjuncts(nil))
+	if len(comp.views) != len(uniq.views) {
+		t.Fatalf("duplicate views not deduped: %d compiled views, want %d",
+			len(comp.views), len(uniq.views))
+	}
+
+	c := NewWithOptions(doubled, coldOpts(true, 8))
+	d := mustCheck(t, c, "SELECT EId FROM Attendance WHERE UId = 1", session(1), nil)
+	if !d.Allowed {
+		t.Fatalf("doubled policy blocked a V1-covered query: %+v", d)
+	}
+}
+
+// primeE1Trace replays a corpus query's priming probe against the
+// fixture database so its result enters the history (the same setup
+// experiments.RunE1 uses).
+func primeE1Trace(t *testing.T, db *engine.DB, w apps.WorkloadQuery) *trace.Trace {
+	t.Helper()
+	tr := &trace.Trace{}
+	if w.PrimeSQL == "" {
+		return tr
+	}
+	sel, err := sqlparser.ParseSelect(w.PrimeSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := sqlparser.Bind(sel, sqlparser.PositionalArgs(w.PrimeArgs...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(bound.(*sqlparser.SelectStmt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([][]sqlvalue.Value, len(res.Rows))
+	for i, r := range res.Rows {
+		rows[i] = r
+	}
+	tr.Append(trace.Entry{
+		SQL: w.PrimeSQL, Stmt: sel, Args: sqlparser.PositionalArgs(w.PrimeArgs...),
+		Columns: res.Columns, Rows: rows,
+	})
+	return tr
+}
+
+// TestSerialParallelParityE1: over the full E1 corpus (every labeled
+// query of every fixture), the original linear scan, the indexed
+// serial search, and the indexed parallel search return byte-identical
+// Decisions. This is the determinism half of the cold-path
+// parallelization's soundness argument: parallelism must never change
+// the answer, the reason string, or the covering-view list.
+func TestSerialParallelParityE1(t *testing.T) {
+	total := 0
+	for _, f := range apps.All() {
+		db := f.MustNewDB(24)
+		pol := f.Policy()
+		scan := NewWithOptions(pol, coldOpts(false, 1))
+		indexed := NewWithOptions(pol, coldOpts(true, 1))
+		parallel := NewWithOptions(pol, coldOpts(true, 8))
+		for _, w := range f.Corpus {
+			tr := primeE1Trace(t, db, w)
+			args := sqlparser.PositionalArgs(w.Args...)
+			sess := f.Session(w.UId)
+			ctx := context.Background()
+			dScan, err := scan.CheckSQL(ctx, w.SQL, args, sess, tr)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", f.Name, w.Label, err)
+			}
+			dIdx, err := indexed.CheckSQL(ctx, w.SQL, args, sess, tr)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", f.Name, w.Label, err)
+			}
+			dPar, err := parallel.CheckSQL(ctx, w.SQL, args, sess, tr)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", f.Name, w.Label, err)
+			}
+			gScan, gIdx, gPar := fmt.Sprintf("%#v", dScan), fmt.Sprintf("%#v", dIdx), fmt.Sprintf("%#v", dPar)
+			if gScan != gIdx || gScan != gPar {
+				t.Fatalf("%s/%s: cold-path configurations disagree:\nscan:     %s\nindexed:  %s\nparallel: %s",
+					f.Name, w.Label, gScan, gIdx, gPar)
+			}
+			total++
+		}
+	}
+	if total < 40 {
+		t.Fatalf("E1 corpus too small to be meaningful: %d decisions", total)
+	}
+	t.Logf("serial/indexed/parallel byte-identical over %d E1 decisions", total)
+}
+
+// --- Cold-path benchmark workload (mirrors acbench -coldpath):
+// 16 relations, views spread evenly across them, a 4-arm UNION query
+// with exactly one covering view per arm, caching off.
+
+const benchColdTables = 16
+
+func benchColdSchema(tb testing.TB) *schema.Schema {
+	tb.Helper()
+	b := schema.NewBuilder()
+	for i := 0; i < benchColdTables; i++ {
+		b = b.Table(fmt.Sprintf("R%d", i)).
+			NotNullCol("Id", sqlvalue.Int).
+			NotNullCol("Owner", sqlvalue.Int).
+			NotNullCol("Val", sqlvalue.Int).
+			NotNullCol("K", sqlvalue.Int).
+			PK("Id").Done()
+	}
+	s, err := b.Build()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return s
+}
+
+func benchColdPolicy(s *schema.Schema, n int) *policy.Policy {
+	views := make(map[string]string, n)
+	for j := 0; j < n; j++ {
+		views[fmt.Sprintf("V%03d", j)] = fmt.Sprintf(
+			"SELECT Id, Val FROM R%d WHERE Owner = ?MyUId AND K = %d", j%benchColdTables, j)
+	}
+	return policy.MustNew(s, views)
+}
+
+func benchColdQuery() *sqlparser.SelectStmt {
+	sql := ""
+	for i := 0; i < 4; i++ {
+		if i > 0 {
+			sql += " UNION "
+		}
+		sql += fmt.Sprintf("SELECT Id, Val FROM R%d WHERE Owner = ?MyUId AND K = %d AND Id >= 10", i, i)
+	}
+	return sqlparser.MustParseSelect(sql)
+}
+
+// benchColdSession: the uid must not collide with any view's K
+// constant, or template generalization folds the constant into the
+// parameter and changes the query's meaning.
+func benchColdSession() map[string]sqlvalue.Value {
+	return map[string]sqlvalue.Value{"MyUId": sqlvalue.NewInt(1_000_001)}
+}
+
+func benchColdPath(b *testing.B, index bool, workers int) {
+	s := benchColdSchema(b)
+	c := NewWithOptions(benchColdPolicy(s, 128), coldOpts(index, workers))
+	sel := benchColdQuery()
+	sess := benchColdSession()
+	ctx := context.Background()
+	if d := c.Check(ctx, sel, sqlparser.NoArgs, sess, nil); !d.Allowed {
+		b.Fatalf("cold workload should be allowed: %+v", d)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Check(ctx, sel, sqlparser.NoArgs, sess, nil)
+	}
+}
+
+// The three cold-path configurations at 128 policy views; acbench
+// -coldpath runs the full policy-size sweep.
+func BenchmarkColdPathSerial(b *testing.B)  { benchColdPath(b, false, 1) }
+func BenchmarkColdPathIndexed(b *testing.B) { benchColdPath(b, true, 1) }
+func BenchmarkColdPathParallel(b *testing.B) {
+	benchColdPath(b, true, runtime.GOMAXPROCS(0))
+}

@@ -3,6 +3,7 @@ package checker
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -115,6 +116,91 @@ func TestMetricsOverheadGuard(t *testing.T) {
 		ratios = append(ratios, r)
 	}
 	t.Errorf("instrumented CheckSQL exceeded the 5%% overhead budget on all %d attempts (ratios %.3f)",
+		attempts, ratios)
+}
+
+// TestColdPathMetricsOverheadGuard is the cold-path sibling of
+// TestMetricsOverheadGuard: the instrumented *parallel* cold coverage
+// search (compiled index + worker pool, caching off so every check
+// runs the full search) must stay within 5% of the no-op-metrics
+// build. The cold path's instrumentation — pool gauges, prune
+// counters, gather/search histograms and span records — is gated on
+// reg.Enabled(), and this guard fails if any of it ever runs (or
+// allocates) in the disabled build, or grows past noise in the
+// enabled one.
+func TestColdPathMetricsOverheadGuard(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector inflates atomic costs; overhead guard runs in the normal build")
+	}
+	if testing.Short() {
+		t.Skip("timing guard skipped in -short mode")
+	}
+	s := benchColdSchema(t)
+	pol := benchColdPolicy(s, 64)
+	sel := benchColdQuery()
+	sess := benchColdSession()
+	workers := runtime.GOMAXPROCS(0)
+
+	newCold := func(reg *obsv.Registry) *Checker {
+		opts := coldOpts(true, workers)
+		opts.Metrics = reg
+		c := NewWithOptions(pol, opts)
+		if d := c.Check(context.Background(), sel, sqlparser.NoArgs, sess, nil); !d.Allowed {
+			t.Fatalf("cold workload should be allowed: %+v", d)
+		}
+		return c
+	}
+	cOn := newCold(nil)              // default: metrics on
+	cOff := newCold(obsv.Disabled()) // no-op build
+
+	const (
+		iters  = 20
+		trials = 20
+	)
+	measure := func(c *Checker) time.Duration {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			c.Check(context.Background(), sel, sqlparser.NoArgs, sess, nil)
+		}
+		return time.Since(start)
+	}
+	measure(cOn) // warmup
+	measure(cOff)
+
+	attempt := func() float64 {
+		minOn, minOff := time.Duration(1<<62), time.Duration(1<<62)
+		for trial := 0; trial < trials; trial++ {
+			if trial%2 == 0 {
+				if d := measure(cOn); d < minOn {
+					minOn = d
+				}
+				if d := measure(cOff); d < minOff {
+					minOff = d
+				}
+			} else {
+				if d := measure(cOff); d < minOff {
+					minOff = d
+				}
+				if d := measure(cOn); d < minOn {
+					minOn = d
+				}
+			}
+		}
+		ratio := float64(minOn) / float64(minOff)
+		t.Logf("instrumented cold %v vs no-op %v per %d checks (ratio %.3f)", minOn, minOff, iters, ratio)
+		return ratio
+	}
+
+	const attempts = 4
+	var ratios []float64
+	for i := 0; i < attempts; i++ {
+		r := attempt()
+		if r <= 1.05 {
+			return
+		}
+		ratios = append(ratios, r)
+	}
+	t.Errorf("instrumented parallel cold path exceeded the 5%% overhead budget on all %d attempts (ratios %.3f)",
 		attempts, ratios)
 }
 

@@ -1,0 +1,89 @@
+package checker
+
+// coldPool is the bounded, checker-owned worker pool the cold
+// coverage search fans out on. One pool serves every decision the
+// checker runs, so the proxy's session lanes and batch op — which all
+// funnel cold decisions through Checker.Check — share one global
+// bound instead of multiplying per-request parallelism.
+//
+// The design is deadlock-free by construction: the pool holds max-1
+// tokens, and the CALLER always participates as a worker, so a run()
+// call makes progress even when every token is taken (e.g. a
+// parallel coverAll whose disjuncts fan out again over candidate
+// views, or many proxy lanes hitting cold decisions at once). Tokens
+// are only held by running workers, never by a goroutine waiting for
+// tokens, so the wait graph stays acyclic.
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obsv"
+)
+
+type coldPool struct {
+	max int
+	sem chan struct{}
+	// busy is a gauge (Add +1/-1) of extra workers currently running;
+	// tasks counts workers spawned over the pool's lifetime. Both are
+	// nil-safe no-ops under obsv.Disabled().
+	busy  *obsv.Counter
+	tasks *obsv.Counter
+}
+
+func newColdPool(max int, busy, tasks *obsv.Counter) *coldPool {
+	p := &coldPool{max: max, busy: busy, tasks: tasks}
+	if max > 1 {
+		p.sem = make(chan struct{}, max-1)
+	}
+	return p
+}
+
+// parallel reports whether the pool can run anything off-caller.
+func (p *coldPool) parallel() bool { return p != nil && p.max > 1 }
+
+// run executes task(0..n-1), stealing work through a shared atomic
+// index. Extra workers are spawned only for tokens available RIGHT
+// NOW — never waited for — and the caller always works too. Tasks
+// may be executed in any order but each exactly once; run returns
+// after all n tasks completed.
+func (p *coldPool) run(n int, task func(int)) {
+	if n <= 1 || !p.parallel() {
+		for i := 0; i < n; i++ {
+			task(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			task(i)
+		}
+	}
+	var wg sync.WaitGroup
+spawn:
+	for i := 0; i < n-1; i++ {
+		select {
+		case p.sem <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer func() {
+					p.busy.Add(-1)
+					<-p.sem
+					wg.Done()
+				}()
+				p.busy.Add(1)
+				p.tasks.Inc()
+				work()
+			}()
+		default:
+			break spawn // pool saturated: caller works alone with whoever spawned
+		}
+	}
+	work()
+	wg.Wait()
+}

@@ -48,6 +48,11 @@ type decideState struct {
 	// Parameter-generic query templates (stage "bind").
 	tpl []*cq.Query
 
+	// Per-disjunct variable-occurrence censuses, memoized lazily so
+	// the history-free probe and the cover stage share one
+	// computation per decision (and cache hits never pay it).
+	occ []map[string]varOcc
+
 	// Session-generalized trace facts (stage "facts").
 	facts    []cq.Fact
 	factKeys []string
@@ -72,6 +77,19 @@ func (c *Checker) newDecidePipeline() *pipeline.Pipeline[*decideState] {
 		pipeline.Stage[*decideState]{Name: "cover", Run: stageCover},
 		pipeline.Stage[*decideState]{Name: "verdict", Run: stageVerdict},
 	)
+}
+
+// occs returns the per-disjunct occurrence censuses for the bound
+// templates, computing them on first use. Warm decisions (front,
+// histfree, template hits) never reach a caller of this.
+func (st *decideState) occs() []map[string]varOcc {
+	if st.occ == nil {
+		st.occ = make([]map[string]varOcc, len(st.tpl))
+		for i, q := range st.tpl {
+			st.occ[i] = countVarOccurrences(q)
+		}
+	}
+	return st.occ
 }
 
 // decide runs the staged pipeline for one check.
@@ -184,7 +202,7 @@ func stageHistFree(ctx context.Context, st *decideState) pipeline.Outcome {
 		}
 		return pipeline.Continue // denial marker: the template needs facts
 	}
-	d := c.coverAll(ctx, st.snap, st.tpl, nil)
+	d := c.coverAll(ctx, st.snap, st.tpl, st.occs(), nil)
 	if ctx.Err() != nil {
 		st.d = canceledDecision(ctx)
 		return pipeline.Abort
@@ -265,7 +283,7 @@ func stageTemplate(ctx context.Context, st *decideState) pipeline.Outcome {
 // stageCover runs the policy-coverage decision procedure — the
 // expensive embedding search — against the facts.
 func stageCover(ctx context.Context, st *decideState) pipeline.Outcome {
-	st.d = st.c.coverAll(ctx, st.snap, st.tpl, st.facts)
+	st.d = st.c.coverAll(ctx, st.snap, st.tpl, st.occs(), st.facts)
 	if ctx.Err() != nil {
 		st.d = canceledDecision(ctx)
 		return pipeline.Abort

@@ -53,6 +53,16 @@ func FindHoms(src, tgt *Query, init Mapping, limit int) []Hom {
 	return homSearch(src, tgt, tgtCS, init, limit)
 }
 
+// FindHomsWith is FindHoms with a caller-supplied constraint closure
+// for the target (tgtCS must be built from tgt.Comps). Callers that
+// search many sources against one target build the closure once
+// instead of once per source. A Constraints memoizes internally, so a
+// shared closure must not be used from concurrent goroutines; nil
+// falls back to building a private one.
+func FindHomsWith(src, tgt *Query, tgtCS *Constraints, init Mapping, limit int) []Hom {
+	return homSearch(src, tgt, tgtCS, init, limit)
+}
+
 func homSearch(src, tgt *Query, tgtCS *Constraints, init Mapping, limit int) []Hom {
 	if tgtCS == nil {
 		tgtCS = NewConstraints()

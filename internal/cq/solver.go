@@ -138,6 +138,9 @@ type closure struct {
 	hasConst []bool
 	// ne[i*n+j]: classes known distinct.
 	ne map[[2]int]bool
+	// constIdx lists the classes with a constant value (the classes a
+	// virtual term can relate to; see impliesVirtual).
+	constIdx []int
 
 	inconsistent bool
 }
@@ -280,6 +283,11 @@ func (cs *Constraints) close() *closure {
 			}
 		}
 	}
+	for i, has := range cl.hasConst {
+		if has {
+			cl.constIdx = append(cl.constIdx, i)
+		}
+	}
 	cs.closed = cl
 	cs.dirty = false
 	return cl
@@ -308,16 +316,24 @@ func (cs *Constraints) ValueOf(t Term) (sqlvalue.Value, bool) {
 
 // Implies reports whether the comparison is entailed by the set. An
 // inconsistent set implies everything.
+//
+// Implies never grows the set: a term the set has not seen is judged
+// as the fresh singleton class interning it would create, without
+// interning it (see impliesVirtual). Interning probe terms here used
+// to dirty the cached closure, forcing an O(n³) recompute per fresh
+// term — quadratic blowup when one constraint set answers probes
+// over many terms, exactly what a homomorphism search against a
+// shared target closure does.
 func (cs *Constraints) Implies(c Comparison) bool {
-	// Interning new terms can grow the closure; do it before closing.
-	ka := cs.intern(c.Left)
-	kb := cs.intern(c.Right)
 	cl := cs.close()
 	if cl.inconsistent {
 		return true
 	}
-	i := cl.index[cs.find(ka)]
-	j := cl.index[cs.find(kb)]
+	i, iKnown := cs.classOf(cl, c.Left)
+	j, jKnown := cs.classOf(cl, c.Right)
+	if !iKnown || !jKnown {
+		return cs.impliesVirtual(cl, c, i, iKnown, j, jKnown)
+	}
 	switch c.Op {
 	case Eq:
 		return i == j
@@ -339,6 +355,108 @@ func (cs *Constraints) Implies(c Comparison) bool {
 		return i != j && cl.dist[j][i] == -1
 	}
 	return false
+}
+
+// classOf resolves a term to its closure class without interning it;
+// known is false for terms the set has never seen.
+func (cs *Constraints) classOf(cl *closure, t Term) (idx int, known bool) {
+	k := t.Key()
+	if _, ok := cs.parent[k]; !ok {
+		return 0, false
+	}
+	return cl.index[cs.find(k)], true
+}
+
+// impliesVirtual answers Implies when at least one side is a term the
+// set has never seen. Such a term is a virtual fresh singleton class:
+// it equals nothing already present, and — when it is a constant —
+// its only relations are the value-order edges close() would give it
+// against the constant classes. This reproduces exactly what
+// interning the term and re-closing would conclude, at O(constant
+// classes) cost instead of an O(n³) closure recompute.
+func (cs *Constraints) impliesVirtual(cl *closure, c Comparison, i int, iKnown bool, j int, jKnown bool) bool {
+	if c.Left.Key() == c.Right.Key() {
+		// Both sides are the same (unseen) class: reflexivity only.
+		return c.Op == Eq || c.Op == Le || c.Op == Ge
+	}
+	switch {
+	case iKnown: // right side virtual
+		if !c.Right.IsConst() {
+			return false // an unseen variable/parameter relates to nothing
+		}
+		v := c.Right.Const
+		switch c.Op {
+		case Eq:
+			return false // a fresh class never equals an existing one
+		case Ne:
+			return cl.neConst(i, v) || cl.ltConst(i, v) || cl.gtConst(i, v)
+		case Le, Lt: // class i < virtual const v
+			return cl.ltConst(i, v)
+		case Ge, Gt: // class i > virtual const v
+			return cl.gtConst(i, v)
+		}
+		return false
+	case jKnown: // left side virtual: mirror the comparison
+		return cs.impliesVirtual(cl, Comparison{Op: c.Op.Flip(), Left: c.Right, Right: c.Left}, j, true, i, false)
+	default: // both virtual: only constant values can relate them
+		if !c.Left.IsConst() || !c.Right.IsConst() {
+			return false
+		}
+		cmp, ok := sqlvalue.Compare(c.Left.Const, c.Right.Const)
+		if !ok {
+			return c.Op == Ne // incomparable constants are distinct
+		}
+		switch c.Op {
+		case Ne:
+			return cmp != 0
+		case Lt, Le:
+			return cmp < 0 // cmp == 0 with distinct keys: classes stay unrelated
+		case Gt, Ge:
+			return cmp > 0
+		}
+		return false // Eq: two fresh classes are never merged
+	}
+}
+
+// ltConst reports whether class i is derivably < the virtual
+// constant v: some constant class m with value below v has i <= m.
+// (close() would give the virtual class an incoming strict edge from
+// every constant class below it.)
+func (cl *closure) ltConst(i int, v sqlvalue.Value) bool {
+	for _, m := range cl.constIdx {
+		if cl.dist[i][m] == noRel {
+			continue
+		}
+		if cmp, ok := sqlvalue.Compare(cl.constVal[m], v); ok && cmp < 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// gtConst reports whether class i is derivably > the virtual
+// constant v.
+func (cl *closure) gtConst(i int, v sqlvalue.Value) bool {
+	for _, m := range cl.constIdx {
+		if cl.dist[m][i] == noRel {
+			continue
+		}
+		if cmp, ok := sqlvalue.Compare(cl.constVal[m], v); ok && cmp > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// neConst reports the direct disequality close() would record
+// between class i and the virtual constant v: i carries a constant
+// of a different value (or an incomparable one).
+func (cl *closure) neConst(i int, v sqlvalue.Value) bool {
+	if !cl.hasConst[i] {
+		return false
+	}
+	cmp, ok := sqlvalue.Compare(cl.constVal[i], v)
+	return !ok || cmp != 0
 }
 
 // ImpliesAll reports whether every comparison is entailed.

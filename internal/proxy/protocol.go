@@ -151,6 +151,16 @@ type StatsBody struct {
 	FactEntriesTranslated uint64  `json:"factEntriesTranslated"`
 	FactCacheHitRate      float64 `json:"factCacheHitRate"`
 
+	// Cold-path effectiveness: candidate policy views the compiled
+	// index searched vs pruned before any embedding search, and the
+	// pool's currently-busy extra workers (all decisions — session
+	// lanes and the batch op alike — dispatch onto the checker's one
+	// pool).
+	ColdViewsKept   int     `json:"coldViewsKept"`
+	ColdViewsPruned int     `json:"coldViewsPruned"`
+	ColdPruneRatio  float64 `json:"coldPruneRatio"`
+	ColdWorkersBusy int     `json:"coldWorkersBusy"`
+
 	// Latency over the recent-query window, in microseconds.
 	LatencyP50Micros  int64   `json:"latencyP50Micros"`
 	LatencyP90Micros  int64   `json:"latencyP90Micros"`

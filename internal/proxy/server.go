@@ -703,6 +703,10 @@ func (s *Server) StatsSnapshot() *StatsBody {
 		FactEntriesReused:     uint64(s.mFactReused.Value()),
 		FactEntriesTranslated: uint64(s.mFactTrans.Value()),
 
+		ColdViewsKept:   cs.ColdViewsKept,
+		ColdViewsPruned: cs.ColdViewsPruned,
+		ColdWorkersBusy: cs.ColdWorkersBusy,
+
 		TotalConns:    int(s.mConnsTotal.Value()),
 		RejectedConns: int(s.mConnsRejected.Value()),
 		CanceledReqs:  int(s.mReqsCanceled.Value()),
@@ -712,6 +716,9 @@ func (s *Server) StatsSnapshot() *StatsBody {
 	}
 	if tot := body.FactEntriesReused + body.FactEntriesTranslated; tot > 0 {
 		body.FactCacheHitRate = float64(body.FactEntriesReused) / float64(tot)
+	}
+	if tot := cs.ColdViewsKept + cs.ColdViewsPruned; tot > 0 {
+		body.ColdPruneRatio = float64(cs.ColdViewsPruned) / float64(tot)
 	}
 	s.mu.Lock()
 	body.ActiveConns = len(s.conns)
