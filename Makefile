@@ -6,10 +6,17 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench bench-json hotpath pipeline coldpath coldsmoke fmtcheck fuzz staticcheck ci
+# Version stamp for -version (internal/buildinfo); a plain `go build`
+# without these falls back to Go's embedded VCS metadata.
+VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
+COMMIT  ?= $(shell git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)
+DATE    ?= $(shell date -u +%Y-%m-%dT%H:%M:%SZ 2>/dev/null || echo unknown)
+LDFLAGS  = -ldflags "-X repro/internal/buildinfo.Version=$(VERSION) -X repro/internal/buildinfo.Commit=$(COMMIT) -X repro/internal/buildinfo.Date=$(DATE)"
+
+.PHONY: build test vet race bench bench-json hotpath pipeline coldpath coldsmoke fmtcheck fuzz fuzzwal killrecover staticcheck ci
 
 build:
-	$(GO) build ./...
+	$(GO) build $(LDFLAGS) ./...
 
 # Tier-1 suite (ROADMAP.md). -shuffle=on randomizes test execution
 # order within each package.
@@ -31,7 +38,7 @@ bench:
 # -against diffs the fresh document's pinned hotpath numbers against
 # the previous one and fails on a >10% speedup regression.
 bench-json:
-	$(GO) run ./cmd/acbench -json BENCH_4.json -against BENCH_3.json
+	$(GO) run ./cmd/acbench -json BENCH_5.json -against BENCH_4.json
 
 hotpath:
 	$(GO) run ./cmd/acbench -hotpath
@@ -60,6 +67,17 @@ fmtcheck:
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/sqlparser
 
+# Ten-second fuzz smoke of the WAL record decoder (torn writes, bit
+# flips, truncation must never panic recovery).
+fuzzwal:
+	$(GO) test -fuzz=FuzzWALDecode -fuzztime=10s ./internal/durable
+
+# Kill-and-recover integration test: run a WAL-backed proxy, SIGKILL
+# it mid-workload, restart, and assert decision parity with an
+# uncrashed control run.
+killrecover:
+	$(GO) test -run 'TestKillRecover' -v ./internal/durable
+
 # staticcheck is optional tooling: run it when installed, succeed
 # quietly when not, so CI works on minimal containers.
 staticcheck:
@@ -68,4 +86,4 @@ staticcheck:
 	else \
 		echo "staticcheck not installed; skipping"; fi
 
-ci: fmtcheck vet test race coldsmoke fuzz staticcheck
+ci: fmtcheck vet test race coldsmoke fuzz fuzzwal killrecover staticcheck

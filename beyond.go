@@ -56,6 +56,7 @@ import (
 	"repro/internal/checker"
 	"repro/internal/diagnose"
 	"repro/internal/disclosure"
+	"repro/internal/durable"
 	"repro/internal/engine"
 	"repro/internal/extract"
 	"repro/internal/obsv"
@@ -322,6 +323,87 @@ func WithProxyMetrics(reg *Metrics) ProxyOption {
 // the per-stage latency breakdown. See DESIGN.md §9 for the schema.
 func WithSlowLog(threshold time.Duration) ProxyOption {
 	return func(s *ProxyServer) { s.SlowLogThreshold = threshold }
+}
+
+// Durability types: the WAL that persists enforcement state (session
+// query histories and the policy snapshot) across proxy restarts. See
+// DESIGN.md §11.
+type (
+	// WALOptions tunes the durability layer (fsync policy, segment
+	// size, checkpoint cadence).
+	WALOptions = durable.Options
+	// WALManager is the durable-state manager a WAL-enabled proxy runs
+	// (Server.Durable()).
+	WALManager = durable.Manager
+	// FsyncPolicy selects when appended records become crash-durable.
+	FsyncPolicy = durable.FsyncPolicy
+)
+
+// Fsync policies for WithFsync.
+const (
+	// FsyncAlways fsyncs every group-commit batch before acknowledging
+	// (an acknowledged append survives any crash).
+	FsyncAlways = durable.FsyncAlways
+	// FsyncInterval acknowledges after the OS write and fsyncs on a
+	// timer (bounded loss window).
+	FsyncInterval = durable.FsyncInterval
+	// FsyncOff never fsyncs (page-cache durability; benchmarks and
+	// tests).
+	FsyncOff = durable.FsyncOff
+)
+
+// DurabilityOption tunes WithDurability.
+type DurabilityOption func(*WALOptions)
+
+// WithFsync selects the WAL fsync policy (default FsyncAlways).
+func WithFsync(p FsyncPolicy) DurabilityOption {
+	return func(o *WALOptions) { o.Fsync = p }
+}
+
+// WithFsyncInterval sets the FsyncInterval timer period.
+func WithFsyncInterval(d time.Duration) DurabilityOption {
+	return func(o *WALOptions) { o.FsyncInterval = d }
+}
+
+// WithCheckpointEvery checkpoints automatically after n appended
+// records (0 disables auto-checkpointing; explicit and shutdown
+// checkpoints still happen).
+func WithCheckpointEvery(n int) DurabilityOption {
+	return func(o *WALOptions) { o.CheckpointEvery = n }
+}
+
+// WithSegmentBytes sets the segment rotation threshold.
+func WithSegmentBytes(n int64) DurabilityOption {
+	return func(o *WALOptions) { o.SegmentBytes = n }
+}
+
+// WithDurability turns on durable enforcement state: sessions that
+// hello with a name get their query history write-ahead-logged under
+// dir and restored across proxy restarts, so the compliance decisions
+// a crashed proxy would have made are exactly the decisions its
+// successor makes. The WAL opens (and recovery replays) on Listen.
+//
+//	beyond.NewProxy(db, chk, beyond.Enforce,
+//		beyond.WithDurability("/var/lib/ac/wal",
+//			beyond.WithFsync(beyond.FsyncInterval),
+//			beyond.WithCheckpointEvery(10000)))
+func WithDurability(dir string, opts ...DurabilityOption) ProxyOption {
+	return func(s *ProxyServer) {
+		o := durable.DefaultOptions()
+		for _, opt := range opts {
+			opt(&o)
+		}
+		s.WALDir = dir
+		s.WALOpts = o
+	}
+}
+
+// WithHistoryWindow bounds every proxy session trace — durable or
+// ephemeral — to its most recent n entries. Eviction only ever forgets
+// facts, so windowed decisions stay sound (merely more conservative),
+// and long-lived sessions stop growing without bound.
+func WithHistoryWindow(n int) ProxyOption {
+	return func(s *ProxyServer) { s.HistoryWindow = n }
 }
 
 // NewProxy builds an enforcement proxy over a database and checker:

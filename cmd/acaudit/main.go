@@ -21,6 +21,7 @@ import (
 	"time"
 
 	beyond "repro"
+	"repro/internal/buildinfo"
 )
 
 func main() {
@@ -29,7 +30,12 @@ func main() {
 	quasi := flag.String("quasi", "", "comma-separated quasi-identifier columns")
 	size := flag.Int("size", 20, "seed rows for k-anonymity")
 	timing := flag.Bool("timing", false, "print the phase-timing metrics snapshot (JSON)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("acaudit"))
+		return
+	}
 
 	reg := beyond.NewMetrics()
 	f, err := beyond.FixtureByName(*app)

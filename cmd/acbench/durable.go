@@ -1,0 +1,157 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/durable"
+	"repro/internal/sqlparser"
+	"repro/internal/sqlvalue"
+	"repro/internal/trace"
+)
+
+// The durability ablation: identical append workloads against the WAL
+// under each fsync policy. The interesting comparison is
+// fsync-per-append (MaxBatch=1 — every session append pays its own
+// fsync, the naive design) versus group commit (concurrent appends
+// coalesce into one write + one fsync), which is what makes
+// always-durable enforcement affordable.
+
+type durableRow struct {
+	Mode          string  `json:"mode"`
+	Fsync         string  `json:"fsync"`
+	Sessions      int     `json:"sessions"`
+	Appends       int     `json:"appends"`
+	AppendsPerSec float64 `json:"appendsPerSec"`
+	AvgFsyncBatch float64 `json:"avgFsyncBatch"`
+	Speedup       float64 `json:"speedupVsFsyncPerAppend"`
+}
+
+// runDurable measures WAL append throughput for concurrent sessions
+// under each fsync configuration. Every run uses a fresh WAL directory
+// and the same entry workload; each configuration is repeated and the
+// median kept, because fsync cost on a shared container fluctuates.
+func runDurable() ([]durableRow, error) {
+	const sessions = 16
+	const perSession = 125
+	const reps = 3
+	stmt, err := sqlparser.ParseSelectCached("SELECT id, title FROM events WHERE uid = ?")
+	if err != nil {
+		return nil, err
+	}
+	entry := trace.Entry{
+		SQL:     "SELECT id, title FROM events WHERE uid = ?",
+		Stmt:    stmt,
+		Args:    sqlparser.Args{Positional: []sqlvalue.Value{sqlvalue.NewInt(7)}},
+		Columns: []string{"id", "title"},
+		Rows: [][]sqlvalue.Value{
+			{sqlvalue.NewInt(1), sqlvalue.NewText("standup")},
+			{sqlvalue.NewInt(2), sqlvalue.NewText("review")},
+		},
+	}
+
+	configs := []struct {
+		mode string
+		opts durable.Options
+	}{
+		{"fsync-per-append", durable.Options{Fsync: durable.FsyncAlways, MaxBatch: 1}},
+		{"group-commit", durable.Options{Fsync: durable.FsyncAlways}},
+		{"interval", durable.Options{Fsync: durable.FsyncInterval}},
+		{"off", durable.Options{Fsync: durable.FsyncOff}},
+	}
+
+	// oneRun executes the workload against a fresh WAL and reports
+	// appends/sec plus the observed appends-per-fsync ratio.
+	oneRun := func(opts durable.Options) (perSec, avgBatch float64, err error) {
+		dir, err := os.MkdirTemp("", "acbench-wal-")
+		if err != nil {
+			return 0, 0, err
+		}
+		defer os.RemoveAll(dir)
+		m, err := durable.Open(dir, opts)
+		if err != nil {
+			return 0, 0, err
+		}
+		defer m.Close()
+		traces := make([]*trace.Trace, sessions)
+		for i := range traces {
+			tr, _, err := m.Session(fmt.Sprintf("bench-%d", i), nil)
+			if err != nil {
+				return 0, 0, err
+			}
+			traces[i] = tr
+		}
+		start := time.Now()
+		var wg sync.WaitGroup
+		for _, tr := range traces {
+			wg.Add(1)
+			go func(tr *trace.Trace) {
+				defer wg.Done()
+				for i := 0; i < perSession; i++ {
+					tr.Append(entry)
+				}
+			}(tr)
+		}
+		wg.Wait()
+		if err := m.Flush(); err != nil {
+			return 0, 0, err
+		}
+		elapsed := time.Since(start)
+		st := m.Stats()
+		perSec = float64(sessions*perSession) / elapsed.Seconds()
+		if st.Fsyncs > 0 {
+			avgBatch = float64(st.Appends) / float64(st.Fsyncs)
+		}
+		return perSec, avgBatch, nil
+	}
+
+	rows := make([]durableRow, 0, len(configs))
+	var baseline float64
+	for _, cfg := range configs {
+		perSecs := make([]float64, 0, reps)
+		var avgBatch float64
+		for r := 0; r < reps; r++ {
+			perSec, batch, err := oneRun(cfg.opts)
+			if err != nil {
+				return nil, err
+			}
+			perSecs = append(perSecs, perSec)
+			avgBatch = batch
+		}
+		sort.Float64s(perSecs)
+		row := durableRow{
+			Mode:          cfg.mode,
+			Fsync:         cfg.opts.Fsync.String(),
+			Sessions:      sessions,
+			Appends:       sessions * perSession,
+			AppendsPerSec: perSecs[len(perSecs)/2],
+			AvgFsyncBatch: avgBatch,
+		}
+		if cfg.mode == "fsync-per-append" {
+			baseline = row.AppendsPerSec
+		}
+		if baseline > 0 {
+			row.Speedup = row.AppendsPerSec / baseline
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func printDurable() error {
+	rows, err := runDurable()
+	if err != nil {
+		return err
+	}
+	fmt.Println("WAL append throughput (concurrent sessions, per fsync policy)")
+	fmt.Printf("%-18s %-9s %9s %10s %14s %9s\n",
+		"mode", "fsync", "appends", "app/sec", "appends/fsync", "speedup")
+	for _, r := range rows {
+		fmt.Printf("%-18s %-9s %9d %10.0f %14.1f %8.1fx\n",
+			r.Mode, r.Fsync, r.Appends, r.AppendsPerSec, r.AvgFsyncBatch, r.Speedup)
+	}
+	return nil
+}

@@ -8,7 +8,8 @@
 //	acbench -only E1   # one experiment
 //	acbench -hotpath   # enforcement hot-path scaling table only
 //	acbench -pipeline  # protocol-v2 pipelining throughput table only
-//	acbench -json BENCH_3.json   # machine-readable benchmark document
+//	acbench -durable   # WAL fsync-policy/group-commit ablation only
+//	acbench -json BENCH_5.json   # machine-readable benchmark document
 //
 // -hotpath measures the per-check cost against growing session
 // histories with the incremental trace-fact cache on and off, and the
@@ -20,10 +21,14 @@
 // window grows: window 1 is the serial (v1-equivalent) baseline, and
 // larger windows show what protocol v2's pipelining buys.
 //
-// -json FILE runs the hot-path, parallel-principal, pipelining, and
-// metrics-overhead benchmarks and writes one JSON document to FILE, so
-// successive checked-in BENCH_*.json files form a performance
-// trajectory for the repo.
+// -durable measures WAL append throughput for concurrent sessions
+// under each fsync policy: fsync-per-append (the naive baseline),
+// group commit (one fsync per coalesced batch), interval, and off.
+//
+// -json FILE runs the hot-path, parallel-principal, pipelining,
+// cold-path, durability, and metrics-overhead benchmarks and writes
+// one JSON document to FILE, so successive checked-in BENCH_*.json
+// files form a performance trajectory for the repo.
 package main
 
 import (
@@ -40,6 +45,7 @@ import (
 	"time"
 
 	"repro/internal/apps"
+	"repro/internal/buildinfo"
 	"repro/internal/checker"
 	"repro/internal/experiments"
 	"repro/internal/obsv"
@@ -54,9 +60,15 @@ func main() {
 	hotpath := flag.Bool("hotpath", false, "run only the enforcement hot-path scaling table")
 	pipeline := flag.Bool("pipeline", false, "run only the protocol-v2 pipelining throughput table")
 	coldpath := flag.Bool("coldpath", false, "run only the cold-path policy-size sweep (serial vs indexed vs parallel)")
+	durableBench := flag.Bool("durable", false, "run only the WAL append-throughput ablation (fsync policies vs group commit)")
 	jsonOut := flag.String("json", "", "write the benchmark document as JSON to this file")
 	against := flag.String("against", "", "with -json: compare against a previous benchmark document and fail on >10% hotpath regression")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("acbench"))
+		return
+	}
 
 	if *jsonOut != "" {
 		if err := runJSON(*jsonOut, *against); err != nil {
@@ -76,6 +88,12 @@ func main() {
 	}
 	if *pipeline {
 		if err := printPipeline(); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *durableBench {
+		if err := printDurable(); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -109,6 +127,7 @@ type benchDoc struct {
 	Parallel        parallelRow   `json:"parallelPrincipals"`
 	Pipeline        []pipelineRow `json:"pipeline"`
 	Coldpath        []coldpathRow `json:"coldpath,omitempty"`
+	Durable         []durableRow  `json:"durable,omitempty"`
 	MetricsOverhead overheadRow   `json:"metricsOverhead"`
 }
 
@@ -165,6 +184,12 @@ func runJSON(path, against string) error {
 		return err
 	}
 	doc.Coldpath = cp
+	fmt.Println("acbench: WAL durability ablation...")
+	du, err := runDurable()
+	if err != nil {
+		return err
+	}
+	doc.Durable = du
 	fmt.Println("acbench: metrics overhead...")
 	doc.MetricsOverhead = runMetricsOverhead()
 	b, err := json.MarshalIndent(doc, "", "  ")

@@ -19,6 +19,7 @@ import (
 	"os"
 
 	beyond "repro"
+	"repro/internal/buildinfo"
 )
 
 func main() {
@@ -26,7 +27,12 @@ func main() {
 	uid := flag.Int64("uid", 1, "principal id (MyUId)")
 	sql := flag.String("sql", "SELECT * FROM Events WHERE EId=2", "the query to diagnose")
 	stats := flag.Bool("stats", false, "print the metrics snapshot (JSON) after the diagnosis")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("acdiagnose"))
+		return
+	}
 
 	f, err := beyond.FixtureByName(*app)
 	if err != nil {

@@ -21,6 +21,7 @@ import (
 
 	beyond "repro"
 	"repro/internal/appdsl"
+	"repro/internal/buildinfo"
 	"repro/internal/extract"
 	"repro/internal/sqlparser"
 	"repro/internal/sqlvalue"
@@ -33,7 +34,12 @@ func main() {
 	guards := flag.Bool("guards", true, "infer access-check guards (mine mode)")
 	explore := flag.Bool("explore", true, "auto-generate request inputs (mine mode)")
 	timing := flag.Bool("timing", false, "print the phase-timing metrics snapshot (JSON)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("acextract"))
+		return
+	}
 
 	f, err := beyond.FixtureByName(*app)
 	if err != nil {

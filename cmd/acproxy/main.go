@@ -22,9 +22,22 @@
 //     takes at least D, with the verdict, the cache tier that
 //     answered, and the per-stage breakdown (DESIGN.md §9).
 //
-// On SIGINT/SIGTERM the proxy drains in-flight connections and prints
-// extended statistics: decision and fact-cache hit rates plus latency
-// percentiles over the recent window.
+// Durability:
+//
+//   - -wal-dir DIR persists every named session's query history to a
+//     write-ahead log under DIR and restores it on restart, so
+//     compliance decisions survive a crash (DESIGN.md §11).
+//   - -fsync always|interval|off selects the durability/latency
+//     trade-off; -fsync-interval tunes the interval timer.
+//   - -checkpoint-every N checkpoints and compacts the log after N
+//     appended records.
+//   - -window N bounds every session trace to its last N entries.
+//
+// On SIGINT/SIGTERM the proxy drains in-flight connections, flushes
+// and checkpoints the WAL (when enabled), and prints extended
+// statistics: decision and fact-cache hit rates plus latency
+// percentiles over the recent window. A second signal during the
+// drain force-exits.
 package main
 
 import (
@@ -39,6 +52,8 @@ import (
 	"time"
 
 	beyond "repro"
+	"repro/internal/buildinfo"
+	"repro/internal/durable"
 )
 
 func main() {
@@ -53,7 +68,17 @@ func main() {
 	metricsAddr := flag.String("metrics", "", "serve /metrics JSON over HTTP on this address (empty disables)")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof (on -metrics address, or 127.0.0.1:6060)")
 	slowLog := flag.Duration("slowlog", 0, "log queries at or over this duration as structured JSON (0 disables)")
+	walDir := flag.String("wal-dir", "", "persist session histories to a WAL under this directory (empty disables durability)")
+	fsync := flag.String("fsync", "always", "WAL fsync policy: always|interval|off")
+	fsyncInterval := flag.Duration("fsync-interval", durable.DefaultFsyncInterval, "fsync timer period under -fsync interval")
+	ckptEvery := flag.Int("checkpoint-every", 10000, "checkpoint + compact the WAL after this many appended records (0 disables auto-checkpoints)")
+	window := flag.Int("window", 0, "bound each session trace to its last N entries (0 = unbounded)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("acproxy"))
+		return
+	}
 
 	f, err := beyond.FixtureByName(*app)
 	if err != nil {
@@ -72,17 +97,35 @@ func main() {
 	}
 	db := f.MustNewDB(*size)
 	chk := beyond.NewChecker(f.Policy(), beyond.WithCacheSize(*cacheSize))
-	srv := beyond.NewProxy(db, chk, m,
+	opts := []beyond.ProxyOption{
 		beyond.WithMaxConns(*maxConns),
 		beyond.WithReadTimeout(*readTimeout),
 		beyond.WithMaxInFlight(*maxInFlight),
-		beyond.WithSlowLog(*slowLog))
+		beyond.WithSlowLog(*slowLog),
+		beyond.WithHistoryWindow(*window),
+	}
+	if *walDir != "" {
+		pol, err := durable.ParseFsyncPolicy(*fsync)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts = append(opts, beyond.WithDurability(*walDir,
+			beyond.WithFsync(pol),
+			beyond.WithFsyncInterval(*fsyncInterval),
+			beyond.WithCheckpointEvery(*ckptEvery)))
+	}
+	srv := beyond.NewProxy(db, chk, m, opts...)
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("acproxy: %s app, policy %d views, mode %s, listening on %s\n",
 		f.Name, len(f.Policy().Views), m, bound)
+	if *walDir != "" {
+		wal := srv.Durable()
+		fmt.Printf("acproxy: WAL at %s (fsync %s), recovered %d session(s) / %d entr(ies)\n",
+			*walDir, *fsync, wal.RecoveredSessionCount(), wal.RecoveredEntryCount())
+	}
 
 	if err := startHTTP(srv, *metricsAddr, *pprofOn); err != nil {
 		log.Fatal(err)
@@ -91,9 +134,30 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("\nacproxy: draining connections...")
+	if *walDir != "" {
+		fmt.Println("\nacproxy: draining connections and flushing WAL...")
+	} else {
+		fmt.Println("\nacproxy: draining connections...")
+	}
+	// A second signal during the drain force-exits: an operator who
+	// hits ^C twice means it.
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "acproxy: forced exit before drain completed")
+		os.Exit(1)
+	}()
+	// Snapshot WAL stats before Close tears the manager down.
+	var walStats *beyond.WALManager
+	if *walDir != "" {
+		walStats = srv.Durable()
+	}
 	if err := srv.Close(); err != nil {
 		log.Printf("acproxy: close: %v", err)
+	}
+	if walStats != nil {
+		ws := walStats.Stats()
+		fmt.Printf("acproxy: WAL: appends=%d batches=%d fsyncs=%d bytes=%d checkpoints=%d compacted=%d\n",
+			ws.Appends, ws.Batches, ws.Fsyncs, ws.AppendedBytes, ws.Checkpoints, ws.CompactedSegments)
 	}
 
 	st := srv.StatsSnapshot()

@@ -1,0 +1,60 @@
+// Package buildinfo carries the version identity stamped into every
+// command at build time. The Makefile injects the values with
+//
+//	-ldflags "-X repro/internal/buildinfo.Version=... \
+//	          -X repro/internal/buildinfo.Commit=... \
+//	          -X repro/internal/buildinfo.Date=..."
+//
+// A plain `go build` (no ldflags) falls back to the module version and
+// VCS metadata Go embeds on its own, so -version is never useless.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Stamped at link time via -X; see the Makefile's LDFLAGS.
+var (
+	Version = ""
+	Commit  = ""
+	Date    = ""
+)
+
+// String renders the one-line version banner the -version flag of
+// every command prints.
+func String(cmd string) string {
+	v, c, d := Version, Commit, Date
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if v == "" && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			v = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				if c == "" {
+					c = s.Value
+				}
+			case "vcs.time":
+				if d == "" {
+					d = s.Value
+				}
+			}
+		}
+	}
+	if v == "" {
+		v = "dev"
+	}
+	out := fmt.Sprintf("%s %s", cmd, v)
+	if c != "" {
+		if len(c) > 12 {
+			c = c[:12]
+		}
+		out += fmt.Sprintf(" (%s)", c)
+	}
+	if d != "" {
+		out += " built " + d
+	}
+	return out + " " + runtime.Version()
+}

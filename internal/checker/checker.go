@@ -300,6 +300,19 @@ func (c *Checker) publishSnapshot() {
 // Policy returns the checker's policy.
 func (c *Checker) Policy() *policy.Policy { return c.pol }
 
+// WarmTrace pre-derives the ground facts of a restored session trace
+// under the checker's schema, so the first decision after a crash
+// recovery pays cache-extension cost instead of a full history
+// re-translation. It is a pure warm-up: facts are derived into the
+// trace's own incremental cache, and a trace warmed twice (or never)
+// decides identically.
+func (c *Checker) WarmTrace(tr *trace.Trace) {
+	if tr == nil || !c.opts.UseHistory {
+		return
+	}
+	_ = tr.Facts(c.pol.Schema)
+}
+
 // Metrics returns the checker's observability registry (the one every
 // decide stage reports into). Share it with the proxy server and the
 // diagnose search to get one consolidated snapshot.

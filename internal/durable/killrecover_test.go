@@ -1,0 +1,248 @@
+// The kill-and-recover integration test: a WAL-backed proxy is
+// SIGKILLed between priming the session histories and issuing the
+// decision corpus, restarted on the same WAL directory, and every
+// post-restart decision must render byte-identical to an uncrashed
+// control run. The load-bearing row is the calendar fixture's
+// "event-after-probe": allowed only because the probe is in the
+// session history, so losing the trace across the crash flips it to
+// blocked.
+//
+// The proxy under test runs in a subprocess (SIGKILL must take the
+// whole process, fsync buffers and all), re-execing this test binary
+// into TestKillRecoverChild, which is env-gated and skips otherwise.
+package durable_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/checker"
+	"repro/internal/durable"
+	"repro/internal/proxy"
+	"repro/internal/sqlvalue"
+)
+
+const (
+	childEnvFlag = "ACWAL_KILLRECOVER_CHILD"
+	childEnvDir  = "ACWAL_KILLRECOVER_DIR"
+	childEnvAddr = "ACWAL_KILLRECOVER_ADDRFILE"
+	dbSeedRows   = 24
+)
+
+// TestKillRecoverChild is the subprocess body, not a test: it serves
+// the calendar fixture behind a WAL-backed enforcing proxy until the
+// parent kills it.
+func TestKillRecoverChild(t *testing.T) {
+	if os.Getenv(childEnvFlag) == "" {
+		t.Skip("subprocess helper; driven by TestKillRecoverParity")
+	}
+	f := apps.Calendar()
+	db := f.MustNewDB(dbSeedRows)
+	srv := proxy.NewServer(db, checker.New(f.Policy()), proxy.Enforce)
+	srv.WALDir = os.Getenv(childEnvDir)
+	srv.WALOpts = durable.Options{Fsync: durable.FsyncAlways}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("child listen: %v", err)
+	}
+	// Publish the bound address atomically; the parent polls for it.
+	addrFile := os.Getenv(childEnvAddr)
+	tmp := addrFile + ".tmp"
+	if err := os.WriteFile(tmp, []byte(addr), 0o644); err != nil {
+		t.Fatalf("child addr file: %v", err)
+	}
+	if err := os.Rename(tmp, addrFile); err != nil {
+		t.Fatalf("child addr file: %v", err)
+	}
+	select {} // serve until SIGKILL
+}
+
+// decision is the parity record: everything a client observes about
+// one corpus query. Restored counts are deliberately excluded — the
+// crashed run reports restored history on re-hello and the control
+// run does not; that asymmetry is the point, not a parity failure.
+type decision struct {
+	Label   string             `json:"label"`
+	Allowed bool               `json:"allowed"`
+	Reason  string             `json:"reason,omitempty"`
+	Columns []string           `json:"columns,omitempty"`
+	Rows    [][]sqlvalue.Value `json:"rows,omitempty"`
+}
+
+func sessionName(i int, label string) string { return fmt.Sprintf("kr-%02d-%s", i, label) }
+
+// primePhase opens one durable session per corpus query and runs its
+// prime (history) query when it has one.
+func primePhase(t *testing.T, addr string, corpus []apps.WorkloadQuery) {
+	t.Helper()
+	cl, err := proxy.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+	// The lane API needs the connection upgraded to protocol v2 first.
+	if err := cl.Hello(ctx, map[string]any{"MyUId": int64(1)}); err != nil {
+		t.Fatalf("upgrade hello: %v", err)
+	}
+	for i, w := range corpus {
+		lane := cl.Lane(uint64(i + 1))
+		if _, err := lane.HelloDurable(ctx, sessionName(i, w.Label), map[string]any{"MyUId": w.UId}); err != nil {
+			t.Fatalf("prime hello %s: %v", w.Label, err)
+		}
+		if w.PrimeSQL == "" {
+			continue
+		}
+		if _, err := lane.Query(ctx, w.PrimeSQL, w.PrimeArgs...); err != nil {
+			t.Fatalf("prime query %s: %v", w.Label, err)
+		}
+	}
+}
+
+// decidePhase re-claims every durable session and runs the corpus
+// query itself, rendering each outcome. It returns the decisions and
+// how many trace entries the hellos reported restored in total.
+func decidePhase(t *testing.T, addr string, corpus []apps.WorkloadQuery) ([]decision, int) {
+	t.Helper()
+	cl, err := proxy.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+	if err := cl.Hello(ctx, map[string]any{"MyUId": int64(1)}); err != nil {
+		t.Fatalf("upgrade hello: %v", err)
+	}
+	var out []decision
+	restoredTotal := 0
+	for i, w := range corpus {
+		lane := cl.Lane(uint64(i + 1))
+		restored, err := lane.HelloDurable(ctx, sessionName(i, w.Label), map[string]any{"MyUId": w.UId})
+		if err != nil {
+			t.Fatalf("decide hello %s: %v", w.Label, err)
+		}
+		restoredTotal += restored
+		d := decision{Label: w.Label}
+		rows, err := lane.Query(ctx, w.SQL, w.Args...)
+		switch e := err.(type) {
+		case nil:
+			d.Allowed = true
+			d.Columns = rows.Columns
+			d.Rows = rows.Rows
+		case *proxy.BlockedError:
+			d.Reason = e.Reason
+		default:
+			t.Fatalf("decide query %s: %v", w.Label, err)
+		}
+		out = append(out, d)
+	}
+	return out, restoredTotal
+}
+
+// startChild launches the proxy subprocess on walDir and waits for
+// its bound address.
+func startChild(t *testing.T, walDir, addrFile string) (*exec.Cmd, string) {
+	t.Helper()
+	os.Remove(addrFile)
+	cmd := exec.Command(os.Args[0], "-test.run=^TestKillRecoverChild$", "-test.v")
+	cmd.Env = append(os.Environ(),
+		childEnvFlag+"=1",
+		childEnvDir+"="+walDir,
+		childEnvAddr+"="+addrFile)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start child: %v", err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			return cmd, strings.TrimSpace(string(b))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	cmd.Process.Kill()
+	t.Fatal("child never published its address")
+	return nil, ""
+}
+
+func sigkill(t *testing.T, cmd *exec.Cmd) {
+	t.Helper()
+	if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatalf("SIGKILL child: %v", err)
+	}
+	cmd.Wait() // reap; exit status is the signal, not an error we check
+}
+
+func renderDecisions(t *testing.T, ds []decision) string {
+	t.Helper()
+	var b strings.Builder
+	for _, d := range ds {
+		line, err := json.Marshal(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func TestKillRecoverParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess integration test")
+	}
+	corpus := apps.Calendar().Corpus
+
+	// Control: one uncrashed in-process server, same WAL-backed
+	// hello/prime/re-hello/query sequence.
+	controlDir := t.TempDir()
+	f := apps.Calendar()
+	srv := proxy.NewServer(f.MustNewDB(dbSeedRows), checker.New(f.Policy()), proxy.Enforce)
+	srv.WALDir = controlDir
+	srv.WALOpts = durable.Options{Fsync: durable.FsyncOff} // decisions don't depend on fsync
+	controlAddr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	primePhase(t, controlAddr, corpus)
+	control, _ := decidePhase(t, controlAddr, corpus)
+
+	// Crashed: prime against child 1, SIGKILL it, restart on the same
+	// WAL directory, decide against child 2.
+	walDir := t.TempDir()
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	child1, addr1 := startChild(t, walDir, addrFile)
+	primePhase(t, addr1, corpus)
+	sigkill(t, child1)
+	child2, addr2 := startChild(t, walDir, addrFile)
+	t.Cleanup(func() { sigkill(t, child2) })
+	crashed, restored := decidePhase(t, addr2, corpus)
+
+	if restored == 0 {
+		t.Fatal("restart restored no trace entries: recovery is not engaging, so parity would be vacuous")
+	}
+	want := renderDecisions(t, control)
+	got := renderDecisions(t, crashed)
+	if got != want {
+		t.Fatalf("post-restart decisions diverge from uncrashed control:\n--- control ---\n%s--- crashed ---\n%s", want, got)
+	}
+	// The history-dependent row must have survived as an allow: if
+	// recovery silently lost the trace in BOTH runs, the diff above
+	// could pass with matching blocks.
+	for _, d := range crashed {
+		if d.Label == "event-after-probe" && !d.Allowed {
+			t.Fatal("event-after-probe blocked after restart: pre-crash history was not restored")
+		}
+	}
+}

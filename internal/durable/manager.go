@@ -1,0 +1,289 @@
+package durable
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obsv"
+	"repro/internal/sqlvalue"
+	"repro/internal/trace"
+)
+
+// Manager is the enforcement-state durability layer the proxy talks
+// to: it recovers session traces on open, hands out live traces whose
+// appends are WAL-logged through the trace hook, checkpoints
+// periodically, and compacts covered segments.
+type Manager struct {
+	log  *Log
+	opts Options
+
+	mu sync.Mutex
+	// live maps durable session name -> the one shared trace. Two
+	// connections declaring the same name share history (and therefore
+	// decisions); the trace's own locking keeps that safe.
+	live map[string]*liveSession
+	// recovered holds replayed sessions not yet re-claimed by a hello.
+	recovered map[string]*RecoveredSession
+	policy    *PolicyID
+
+	recovery RecoveryResult
+
+	appendsSinceCkpt atomic.Int64
+	ckptRunning      atomic.Bool
+
+	mCheckpointMicros *obsv.Histogram
+	mRecoveryMicros   *obsv.Histogram
+	mCheckpoints      *obsv.Counter
+	mRecoveredSess    *obsv.Counter
+	mRecoveredEntries *obsv.Counter
+	mTornTruncated    *obsv.Counter
+}
+
+type liveSession struct {
+	name  string
+	attrs map[string]sqlvalue.Value
+	tr    *trace.Trace
+}
+
+// Open recovers state from dir and starts a WAL for new appends.
+func Open(dir string, opts Options) (*Manager, error) {
+	opts.normalize()
+	start := time.Now()
+	rec, err := Recover(dir)
+	if err != nil {
+		return nil, err
+	}
+	l, err := OpenLog(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	m := &Manager{
+		log:       l,
+		opts:      opts,
+		live:      make(map[string]*liveSession),
+		recovered: rec.Sessions,
+		policy:    rec.Policy,
+		recovery:  *rec,
+	}
+	reg := opts.Metrics
+	m.mCheckpointMicros = reg.Histogram("durable.checkpoint.micros")
+	m.mRecoveryMicros = reg.Histogram("durable.recovery.micros")
+	m.mCheckpoints = reg.Counter("durable.checkpoints")
+	m.mRecoveredSess = reg.Counter("durable.recovered.sessions")
+	m.mRecoveredEntries = reg.Counter("durable.recovered.entries")
+	m.mTornTruncated = reg.Counter("durable.tail.truncated")
+	m.mRecoveryMicros.ObserveSince(start)
+	m.mRecoveredSess.Add(int64(len(rec.Sessions)))
+	for _, s := range rec.Sessions {
+		m.mRecoveredEntries.Add(int64(len(s.Entries)))
+	}
+	if rec.TornTailBytes > 0 {
+		m.mTornTruncated.Inc()
+		m.logf("durable: truncated %d-byte torn tail after crash", rec.TornTailBytes)
+	}
+	return m, nil
+}
+
+func (m *Manager) logf(format string, args ...any) {
+	if m.opts.Logf != nil {
+		m.opts.Logf(format, args...)
+	}
+}
+
+// Recovery reports what Open replayed.
+func (m *Manager) Recovery() RecoveryResult { return m.recovery }
+
+// Log exposes the underlying WAL (stats, direct sync).
+func (m *Manager) Log() *Log { return m.log }
+
+// SetPolicy records the policy identity the proxy now enforces. It is
+// WAL-logged when it differs from the recovered snapshot; a changed
+// fingerprint or database hash across a restart is worth a warning —
+// restored histories were observed under the old one (decisions stay
+// sound either way: facts only ever widen what is allowed when they
+// are true of the data, and a stale fact can only have come from a
+// changed database, which is exactly what the warning flags).
+func (m *Manager) SetPolicy(p PolicyID) error {
+	m.mu.Lock()
+	prev := m.policy
+	m.policy = &p
+	m.mu.Unlock()
+	if prev != nil {
+		if prev.Fingerprint != p.Fingerprint {
+			m.logf("durable: policy changed across restart (recovered sessions decided under a different policy)")
+		} else if prev.DBHash != p.DBHash {
+			m.logf("durable: database contents changed across restart (recovered histories observed a different database)")
+		}
+		if prev.Fingerprint == p.Fingerprint && prev.DBHash == p.DBHash {
+			return nil // identical: no need to re-log
+		}
+	}
+	return m.log.Append(recPolicy, encodePolicy(&policySnapshot{
+		Fingerprint: p.Fingerprint, Views: p.Views, DBHash: p.DBHash,
+	}))
+}
+
+// Policy returns the current policy identity (recovered or set).
+func (m *Manager) Policy() *PolicyID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.policy
+}
+
+// Session declares (or re-claims) a durable session and returns its
+// trace. A recovered session's history is restored into the trace —
+// bounded by HistoryWindow if set — and further appends are
+// WAL-logged before the append returns (per the fsync policy). The
+// session record itself is durable before Session returns, so an
+// append can never precede its session in the log. Restored reports
+// how many history entries the trace came back with.
+func (m *Manager) Session(name string, attrs map[string]sqlvalue.Value) (tr *trace.Trace, restored int, err error) {
+	if name == "" {
+		return nil, 0, fmt.Errorf("durable: empty session name")
+	}
+	m.mu.Lock()
+	ls := m.live[name]
+	if ls == nil {
+		ls = &liveSession{name: name, tr: &trace.Trace{}}
+		if m.opts.HistoryWindow > 0 {
+			ls.tr.SetWindow(m.opts.HistoryWindow)
+		}
+		if rec := m.recovered[name]; rec != nil {
+			ls.tr.Restore(rec.Entries, rec.Base)
+			restored = ls.tr.Len()
+			delete(m.recovered, name)
+		}
+		sessName := name
+		ls.tr.SetHook(func(idx uint64, e *trace.Entry) {
+			if err := m.appendEntry(sessName, idx, e); err != nil {
+				m.logf("durable: append for session %q lost: %v", sessName, err)
+			}
+		})
+		m.live[name] = ls
+	} else {
+		restored = ls.tr.Len()
+	}
+	ls.attrs = attrs
+	m.mu.Unlock()
+	if err := m.log.Append(recSession, encodeSession(name, attrs)); err != nil {
+		return nil, 0, err
+	}
+	return ls.tr, restored, nil
+}
+
+// appendEntry logs one trace append and drives auto-checkpointing.
+func (m *Manager) appendEntry(name string, idx uint64, e *trace.Entry) error {
+	if err := m.log.Append(recAppend, encodeAppend(name, idx, e)); err != nil {
+		return err
+	}
+	if n := m.opts.CheckpointEvery; n > 0 {
+		if m.appendsSinceCkpt.Add(1) >= int64(n) {
+			m.maybeCheckpointAsync()
+		}
+	}
+	return nil
+}
+
+// maybeCheckpointAsync starts one background checkpoint if none is
+// running.
+func (m *Manager) maybeCheckpointAsync() {
+	if !m.ckptRunning.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer m.ckptRunning.Store(false)
+		if err := m.Checkpoint(); err != nil {
+			m.logf("durable: background checkpoint failed: %v", err)
+		}
+	}()
+}
+
+// Checkpoint serializes every live session trace and the policy
+// snapshot into a new checkpoint file, then compacts segments it
+// covers. Appends keep flowing while the snapshot is written; the
+// overlap (records both in the checkpoint and in post-cut segments)
+// is deduplicated on replay by absolute entry index.
+func (m *Manager) Checkpoint() error {
+	start := time.Now()
+	cut, err := m.log.RotateForCheckpoint()
+	if err != nil {
+		return err
+	}
+
+	m.mu.Lock()
+	type sessSnap struct {
+		name    string
+		attrs   map[string]sqlvalue.Value
+		entries []trace.Entry
+		base    uint64
+	}
+	snaps := make([]sessSnap, 0, len(m.live)+len(m.recovered))
+	for name, ls := range m.live {
+		entries, base := ls.tr.SnapshotState()
+		snaps = append(snaps, sessSnap{name: name, attrs: ls.attrs, entries: entries, base: base})
+	}
+	// Recovered-but-unclaimed sessions must survive the checkpoint too
+	// (their pre-crash segments are about to be compacted away).
+	for name, rec := range m.recovered {
+		snaps = append(snaps, sessSnap{name: name, attrs: rec.Attrs, entries: rec.Entries, base: rec.Base})
+	}
+	pol := m.policy
+	m.mu.Unlock()
+
+	// Deterministic order keeps checkpoint bytes reproducible.
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].name < snaps[j].name })
+
+	var records [][]byte
+	if pol != nil {
+		records = append(records, appendRecord(nil, recPolicy, encodePolicy(&policySnapshot{
+			Fingerprint: pol.Fingerprint, Views: pol.Views, DBHash: pol.DBHash,
+		})))
+	}
+	for _, s := range snaps {
+		records = append(records, appendRecord(nil, recSession, encodeSession(s.name, s.attrs)))
+		for i := range s.entries {
+			records = append(records, appendRecord(nil, recAppend, encodeAppend(s.name, s.base+uint64(i), &s.entries[i])))
+		}
+	}
+	if err := writeCheckpointFile(m.log.dir, cut, uint64(len(snaps)), records); err != nil {
+		return err
+	}
+	m.appendsSinceCkpt.Store(0)
+	m.log.checkpoints.Add(1)
+	m.mCheckpoints.Inc()
+	m.mCheckpointMicros.ObserveSince(start)
+	m.log.compact(cut)
+	return nil
+}
+
+// Flush forces everything acknowledged so far onto stable storage —
+// the proxy's drain path.
+func (m *Manager) Flush() error { return m.log.Sync() }
+
+// Close checkpoints (so restart replays one small file instead of the
+// whole tail), flushes, and closes the WAL.
+func (m *Manager) Close() error {
+	if err := m.Checkpoint(); err != nil {
+		m.logf("durable: final checkpoint failed: %v", err)
+	}
+	return m.log.Close()
+}
+
+// Stats returns the WAL counters.
+func (m *Manager) Stats() Stats { return m.log.Stats() }
+
+// RecoveredSessionCount reports sessions replayed at open (claimed or
+// not).
+func (m *Manager) RecoveredSessionCount() int { return len(m.recovery.Sessions) }
+
+// RecoveredEntryCount reports history entries replayed at open.
+func (m *Manager) RecoveredEntryCount() int {
+	n := 0
+	for _, s := range m.recovery.Sessions {
+		n += len(s.Entries)
+	}
+	return n
+}

@@ -541,6 +541,52 @@ func (db *DB) Clone() *DB {
 	return out
 }
 
+// ContentHash returns an order-independent FNV-1a digest of the full
+// database contents (table names and row values). The durable WAL
+// stamps it into policy snapshots so crash recovery can warn when the
+// database a restored session's history was observed against is not
+// the database the proxy now serves. Rows hash independently and are
+// combined by addition, so physical row order (which insertion and
+// deletion reshuffle) does not affect the digest.
+func (db *DB) ContentHash() uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	hashStr := func(h uint64, s string) uint64 {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime64
+		}
+		return h
+	}
+	var sum uint64 = offset64
+	for _, n := range names {
+		td := db.tables[n]
+		sum = hashStr(sum, n)
+		sum = hashStr(sum, "\x00")
+		var rows uint64
+		for _, r := range td.rows {
+			h := uint64(offset64)
+			for _, v := range r {
+				h = hashStr(h, v.Key())
+				h = hashStr(h, "\x1f")
+			}
+			rows += h
+		}
+		sum ^= rows
+		sum *= prime64
+	}
+	return sum
+}
+
 // SetCell overwrites one cell identified by table, row position, and
 // column name, bypassing FK checks (mutation probing needs arbitrary
 // perturbations). Uniqueness and NOT NULL are still enforced.

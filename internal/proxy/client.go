@@ -150,20 +150,37 @@ func (c *Client) roundTrip(ctx context.Context, req *Request) (*Response, error)
 // switches to pipelined mode. Calling Hello again re-keys the default
 // session (lane 0).
 func (c *Client) Hello(ctx context.Context, attrs map[string]any) error {
-	req := &Request{Op: "hello", Session: attrs, MaxProto: ProtoV2}
+	_, err := c.hello(ctx, &Request{Op: "hello", Session: attrs, MaxProto: ProtoV2})
+	return err
+}
+
+// HelloDurable establishes a named durable session: on a server
+// running with a WAL, the session's history is persisted under name
+// and survives proxy restarts. It returns how many history entries the
+// server restored for the name (0 on a fresh session or a server
+// without durability). Like Hello, it negotiates protocol v2.
+func (c *Client) HelloDurable(ctx context.Context, name string, attrs map[string]any) (restored int, err error) {
+	resp, err := c.hello(ctx, &Request{Op: "hello", Session: attrs, MaxProto: ProtoV2, Name: name})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Restored, nil
+}
+
+func (c *Client) hello(ctx context.Context, req *Request) (*Response, error) {
 	if c.pipelined() {
 		resp, err := c.call(ctx, req)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if resp.Error != "" {
-			return acerr.FromCode(resp.Code, resp.Error)
+			return nil, acerr.FromCode(resp.Code, resp.Error)
 		}
-		return nil
+		return resp, nil
 	}
 	resp, err := c.roundTrip(ctx, req)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if resp.Proto >= ProtoV2 {
 		c.pmu.Lock()
@@ -180,7 +197,7 @@ func (c *Client) Hello(ctx context.Context, attrs map[string]any) error {
 		}
 		c.pmu.Unlock()
 	}
-	return nil
+	return resp, nil
 }
 
 // writer is the pipelined-mode send loop: it drains bursts of queued
@@ -570,6 +587,17 @@ func (l *Lane) call(ctx context.Context, req *Request) (*Response, error) {
 func (l *Lane) Hello(ctx context.Context, attrs map[string]any) error {
 	_, err := l.call(ctx, &Request{Op: "hello", Session: attrs})
 	return err
+}
+
+// HelloDurable keys the lane to a named durable session (see
+// Client.HelloDurable); it returns how many history entries the server
+// restored for the name.
+func (l *Lane) HelloDurable(ctx context.Context, name string, attrs map[string]any) (int, error) {
+	resp, err := l.call(ctx, &Request{Op: "hello", Session: attrs, Name: name})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Restored, nil
 }
 
 // Query runs a SELECT on this lane's session.

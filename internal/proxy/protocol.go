@@ -94,6 +94,12 @@ type Request struct {
 	// MaxProto, on "hello", is the highest protocol version the client
 	// speaks; the server answers with the negotiated version.
 	MaxProto int `json:"maxProto,omitempty"`
+	// Name, on "hello", declares a durable session: when the server
+	// runs with a WAL, the session's query history is persisted under
+	// this name and restored across proxy restarts. Empty means an
+	// ephemeral session (the v1 behaviour). Ignored when the server has
+	// no WAL.
+	Name string `json:"name,omitempty"`
 	// Session attributes for "hello" (policy parameter values).
 	Session map[string]any `json:"session,omitempty"`
 	// SQL and arguments for "query"/"exec".
@@ -120,7 +126,10 @@ type Response struct {
 	// Code is the stable machine-readable error code (internal/acerr
 	// wire codes); set alongside Error, and to "blocked" on policy
 	// blocks.
-	Code     string     `json:"code,omitempty"`
+	Code string `json:"code,omitempty"`
+	// Restored, on a durable hello response, is how many history
+	// entries the session came back with from the WAL.
+	Restored int        `json:"restored,omitempty"`
 	Blocked  bool       `json:"blocked,omitempty"`
 	Reason   string     `json:"reason,omitempty"`
 	Views    []string   `json:"views,omitempty"`
@@ -175,6 +184,19 @@ type StatsBody struct {
 	// CanceledReqs counts in-flight requests aborted by a v2 "cancel"
 	// op.
 	CanceledReqs int `json:"canceledReqs,omitempty"`
+
+	// Durability (WAL) accounting; zero / absent when the proxy runs
+	// without a WAL.
+	WALEnabled       bool  `json:"walEnabled,omitempty"`
+	WALAppends       int64 `json:"walAppends,omitempty"`
+	WALBatches       int64 `json:"walBatches,omitempty"`
+	WALFsyncs        int64 `json:"walFsyncs,omitempty"`
+	WALAppendedBytes int64 `json:"walAppendedBytes,omitempty"`
+	WALCheckpoints   int64 `json:"walCheckpoints,omitempty"`
+	// WALRecoveredSessions / WALRecoveredEntries report what the last
+	// Open replayed from disk.
+	WALRecoveredSessions int `json:"walRecoveredSessions,omitempty"`
+	WALRecoveredEntries  int `json:"walRecoveredEntries,omitempty"`
 }
 
 // encodeRows converts engine values to JSON-friendly values.

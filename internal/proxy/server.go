@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/acerr"
 	"repro/internal/checker"
+	"repro/internal/durable"
 	"repro/internal/engine"
 	"repro/internal/obsv"
 	"repro/internal/sqlparser"
@@ -72,6 +73,20 @@ type Server struct {
 	// decision, the cache tier that answered, and the per-stage
 	// breakdown. See DESIGN.md §9 for the schema.
 	SlowLogThreshold time.Duration
+	// WALDir, when set, turns on durable enforcement state: sessions
+	// that hello with a Name get their query history WAL-logged to this
+	// directory and restored across restarts (DESIGN.md §11). The WAL
+	// opens on Listen (or an explicit OpenDurable) and recovery replays
+	// before the first connection is accepted.
+	WALDir string
+	// WALOpts tunes the WAL (fsync policy, segment size, checkpoint
+	// cadence). Zero values mean durable.DefaultOptions semantics.
+	WALOpts durable.Options
+	// HistoryWindow, when positive, bounds every session trace —
+	// durable or ephemeral — to its most recent n entries. Eviction
+	// only forgets facts, so windowed decisions are sound, merely more
+	// conservative.
+	HistoryWindow int
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -83,6 +98,8 @@ type Server struct {
 	// instead of delaying the drain.
 	closeCtx    context.Context
 	closeCancel context.CancelFunc
+	// wal is the durable-state manager (nil without WALDir).
+	wal *durable.Manager
 
 	// All counters and the query-latency histogram live in the obsv
 	// registry (resolved once by initObs); the checker's quantile
@@ -175,11 +192,81 @@ func (s *Server) maxInFlight() int {
 	return DefaultMaxInFlight
 }
 
+// OpenDurable opens the WAL (WALDir must be set), replaying any
+// recovered state, and records the policy identity the server now
+// enforces. It is idempotent; Listen calls it automatically. Recovery
+// happens here — before any connection — so a restored session's first
+// decision already sees its pre-crash history.
+func (s *Server) OpenDurable() error {
+	if s.WALDir == "" {
+		return nil
+	}
+	s.mu.Lock()
+	if s.wal != nil {
+		s.mu.Unlock()
+		return nil
+	}
+	s.mu.Unlock()
+	s.initObs()
+	opts := s.WALOpts
+	if opts.Metrics == nil {
+		opts.Metrics = s.reg
+	}
+	if opts.Logf == nil {
+		opts.Logf = s.logf
+	}
+	if opts.HistoryWindow == 0 {
+		opts.HistoryWindow = s.HistoryWindow
+	}
+	m, err := durable.Open(s.WALDir, opts)
+	if err != nil {
+		return fmt.Errorf("proxy: open WAL: %w", err)
+	}
+	if rec := m.Recovery(); len(rec.Sessions) > 0 {
+		n := 0
+		for _, sess := range rec.Sessions {
+			n += len(sess.Entries)
+		}
+		s.logf("proxy: recovered %d durable session(s), %d history entries (checkpoint cut %d, %d segment(s) replayed)",
+			len(rec.Sessions), n, rec.CheckpointCut, rec.SegmentsReplayed)
+	}
+	if s.Checker != nil {
+		pol := s.Checker.Policy()
+		views := make(map[string]string, len(pol.Views))
+		for _, v := range pol.Views {
+			views[v.Name] = v.SQL
+		}
+		id := durable.PolicyID{Fingerprint: pol.Fingerprint(), Views: views}
+		if s.DB != nil {
+			id.DBHash = s.DB.ContentHash()
+		}
+		if err := m.SetPolicy(id); err != nil {
+			m.Close()
+			return fmt.Errorf("proxy: persist policy snapshot: %w", err)
+		}
+	}
+	s.mu.Lock()
+	s.wal = m
+	s.mu.Unlock()
+	return nil
+}
+
+// Durable exposes the WAL manager (nil when the server runs without
+// one); acproxy's drain path and tests use it.
+func (s *Server) Durable() *durable.Manager {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.wal
+}
+
 // Listen starts accepting connections on addr (e.g. "127.0.0.1:0").
 // It returns the bound address immediately; connections are served on
 // background goroutines until Close.
 func (s *Server) Listen(addr string) (string, error) {
 	s.initObs()
+	if err := s.OpenDurable(); err != nil {
+		return "", err
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
@@ -221,8 +308,18 @@ func (s *Server) Close() error {
 	for c := range s.conns {
 		_ = c.SetDeadline(time.Now())
 	}
+	wal := s.wal
+	s.wal = nil
 	s.mu.Unlock()
 	s.wg.Wait()
+	// Drain complete: no handler can append again. Checkpoint and close
+	// the WAL so a restart replays one small checkpoint, not the whole
+	// tail. (A crash before this point is what recovery is for.)
+	if wal != nil {
+		if werr := wal.Close(); werr != nil && err == nil {
+			err = werr
+		}
+	}
 	return err
 }
 
@@ -267,8 +364,12 @@ type session struct {
 	factReused, factTranslated uint64
 }
 
-func newSessionState() *session {
-	return &session{attrs: map[string]sqlvalue.Value{}, tr: &trace.Trace{}}
+func (s *Server) newSessionState() *session {
+	tr := &trace.Trace{}
+	if s.HistoryWindow > 0 {
+		tr.SetWindow(s.HistoryWindow)
+	}
+	return &session{attrs: map[string]sqlvalue.Value{}, tr: tr}
 }
 
 // pipeJob is one dispatched v2 request: the decoded request, its
@@ -418,7 +519,7 @@ func (pc *pipeConn) lane(sid uint64) *lane {
 	defer pc.mu.Unlock()
 	ln, ok := pc.lanes[sid]
 	if !ok {
-		ln = pc.startLaneLocked(sid, newSessionState())
+		ln = pc.startLaneLocked(sid, pc.s.newSessionState())
 	}
 	return ln
 }
@@ -520,7 +621,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	defer connCancel()
 
 	pc := newPipeConn(s, connCtx, conn)
-	sess := newSessionState()
+	sess := s.newSessionState()
 	sc := bufio.NewScanner(conn)
 	// The scanner's limit is max(cap(buf), limit), so the initial
 	// buffer must not exceed the configured line bound.
@@ -658,9 +759,33 @@ func (s *Server) HandleCtx(ctx context.Context, req *Request, sess *session) Res
 			attrs[k] = sv
 		}
 		sess.attrs = attrs
-		sess.tr = &trace.Trace{}
-		sess.factReused, sess.factTranslated = 0, 0
 		resp := Response{OK: true}
+		if wal := s.Durable(); wal != nil && req.Name != "" {
+			// Durable session: the trace is shared, WAL-hooked, and —
+			// after a restart — restored with its pre-crash history.
+			tr, restored, err := wal.Session(req.Name, attrs)
+			if err != nil {
+				return Response{Error: err.Error(), Code: acerr.CodeEngine}
+			}
+			sess.tr = tr
+			resp.Restored = restored
+			if restored > 0 && s.Checker != nil {
+				// Pre-derive the restored history's facts so the first
+				// post-recovery decision pays cache extension, not a
+				// full re-translation.
+				s.Checker.WarmTrace(tr)
+			}
+		} else {
+			sess.tr = &trace.Trace{}
+			if s.HistoryWindow > 0 {
+				sess.tr.SetWindow(s.HistoryWindow)
+			}
+		}
+		// Baseline the fact-cache delta at the trace's current counters:
+		// a restored (and possibly warmed) trace arrives with history
+		// already translated, which is not this connection's work.
+		fs := sess.tr.FactCacheStats()
+		sess.factReused, sess.factTranslated = fs.Reused, fs.Translated
 		if req.MaxProto >= ProtoV2 {
 			resp.Proto = ProtoV2
 		}
@@ -722,7 +847,19 @@ func (s *Server) StatsSnapshot() *StatsBody {
 	}
 	s.mu.Lock()
 	body.ActiveConns = len(s.conns)
+	wal := s.wal
 	s.mu.Unlock()
+	if wal != nil {
+		ws := wal.Stats()
+		body.WALEnabled = true
+		body.WALAppends = ws.Appends
+		body.WALBatches = ws.Batches
+		body.WALFsyncs = ws.Fsyncs
+		body.WALAppendedBytes = ws.AppendedBytes
+		body.WALCheckpoints = ws.Checkpoints
+		body.WALRecoveredSessions = wal.RecoveredSessionCount()
+		body.WALRecoveredEntries = wal.RecoveredEntryCount()
+	}
 	hs := s.mQueryLat.Snapshot()
 	body.LatencyP50Micros, body.LatencyP90Micros, body.LatencyP99Micros = hs.P50, hs.P90, hs.P99
 	body.LatencySamples, body.LatencyMeanMicros = int(hs.Count), hs.Mean

@@ -59,6 +59,10 @@ func appendResponse(buf []byte, resp *Response) ([]byte, bool) {
 		buf = append(buf, `,"proto":`...)
 		buf = strconv.AppendInt(buf, int64(resp.Proto), 10)
 	}
+	if resp.Restored != 0 {
+		buf = append(buf, `,"restored":`...)
+		buf = strconv.AppendInt(buf, int64(resp.Restored), 10)
+	}
 	if resp.Code != "" {
 		buf = append(buf, `,"code":`...)
 		buf = appendString(buf, resp.Code)
@@ -125,6 +129,10 @@ func appendRequest(buf []byte, req *Request) ([]byte, bool) {
 	if req.MaxProto != 0 {
 		buf = append(buf, `,"maxProto":`...)
 		buf = strconv.AppendInt(buf, int64(req.MaxProto), 10)
+	}
+	if req.Name != "" {
+		buf = append(buf, `,"name":`...)
+		buf = appendString(buf, req.Name)
 	}
 	if len(req.Session) > 0 {
 		buf = append(buf, `,"session":{`...)
@@ -337,6 +345,10 @@ func decodeRequest(line []byte, req *Request) bool {
 			if req.SQL, ok = s.str(); !ok {
 				return false
 			}
+		case "name":
+			if req.Name, ok = s.str(); !ok {
+				return false
+			}
 		case "id":
 			if req.ID, ok = s.uintVal(); !ok {
 				return false
@@ -514,6 +526,12 @@ func decodeResponse(line []byte, resp *Response) bool {
 				return false
 			}
 			resp.Proto = int(f)
+		case "restored":
+			f, ok := s.number()
+			if !ok {
+				return false
+			}
+			resp.Restored = int(f)
 		case "affected":
 			f, ok := s.number()
 			if !ok {

@@ -38,11 +38,28 @@ type Entry struct {
 // Trace is an append-only query history for one request/session.
 // The zero value is ready to use. A Trace may be shared by concurrent
 // checkers: Append and fact derivation are internally synchronized.
+//
+// A Trace may be bounded (SetWindow): past the bound the oldest
+// entries are evicted on Append. Eviction only ever forgets facts, so
+// decisions over a windowed trace are sound — merely more conservative
+// than over the full history. Absolute entry indices (what the append
+// hook reports, and what the durable WAL records) keep counting across
+// evictions and restores, so replay can always tell a duplicate from
+// new history.
 type Trace struct {
 	Entries []Entry
 
 	mu sync.Mutex
 	fc *factCache
+	// window bounds len(Entries); 0 means unlimited.
+	window int
+	// evicted counts entries dropped from the front over the trace's
+	// lifetime (including a restore base): Entries[i] has absolute
+	// index evicted+i.
+	evicted uint64
+	// hook, when set, observes every Append with the entry's absolute
+	// index (see SetHook).
+	hook func(idx uint64, e *Entry)
 	// Cache counters: entries whose derivation was reused vs freshly
 	// translated (see FactCacheStats).
 	reused, translated uint64
@@ -65,11 +82,101 @@ type FactCacheStats struct {
 }
 
 // Append records a query and its observed result. The entry must not
-// be mutated afterwards.
+// be mutated afterwards. When a window is set, the oldest entries are
+// evicted to keep the trace within bound. The append hook, if any,
+// runs after the entry is recorded (outside the trace lock) with the
+// entry's absolute index; per-session appends are serial, so hook
+// invocations for one trace stay ordered.
 func (t *Trace) Append(e Entry) {
 	t.mu.Lock()
 	t.Entries = append(t.Entries, e)
+	idx := t.evicted + uint64(len(t.Entries)) - 1
+	t.evictLocked()
+	hook := t.hook
 	t.mu.Unlock()
+	if hook != nil {
+		hook(idx, &e)
+	}
+}
+
+// evictLocked enforces the window bound. Evicting from the front
+// invalidates the incremental fact cache (its prefix changed), so the
+// facts of the surviving window are re-derived on next use.
+func (t *Trace) evictLocked() {
+	if t.window <= 0 || len(t.Entries) <= t.window {
+		return
+	}
+	drop := len(t.Entries) - t.window
+	t.Entries = append([]Entry(nil), t.Entries[drop:]...)
+	t.evicted += uint64(drop)
+	t.fc = nil
+}
+
+// SetWindow bounds the trace to at most n entries (0 restores
+// unlimited), evicting the oldest immediately if already over. A
+// windowed trace pays a full window re-derivation of facts per
+// eviction; it is meant for long-lived bounded sessions, not the
+// unbounded hot path.
+func (t *Trace) SetWindow(n int) {
+	t.mu.Lock()
+	t.window = n
+	t.evictLocked()
+	t.mu.Unlock()
+}
+
+// Window returns the configured bound (0 = unlimited).
+func (t *Trace) Window() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.window
+}
+
+// Evicted returns how many entries have been dropped from the front
+// over the trace's lifetime (restore bases included).
+func (t *Trace) Evicted() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.evicted
+}
+
+// SetHook installs the append observer (nil uninstalls). The durable
+// WAL uses it to log every recorded entry; the hook may block (e.g.
+// waiting on group commit), which backpressures that session only.
+func (t *Trace) SetHook(fn func(idx uint64, e *Entry)) {
+	t.mu.Lock()
+	t.hook = fn
+	t.mu.Unlock()
+}
+
+// Restore replaces the trace's contents with recovered history whose
+// first entry has absolute index base. The window bound (if set
+// beforehand) applies immediately, so restoring a long history into a
+// smaller window keeps only its tail — with absolute indices intact.
+// The hook is not invoked for restored entries: they are already
+// durable.
+func (t *Trace) Restore(entries []Entry, base uint64) {
+	t.mu.Lock()
+	t.Entries = append([]Entry(nil), entries...)
+	t.evicted = base
+	t.fc = nil
+	t.evictLocked()
+	t.mu.Unlock()
+}
+
+// SnapshotState copies the current entries and their base offset (the
+// absolute index of Entries[0]) — what a checkpoint serializes.
+func (t *Trace) SnapshotState() ([]Entry, uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Entry(nil), t.Entries...), t.evicted
+}
+
+// NextIndex returns the absolute index the next appended entry will
+// get.
+func (t *Trace) NextIndex() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.evicted + uint64(len(t.Entries))
 }
 
 // Len returns the number of entries.
@@ -80,12 +187,18 @@ func (t *Trace) Len() int {
 }
 
 // Clone copies the trace (entries are immutable once appended, so a
-// shallow copy of the slice suffices). The clone starts with an empty
-// fact cache; it is rebuilt lazily on first use.
+// shallow copy of the slice suffices). The clone keeps the window
+// bound and base offset but not the append hook — a diagnostic copy
+// must never double-log to the WAL. It starts with an empty fact
+// cache, rebuilt lazily on first use.
 func (t *Trace) Clone() *Trace {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return &Trace{Entries: append([]Entry(nil), t.Entries...)}
+	return &Trace{
+		Entries: append([]Entry(nil), t.Entries...),
+		window:  t.window,
+		evicted: t.evicted,
+	}
 }
 
 // String renders the trace compactly.

@@ -1,0 +1,194 @@
+package trace
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Window, eviction, and restore edge cases — the state machine the
+// durable WAL's checkpoints and recovery are built on. Absolute entry
+// indices (evicted + position) must stay consistent through every
+// combination of eviction and restore, or replay dedup breaks.
+
+func probeEntry(uid, eid int64) Entry {
+	return entry(fmt.Sprintf("SELECT 1 FROM Attendance WHERE UId=%d AND EId=%d", uid, eid), iv(1))
+}
+
+func TestWindowEvictsOldest(t *testing.T) {
+	tr := &Trace{}
+	tr.SetWindow(3)
+	for i := int64(0); i < 5; i++ {
+		tr.Append(probeEntry(1, i))
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("len = %d, want 3", tr.Len())
+	}
+	if tr.Evicted() != 2 {
+		t.Fatalf("evicted = %d, want 2", tr.Evicted())
+	}
+	if tr.NextIndex() != 5 {
+		t.Fatalf("next index = %d, want 5 (absolute indices survive eviction)", tr.NextIndex())
+	}
+	entries, base := tr.SnapshotState()
+	if base != 2 || len(entries) != 3 {
+		t.Fatalf("snapshot base=%d len=%d, want 2/3", base, len(entries))
+	}
+	// The survivors are the three newest.
+	if entries[0].SQL != probeEntry(1, 2).SQL {
+		t.Fatalf("wrong survivor at window front: %s", entries[0].SQL)
+	}
+}
+
+func TestShrinkingWindowEvictsImmediately(t *testing.T) {
+	tr := &Trace{}
+	for i := int64(0); i < 6; i++ {
+		tr.Append(probeEntry(1, i))
+	}
+	tr.SetWindow(2)
+	if tr.Len() != 2 || tr.Evicted() != 4 {
+		t.Fatalf("len=%d evicted=%d after shrink, want 2/4", tr.Len(), tr.Evicted())
+	}
+	// Widening never resurrects: the forgotten prefix stays forgotten.
+	tr.SetWindow(10)
+	if tr.Len() != 2 || tr.NextIndex() != 6 {
+		t.Fatalf("len=%d next=%d after widen, want 2/6", tr.Len(), tr.NextIndex())
+	}
+}
+
+func TestRestoreIntoSmallerWindow(t *testing.T) {
+	// Recovery replays a long history into a session whose window is
+	// smaller than what survived on disk: only the tail is kept, and
+	// absolute indices must account for the immediately-evicted prefix.
+	var long []Entry
+	for i := int64(0); i < 8; i++ {
+		long = append(long, probeEntry(1, i))
+	}
+	tr := &Trace{}
+	tr.SetWindow(3)
+	tr.Restore(long, 10) // first restored entry has absolute index 10
+	if tr.Len() != 3 {
+		t.Fatalf("len = %d, want 3", tr.Len())
+	}
+	entries, base := tr.SnapshotState()
+	if base != 15 {
+		t.Fatalf("base = %d, want 15 (10 + 5 evicted on restore)", base)
+	}
+	if entries[0].SQL != long[5].SQL {
+		t.Fatalf("window kept the wrong tail: %s", entries[0].SQL)
+	}
+	if tr.NextIndex() != 18 {
+		t.Fatalf("next index = %d, want 18", tr.NextIndex())
+	}
+	// Appends continue the absolute numbering.
+	tr.Append(probeEntry(1, 99))
+	if tr.NextIndex() != 19 || tr.Len() != 3 {
+		t.Fatalf("after append: next=%d len=%d, want 19/3", tr.NextIndex(), tr.Len())
+	}
+}
+
+func TestRestoreEmptyTrace(t *testing.T) {
+	// An empty restore at a nonzero base models a session whose whole
+	// history was evicted before the checkpoint: no entries, but the
+	// index counter must resume where it left off.
+	tr := &Trace{}
+	tr.Restore(nil, 7)
+	if tr.Len() != 0 || tr.NextIndex() != 7 {
+		t.Fatalf("len=%d next=%d, want 0/7", tr.Len(), tr.NextIndex())
+	}
+	tr.Append(probeEntry(1, 1))
+	if tr.NextIndex() != 8 || tr.Evicted() != 7 {
+		t.Fatalf("next=%d evicted=%d after append, want 8/7", tr.NextIndex(), tr.Evicted())
+	}
+}
+
+func TestRestoreReplacesExistingEntries(t *testing.T) {
+	// Restore is a replacement, not a merge: pre-existing entries (a
+	// duplicate hello racing recovery, say) must not survive it.
+	tr := &Trace{}
+	tr.Append(probeEntry(9, 9))
+	tr.Restore([]Entry{probeEntry(1, 1), probeEntry(1, 2)}, 4)
+	entries, base := tr.SnapshotState()
+	if len(entries) != 2 || base != 4 {
+		t.Fatalf("len=%d base=%d, want 2/4", len(entries), base)
+	}
+	if entries[0].SQL != probeEntry(1, 1).SQL {
+		t.Fatalf("restore did not replace: %s", entries[0].SQL)
+	}
+}
+
+func TestRestoreInvalidatesFactCache(t *testing.T) {
+	s := calSchema(t)
+	tr := &Trace{}
+	tr.Append(probeEntry(1, 1))
+	if n := len(Facts(s, tr)); n != 1 {
+		t.Fatalf("facts before restore: %d", n)
+	}
+	tr.Restore([]Entry{probeEntry(2, 3), probeEntry(2, 4)}, 0)
+	facts := Facts(s, tr)
+	if len(facts) != 2 {
+		t.Fatalf("facts after restore: %d, want 2 (cache must rebuild)", len(facts))
+	}
+	for _, f := range facts {
+		if f.Atom.Args[0].Const.Int() == 1 {
+			t.Fatalf("stale pre-restore fact survived: %v", f)
+		}
+	}
+}
+
+func TestEvictionInvalidatesFactCache(t *testing.T) {
+	s := calSchema(t)
+	tr := &Trace{}
+	tr.SetWindow(2)
+	tr.Append(probeEntry(1, 1))
+	tr.Append(probeEntry(1, 2))
+	if n := len(Facts(s, tr)); n != 2 {
+		t.Fatalf("facts at window capacity: %d", n)
+	}
+	tr.Append(probeEntry(1, 3)) // evicts (1,1)
+	facts := Facts(s, tr)
+	if len(facts) != 2 {
+		t.Fatalf("facts after eviction: %d, want 2", len(facts))
+	}
+	for _, f := range facts {
+		if f.Atom.Args[1].Const.Int() == 1 {
+			t.Fatalf("evicted entry's fact survived: %v", f)
+		}
+	}
+}
+
+func TestWindowedCloneKeepsBound(t *testing.T) {
+	tr := &Trace{}
+	tr.SetWindow(2)
+	for i := int64(0); i < 4; i++ {
+		tr.Append(probeEntry(1, i))
+	}
+	cl := tr.Clone()
+	if cl.Window() != 2 || cl.Evicted() != 2 {
+		t.Fatalf("clone window=%d evicted=%d, want 2/2", cl.Window(), cl.Evicted())
+	}
+	cl.Append(probeEntry(1, 9))
+	if cl.Len() != 2 || tr.Len() != 2 {
+		t.Fatalf("clone len=%d orig len=%d, want 2/2", cl.Len(), tr.Len())
+	}
+	if cl.NextIndex() != 5 || tr.NextIndex() != 4 {
+		t.Fatalf("clone next=%d orig next=%d, want 5/4 (independent after clone)", cl.NextIndex(), tr.NextIndex())
+	}
+}
+
+func TestHookSeesAbsoluteIndicesAcrossEviction(t *testing.T) {
+	tr := &Trace{}
+	tr.SetWindow(2)
+	var got []uint64
+	tr.SetHook(func(idx uint64, e *Entry) { got = append(got, idx) })
+	for i := int64(0); i < 5; i++ {
+		tr.Append(probeEntry(1, i))
+	}
+	for i, idx := range got {
+		if idx != uint64(i) {
+			t.Fatalf("hook indices %v: eviction must not disturb absolute numbering", got)
+		}
+	}
+	if len(got) != 5 {
+		t.Fatalf("hook fired %d times, want 5", len(got))
+	}
+}
