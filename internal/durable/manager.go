@@ -32,7 +32,11 @@ type Manager struct {
 	recovery RecoveryResult
 
 	appendsSinceCkpt atomic.Int64
-	ckptRunning      atomic.Bool
+	// ckptRunning is the single checkpoint slot: a background
+	// auto-checkpoint CASes it for its run, and Close takes it
+	// permanently so no checkpoint can overlap or outlive shutdown.
+	ckptRunning atomic.Bool
+	mgrClosed   atomic.Bool
 
 	mCheckpointMicros *obsv.Histogram
 	mRecoveryMicros   *obsv.Histogram
@@ -264,8 +268,19 @@ func (m *Manager) Checkpoint() error {
 func (m *Manager) Flush() error { return m.log.Sync() }
 
 // Close checkpoints (so restart replays one small file instead of the
-// whole tail), flushes, and closes the WAL.
+// whole tail), flushes, and closes the WAL. It first waits for any
+// in-flight background checkpoint and then holds the checkpoint slot
+// for good, so the final checkpoint cannot run concurrently with an
+// auto-checkpoint and no auto-checkpoint can rotate the log after it
+// is closed.
 func (m *Manager) Close() error {
+	if m.mgrClosed.Swap(true) {
+		return m.log.Close() // idempotent
+	}
+	for !m.ckptRunning.CompareAndSwap(false, true) {
+		time.Sleep(time.Millisecond)
+	}
+	// Deliberately never released: the manager is closed.
 	if err := m.Checkpoint(); err != nil {
 		m.logf("durable: final checkpoint failed: %v", err)
 	}

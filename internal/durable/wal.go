@@ -337,9 +337,18 @@ func (l *Log) Append(typ byte, payload []byte) error {
 	select {
 	case err = <-req.done:
 	case <-l.quit:
-		// Closing: the committer drains the queue before exiting, so
-		// the signal still arrives.
-		err = <-req.done
+		// Closing. Wait for the committer to exit: it finishes its
+		// in-flight batch and drains the queue first, signaling done
+		// (buffered) for every request it saw. A request it did NOT
+		// see won the send race against the drain's exit and is
+		// stranded in the queue with no committer left to serve it —
+		// report closed rather than block forever.
+		l.wg.Wait()
+		select {
+		case err = <-req.done:
+		default:
+			err = fmt.Errorf("durable: log closed")
+		}
 	}
 	l.mAppendMicros.ObserveSince(start)
 	return err
@@ -586,6 +595,11 @@ func (l *Log) compact(cut uint64) {
 func (l *Log) RotateForCheckpoint() (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	// A closed log must not grow a stray post-shutdown segment (l.f is
+	// nil once Close ran; closed flips first, so check both).
+	if l.closed.Load() || l.f == nil {
+		return 0, fmt.Errorf("durable: log closed")
+	}
 	if err := l.rotateLocked(); err != nil {
 		return 0, err
 	}

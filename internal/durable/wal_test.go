@@ -567,3 +567,149 @@ func TestParseFsyncPolicy(t *testing.T) {
 		t.Fatal("bogus policy accepted")
 	}
 }
+
+// Two connections declaring the same durable session name share one
+// trace, and their concurrent appends must reach the WAL in index
+// order — replay treats a skipped-ahead index as corruption. This is
+// the regression test for the hook running outside the trace lock,
+// which let index N+1 enqueue before N.
+func TestSharedSessionConcurrentAppendsRecover(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOpts()
+	opts.Fsync = FsyncAlways // real ack path maximizes interleaving
+	m, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const conns, perConn = 6, 40
+	e := testEntry(t, "SELECT id FROM events WHERE uid = ?",
+		sqlparser.Args{Positional: intRow(1)}, [][]sqlvalue.Value{intRow(1)})
+	var wg sync.WaitGroup
+	for c := 0; c < conns; c++ {
+		tr, _, err := m.Session("shared", nil) // every conn gets the same trace
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(tr *trace.Trace) {
+			defer wg.Done()
+			for i := 0; i < perConn; i++ {
+				tr.Append(e)
+			}
+		}(tr)
+	}
+	wg.Wait()
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recover(dir)
+	if err != nil {
+		t.Fatalf("recovery after concurrent shared-session appends: %v", err)
+	}
+	s := rec.Sessions["shared"]
+	if s == nil || len(s.Entries) != conns*perConn {
+		t.Fatalf("recovered %v entries, want %d", s, conns*perConn)
+	}
+}
+
+// Appends racing Close must all return — success or a closed error —
+// never hang. Pre-fix, a send that won the race against the
+// committer's exit drain stranded the request in the queue and the
+// appender blocked forever on done.
+func TestAppendCloseRaceDoesNotHang(t *testing.T) {
+	for iter := 0; iter < 40; iter++ {
+		l, err := OpenLog(t.TempDir(), testOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 25; i++ {
+					if err := l.Append(recAppend, []byte("payload")); err != nil {
+						return // closed: expected once Close wins
+					}
+				}
+			}()
+		}
+		close(start)
+		_ = l.Close()
+		wg.Wait() // hangs forever (test timeout) if a request is stranded
+	}
+}
+
+// A closed log must refuse to rotate: a background checkpoint that
+// loses the shutdown race would otherwise create a stray segment
+// after Close.
+func TestRotateForCheckpointAfterClose(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.RotateForCheckpoint(); err == nil {
+		t.Fatal("RotateForCheckpoint on a closed log should fail")
+	}
+	segs, err := listIndexed(dir, segPrefix, segSuffix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("closed log grew segments: %v", segs)
+	}
+}
+
+// Close with auto-checkpointing under concurrent appends: Close must
+// wait out any in-flight background checkpoint, take the slot, and
+// leave no stray post-shutdown segment behind.
+func TestCloseWaitsForBackgroundCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOpts()
+	opts.CheckpointEvery = 3 // force frequent background checkpoints
+	m, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := testEntry(t, "SELECT id FROM events WHERE uid = ?",
+		sqlparser.Args{Positional: intRow(1)}, [][]sqlvalue.Value{intRow(1)})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		tr, _, err := m.Session(fmt.Sprintf("s%d", g), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(tr *trace.Trace) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				tr.Append(e)
+			}
+		}(tr)
+	}
+	wg.Wait()
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nothing may touch the directory after Close returns.
+	after, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before) != len(after) {
+		t.Fatalf("directory changed after Close: %d -> %d files", len(before), len(after))
+	}
+	if _, err := Recover(dir); err != nil {
+		t.Fatalf("recovery after close: %v", err)
+	}
+}

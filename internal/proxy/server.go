@@ -98,8 +98,12 @@ type Server struct {
 	// instead of delaying the drain.
 	closeCtx    context.Context
 	closeCancel context.CancelFunc
-	// wal is the durable-state manager (nil without WALDir).
-	wal *durable.Manager
+	// wal is the durable-state manager (nil without WALDir). walMu
+	// serializes OpenDurable end to end — recovery can be slow, and two
+	// racing opens on one directory would mean two live committers —
+	// without stalling everything else s.mu guards.
+	walMu sync.Mutex
+	wal   *durable.Manager
 
 	// All counters and the query-latency histogram live in the obsv
 	// registry (resolved once by initObs); the checker's quantile
@@ -201,12 +205,17 @@ func (s *Server) OpenDurable() error {
 	if s.WALDir == "" {
 		return nil
 	}
+	// walMu spans the whole open (check through publish): concurrent
+	// callers — e.g. an explicit OpenDurable racing Listen — must not
+	// both run durable.Open on the same directory.
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
 	s.mu.Lock()
-	if s.wal != nil {
-		s.mu.Unlock()
+	opened := s.wal != nil
+	s.mu.Unlock()
+	if opened {
 		return nil
 	}
-	s.mu.Unlock()
 	s.initObs()
 	opts := s.WALOpts
 	if opts.Metrics == nil {

@@ -84,18 +84,19 @@ type FactCacheStats struct {
 // Append records a query and its observed result. The entry must not
 // be mutated afterwards. When a window is set, the oldest entries are
 // evicted to keep the trace within bound. The append hook, if any,
-// runs after the entry is recorded (outside the trace lock) with the
-// entry's absolute index; per-session appends are serial, so hook
-// invocations for one trace stay ordered.
+// runs after the entry is recorded, UNDER the trace lock: a trace may
+// be shared by concurrent appenders (two connections on one durable
+// session), and the hook enqueueing WAL records inside the lock is
+// what guarantees the log sees indices in order — hook invocations for
+// one trace are totally ordered by index.
 func (t *Trace) Append(e Entry) {
 	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.Entries = append(t.Entries, e)
 	idx := t.evicted + uint64(len(t.Entries)) - 1
 	t.evictLocked()
-	hook := t.hook
-	t.mu.Unlock()
-	if hook != nil {
-		hook(idx, &e)
+	if t.hook != nil {
+		t.hook(idx, &e)
 	}
 }
 
@@ -140,8 +141,10 @@ func (t *Trace) Evicted() uint64 {
 }
 
 // SetHook installs the append observer (nil uninstalls). The durable
-// WAL uses it to log every recorded entry; the hook may block (e.g.
-// waiting on group commit), which backpressures that session only.
+// WAL uses it to log every recorded entry; the hook runs under the
+// trace lock and may block (e.g. waiting on group commit), which
+// backpressures that trace only. The hook must not call back into the
+// trace.
 func (t *Trace) SetHook(fn func(idx uint64, e *Entry)) {
 	t.mu.Lock()
 	t.hook = fn

@@ -192,3 +192,35 @@ func TestHookSeesAbsoluteIndicesAcrossEviction(t *testing.T) {
 		t.Fatalf("hook fired %d times, want 5", len(got))
 	}
 }
+
+// The append hook runs under the trace lock: concurrent appenders on a
+// shared trace (two connections, one durable session) must produce
+// hook invocations in strict index order, or the WAL sees a
+// permutation it replays as corruption. The hook body needs no extra
+// locking — that serialization IS the contract.
+func TestConcurrentAppendHookOrdered(t *testing.T) {
+	tr := &Trace{}
+	var seen []uint64
+	tr.SetHook(func(idx uint64, _ *Entry) { seen = append(seen, idx) })
+	const goroutines, perG = 8, 50
+	done := make(chan struct{})
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := int64(0); i < perG; i++ {
+				tr.Append(probeEntry(1, i))
+			}
+		}()
+	}
+	for g := 0; g < goroutines; g++ {
+		<-done
+	}
+	if len(seen) != goroutines*perG {
+		t.Fatalf("hook ran %d times, want %d", len(seen), goroutines*perG)
+	}
+	for i, idx := range seen {
+		if idx != uint64(i) {
+			t.Fatalf("hook invocation %d got index %d (out of order)", i, idx)
+		}
+	}
+}
