@@ -13,7 +13,7 @@ COMMIT  ?= $(shell git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)
 DATE    ?= $(shell date -u +%Y-%m-%dT%H:%M:%SZ 2>/dev/null || echo unknown)
 LDFLAGS  = -ldflags "-X repro/internal/buildinfo.Version=$(VERSION) -X repro/internal/buildinfo.Commit=$(COMMIT) -X repro/internal/buildinfo.Date=$(DATE)"
 
-.PHONY: build test vet race bench bench-json hotpath pipeline coldpath coldsmoke fmtcheck fuzz fuzzwal killrecover staticcheck ci
+.PHONY: build test vet race bench bench-json hotpath pipeline coldpath coldsmoke allocbudget openloop opensmoke fmtcheck fuzz fuzzwal fuzzwire killrecover staticcheck ci
 
 build:
 	$(GO) build $(LDFLAGS) ./...
@@ -38,7 +38,7 @@ bench:
 # -against diffs the fresh document's pinned hotpath numbers against
 # the previous one and fails on a >10% speedup regression.
 bench-json:
-	$(GO) run ./cmd/acbench -json BENCH_5.json -against BENCH_4.json
+	$(GO) run ./cmd/acbench -json BENCH_6.json -against BENCH_5.json
 
 hotpath:
 	$(GO) run ./cmd/acbench -hotpath
@@ -58,6 +58,23 @@ coldpath:
 coldsmoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkColdPath' -benchtime=100x ./internal/checker
 
+# Warm-path allocation contract: a fixed-iteration -benchmem smoke of
+# the warm-tier benchmarks (front tier must report 0 allocs/op), then
+# the budget test that turns those numbers into a hard gate.
+allocbudget:
+	$(GO) test -run '^$$' -bench 'BenchmarkWarmDecide' -benchmem -benchtime=100x ./internal/checker
+	$(GO) test -run 'TestWarmDecideAllocBudget' -count=1 ./internal/checker
+
+# Full open-loop sweep (10k/100k/1M sessions); see README Load Testing.
+openloop:
+	$(GO) run ./cmd/acbench -openloop
+
+# Seconds-long open-loop smoke for CI: a real proxy under Poisson
+# arrivals, gating that the harness runs end to end and the proxy
+# absorbs the offered rate without errors.
+opensmoke:
+	$(GO) run ./cmd/acbench -openloop -openloop-sessions 200 -openloop-ops 2500 -openloop-qps 500
+
 fmtcheck:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
@@ -71,6 +88,12 @@ fuzz:
 # flips, truncation must never panic recovery).
 fuzzwal:
 	$(GO) test -fuzz=FuzzWALDecode -fuzztime=10s ./internal/durable
+
+# Ten-second fuzz smoke of the proxy wire codec: the hand-rolled fast
+# decoder must agree with the normalized reflective fallback on every
+# line it accepts.
+fuzzwire:
+	$(GO) test -fuzz=FuzzWireDecode -fuzztime=10s ./internal/proxy
 
 # Kill-and-recover integration test: run a WAL-backed proxy, SIGKILL
 # it mid-workload, restart, and assert decision parity with an
@@ -86,4 +109,4 @@ staticcheck:
 	else \
 		echo "staticcheck not installed; skipping"; fi
 
-ci: fmtcheck vet test race coldsmoke fuzz fuzzwal killrecover staticcheck
+ci: fmtcheck vet test race coldsmoke allocbudget opensmoke fuzz fuzzwal fuzzwire killrecover staticcheck

@@ -40,6 +40,7 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -61,6 +62,10 @@ func main() {
 	pipeline := flag.Bool("pipeline", false, "run only the protocol-v2 pipelining throughput table")
 	coldpath := flag.Bool("coldpath", false, "run only the cold-path policy-size sweep (serial vs indexed vs parallel)")
 	durableBench := flag.Bool("durable", false, "run only the WAL append-throughput ablation (fsync policies vs group commit)")
+	openloop := flag.Bool("openloop", false, "run only the open-loop (coordinated-omission-safe) proxy load table")
+	olSessions := flag.String("openloop-sessions", "", "with -openloop/-json: comma-separated session scales (default 10000,100000,1000000)")
+	olOps := flag.Int("openloop-ops", 0, "with -openloop/-json: operations per scale (default 10000)")
+	olQPS := flag.Float64("openloop-qps", 0, "with -openloop/-json: offered Poisson arrival rate (default 2000)")
 	jsonOut := flag.String("json", "", "write the benchmark document as JSON to this file")
 	against := flag.String("against", "", "with -json: compare against a previous benchmark document and fail on >10% hotpath regression")
 	version := flag.Bool("version", false, "print version and exit")
@@ -70,8 +75,32 @@ func main() {
 		return
 	}
 
+	olCfg := defaultOpenloopConfig()
+	if *olSessions != "" {
+		olCfg.Scales = olCfg.Scales[:0]
+		for _, s := range strings.Split(*olSessions, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n <= 0 {
+				log.Fatalf("acbench: bad -openloop-sessions entry %q", s)
+			}
+			olCfg.Scales = append(olCfg.Scales, n)
+		}
+	}
+	if *olOps > 0 {
+		olCfg.Ops = *olOps
+	}
+	if *olQPS > 0 {
+		olCfg.QPS = *olQPS
+	}
+
 	if *jsonOut != "" {
-		if err := runJSON(*jsonOut, *against); err != nil {
+		if err := runJSON(*jsonOut, *against, olCfg); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *openloop {
+		if err := printOpenLoop(olCfg); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -128,6 +157,7 @@ type benchDoc struct {
 	Pipeline        []pipelineRow `json:"pipeline"`
 	Coldpath        []coldpathRow `json:"coldpath,omitempty"`
 	Durable         []durableRow  `json:"durable,omitempty"`
+	Openloop        []openloopRow `json:"openloop,omitempty"`
 	MetricsOverhead overheadRow   `json:"metricsOverhead"`
 }
 
@@ -162,7 +192,7 @@ type overheadRow struct {
 // diffed against it and a >10% speedup regression fails the run
 // (after the new document is written, so the numbers are
 // inspectable).
-func runJSON(path, against string) error {
+func runJSON(path, against string, olCfg openloopConfig) error {
 	doc := benchDoc{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
@@ -190,6 +220,12 @@ func runJSON(path, against string) error {
 		return err
 	}
 	doc.Durable = du
+	fmt.Println("acbench: open-loop proxy load...")
+	ol, err := runOpenLoop(olCfg)
+	if err != nil {
+		return err
+	}
+	doc.Openloop = ol
 	fmt.Println("acbench: metrics overhead...")
 	doc.MetricsOverhead = runMetricsOverhead()
 	b, err := json.MarshalIndent(doc, "", "  ")
@@ -243,13 +279,50 @@ func diffAgainst(doc benchDoc, path string) error {
 	}
 	if n == 0 {
 		fmt.Printf("bench diff vs %s: no comparable hotpath rows\n", path)
+	} else {
+		geo := math.Exp(logSum / float64(n))
+		if geo < 0.9 {
+			return fmt.Errorf("bench diff vs %s FAILED: hotpath speedup geomean regressed to %.0f%% of the pinned run (>10%%)", path, geo*100)
+		}
+		fmt.Printf("bench diff vs %s: ok (hotpath speedup geomean %.0f%% of pinned run)\n", path, geo*100)
+	}
+	return diffOpenloop(doc, prev, path)
+}
+
+// diffOpenloop gates the open-loop tail latencies against the pinned
+// document, scale by scale. Wall-clock tails on a shared container are
+// far noisier than the relative hotpath metric, so the gate is a
+// geomean across scales with 2× headroom — it catches a warm path
+// that broke (tails jump integer multiples when pooling or the lane
+// scheduler regresses), not scheduler jitter. A pinned document
+// predating the open-loop harness has no rows; the gate then passes
+// vacuously and this run's rows become the baseline.
+func diffOpenloop(doc, prev benchDoc, path string) error {
+	prevBy := make(map[int]openloopRow, len(prev.Openloop))
+	for _, r := range prev.Openloop {
+		prevBy[r.Sessions] = r
+	}
+	logSum, n := 0.0, 0
+	for _, r := range doc.Openloop {
+		p, ok := prevBy[r.Sessions]
+		if !ok || p.P99Micros <= 0 || r.P99Micros <= 0 {
+			continue
+		}
+		ratio := float64(r.P99Micros) / float64(p.P99Micros)
+		fmt.Printf("bench diff: openloop sessions=%d p99 %dµs -> %dµs (%.0f%%), p999 %dµs -> %dµs\n",
+			r.Sessions, p.P99Micros, r.P99Micros, ratio*100, p.P999Micros, r.P999Micros)
+		logSum += math.Log(ratio)
+		n++
+	}
+	if n == 0 {
+		fmt.Printf("bench diff vs %s: no comparable openloop rows (new baseline)\n", path)
 		return nil
 	}
 	geo := math.Exp(logSum / float64(n))
-	if geo < 0.9 {
-		return fmt.Errorf("bench diff vs %s FAILED: hotpath speedup geomean regressed to %.0f%% of the pinned run (>10%%)", path, geo*100)
+	if geo > 2.0 {
+		return fmt.Errorf("bench diff vs %s FAILED: openloop p99 geomean rose to %.0f%% of the pinned run (>200%%)", path, geo*100)
 	}
-	fmt.Printf("bench diff vs %s: ok (hotpath speedup geomean %.0f%% of pinned run)\n", path, geo*100)
+	fmt.Printf("bench diff vs %s: ok (openloop p99 geomean %.0f%% of pinned run)\n", path, geo*100)
 	return nil
 }
 

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/checker"
+	"repro/internal/loadgen"
+	"repro/internal/proxy"
+)
+
+// The open-loop table answers the paper's production question — what
+// latency does enforcement add under load the server does not control?
+// — the way a production study would: a fixed Poisson arrival schedule
+// (internal/loadgen) drives the proxy over protocol v2, latency is
+// measured from each operation's INTENDED send time so a stalled
+// server cannot slow the clock that judges it, and the session count
+// scales past what goroutine-per-session serving could survive.
+
+// openloopRow is one scale's measurement in the benchmark document.
+type openloopRow struct {
+	Sessions          int     `json:"sessions"`
+	Ops               int     `json:"ops"`
+	Errors            int     `json:"errors"`
+	OfferedQPS        float64 `json:"offeredQPS"`
+	AchievedQPS       float64 `json:"achievedQPS"`
+	P50Micros         int64   `json:"p50Micros"`
+	P90Micros         int64   `json:"p90Micros"`
+	P99Micros         int64   `json:"p99Micros"`
+	P999Micros        int64   `json:"p999Micros"`
+	MaxMicros         int64   `json:"maxMicros"`
+	MaxLatenessMicros int64   `json:"maxLatenessMicros"`
+	SetupSeconds      float64 `json:"setupSeconds"`
+}
+
+// openloopConfig parameterizes the sweep; flags override the defaults
+// so CI can run a seconds-long smoke while bench-json runs the full
+// 10k/100k/1M sweep.
+type openloopConfig struct {
+	Scales []int
+	Ops    int
+	QPS    float64
+}
+
+func defaultOpenloopConfig() openloopConfig {
+	return openloopConfig{Scales: []int{10_000, 100_000, 1_000_000}, Ops: 10_000, QPS: 2000}
+}
+
+// runOpenLoop sweeps the session scales, one fresh proxy per scale.
+func runOpenLoop(cfg openloopConfig) ([]openloopRow, error) {
+	var rows []openloopRow
+	for _, sessions := range cfg.Scales {
+		row, err := runOpenLoopScale(cfg, sessions)
+		if err != nil {
+			return nil, fmt.Errorf("openloop %d sessions: %w", sessions, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func runOpenLoopScale(cfg openloopConfig, sessions int) (openloopRow, error) {
+	ctx := context.Background()
+	f := apps.Calendar()
+	// The principal population is small and fixed: scale stresses the
+	// SESSION count (lanes, traces, per-session state), not the data
+	// size, so sessions map onto users by modulo.
+	const users = 64
+	db := f.MustNewDB(users)
+	srv := proxy.NewServer(db, checker.New(f.Policy()), proxy.Enforce)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return openloopRow{}, err
+	}
+	defer srv.Close()
+
+	cl, err := proxy.Dial(addr, proxy.WithWindow(256))
+	if err != nil {
+		return openloopRow{}, err
+	}
+	defer cl.Close()
+	if err := cl.Hello(ctx, map[string]any{"MyUId": 1}); err != nil {
+		return openloopRow{}, err
+	}
+
+	setupStart := time.Now()
+	if err := loadgen.SetupSessions(ctx, cl, sessions, func(i int) map[string]any {
+		return map[string]any{"MyUId": i%users + 1}
+	}); err != nil {
+		return openloopRow{}, err
+	}
+	setup := time.Since(setupStart)
+
+	sched, err := loadgen.NewSchedule(cfg.Ops, cfg.QPS, sessions, 1)
+	if err != nil {
+		return openloopRow{}, err
+	}
+	target := &loadgen.ProxyTarget{
+		Client: cl,
+		Query: func(op loadgen.Op) (string, []any) {
+			return "SELECT EId FROM Attendance WHERE UId = ?", []any{op.Session%users + 1}
+		},
+	}
+	res, err := loadgen.Run(ctx, loadgen.Config{
+		Target:   target,
+		Schedule: sched,
+		Workers:  128,
+		Warmup:   cfg.Ops / 20,
+	})
+	if err != nil {
+		return openloopRow{}, err
+	}
+	return openloopRow{
+		Sessions:          sessions,
+		Ops:               res.Ops,
+		Errors:            res.Errors,
+		OfferedQPS:        res.OfferedQPS,
+		AchievedQPS:       res.AchievedQPS,
+		P50Micros:         res.Latency.Quantile(0.50),
+		P90Micros:         res.Latency.Quantile(0.90),
+		P99Micros:         res.Latency.Quantile(0.99),
+		P999Micros:        res.Latency.Quantile(0.999),
+		MaxMicros:         res.Latency.Max(),
+		MaxLatenessMicros: res.MaxLateness.Microseconds(),
+		SetupSeconds:      setup.Seconds(),
+	}, nil
+}
+
+func printOpenLoop(cfg openloopConfig) error {
+	rows, err := runOpenLoop(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Open-loop load: Poisson arrivals at %.0f QPS, %d ops per scale, latency from intended send time\n",
+		cfg.QPS, cfg.Ops)
+	fmt.Printf("(coordinated-omission-safe: server stalls appear as latency, not as a slower load clock)\n\n")
+	fmt.Printf("%-10s %8s %6s %10s %8s %8s %8s %8s %8s %9s %8s\n",
+		"sessions", "ops", "errs", "achieved", "p50", "p90", "p99", "p999", "max", "lateness", "setup")
+	for _, r := range rows {
+		fmt.Printf("%-10d %8d %6d %9.0f/s %7dµs %7dµs %7dµs %7dµs %7dµs %8dµs %7.1fs\n",
+			r.Sessions, r.Ops, r.Errors, r.AchievedQPS,
+			r.P50Micros, r.P90Micros, r.P99Micros, r.P999Micros, r.MaxMicros,
+			r.MaxLatenessMicros, r.SetupSeconds)
+	}
+	return nil
+}

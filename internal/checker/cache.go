@@ -61,20 +61,54 @@ func (c *decisionCache) shard(key string) *cacheShard {
 	return &c.shards[h%cacheShards]
 }
 
+// shardBytes is shard for a key still held as scratch bytes (same
+// FNV-1a, so string and byte probes of one key agree).
+func (c *decisionCache) shardBytes(key []byte) *cacheShard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var h uint64 = offset64
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return &c.shards[h%cacheShards]
+}
+
 // Get returns a cached decision. The Views slice of the result is a
 // defensive copy: cached templates are shared across principals, and
 // a caller mutating d.Views must not corrupt later hits.
 func (c *decisionCache) Get(key string) (Decision, bool) {
-	sh := c.shard(key)
+	return c.hit(c.shard(key), key, true)
+}
+
+// GetBytes probes with the key still in a scratch buffer — the map
+// lookup uses the compiler's no-copy []byte→string indexing, so a warm
+// probe allocates nothing. copyViews false returns the cache-owned
+// Views slice (borrowed: read-only, stable until ResetCache).
+func (c *decisionCache) GetBytes(key []byte, copyViews bool) (Decision, bool) {
+	sh := c.shardBytes(key)
+	sh.mu.RLock()
+	e, ok := sh.m[string(key)]
+	sh.mu.RUnlock()
+	return c.finish(e, ok, copyViews)
+}
+
+func (c *decisionCache) hit(sh *cacheShard, key string, copyViews bool) (Decision, bool) {
 	sh.mu.RLock()
 	e, ok := sh.m[key]
 	sh.mu.RUnlock()
+	return c.finish(e, ok, copyViews)
+}
+
+func (c *decisionCache) finish(e *cacheEntry, ok bool, copyViews bool) (Decision, bool) {
 	if !ok {
 		return Decision{}, false
 	}
 	e.used.Store(c.clock.Add(1))
 	d := e.d
-	if len(d.Views) > 0 {
+	if copyViews && len(d.Views) > 0 {
 		d.Views = append([]string(nil), d.Views...)
 	}
 	return d, true

@@ -42,8 +42,8 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"slices"
 	"sort"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -148,9 +148,14 @@ type Options struct {
 // leaves CacheSize zero.
 const DefaultCacheSize = 8192
 
-// genCacheMax bounds the fact-generalization memo; past it the memo
-// is dropped wholesale and rebuilt (epoch reset, no tracking cost).
+// genCacheMax bounds the fact-generalization memo (total entries
+// across all session signatures); past it the memo is dropped
+// wholesale and rebuilt (epoch reset, no tracking cost).
 const genCacheMax = 1 << 16
+
+// internMax bounds the warm path's key-intern table; past it the
+// table is dropped wholesale, same epoch-reset discipline as the memo.
+const internMax = 1 << 15
 
 // DefaultOptions returns the production configuration.
 func DefaultOptions() Options {
@@ -200,9 +205,20 @@ type Checker struct {
 	cache *decisionCache
 	tr    *cq.Translator // stateless; safe to share
 
-	// Session-parameterized fact generalization memo.
+	// Session-parameterized fact generalization memo, two levels:
+	// interned session signature → raw fact canonical string → entry.
+	// Two map lookups replace the old per-fact key concatenation, so a
+	// memo hit allocates nothing. genN counts total inner entries for
+	// the epoch-reset bound.
 	genMu sync.RWMutex
-	gen   map[string]genEntry
+	gen   map[string]map[string]genEntry
+	genN  int
+
+	// strs interns the warm path's rendered session/argument
+	// signatures: a hit maps scratch bytes to the one canonical string
+	// without allocating (map index by converted []byte is no-copy).
+	strMu sync.RWMutex
+	strs  map[string]string
 
 	// Front cache for trace-independent decisions, keyed by identity
 	// of the shared parsed statement (see frontKey). Holds only
@@ -255,7 +271,8 @@ func NewWithOptions(p *policy.Policy, opts Options) *Checker {
 		opts:  opts,
 		cache: newDecisionCache(opts.CacheSize),
 		tr:    &cq.Translator{Schema: p.Schema},
-		gen:   make(map[string]genEntry),
+		gen:   make(map[string]map[string]genEntry),
+		strs:  make(map[string]string),
 		front: make(map[frontKey]Decision),
 		reg:   opts.Metrics,
 	}
@@ -347,11 +364,35 @@ func (c *Checker) ResetCache() {
 		sh.mu.Unlock()
 	}
 	c.genMu.Lock()
-	c.gen = make(map[string]genEntry)
+	c.gen = make(map[string]map[string]genEntry)
+	c.genN = 0
 	c.genMu.Unlock()
+	c.strMu.Lock()
+	c.strs = make(map[string]string)
+	c.strMu.Unlock()
 	c.frontMu.Lock()
 	c.front = make(map[frontKey]Decision)
 	c.frontMu.Unlock()
+}
+
+// intern returns the canonical string for the scratch bytes, keeping
+// the warm path free of per-check string conversions: the read-path
+// map index converts b without copying, so a hit allocates nothing.
+func (c *Checker) intern(b []byte) string {
+	c.strMu.RLock()
+	s, ok := c.strs[string(b)]
+	c.strMu.RUnlock()
+	if ok {
+		return s
+	}
+	s = string(b)
+	c.strMu.Lock()
+	if len(c.strs) >= internMax {
+		c.strs = make(map[string]string)
+	}
+	c.strs[s] = s
+	c.strMu.Unlock()
+	return s
 }
 
 func (c *Checker) frontGet(k frontKey) (Decision, bool) {
@@ -362,6 +403,13 @@ func (c *Checker) frontGet(k frontKey) (Decision, bool) {
 }
 
 func (c *Checker) frontPut(k frontKey, d Decision) {
+	// Copy Views in: the caller's slice may itself be borrowed from the
+	// decision cache or about to be handed to the application, and the
+	// front cache must own what it serves (frontGet hands the stored
+	// slice out borrowed; stageFront copies for the safe API).
+	if len(d.Views) > 0 {
+		d.Views = append([]string(nil), d.Views...)
+	}
 	c.frontMu.Lock()
 	if len(c.front) >= frontCacheMax {
 		for old := range c.front {
@@ -379,6 +427,16 @@ func (c *Checker) frontPut(k frontKey, d Decision) {
 // Parse time is the pipeline's first stage observationally: it lands
 // in checker.parse.micros and in the request SpanSet as "parse".
 func (c *Checker) CheckSQL(ctx context.Context, sql string, args sqlparser.Args, session map[string]sqlvalue.Value, tr *trace.Trace) (Decision, error) {
+	return c.checkSQL(ctx, sql, args, session, tr, false)
+}
+
+// CheckSQLBorrowed is CheckSQL under the borrowed-Decision contract of
+// CheckBorrowed: the result's Views may alias cache-owned storage.
+func (c *Checker) CheckSQLBorrowed(ctx context.Context, sql string, args sqlparser.Args, session map[string]sqlvalue.Value, tr *trace.Trace) (Decision, error) {
+	return c.checkSQL(ctx, sql, args, session, tr, true)
+}
+
+func (c *Checker) checkSQL(ctx context.Context, sql string, args sqlparser.Args, session map[string]sqlvalue.Value, tr *trace.Trace, borrow bool) (Decision, error) {
 	var start time.Time
 	timed := c.reg.Enabled()
 	if timed {
@@ -394,7 +452,7 @@ func (c *Checker) CheckSQL(ctx context.Context, sql string, args sqlparser.Args,
 		c.mParseErrors.Inc()
 		return Decision{}, fmt.Errorf("%w: %v", acerr.ErrParse, err)
 	}
-	d := c.Check(ctx, sel, args, session, tr)
+	d := c.check(ctx, sel, args, session, tr, borrow)
 	if err := ctx.Err(); err != nil {
 		return d, acerr.Canceled(err)
 	}
@@ -406,9 +464,27 @@ func (c *Checker) CheckSQL(ctx context.Context, sql string, args sqlparser.Args,
 // for concurrent use. A canceled ctx aborts the embedding search and
 // yields a conservative blocked Decision (never cached); callers that
 // care should inspect ctx.Err.
+//
+// The returned Decision is owned by the caller: its Views slice never
+// aliases cache storage and may be mutated or retained freely.
 func (c *Checker) Check(ctx context.Context, sel *sqlparser.SelectStmt, args sqlparser.Args, session map[string]sqlvalue.Value, tr *trace.Trace) Decision {
+	return c.check(ctx, sel, args, session, tr, false)
+}
+
+// CheckBorrowed is Check without the defensive Views copy on cache
+// hits: the returned Decision's Views may alias the decision caches
+// directly, making warm front-cache decisions fully allocation-free.
+// The borrowed contract (DESIGN.md §12): treat Views as read-only, and
+// do not rely on it after ResetCache. Everything else in the Decision
+// is a value and owned by the caller. The proxy hot path — which only
+// reads a decision — uses this form.
+func (c *Checker) CheckBorrowed(ctx context.Context, sel *sqlparser.SelectStmt, args sqlparser.Args, session map[string]sqlvalue.Value, tr *trace.Trace) Decision {
+	return c.check(ctx, sel, args, session, tr, true)
+}
+
+func (c *Checker) check(ctx context.Context, sel *sqlparser.SelectStmt, args sqlparser.Args, session map[string]sqlvalue.Value, tr *trace.Trace, borrow bool) Decision {
 	c.mDecisions.Inc()
-	d := c.decide(ctx, sel, args, session, tr)
+	d := c.decide(ctx, sel, args, session, tr, borrow)
 	if d.Allowed {
 		c.mAllowed.Inc()
 	} else {
@@ -427,79 +503,80 @@ func canceledDecision(ctx context.Context) Decision {
 	return Decision{Allowed: false, Reason: fmt.Sprintf("check canceled: %v", ctx.Err())}
 }
 
-// sessionSig renders the session attributes deterministically; it
+// appendSessionSig renders the session attributes deterministically
+// into buf (names sorted via the caller's scratch slice); the result
 // namespaces the fact-generalization memo, since the same ground fact
-// generalizes differently under different principals.
-func sessionSig(session map[string]sqlvalue.Value) string {
+// generalizes differently under different principals. Rendering into
+// scratch instead of building a string keeps the warm path
+// allocation-free; the rendered bytes are interned for map keying.
+func appendSessionSig(buf []byte, names []string, session map[string]sqlvalue.Value) ([]byte, []string) {
 	if len(session) == 0 {
-		return ""
+		return buf, names
 	}
 	if len(session) == 1 {
 		for n, v := range session {
-			return n + "=" + v.Key() + ";"
+			buf = append(buf, n...)
+			buf = append(buf, '=')
+			buf = v.AppendKey(buf)
+			buf = append(buf, ';')
 		}
+		return buf, names
 	}
-	names := make([]string, 0, len(session))
+	names = names[:0]
 	for n := range session {
 		names = append(names, n)
 	}
-	sort.Strings(names)
-	var b strings.Builder
+	slices.Sort(names)
 	for _, n := range names {
-		b.WriteString(n)
-		b.WriteByte('=')
-		b.WriteString(session[n].Key())
-		b.WriteByte(';')
+		buf = append(buf, n...)
+		buf = append(buf, '=')
+		buf = session[n].AppendKey(buf)
+		buf = append(buf, ';')
 	}
-	return b.String()
+	return buf, names
 }
 
-// argsSig renders the bound arguments deterministically for the
-// front-cache key.
-func argsSig(args sqlparser.Args) string {
-	if len(args.Positional) == 0 && len(args.Named) == 0 {
-		return ""
-	}
-	if len(args.Named) == 0 && len(args.Positional) == 1 {
-		return args.Positional[0].Key() + ","
-	}
-	var b strings.Builder
+// appendArgsSig renders the bound arguments deterministically into buf
+// for the front-cache key, same scratch discipline as appendSessionSig.
+func appendArgsSig(buf []byte, names []string, args sqlparser.Args) ([]byte, []string) {
 	for _, v := range args.Positional {
-		b.WriteString(v.Key())
-		b.WriteByte(',')
+		buf = v.AppendKey(buf)
+		buf = append(buf, ',')
 	}
 	if len(args.Named) > 0 {
-		names := make([]string, 0, len(args.Named))
+		names = names[:0]
 		for n := range args.Named {
 			names = append(names, n)
 		}
-		sort.Strings(names)
+		slices.Sort(names)
 		for _, n := range names {
-			b.WriteByte('@')
-			b.WriteString(n)
-			b.WriteByte('=')
-			b.WriteString(args.Named[n].Key())
-			b.WriteByte(';')
+			buf = append(buf, '@')
+			buf = append(buf, n...)
+			buf = append(buf, '=')
+			buf = args.Named[n].AppendKey(buf)
+			buf = append(buf, ';')
 		}
 	}
-	return b.String()
+	return buf, names
 }
 
 // generalizeFactMemo returns the session-parameterized form of a
 // trace fact, memoized per (fact, session signature), and reports
-// whether it was a memo hit. Counting is left to the caller (the
+// whether it was a memo hit. rawKey is the fact's canonical string as
+// rendered once by the trace's fact cache (trace.FactsKeyed); together
+// with the interned sig it keys the two-level memo, so a hit is two
+// map lookups and no allocation. Counting is left to the caller (the
 // facts stage batches one atomic add per check instead of one per
 // fact). Memoized facts are shared; callers must treat their atoms as
 // immutable. The memo is skipped when the fact cache is disabled
 // (ablation mode measures the unmemoized path).
-func (c *Checker) generalizeFactMemo(f cq.Fact, session map[string]sqlvalue.Value, sig string) (genEntry, bool) {
+func (c *Checker) generalizeFactMemo(f cq.Fact, rawKey string, session map[string]sqlvalue.Value, sig string) (genEntry, bool) {
 	if !c.opts.UseFactCache {
 		g := generalizeFact(f, session)
 		return genEntry{f: g, key: g.String()}, false
 	}
-	k := sig + "\x00" + f.String()
 	c.genMu.RLock()
-	e, ok := c.gen[k]
+	e, ok := c.gen[sig][rawKey]
 	c.genMu.RUnlock()
 	if ok {
 		return e, true
@@ -507,25 +584,42 @@ func (c *Checker) generalizeFactMemo(f cq.Fact, session map[string]sqlvalue.Valu
 	g := generalizeFact(f, session)
 	e = genEntry{f: g, key: g.String()}
 	c.genMu.Lock()
-	if len(c.gen) >= genCacheMax {
-		c.gen = make(map[string]genEntry)
+	if c.genN >= genCacheMax {
+		c.gen = make(map[string]map[string]genEntry)
+		c.genN = 0
 	}
-	c.gen[k] = e
+	inner := c.gen[sig]
+	if inner == nil {
+		inner = make(map[string]genEntry)
+		c.gen[sig] = inner
+	}
+	if _, dup := inner[rawKey]; !dup {
+		c.genN++
+	}
+	inner[rawKey] = e
 	c.genMu.Unlock()
 	return e, false
 }
 
-func cacheKey(fp string, tpl []*cq.Query, factKeys []string) string {
-	parts := make([]string, 0, len(tpl)+len(factKeys)+2)
-	for _, q := range tpl {
-		parts = append(parts, q.CanonicalKey())
+// appendCacheKey renders the decision-template cache key into buf:
+// template canonical keys, a "#" divider, the (pre-sorted) generalized
+// fact keys, then the policy fingerprint, all NUL-separated. Byte
+// layout is identical to the old strings.Join form; building into
+// scratch lets warm probes hit the cache without materializing a
+// string.
+func appendCacheKey(buf []byte, fp string, tplKeys []string, factKeys []string) []byte {
+	for _, k := range tplKeys {
+		buf = append(buf, k...)
+		buf = append(buf, 0)
 	}
-	parts = append(parts, "#")
-	fs := append([]string(nil), factKeys...)
-	sort.Strings(fs)
-	parts = append(parts, fs...)
-	parts = append(parts, fp)
-	return strings.Join(parts, "\x00")
+	buf = append(buf, '#')
+	buf = append(buf, 0)
+	for _, k := range factKeys {
+		buf = append(buf, k...)
+		buf = append(buf, 0)
+	}
+	buf = append(buf, fp...)
+	return buf
 }
 
 // constGeneralizer is a no-op Substitute hook (vars and params pass

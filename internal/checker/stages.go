@@ -22,6 +22,8 @@ package checker
 import (
 	"context"
 	"fmt"
+	"slices"
+	"sync"
 
 	"repro/internal/cq"
 	"repro/internal/pipeline"
@@ -30,7 +32,13 @@ import (
 	"repro/internal/trace"
 )
 
-// decideState carries one decision through the staged pipeline.
+// decideState carries one decision through the staged pipeline. States
+// are pooled (decidePool): the scratch fields at the bottom keep their
+// capacity across decisions, which is what makes the warm tiers
+// allocation-free. Nothing in a state may outlive decide() — the
+// Decision is copied out by value, cover workers are joined before
+// coverAll returns, and the caches copy in what they keep — so
+// recycling can never alias into a cached or returned decision.
 type decideState struct {
 	c    *Checker
 	snap *polSnapshot
@@ -41,9 +49,19 @@ type decideState struct {
 	session map[string]sqlvalue.Value
 	tr      *trace.Trace
 
+	// borrow marks a CheckBorrowed call: cache hits skip the defensive
+	// Views copy and hand out the cache-owned slice read-only.
+	borrow bool
+
 	// Front-cache keying (stage "front").
 	useFront bool
 	fkey     frontKey
+
+	// Interned session signature (front key prefix, gen-memo
+	// namespace). sigDone distinguishes "not computed" from the empty
+	// session's legitimately empty signature.
+	sessSig string
+	sigDone bool
 
 	// Parameter-generic query templates (stage "bind").
 	tpl []*cq.Query
@@ -57,11 +75,59 @@ type decideState struct {
 	facts    []cq.Fact
 	factKeys []string
 
-	// Full template-cache key (stage "template").
+	// Full template-cache key (stage "template"), materialized only on
+	// a miss for the verdict's Put; warm probes use keyBuf.
 	key string
 
 	// The verdict.
 	d Decision
+
+	// Pooled scratch, reused across decisions (capacity survives the
+	// pool round-trip; contents never do).
+	keyBuf  []byte   // rendered signatures and cache keys
+	names   []string // sort scratch for session/arg names
+	tplKeys []string // per-disjunct canonical keys, computed once
+}
+
+var decidePool = sync.Pool{New: func() any { return new(decideState) }}
+
+// release zeroes the state and returns it to the pool, keeping only
+// the scratch capacity. Pointerful scratch is cleared element-wise so
+// a pooled idle state never pins a policy snapshot, statement, trace,
+// or fact graph in memory.
+func (st *decideState) release() {
+	clear(st.tpl)
+	clear(st.occ)
+	clear(st.facts)
+	clear(st.factKeys)
+	clear(st.tplKeys)
+	clear(st.names)
+	*st = decideState{
+		keyBuf:   st.keyBuf[:0],
+		names:    st.names[:0],
+		tplKeys:  st.tplKeys[:0],
+		tpl:      st.tpl[:0],
+		occ:      st.occ[:0],
+		facts:    st.facts[:0],
+		factKeys: st.factKeys[:0],
+	}
+	decidePool.Put(st)
+}
+
+// sessionSig computes (once) and interns the session signature.
+func (st *decideState) sessionSig() string {
+	if !st.sigDone {
+		var buf []byte
+		buf, st.names = appendSessionSig(st.keyBuf[:0], st.names, st.session)
+		if len(buf) == 0 {
+			st.sessSig = ""
+		} else {
+			st.sessSig = st.c.intern(buf)
+		}
+		st.keyBuf = buf[:0]
+		st.sigDone = true
+	}
+	return st.sessSig
 }
 
 // newDecidePipeline assembles the decide pipeline over the checker's
@@ -83,27 +149,41 @@ func (c *Checker) newDecidePipeline() *pipeline.Pipeline[*decideState] {
 // templates, computing them on first use. Warm decisions (front,
 // histfree, template hits) never reach a caller of this.
 func (st *decideState) occs() []map[string]varOcc {
-	if st.occ == nil {
-		st.occ = make([]map[string]varOcc, len(st.tpl))
-		for i, q := range st.tpl {
-			st.occ[i] = countVarOccurrences(q)
+	if len(st.occ) != len(st.tpl) {
+		st.occ = st.occ[:0]
+		for _, q := range st.tpl {
+			st.occ = append(st.occ, countVarOccurrences(q))
 		}
 	}
 	return st.occ
 }
 
-// decide runs the staged pipeline for one check.
-func (c *Checker) decide(ctx context.Context, sel *sqlparser.SelectStmt, args sqlparser.Args, session map[string]sqlvalue.Value, tr *trace.Trace) Decision {
-	st := &decideState{
-		c:       c,
-		snap:    c.snap.Load(),
-		sel:     sel,
-		args:    args,
-		session: session,
-		tr:      tr,
+// tplCanonKeys returns the per-disjunct canonical keys, computed once
+// per decision (the history-free and full template probes share them).
+func (st *decideState) tplCanonKeys() []string {
+	if len(st.tplKeys) != len(st.tpl) {
+		st.tplKeys = st.tplKeys[:0]
+		for _, q := range st.tpl {
+			st.tplKeys = append(st.tplKeys, q.CanonicalKey())
+		}
 	}
+	return st.tplKeys
+}
+
+// decide runs the staged pipeline for one check, on a pooled state.
+func (c *Checker) decide(ctx context.Context, sel *sqlparser.SelectStmt, args sqlparser.Args, session map[string]sqlvalue.Value, tr *trace.Trace, borrow bool) Decision {
+	st := decidePool.Get().(*decideState)
+	st.c = c
+	st.snap = c.snap.Load()
+	st.sel = sel
+	st.args = args
+	st.session = session
+	st.tr = tr
+	st.borrow = borrow
 	c.pipe.Run(ctx, st)
-	return st.d
+	d := st.d
+	st.release()
+	return d
 }
 
 // stageFront probes the statement-identity front cache: an identical
@@ -120,8 +200,22 @@ func stageFront(ctx context.Context, st *decideState) pipeline.Outcome {
 	if !st.useFront {
 		return pipeline.Continue
 	}
-	st.fkey = frontKey{fp: st.snap.fp, sel: st.sel, sig: sessionSig(st.session) + "\x00" + argsSig(st.args)}
+	// Render session + args signatures into pooled scratch and intern
+	// the result: on a warm key this is byte appends into retained
+	// capacity plus a no-copy map lookup — no allocation.
+	sess := st.sessionSig()
+	buf := append(st.keyBuf[:0], sess...)
+	buf = append(buf, 0)
+	buf, st.names = appendArgsSig(buf, st.names, st.args)
+	sig := c.intern(buf)
+	st.keyBuf = buf[:0]
+	st.fkey = frontKey{fp: st.snap.fp, sel: st.sel, sig: sig}
 	if d, ok := c.frontGet(st.fkey); ok {
+		if !st.borrow && len(d.Views) > 0 {
+			// The front cache owns its Views; the safe API hands the
+			// caller a private copy.
+			d.Views = append([]string(nil), d.Views...)
+		}
 		d.FromCache = true
 		d.Tier = TierFront
 		st.d = d
@@ -164,12 +258,12 @@ func stageBind(ctx context.Context, st *decideState) pipeline.Outcome {
 	}
 
 	generalize := constGeneralizer(st.session)
-	st.tpl = make([]*cq.Query, len(ucq))
-	for i, q := range ucq {
-		st.tpl[i] = q.Substitute(generalize)
+	st.tpl = st.tpl[:0]
+	for _, q := range ucq {
+		t := q.Substitute(generalize)
 		// Substitute only rewrites vars/params; constants need the map
 		// form below.
-		st.tpl[i] = generalizeConsts(st.tpl[i], st.session)
+		st.tpl = append(st.tpl, generalizeConsts(t, st.session))
 	}
 	return pipeline.Continue
 }
@@ -188,8 +282,8 @@ func stageHistFree(ctx context.Context, st *decideState) pipeline.Outcome {
 	if !(c.opts.UseCache && c.opts.UseHistory && st.tr != nil) {
 		return pipeline.Continue
 	}
-	freeKey := cacheKey(st.snap.fp, st.tpl, nil)
-	if d, ok := c.cache.Get(freeKey); ok {
+	st.keyBuf = appendCacheKey(st.keyBuf[:0], st.snap.fp, st.tplCanonKeys(), nil)
+	if d, ok := c.cache.GetBytes(st.keyBuf, !st.borrow); ok {
 		if d.Allowed {
 			if st.useFront {
 				c.frontPut(st.fkey, d)
@@ -207,7 +301,7 @@ func stageHistFree(ctx context.Context, st *decideState) pipeline.Outcome {
 		st.d = canceledDecision(ctx)
 		return pipeline.Abort
 	}
-	c.cache.Put(freeKey, d)
+	c.cache.Put(string(st.keyBuf), d)
 	if d.Allowed {
 		if st.useFront {
 			c.frontPut(st.fkey, d)
@@ -226,22 +320,30 @@ func stageFacts(ctx context.Context, st *decideState) pipeline.Outcome {
 	if !c.opts.UseHistory || st.tr == nil {
 		return pipeline.Continue
 	}
-	sig := sessionSig(st.session)
+	sig := st.sessionSig()
 	var raw []cq.Fact
+	var rawKeys []string
 	if c.opts.UseFactCache {
-		raw = st.tr.Facts(c.pol.Schema)
+		// Shared snapshot plus the canonical string of each raw fact,
+		// rendered once at derivation — the memo keys below cost two
+		// map lookups per fact, no rendering.
+		raw, rawKeys = st.tr.FactsKeyed(c.pol.Schema)
 	} else {
 		raw = trace.FactsUncached(c.pol.Schema, st.tr)
 	}
-	st.facts = make([]cq.Fact, 0, len(raw))
-	st.factKeys = make([]string, 0, len(raw))
+	st.facts = st.facts[:0]
+	st.factKeys = st.factKeys[:0]
 	var hits, misses int64
 	for i, f := range raw {
 		if i&63 == 63 && ctx.Err() != nil {
 			st.d = canceledDecision(ctx)
 			return pipeline.Abort
 		}
-		g, hit := c.generalizeFactMemo(f, st.session, sig)
+		var rk string
+		if rawKeys != nil {
+			rk = rawKeys[i]
+		}
+		g, hit := c.generalizeFactMemo(f, rk, st.session, sig)
 		if hit {
 			hits++
 		} else if c.opts.UseFactCache {
@@ -268,14 +370,20 @@ func stageTemplate(ctx context.Context, st *decideState) pipeline.Outcome {
 	if !c.opts.UseCache {
 		return pipeline.Continue
 	}
-	st.key = cacheKey(st.snap.fp, st.tpl, st.factKeys)
-	if d, ok := c.cache.Get(st.key); ok {
+	// factKeys is per-decision scratch whose order nothing else needs
+	// (st.facts carries the facts for the cover stage), so sort it in
+	// place — the key requires a canonical order, not this one.
+	slices.Sort(st.factKeys)
+	st.keyBuf = appendCacheKey(st.keyBuf[:0], st.snap.fp, st.tplCanonKeys(), st.factKeys)
+	if d, ok := c.cache.GetBytes(st.keyBuf, !st.borrow); ok {
 		d.FromCache = true
 		d.Tier = TierTemplate
 		st.d = d
 		c.mTemplateHit.Inc()
 		return pipeline.Done
 	}
+	// Miss: materialize the key once for the verdict's Put.
+	st.key = string(st.keyBuf)
 	c.mTemplateMiss.Inc()
 	return pipeline.Continue
 }

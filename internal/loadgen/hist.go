@@ -1,0 +1,149 @@
+// Package loadgen is an open-loop load generator for the enforcement
+// proxy. Open-loop means the arrival schedule is fixed before the run:
+// operations are sent at precomputed (Poisson) instants regardless of
+// how fast the system under test answers, and every latency is
+// measured from the operation's INTENDED send time. A stalled server
+// therefore shows up as growing latency — the backlog counts against
+// it — where a closed-loop driver would silently slow its own offered
+// load and hide the stall (coordinated omission).
+package loadgen
+
+import (
+	"fmt"
+	"math/bits"
+	"time"
+)
+
+// Sub-bucket resolution of the latency histogram: 2^histSubBits linear
+// sub-buckets per power-of-two range, so recorded values are off by at
+// most 1/2^histSubBits ≈ 1.6% — tight enough to gate p999 regressions,
+// small enough (≈30 KB) to keep one histogram per run scale.
+const histSubBits = 6
+
+const histSub = 1 << histSubBits
+
+// histBuckets spans non-negative int64: values 0..histSub-1 get exact
+// buckets, then histSub sub-buckets per octave up to 2^63.
+const histBuckets = histSub + (63-histSubBits)*histSub
+
+// Hist is a log-linear histogram over every recorded sample (no
+// window, no sampling): counts per bucket plus exact count/sum/min/max.
+// Unlike obsv.Histogram — a fixed ring of recent samples for cheap
+// server-side stats — Hist never drops an observation, which is what
+// makes its p999 trustworthy at millions of operations. Not safe for
+// concurrent use; the runner merges per-worker hists after the run.
+type Hist struct {
+	counts [histBuckets]uint64
+	count  uint64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// histIndex maps a value to its bucket. Negative values clamp to 0.
+func histIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < histSub {
+		return int(v)
+	}
+	exp := 63 - bits.LeadingZeros64(uint64(v))
+	shift := exp - histSubBits
+	// v>>shift is in [histSub, 2*histSub); subtracting histSub yields
+	// the linear sub-bucket within the octave.
+	return (exp-histSubBits)<<histSubBits + int(uint64(v)>>shift)
+}
+
+// histValue is the bucket's midpoint — the value a quantile reports.
+func histValue(idx int) int64 {
+	if idx < histSub {
+		return int64(idx)
+	}
+	shift := idx/histSub - 1
+	low := int64(histSub+idx%histSub) << shift
+	return low + (int64(1)<<shift)/2
+}
+
+// Observe records one sample.
+func (h *Hist) Observe(v int64) {
+	h.counts[histIndex(v)]++
+	h.count++
+	h.sum += v
+	if h.count == 1 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Merge folds other into h.
+func (h *Hist) Merge(other *Hist) {
+	if other.count == 0 {
+		return
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	if h.count == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	h.count += other.count
+	h.sum += other.sum
+}
+
+// Count returns how many samples were recorded.
+func (h *Hist) Count() uint64 { return h.count }
+
+// Mean returns the exact sample mean (bucketing does not blur it).
+func (h *Hist) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Max returns the largest recorded sample, exactly.
+func (h *Hist) Max() int64 { return h.max }
+
+// Quantile returns the value at quantile q in [0,1]: the midpoint of
+// the bucket holding the ceil(q*count)-th smallest sample (the exact
+// min/max for q=0/1). Zero when empty.
+func (h *Hist) Quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := uint64(q * float64(h.count))
+	if rank >= h.count {
+		rank = h.count - 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen > rank {
+			return histValue(i)
+		}
+	}
+	return h.max
+}
+
+// String summarizes the histogram for logs.
+func (h *Hist) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f p50=%d p90=%d p99=%d p999=%d max=%d",
+		h.count, h.Mean(), h.Quantile(0.50), h.Quantile(0.90),
+		h.Quantile(0.99), h.Quantile(0.999), h.max)
+}
+
+// Micros is a convenience for recording a duration in microseconds,
+// the unit every latency field in this package uses.
+func (h *Hist) Micros(d time.Duration) { h.Observe(d.Microseconds()) }

@@ -1,0 +1,101 @@
+package loadgen
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestHistIndexRoundTrip: every bucket's representative value must map
+// back to the same bucket, and bucket boundaries must be contiguous.
+func TestHistIndexRoundTrip(t *testing.T) {
+	for idx := 0; idx < histBuckets; idx++ {
+		v := histValue(idx)
+		if got := histIndex(v); got != idx {
+			t.Fatalf("histIndex(histValue(%d)=%d) = %d", idx, v, got)
+		}
+	}
+	last := -1
+	for _, v := range []int64{0, 1, 63, 64, 65, 127, 128, 1000, 1 << 20, 1<<62 + 12345} {
+		idx := histIndex(v)
+		if idx < last {
+			t.Fatalf("bucket index not monotone at %d", v)
+		}
+		last = idx
+	}
+	if histIndex(-5) != 0 {
+		t.Fatalf("negative values must clamp to bucket 0")
+	}
+}
+
+// TestHistQuantileVsReference feeds a known sample population and
+// compares every gated quantile to the exact sorted-order answer. The
+// log-linear layout guarantees ≤1/64 relative bucket width, so the
+// reported value must sit within ~2% of truth.
+func TestHistQuantileVsReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n = 200000
+	var h Hist
+	vals := make([]int64, n)
+	for i := range vals {
+		// Log-uniform over ~[1µs, 1s] plus a heavy tail, shaped like
+		// real latency data.
+		v := int64(math.Exp(rng.Float64() * math.Log(1e6)))
+		if rng.Float64() < 0.001 {
+			v *= 50
+		}
+		vals[i] = v
+		h.Observe(v)
+	}
+	sorted := append([]int64(nil), vals...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		want := sorted[int(q*float64(n))]
+		got := h.Quantile(q)
+		if relErr := math.Abs(float64(got-want)) / float64(want); relErr > 0.02 {
+			t.Errorf("q%g: hist %d vs exact %d (%.1f%% off, budget 2%%)",
+				q, got, want, 100*relErr)
+		}
+	}
+	if h.Quantile(0) != sorted[0] || h.Quantile(1) != sorted[n-1] {
+		t.Errorf("q0/q1 must be the exact min/max: got %d/%d want %d/%d",
+			h.Quantile(0), h.Quantile(1), sorted[0], sorted[n-1])
+	}
+	if h.Count() != n {
+		t.Errorf("count %d, want %d", h.Count(), n)
+	}
+	var sum int64
+	for _, v := range vals {
+		sum += v
+	}
+	if want := float64(sum) / n; h.Mean() != want {
+		t.Errorf("mean must be exact: %v vs %v", h.Mean(), want)
+	}
+}
+
+// TestHistMerge: merging split halves must equal observing everything
+// in one histogram.
+func TestHistMerge(t *testing.T) {
+	var a, b, all Hist
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10000; i++ {
+		v := rng.Int63n(1 << 30)
+		all.Observe(v)
+		if i%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != all.Count() || a.Mean() != all.Mean() || a.Max() != all.Max() {
+		t.Fatalf("merge mismatch: %s vs %s", a.String(), all.String())
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if a.Quantile(q) != all.Quantile(q) {
+			t.Fatalf("q%g: merged %d vs direct %d", q, a.Quantile(q), all.Quantile(q))
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/proxy"
+)
+
+// ProxyTarget drives the enforcement proxy over protocol v2: each
+// schedule session maps to its own proxy lane (session i → SID i+1,
+// keeping the connection's default lane 0 untouched), so the server
+// checks different sessions concurrently while each session's history
+// stays ordered.
+type ProxyTarget struct {
+	Client *proxy.Client
+	// Query returns the SQL and args for an operation. It must be safe
+	// for concurrent use.
+	Query func(op Op) (sql string, args []any)
+}
+
+// Do implements Target. A policy block is a decided outcome — the
+// proxy did its job — so it counts as success; only transport and
+// server errors count against the run.
+func (t *ProxyTarget) Do(ctx context.Context, op Op) error {
+	sql, args := t.Query(op)
+	_, err := t.Client.Lane(uint64(op.Session)+1).Query(ctx, sql, args...)
+	if err != nil && !errors.Is(err, proxy.ErrBlocked) {
+		return err
+	}
+	return nil
+}
+
+// SetupSessions keys n proxy sessions (lanes 1..n) with pipelined
+// hellos, batching waits so setup proceeds at window depth — at a
+// million sessions, serial round trips would dominate the whole run.
+func SetupSessions(ctx context.Context, cl *proxy.Client, n int, attrs func(session int) map[string]any) error {
+	pending := make([]*proxy.PendingOK, 0, 256)
+	flush := func() error {
+		for _, p := range pending {
+			if err := p.Wait(ctx); err != nil {
+				return err
+			}
+		}
+		pending = pending[:0]
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		p, err := cl.Lane(uint64(i)+1).HelloAsync(ctx, attrs(i))
+		if err != nil {
+			return fmt.Errorf("loadgen: hello session %d: %w", i, err)
+		}
+		if pending = append(pending, p); len(pending) == cap(pending) {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return flush()
+}

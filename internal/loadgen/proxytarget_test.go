@@ -1,0 +1,100 @@
+package loadgen
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/checker"
+	"repro/internal/engine"
+	"repro/internal/policy"
+	"repro/internal/proxy"
+	"repro/internal/schema"
+	"repro/internal/sqlvalue"
+)
+
+// proxyServer builds an enforcing proxy over the calendar-style test
+// schema, listening on a loopback port.
+func proxyServer(t *testing.T) (addr string) {
+	t.Helper()
+	s, err := schema.NewBuilder().
+		Table("Users").
+		NotNullCol("UId", sqlvalue.Int).
+		NotNullCol("Name", sqlvalue.Text).
+		PK("UId").Done().
+		Table("Attendance").
+		NotNullCol("UId", sqlvalue.Int).
+		NotNullCol("EId", sqlvalue.Int).
+		PK("UId", "EId").Done().
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := engine.New(s)
+	db.MustExec("INSERT INTO Users (UId, Name) VALUES (1, 'alice'), (2, 'bob'), (3, 'carol')")
+	db.MustExec("INSERT INTO Attendance (UId, EId) VALUES (1, 2), (2, 3), (3, 2)")
+	pol := policy.MustNew(s, map[string]string{
+		"V1": "SELECT EId FROM Attendance WHERE UId = ?MyUId",
+	})
+	srv := proxy.NewServer(db, checker.New(pol), proxy.Enforce)
+	addr, err = srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return addr
+}
+
+// TestProxyTargetEndToEnd runs a small open-loop schedule against a
+// live proxy: mass lane setup via pipelined hellos, then mixed
+// allowed/blocked traffic. Blocks are decided outcomes, not errors.
+func TestProxyTargetEndToEnd(t *testing.T) {
+	addr := proxyServer(t)
+	cl, err := proxy.Dial(addr, proxy.WithWindow(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+	if err := cl.Hello(ctx, map[string]any{"MyUId": 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	const sessions = 200
+	if err := SetupSessions(ctx, cl, sessions, func(i int) map[string]any {
+		return map[string]any{"MyUId": i%3 + 1}
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	sched, err := NewSchedule(1500, 5000, sessions, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := &ProxyTarget{
+		Client: cl,
+		Query: func(op Op) (string, []any) {
+			if op.Seq%7 == 0 {
+				// Another user's attendance: always blocked, never an error.
+				return "SELECT EId FROM Attendance WHERE UId = ?", []any{(op.Session+1)%3 + 1}
+			}
+			return "SELECT EId FROM Attendance WHERE UId = ?", []any{op.Session%3 + 1}
+		},
+	}
+	res, err := Run(ctx, Config{Target: target, Schedule: sched, Workers: 32, Warmup: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("run had %d errors: %s", res.Errors, res)
+	}
+	if res.Ops != 1500 {
+		t.Fatalf("ops=%d, want 1500", res.Ops)
+	}
+	if res.Latency.Count() != 1400 {
+		t.Fatalf("latency samples %d, want 1400", res.Latency.Count())
+	}
+	if p999 := res.Latency.Quantile(0.999); p999 <= 0 || time.Duration(p999)*time.Microsecond > time.Minute {
+		t.Fatalf("implausible p999 %dµs", p999)
+	}
+}

@@ -110,6 +110,7 @@ type HistogramSnapshot struct {
 	P50     int64   `json:"p50"`
 	P90     int64   `json:"p90"`
 	P99     int64   `json:"p99"`
+	P999    int64   `json:"p999"`
 	Max     int64   `json:"max"`
 	Count   int64   `json:"count"`
 	Mean    float64 `json:"mean"`
@@ -140,6 +141,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		P50:     at(0.50),
 		P90:     at(0.90),
 		P99:     at(0.99),
+		P999:    at(0.999),
 		Max:     window[n-1],
 		Count:   count,
 		Mean:    float64(h.sum.Load()) / float64(count),

@@ -136,8 +136,11 @@ func (c *Client) roundTrip(ctx context.Context, req *Request) (*Response, error)
 		return nil, err
 	}
 	var resp Response
-	if err := json.Unmarshal(line, &resp); err != nil {
-		return nil, err
+	if !decodeResponse(line, &resp) {
+		resp = Response{}
+		if err := decodeResponseJSON(line, &resp); err != nil {
+			return nil, err
+		}
 	}
 	if resp.Error != "" {
 		return nil, acerr.FromCode(resp.Code, resp.Error)
@@ -273,7 +276,7 @@ func (c *Client) demux() {
 		var resp Response
 		if !decodeResponse(line, &resp) {
 			resp = Response{}
-			if err := json.Unmarshal(line, &resp); err != nil {
+			if err := decodeResponseJSON(line, &resp); err != nil {
 				c.fail(fmt.Errorf("proxy protocol error: %w", err))
 				return
 			}
@@ -587,6 +590,34 @@ func (l *Lane) call(ctx context.Context, req *Request) (*Response, error) {
 func (l *Lane) Hello(ctx context.Context, attrs map[string]any) error {
 	_, err := l.call(ctx, &Request{Op: "hello", Session: attrs})
 	return err
+}
+
+// PendingOK is an in-flight pipelined request whose response carries
+// no payload beyond success or failure (a lane hello).
+type PendingOK struct{ p *Pending }
+
+// Wait blocks for the request's outcome.
+func (po *PendingOK) Wait(ctx context.Context) error {
+	resp, err := po.p.Wait(ctx)
+	if err != nil {
+		return err
+	}
+	if resp.Error != "" {
+		return acerr.FromCode(resp.Code, resp.Error)
+	}
+	return nil
+}
+
+// HelloAsync pipelines the lane's session hello without waiting for
+// its response, so mass session setup — the open-loop harness keys
+// hundreds of thousands of lanes before driving load — proceeds at
+// window depth instead of one round trip per session.
+func (l *Lane) HelloAsync(ctx context.Context, attrs map[string]any) (*PendingOK, error) {
+	p, err := l.c.start(ctx, &Request{Op: "hello", SID: l.sid, Session: attrs})
+	if err != nil {
+		return nil, err
+	}
+	return &PendingOK{p: p}, nil
 }
 
 // HelloDurable keys the lane to a named durable session (see

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -292,6 +293,57 @@ func TestPipelineStress(t *testing.T) {
 		}(uint64(l))
 	}
 	wg.Wait()
+}
+
+// TestMassLanesHelloAsync keys thousands of sessions over one
+// connection with pipelined hellos, then verifies (a) idle lanes do
+// not each hold a server goroutine — lane runners must exit when their
+// queues drain — and (b) arbitrary lanes still answer on their own
+// session state afterward.
+func TestMassLanesHelloAsync(t *testing.T) {
+	srv := testServer(t, Enforce)
+	cl := dialV2(t, srv, WithWindow(32))
+	ctx := context.Background()
+
+	const lanes = 2000
+	pending := make([]*PendingOK, 0, 64)
+	flush := func() {
+		for _, p := range pending {
+			if err := p.Wait(ctx); err != nil {
+				t.Fatal(err)
+			}
+		}
+		pending = pending[:0]
+	}
+	for sid := 1; sid <= lanes; sid++ {
+		p, err := cl.Lane(uint64(sid)).HelloAsync(ctx, map[string]any{"MyUId": sid%3 + 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pending = append(pending, p); len(pending) == cap(pending) {
+			flush()
+		}
+	}
+	flush()
+
+	// Give the last runners a moment to notice empty queues, then pin
+	// the design property: goroutine count tracks in-flight work, not
+	// session count. The bound is loose (test scaffolding, GC workers)
+	// but far below one-per-lane.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > 200 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > 200 {
+		t.Fatalf("%d goroutines alive after %d idle lanes; lane runners should exit when drained", n, lanes)
+	}
+
+	for _, sid := range []int{1, lanes / 2, lanes} {
+		uid := sid%3 + 1
+		if _, err := cl.Lane(uint64(sid)).Query(ctx, "SELECT EId FROM Attendance WHERE UId = ?", uid); err != nil {
+			t.Fatalf("lane %d: %v", sid, err)
+		}
+	}
 }
 
 func TestWindowBackpressure(t *testing.T) {

@@ -42,6 +42,7 @@
 package proxy
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"repro/internal/sqlvalue"
@@ -228,11 +229,16 @@ func decodeValues(vals []any) ([]sqlvalue.Value, error) {
 }
 
 func decodeValue(v any) (sqlvalue.Value, error) {
-	if f, ok := v.(float64); ok {
-		if f == float64(int64(f)) {
-			return sqlvalue.NewInt(int64(f)), nil
+	switch x := v.(type) {
+	case float64:
+		if x == float64(int64(x)) {
+			return sqlvalue.NewInt(int64(x)), nil
 		}
-		return sqlvalue.NewReal(f), nil
+		return sqlvalue.NewReal(x), nil
+	case json.Number:
+		// Normally normalized away by the wire decoders; handled here
+		// so a stray Number from any other decode path stays exact.
+		return decodeValue(normalizeWireNumber(x))
 	}
 	return sqlvalue.FromAny(v)
 }

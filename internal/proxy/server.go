@@ -390,12 +390,53 @@ type pipeJob struct {
 	done func()
 }
 
-// lane is one session's ordered execution queue. A single goroutine
-// drains it, so requests within a session execute — and append to the
-// session's history — in exactly the order the client sent them.
+// lane is one session's ordered execution queue. At most one runner
+// goroutine drains it at a time (the running flag), so requests within
+// a session execute — and append to the session's history — in exactly
+// the order the client sent them. The runner is spawned on demand by
+// the dispatch that finds the lane idle and exits when the queue
+// empties: an idle session costs its state, not a parked goroutine or
+// a window-sized channel. That is what lets one connection multiplex
+// hundreds of thousands of sessions (the open-loop harness drives 1M)
+// while the goroutine count tracks the in-flight window, not the
+// session count.
 type lane struct {
 	sess *session
-	ch   chan pipeJob
+
+	mu      sync.Mutex
+	q       []pipeJob
+	running bool
+}
+
+// push appends a job and reports whether the caller must start a
+// runner (the lane was idle). The queue is bounded in practice by the
+// connection's in-flight window: every push holds a window slot.
+func (ln *lane) push(job pipeJob) (startRunner bool) {
+	ln.mu.Lock()
+	ln.q = append(ln.q, job)
+	if !ln.running {
+		ln.running = true
+		startRunner = true
+	}
+	ln.mu.Unlock()
+	return
+}
+
+// pop takes the oldest queued job; ok=false means the queue is empty
+// and the runner has relinquished the lane (running=false) — the next
+// push starts a fresh runner.
+func (ln *lane) pop() (job pipeJob, ok bool) {
+	ln.mu.Lock()
+	if len(ln.q) == 0 {
+		ln.running = false
+		ln.mu.Unlock()
+		return pipeJob{}, false
+	}
+	job = ln.q[0]
+	ln.q[0] = pipeJob{} // drop references while the tail sits queued
+	ln.q = ln.q[1:]
+	ln.mu.Unlock()
+	return job, true
 }
 
 // pipeConn is the per-connection pipelining state for protocol v2.
@@ -534,22 +575,36 @@ func (pc *pipeConn) lane(sid uint64) *lane {
 }
 
 func (pc *pipeConn) startLaneLocked(sid uint64, sess *session) *lane {
-	// Channel capacity equals the window, so a dispatch that holds a
-	// window slot can never block on the lane send.
-	ln := &lane{sess: sess, ch: make(chan pipeJob, cap(pc.sem))}
+	ln := &lane{sess: sess}
 	pc.lanes[sid] = ln
-	pc.wg.Add(1)
-	go pc.runLane(ln)
 	return ln
 }
 
+// enqueue hands a dispatched job to its lane, spawning the lane's
+// runner if it is idle.
+func (pc *pipeConn) enqueue(ln *lane, job pipeJob) {
+	if ln.push(job) {
+		pc.wg.Add(1)
+		go pc.runLane(ln)
+	}
+}
+
+// runLane drains one lane's queue in order and exits when it is empty.
+// Strict in-session order holds because push only starts a runner when
+// none is live, and pop relinquishes the lane under the same lock that
+// guards the queue.
 func (pc *pipeConn) runLane(ln *lane) {
 	defer pc.wg.Done()
-	for job := range ln.ch {
+	for {
+		job, ok := ln.pop()
+		if !ok {
+			return
+		}
 		resp := pc.s.HandleCtx(job.ctx, job.req, ln.sess)
 		job.done()
 		pc.s.accumulateFactStats(ln.sess)
 		resp.ID = job.req.ID
+		releaseRequest(job.req)
 		pc.send(&resp)
 		<-pc.sem
 	}
@@ -595,20 +650,12 @@ func (pc *pipeConn) cancelRequest(target uint64) {
 	}
 }
 
-// shutdown closes every lane and waits for their workers to drain.
-// The caller has already stopped dispatching and canceled the
-// connection context, so queued jobs finish quickly with canceled
-// responses that fail to write — both are fine.
+// shutdown waits for every live lane runner to drain its queue. The
+// caller has already stopped dispatching and canceled the connection
+// context, so queued jobs finish quickly with canceled responses that
+// fail to write — both are fine. Runners exit on their own once their
+// queues empty; with no new dispatches there is nothing to close.
 func (pc *pipeConn) shutdown() {
-	pc.mu.Lock()
-	lanes := make([]*lane, 0, len(pc.lanes))
-	for _, ln := range pc.lanes {
-		lanes = append(lanes, ln)
-	}
-	pc.mu.Unlock()
-	for _, ln := range lanes {
-		close(ln.ch)
-	}
 	pc.wg.Wait()
 }
 
@@ -648,10 +695,11 @@ func (s *Server) serveConn(conn net.Conn) {
 		if !sc.Scan() {
 			break
 		}
-		var req Request
-		if !decodeRequest(sc.Bytes(), &req) {
-			req = Request{}
-			if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
+		req := acquireRequest()
+		if !decodeRequest(sc.Bytes(), req) {
+			*req = Request{}
+			if err := decodeRequestJSON(sc.Bytes(), req); err != nil {
+				releaseRequest(req)
 				bad := &Response{
 					Error: fmt.Sprintf("bad request: %v", err),
 					Code:  acerr.CodeBadRequest,
@@ -668,9 +716,10 @@ func (s *Server) serveConn(conn net.Conn) {
 			// Serial (v1) mode: read, handle, respond, in order. A
 			// hello carrying MaxProto >= 2 upgrades the connection to
 			// pipelined mode from the next request on.
-			resp := s.HandleCtx(connCtx, &req, sess)
+			resp := s.HandleCtx(connCtx, req, sess)
 			s.accumulateFactStats(sess)
 			resp.ID = req.ID
+			releaseRequest(req)
 			if resp.Proto >= ProtoV2 {
 				v2 = true
 				pc.adoptDefaultSession(sess)
@@ -681,7 +730,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			continue
 		}
-		s.dispatchV2(pc, &req)
+		s.dispatchV2(pc, req)
 	}
 	// Reader is done: abort in-flight work for this connection, drain
 	// the lanes, then retire the writer once no lane can send again.
@@ -718,14 +767,31 @@ func (s *Server) dispatchV2(pc *pipeConn, req *Request) {
 		if req.ID != 0 {
 			pc.send(&Response{ID: req.ID, OK: true})
 		}
+		releaseRequest(req)
 		return
 	case "stats":
-		pc.send(&Response{ID: req.ID, OK: true, Stats: s.StatsSnapshot()})
+		id := req.ID
+		releaseRequest(req)
+		pc.send(&Response{ID: id, OK: true, Stats: s.StatsSnapshot()})
 		return
 	}
 	pc.sem <- struct{}{}
 	ctx, done := pc.beginRequest(req)
-	pc.lane(req.SID).ch <- pipeJob{req: req, ctx: ctx, done: done}
+	pc.enqueue(pc.lane(req.SID), pipeJob{req: req, ctx: ctx, done: done})
+}
+
+// reqPool recycles decoded Requests. The read loop owns a Request
+// until dispatch hands it to a lane; the lane runner releases it after
+// the handler returns (responses never alias request memory — args and
+// session attributes are decoded into fresh sqlvalue slices, and the
+// trace copies the SQL string by value).
+var reqPool = sync.Pool{New: func() any { return new(Request) }}
+
+func acquireRequest() *Request { return reqPool.Get().(*Request) }
+
+func releaseRequest(req *Request) {
+	*req = Request{}
+	reqPool.Put(req)
 }
 
 // accumulateFactStats folds the session trace's fact-cache counters
@@ -980,7 +1046,10 @@ func (s *Server) runQuery(ctx context.Context, req *Request, sess *session) (Res
 	}
 
 	if s.Mode != Off {
-		d = s.Checker.Check(ctx, sel, args, sess.attrs, sess.tr)
+		// Borrowed check: the proxy only reads the scalar verdict
+		// (Allowed/Reason/Tier), never Decision.Views, so the zero-copy
+		// variant is safe and keeps warm hits allocation-free.
+		d = s.Checker.CheckBorrowed(ctx, sel, args, sess.attrs, sess.tr)
 		if ctx.Err() != nil {
 			return canceledResponse(ctx), d
 		}

@@ -1,8 +1,11 @@
 package proxy
 
 import (
+	"bytes"
 	"encoding/json"
 	"strconv"
+	"sync"
+	"unicode/utf8"
 )
 
 // The proxy frames v2 traffic as one JSON object per line, and the
@@ -248,26 +251,52 @@ func (s *wireScanner) peek() byte {
 // str scans a JSON string with no escapes; ok=false on escapes or
 // syntax errors.
 func (s *wireScanner) str() (string, bool) {
-	if !s.eat('"') {
+	b, ok := s.strBytes()
+	if !ok {
 		return "", false
 	}
+	return string(b), true
+}
+
+// strBytes scans a JSON string with no escapes and returns a VIEW into
+// the line buffer — valid only until the caller's next read into that
+// buffer. Callers either copy (str), compare against literals (opLit),
+// or intern (sqlIntern), so no view escapes the decode.
+func (s *wireScanner) strBytes() ([]byte, bool) {
+	if !s.eat('"') {
+		return nil, false
+	}
 	start := s.pos
+	ascii := true
 	for s.pos < len(s.b) {
 		c := s.b[s.pos]
 		if c == '"' {
-			out := string(s.b[start:s.pos])
+			out := s.b[start:s.pos]
 			s.pos++
+			if !ascii && !utf8.Valid(out) {
+				// encoding/json rewrites invalid UTF-8 to U+FFFD;
+				// rather than replicate that, bail to the fallback.
+				return nil, false
+			}
 			return out, true
 		}
 		if c == '\\' || c < 0x20 {
-			return "", false
+			return nil, false
+		}
+		if c >= 0x80 {
+			ascii = false
 		}
 		s.pos++
 	}
-	return "", false
+	return nil, false
 }
 
-func (s *wireScanner) number() (float64, bool) {
+// numTok scans a numeric token and returns its bytes (a view). The
+// token is validated against the JSON number grammar (RFC 8259) here,
+// not left to strconv: ParseInt/ParseFloat accept forms JSON forbids
+// ("00", "+5", ".5", "1."), and the fast path must never accept a line
+// the reflective fallback would reject.
+func (s *wireScanner) numTok() ([]byte, bool) {
 	s.ws()
 	start := s.pos
 	for s.pos < len(s.b) {
@@ -279,10 +308,104 @@ func (s *wireScanner) number() (float64, bool) {
 		}
 	}
 done:
-	if s.pos == start {
+	tok := s.b[start:s.pos]
+	if !jsonNumber(tok) {
+		return nil, false
+	}
+	return tok, true
+}
+
+// jsonNumber reports whether tok matches RFC 8259's number production:
+// -?(0|[1-9][0-9]*)(.[0-9]+)?([eE][+-]?[0-9]+)?
+func jsonNumber(tok []byte) bool {
+	i, n := 0, len(tok)
+	if i < n && tok[i] == '-' {
+		i++
+	}
+	switch {
+	case i < n && tok[i] == '0':
+		i++
+	case i < n && tok[i] >= '1' && tok[i] <= '9':
+		for i < n && tok[i] >= '0' && tok[i] <= '9' {
+			i++
+		}
+	default:
+		return false
+	}
+	if i < n && tok[i] == '.' {
+		i++
+		d := i
+		for i < n && tok[i] >= '0' && tok[i] <= '9' {
+			i++
+		}
+		if i == d {
+			return false
+		}
+	}
+	if i < n && (tok[i] == 'e' || tok[i] == 'E') {
+		i++
+		if i < n && (tok[i] == '+' || tok[i] == '-') {
+			i++
+		}
+		d := i
+		for i < n && tok[i] >= '0' && tok[i] <= '9' {
+			i++
+		}
+		if i == d {
+			return false
+		}
+	}
+	return i == n
+}
+
+func (s *wireScanner) number() (float64, bool) {
+	tok, ok := s.numTok()
+	if !ok {
 		return 0, false
 	}
-	f, err := strconv.ParseFloat(string(s.b[start:s.pos]), 64)
+	f, err := strconv.ParseFloat(string(tok), 64)
+	return f, err == nil
+}
+
+// integralToken reports whether tok is a plain (optionally signed)
+// decimal integer — no fraction, no exponent.
+func integralToken(tok []byte) bool {
+	for i := 0; i < len(tok); i++ {
+		c := tok[i]
+		if c == '-' && i == 0 && len(tok) > 1 {
+			continue
+		}
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return len(tok) > 0
+}
+
+// numValue decodes a numeric token the way appendScalar encodes one:
+// integral tokens become int64 (uint64 when they exceed MaxInt64),
+// everything else float64. Routing integers through float64 — what the
+// decoder did before — silently corrupted values above 2^53 on
+// round-trip; sqlvalue compares INTEGER keys exactly, so a corrupted
+// argument is a wrong enforcement answer, not just a cosmetic loss.
+func (s *wireScanner) numValue() (any, bool) {
+	tok, ok := s.numTok()
+	if !ok {
+		return nil, false
+	}
+	if integralToken(tok) {
+		if i, err := strconv.ParseInt(string(tok), 10, 64); err == nil {
+			return i, true
+		}
+		if tok[0] != '-' {
+			if u, err := strconv.ParseUint(string(tok), 10, 64); err == nil {
+				return u, true
+			}
+		}
+		// Magnitude beyond 64 bits: approximate as float, like
+		// encoding/json's default decode would.
+	}
+	f, err := strconv.ParseFloat(string(tok), 64)
 	return f, err == nil
 }
 
@@ -308,21 +431,94 @@ func (s *wireScanner) scalar() (any, bool) {
 	case 'n':
 		return nil, s.lit("null")
 	default:
-		v, ok := s.number()
-		return v, ok
+		return s.numValue()
 	}
 }
 
+// uintVal decodes an ID-like field exactly: integral token parsed as
+// uint64, full 64-bit range (the old float64 route rounded IDs above
+// 2^53). Exponent/fraction forms bail to the reflective decoder.
 func (s *wireScanner) uintVal() (uint64, bool) {
-	f, ok := s.number()
-	if !ok || f < 0 || f != float64(uint64(f)) {
+	tok, ok := s.numTok()
+	if !ok || !integralToken(tok) || tok[0] == '-' {
 		return 0, false
 	}
-	return uint64(f), true
+	u, err := strconv.ParseUint(string(tok), 10, 64)
+	return u, err == nil
+}
+
+// intVal decodes a small signed integral field exactly.
+func (s *wireScanner) intVal() (int64, bool) {
+	tok, ok := s.numTok()
+	if !ok || !integralToken(tok) {
+		return 0, false
+	}
+	i, err := strconv.ParseInt(string(tok), 10, 64)
+	return i, err == nil
+}
+
+// opLit maps the protocol's known op tokens to canonical strings
+// without copying out of the line buffer (a switch on string(b)
+// compares in place). Unknown ops return "" and the caller copies.
+func opLit(b []byte) string {
+	switch string(b) {
+	case "hello":
+		return "hello"
+	case "query":
+		return "query"
+	case "exec":
+		return "exec"
+	case "stats":
+		return "stats"
+	case "batch":
+		return "batch"
+	case "cancel":
+		return "cancel"
+	}
+	return ""
+}
+
+// sqlIntern maps repeated statement text to one canonical string:
+// applications issue the same statement shapes over and over, so after
+// the first sighting the decoder's SQL "copy" is a no-alloc map hit on
+// the in-place view. Bounded by wholesale reset; giant one-off
+// statements are never retained.
+var sqlIntern struct {
+	sync.RWMutex
+	m map[string]string
+}
+
+const (
+	sqlInternMax       = 4096
+	sqlInternMaxSQLLen = 4096
+)
+
+func internSQL(b []byte) string {
+	if len(b) > sqlInternMaxSQLLen {
+		return string(b)
+	}
+	sqlIntern.RLock()
+	s, ok := sqlIntern.m[string(b)]
+	sqlIntern.RUnlock()
+	if ok {
+		return s
+	}
+	s = string(b)
+	sqlIntern.Lock()
+	if sqlIntern.m == nil || len(sqlIntern.m) >= sqlInternMax {
+		sqlIntern.m = make(map[string]string, 64)
+	}
+	sqlIntern.m[s] = s
+	sqlIntern.Unlock()
+	return s
 }
 
 // decodeRequest hand-decodes a flat request line. ok=false (shape or
-// syntax beyond the fast path) means: fall back to encoding/json.
+// syntax beyond the fast path) means: fall back to decodeRequestJSON.
+// String views from the scanner never escape: op resolves to a
+// canonical literal, sql to an interned string, and everything else is
+// copied — by the time the caller reuses the line buffer the Request
+// owns (or shares immutably) all of its strings.
 func decodeRequest(line []byte, req *Request) bool {
 	s := wireScanner{b: line}
 	if !s.eat('{') {
@@ -332,19 +528,25 @@ func decodeRequest(line []byte, req *Request) bool {
 		return s.end()
 	}
 	for {
-		key, ok := s.str()
+		key, ok := s.strBytes()
 		if !ok || !s.eat(':') {
 			return false
 		}
-		switch key {
+		switch string(key) {
 		case "op":
-			if req.Op, ok = s.str(); !ok {
+			tok, ok := s.strBytes()
+			if !ok {
 				return false
+			}
+			if req.Op = opLit(tok); req.Op == "" {
+				req.Op = string(tok)
 			}
 		case "sql":
-			if req.SQL, ok = s.str(); !ok {
+			tok, ok := s.strBytes()
+			if !ok {
 				return false
 			}
+			req.SQL = internSQL(tok)
 		case "name":
 			if req.Name, ok = s.str(); !ok {
 				return false
@@ -362,17 +564,15 @@ func decodeRequest(line []byte, req *Request) bool {
 				return false
 			}
 		case "maxProto":
-			f, ok := s.number()
+			n, ok := s.intVal()
 			if !ok {
 				return false
 			}
-			req.MaxProto = int(f)
+			req.MaxProto = int(n)
 		case "timeoutMillis":
-			f, ok := s.number()
-			if !ok {
+			if req.TimeoutMillis, ok = s.intVal(); !ok {
 				return false
 			}
-			req.TimeoutMillis = int64(f)
 		case "args":
 			if req.Args, ok = s.scalarArray(); !ok {
 				return false
@@ -521,23 +721,23 @@ func decodeResponse(line []byte, resp *Response) bool {
 			}
 			resp.Blocked = true
 		case "proto":
-			f, ok := s.number()
+			n, ok := s.intVal()
 			if !ok {
 				return false
 			}
-			resp.Proto = int(f)
+			resp.Proto = int(n)
 		case "restored":
-			f, ok := s.number()
+			n, ok := s.intVal()
 			if !ok {
 				return false
 			}
-			resp.Restored = int(f)
+			resp.Restored = int(n)
 		case "affected":
-			f, ok := s.number()
+			n, ok := s.intVal()
 			if !ok {
 				return false
 			}
-			resp.Affected = int(f)
+			resp.Affected = int(n)
 		case "reason":
 			if resp.Reason, ok = s.str(); !ok {
 				return false
@@ -587,4 +787,97 @@ func decodeResponse(line []byte, resp *Response) bool {
 		}
 		return false
 	}
+}
+
+// --- reflective fallback ---
+//
+// Lines the fast path does not fully understand re-parse with
+// encoding/json. A plain json.Unmarshal would decode every number in
+// an `any` position as float64 — disagreeing with the fast path (and
+// corrupting integers above 2^53) depending on which decoder handled a
+// line. The helpers below decode with UseNumber and normalize numeric
+// tokens by the same rule as the scanner's numValue, so both decoders
+// produce identical values on every line.
+
+// normalizeWireNumber maps a json.Number to the fast path's decode:
+// integral → int64 (uint64 past MaxInt64), otherwise float64.
+func normalizeWireNumber(n json.Number) any {
+	s := string(n)
+	if integralToken([]byte(s)) {
+		if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+			return i
+		}
+		if s[0] != '-' {
+			if u, err := strconv.ParseUint(s, 10, 64); err == nil {
+				return u
+			}
+		}
+	}
+	if f, err := n.Float64(); err == nil {
+		return f
+	}
+	return s // unparseable exotic literal: keep the token text
+}
+
+func normalizeWireValue(v any) any {
+	if n, ok := v.(json.Number); ok {
+		return normalizeWireNumber(n)
+	}
+	return v
+}
+
+func normalizeWireSlice(vals []any) {
+	for i, v := range vals {
+		vals[i] = normalizeWireValue(v)
+	}
+}
+
+func normalizeWireMap(m map[string]any) {
+	for k, v := range m {
+		if n, ok := v.(json.Number); ok {
+			m[k] = normalizeWireNumber(n)
+		}
+	}
+}
+
+func normalizeRequest(req *Request) {
+	normalizeWireSlice(req.Args)
+	normalizeWireMap(req.Session)
+	normalizeWireMap(req.Named)
+	for i := range req.Batch {
+		normalizeRequest(&req.Batch[i])
+	}
+}
+
+func normalizeResponse(resp *Response) {
+	for _, row := range resp.Rows {
+		normalizeWireSlice(row)
+	}
+	for i := range resp.Batch {
+		normalizeResponse(&resp.Batch[i])
+	}
+}
+
+// decodeRequestJSON is the reflective request decode, normalized to
+// agree with the fast path on every numeric value.
+func decodeRequestJSON(line []byte, req *Request) error {
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.UseNumber()
+	if err := dec.Decode(req); err != nil {
+		return err
+	}
+	normalizeRequest(req)
+	return nil
+}
+
+// decodeResponseJSON is the reflective response decode, normalized to
+// agree with the fast path on every numeric value.
+func decodeResponseJSON(line []byte, resp *Response) error {
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.UseNumber()
+	if err := dec.Decode(resp); err != nil {
+		return err
+	}
+	normalizeResponse(resp)
+	return nil
 }

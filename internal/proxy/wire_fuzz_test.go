@@ -1,0 +1,64 @@
+package proxy
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzWireDecode throws arbitrary lines at the hand-rolled decoders
+// and holds them to the codec's one invariant: whenever the fast path
+// accepts a line, the normalized reflective fallback must accept it
+// too and produce the identical struct — same fields, same number
+// types (int64/uint64 for integral tokens, float64 otherwise). The
+// fast path is free to bail on anything; it is never free to disagree.
+func FuzzWireDecode(f *testing.F) {
+	seeds := []string{
+		`{"op":"query","id":3,"sid":1,"sql":"SELECT 1","args":[4,"x",true,null]}`,
+		`{"op":"hello","maxProto":2,"session":{"MyUId":7}}`,
+		`{"op":"exec","sql":"DELETE FROM T","timeoutMillis":100}`,
+		`{"op":"query","sql":"SELECT 1","named":{"a":1}}`,
+		`{"op":"cancel","id":5,"target":3}`,
+		// Integer-precision seeds: the first value float64 cannot hold,
+		// MaxInt64, MaxUint64, and near-boundary negatives.
+		`{"op":"query","sql":"S","args":[9007199254740993]}`,
+		`{"op":"query","sql":"S","args":[9223372036854775807,-9223372036854775808]}`,
+		`{"op":"query","sql":"S","args":[18446744073709551615]}`,
+		`{"op":"query","sql":"S","args":[1.5,-0.25,2e3,1e-3]}`,
+		`{"id":7,"ok":true,"proto":2}`,
+		`{"id":1,"ok":true,"columns":["a"],"rows":[[9007199254740993,"x"]]}`,
+		`{"id":3,"ok":false,"code":"blocked","blocked":true,"reason":"no view"}`,
+		// Malformed / bail-worthy shapes.
+		`{"op":"query","sql":"SELECT 1"`,
+		`{"op":"query","args":[{"nested":1}]}`,
+		`{"op":"query","sql":"quote \" inside"}`,
+		``,
+		`not json at all`,
+		`{"op":"query","args":[00]}`,
+		`{"op":"query","args":[1e999]}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, line []byte) {
+		var fastReq Request
+		if decodeRequest(line, &fastReq) {
+			var slowReq Request
+			if err := decodeRequestJSON(line, &slowReq); err != nil {
+				t.Fatalf("fast request decoder accepted a line the fallback rejects (%v): %q", err, line)
+			}
+			if !reflect.DeepEqual(fastReq, slowReq) {
+				t.Fatalf("request decoders disagree on %q:\n fast %#v\n slow %#v", line, fastReq, slowReq)
+			}
+		}
+		var fastResp Response
+		if decodeResponse(line, &fastResp) {
+			var slowResp Response
+			if err := decodeResponseJSON(line, &slowResp); err != nil {
+				t.Fatalf("fast response decoder accepted a line the fallback rejects (%v): %q", err, line)
+			}
+			if !reflect.DeepEqual(fastResp, slowResp) {
+				t.Fatalf("response decoders disagree on %q:\n fast %#v\n slow %#v", line, fastResp, slowResp)
+			}
+		}
+	})
+}

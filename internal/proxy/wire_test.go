@@ -77,11 +77,15 @@ func TestWireEncodeRequestMatchesJSON(t *testing.T) {
 }
 
 // roundTripEquivalence asserts the fast decoder agrees field-for-field
-// with encoding/json on the same line.
+// with the normalized reflective fallback (decodeRequestJSON) on the
+// same line. The fallback — not raw encoding/json — is the reference
+// because both paths must agree on number typing: integral tokens
+// decode as int64/uint64 so values past 2^53 survive, where plain
+// encoding/json would round them through float64.
 func decodeBothRequest(t *testing.T, line []byte) (fast Request, ok bool, slow Request) {
 	t.Helper()
 	ok = decodeRequest(line, &fast)
-	if err := json.Unmarshal(line, &slow); err != nil {
+	if err := decodeRequestJSON(line, &slow); err != nil {
 		t.Fatalf("reference decode failed: %v\n%s", err, line)
 	}
 	return
@@ -94,6 +98,7 @@ func TestWireDecodeRequestMatchesJSON(t *testing.T) {
 		`{"op":"cancel","id":5,"target":3}`,
 		`{"op":"exec","sql":"DELETE FROM T","timeoutMillis":100}`,
 		`{"op":"query","sql":"SELECT 1","named":{"a":1}}`,
+		`{"op":"query","sql":"SELECT 1","args":[9007199254740993,-9007199254740993,18446744073709551615,1.5,-0.25,2e3]}`,
 	}
 	for _, l := range lines {
 		fast, ok, slow := decodeBothRequest(t, []byte(l))
@@ -129,6 +134,7 @@ func TestWireDecodeResponseMatchesJSON(t *testing.T) {
 		`{"id":3,"ok":false,"code":"blocked","blocked":true,"reason":"no view"}`,
 		`{"id":4,"ok":false,"error":"parse: bad","code":"parse"}`,
 		`{"id":5,"ok":true,"affected":2}`,
+		`{"id":6,"ok":true,"rows":[[9007199254740993,18446744073709551615,-9007199254740993,0.5]]}`,
 	}
 	for _, l := range lines {
 		var fast, slow Response
@@ -136,12 +142,59 @@ func TestWireDecodeResponseMatchesJSON(t *testing.T) {
 			t.Errorf("fast decoder refused: %s", l)
 			continue
 		}
-		if err := json.Unmarshal([]byte(l), &slow); err != nil {
+		if err := decodeResponseJSON([]byte(l), &slow); err != nil {
 			t.Fatal(err)
 		}
 		if !reflect.DeepEqual(fast, slow) {
 			t.Errorf("decode mismatch on %s:\n fast %+v\n json %+v", l, fast, slow)
 		}
+	}
+}
+
+// TestWireBigIntegerRoundTrip pins the satellite bugfix: integers past
+// 2^53 must survive encode → decode exactly. Before the int64/uint64
+// decode path, every number came back as float64 and 9007199254740993
+// silently became 9007199254740992 — a corrupted argument the policy
+// check and the engine would then both act on.
+func TestWireBigIntegerRoundTrip(t *testing.T) {
+	args := []any{
+		int64(1) << 53,             // first float64-exact boundary
+		int64(1)<<53 + 1,           // first value float64 CANNOT hold
+		int64(9223372036854775807), // MaxInt64
+		int64(-9223372036854775808),
+		uint64(18446744073709551615), // MaxUint64
+	}
+	req := Request{Op: "query", ID: 1, SQL: "SELECT 1", Args: args}
+	line, ok := appendRequest(nil, &req)
+	if !ok {
+		t.Fatalf("fast encoder refused big integers: %+v", req)
+	}
+	for name, decode := range map[string]func([]byte, *Request) bool{
+		"fast": decodeRequest,
+		"fallback": func(b []byte, r *Request) bool {
+			return decodeRequestJSON(b, r) == nil
+		},
+	} {
+		var got Request
+		if !decode(line, &got) {
+			t.Fatalf("%s decoder refused: %s", name, line)
+		}
+		if !reflect.DeepEqual(got.Args, args) {
+			t.Errorf("%s decoder corrupted big integers:\n sent %v\n got  %v", name, args, got.Args)
+		}
+	}
+
+	resp := Response{ID: 1, OK: true, Columns: []string{"n"}, Rows: [][]any{args}}
+	rline, ok := appendResponse(nil, &resp)
+	if !ok {
+		t.Fatalf("fast encoder refused big-integer rows")
+	}
+	var gotResp Response
+	if !decodeResponse(rline, &gotResp) {
+		t.Fatalf("fast decoder refused: %s", rline)
+	}
+	if !reflect.DeepEqual(gotResp.Rows, resp.Rows) {
+		t.Errorf("response rows corrupted:\n sent %v\n got  %v", resp.Rows, gotResp.Rows)
 	}
 }
 

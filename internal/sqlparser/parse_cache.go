@@ -16,16 +16,22 @@ const (
 	parseCacheShards    = 16
 	parseCachePerShard  = 512
 	parseCacheMaxSQLLen = 4096 // don't retain giant one-off statements
+
+	// parseErrCachePerShard bounds the separate negative cache. Parse
+	// errors MUST NOT share the statement-template budget: a stream of
+	// unique malformed SQL (a buggy client, a probing attacker) would
+	// otherwise evict every hot template and force the whole workload
+	// back through the parser (negative-cache poisoning + thrash).
+	parseErrCachePerShard = 64
 )
 
 type parseShard struct {
 	mu sync.Mutex
-	m  map[string]parseEntry
-}
-
-type parseEntry struct {
-	stmt Statement
-	err  error
+	m  map[string]Statement
+	// errs memoizes parse failures under its own small bound so
+	// repeated bad statements skip re-parsing without competing with
+	// hot templates for space.
+	errs map[string]error
 }
 
 var parseCache [parseCacheShards]parseShard
@@ -45,12 +51,18 @@ func cachedParse(sql string) (Statement, error, bool) {
 	}
 	sh := parseShardFor(sql)
 	sh.mu.Lock()
-	e, ok := sh.m[sql]
-	sh.mu.Unlock()
+	stmt, ok := sh.m[sql]
 	if !ok {
+		var err error
+		if err, ok = sh.errs[sql]; ok {
+			sh.mu.Unlock()
+			return nil, err, true
+		}
+		sh.mu.Unlock()
 		return nil, nil, false
 	}
-	return e.stmt, e.err, true
+	sh.mu.Unlock()
+	return stmt, nil, true
 }
 
 func storeParse(sql string, stmt Statement, err error) {
@@ -59,8 +71,24 @@ func storeParse(sql string, stmt Statement, err error) {
 	}
 	sh := parseShardFor(sql)
 	sh.mu.Lock()
+	if err != nil {
+		// Failures go to the separate bounded negative cache so they can
+		// never displace a hot statement template.
+		if sh.errs == nil {
+			sh.errs = make(map[string]error, parseErrCachePerShard)
+		}
+		if len(sh.errs) >= parseErrCachePerShard {
+			for k := range sh.errs {
+				delete(sh.errs, k)
+				break
+			}
+		}
+		sh.errs[sql] = err
+		sh.mu.Unlock()
+		return
+	}
 	if sh.m == nil {
-		sh.m = make(map[string]parseEntry, parseCachePerShard)
+		sh.m = make(map[string]Statement, parseCachePerShard)
 	}
 	if len(sh.m) >= parseCachePerShard {
 		// Evict an arbitrary entry; the workload's statement-shape
@@ -70,7 +98,7 @@ func storeParse(sql string, stmt Statement, err error) {
 			break
 		}
 	}
-	sh.m[sql] = parseEntry{stmt: stmt, err: err}
+	sh.m[sql] = stmt
 	sh.mu.Unlock()
 }
 

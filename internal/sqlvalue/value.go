@@ -104,6 +104,16 @@ func FromAny(v any) (Value, error) {
 		return NewInt(int64(x)), nil
 	case int64:
 		return NewInt(x), nil
+	case uint:
+		return fromUint64(uint64(x)), nil
+	case uint8:
+		return NewInt(int64(x)), nil
+	case uint16:
+		return NewInt(int64(x)), nil
+	case uint32:
+		return NewInt(int64(x)), nil
+	case uint64:
+		return fromUint64(x), nil
 	case float32:
 		return NewReal(float64(x)), nil
 	case float64:
@@ -114,6 +124,17 @@ func FromAny(v any) (Value, error) {
 		return x, nil
 	}
 	return Value{}, fmt.Errorf("sqlvalue: unsupported Go type %T", v)
+}
+
+// fromUint64 maps an unsigned value into the INTEGER class when it
+// fits; beyond int64 range it degrades to REAL (the value system has
+// no unsigned class, and the pre-existing JSON path already treated
+// such magnitudes as float64).
+func fromUint64(x uint64) Value {
+	if x <= math.MaxInt64 {
+		return NewInt(int64(x))
+	}
+	return NewReal(float64(x))
 }
 
 // MustFromAny is FromAny, panicking on error. It is intended for
@@ -212,6 +233,33 @@ func (v Value) Key() string {
 		return "b" + strconv.FormatInt(v.i, 10)
 	}
 	return "?"
+}
+
+// AppendKey appends exactly what Key returns to buf without
+// allocating. It exists for hot paths that build composite cache keys
+// into reused buffers (the checker's warm decide path).
+func (v Value) AppendKey(buf []byte) []byte {
+	switch v.typ {
+	case Null:
+		return append(buf, 'n')
+	case Int:
+		buf = append(buf, 'i')
+		return strconv.AppendInt(buf, v.i, 10)
+	case Real:
+		if v.f == math.Trunc(v.f) && !math.IsInf(v.f, 0) && v.f >= math.MinInt64 && v.f <= math.MaxInt64 {
+			buf = append(buf, 'i')
+			return strconv.AppendInt(buf, int64(v.f), 10)
+		}
+		buf = append(buf, 'f')
+		return strconv.AppendFloat(buf, v.f, 'b', -1, 64)
+	case Text:
+		buf = append(buf, 't')
+		return append(buf, v.s...)
+	case Bool:
+		buf = append(buf, 'b')
+		return strconv.AppendInt(buf, v.i, 10)
+	}
+	return append(buf, '?')
 }
 
 // Tristate is the result of a SQL predicate: TRUE, FALSE, or UNKNOWN.

@@ -343,3 +343,59 @@ func TestLikeSelfMatchProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// AppendKey must emit byte-for-byte what Key returns; the checker's
+// warm path builds cache keys through it without allocating.
+func TestAppendKeyMatchesKey(t *testing.T) {
+	vals := []Value{
+		NewNull(), NewInt(0), NewInt(-42), NewInt(1 << 60),
+		NewReal(2.0), NewReal(3.25), NewReal(-1e300),
+		NewText(""), NewText("alice"), NewBool(true), NewBool(false),
+	}
+	for _, v := range vals {
+		if got := string(v.AppendKey(nil)); got != v.Key() {
+			t.Errorf("AppendKey(%s) = %q, Key = %q", v, got, v.Key())
+		}
+	}
+}
+
+func TestAppendKeyMatchesKeyProperty(t *testing.T) {
+	f := func(i int64, fl float64, s string, b bool, pick uint8) bool {
+		var v Value
+		switch pick % 5 {
+		case 0:
+			v = NewNull()
+		case 1:
+			v = NewInt(i)
+		case 2:
+			v = NewReal(fl)
+		case 3:
+			v = NewText(s)
+		case 4:
+			v = NewBool(b)
+		}
+		return string(v.AppendKey(nil)) == v.Key()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Unsigned Go values convert: into INTEGER when they fit, degrading
+// to REAL past int64 range (the wire decoder produces uint64 for
+// tokens above MaxInt64).
+func TestFromAnyUnsigned(t *testing.T) {
+	v := MustFromAny(uint64(7))
+	if v.Type() != Int || v.Int() != 7 {
+		t.Errorf("uint64(7) -> %v", v)
+	}
+	v = MustFromAny(uint(1 << 40))
+	if v.Type() != Int || v.Int() != 1<<40 {
+		t.Errorf("uint(1<<40) -> %v", v)
+	}
+	big := uint64(1<<63) + 10
+	v = MustFromAny(big)
+	if v.Type() != Real || v.Real() != float64(big) {
+		t.Errorf("uint64 beyond int64 -> %v, want REAL %g", v, float64(big))
+	}
+}

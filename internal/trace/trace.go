@@ -65,12 +65,16 @@ type Trace struct {
 	reused, translated uint64
 }
 
-// factCache holds incrementally derived facts for one schema.
+// factCache holds incrementally derived facts for one schema. keys
+// holds each fact's canonical string, rendered exactly once at
+// derivation time (it is needed for dedup anyway) so checkers can key
+// their memos off it without re-rendering per check.
 type factCache struct {
 	schema *schema.Schema
 	upto   int // entries processed so far
 	seen   map[string]bool
 	facts  []cq.Fact
+	keys   []string
 }
 
 // FactCacheStats reports the incremental fact cache's effectiveness:
@@ -229,6 +233,18 @@ func (t *Trace) FactCacheStats() FactCacheStats {
 // holds are shared with the cache and must be treated as immutable
 // (callers that rewrite terms must clone, as cq.Fact.Atom.Clone does).
 func (t *Trace) Facts(s *schema.Schema) []cq.Fact {
+	facts, _ := t.FactsKeyed(s)
+	return append([]cq.Fact(nil), facts...)
+}
+
+// FactsKeyed is Facts without the defensive copy: it returns the
+// cache's own fact slice alongside each fact's canonical string
+// (rendered once at derivation, not per call). Both slices are shared,
+// immutable snapshots — the cache only ever appends past their length,
+// never rewrites the returned prefix — so the warm decide path can
+// walk a long history with zero per-check allocation. Callers must not
+// mutate either slice or retain them across a schema change.
+func (t *Trace) FactsKeyed(s *schema.Schema) ([]cq.Fact, []string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	fc := t.fc
@@ -249,13 +265,17 @@ func (t *Trace) Facts(s *schema.Schema) []cq.Fact {
 				if !fc.seen[k] {
 					fc.seen[k] = true
 					fc.facts = append(fc.facts, f)
+					fc.keys = append(fc.keys, k)
 				}
 			})
 			t.translated++
 		}
 		fc.upto = len(t.Entries)
 	}
-	return append([]cq.Fact(nil), fc.facts...)
+	// Full slice expressions pin capacity at the snapshot length, so a
+	// later in-place append can never write inside a returned view.
+	n := len(fc.facts)
+	return fc.facts[:n:n], fc.keys[:n:n]
 }
 
 // Facts derives ground facts from the trace, using the trace's
