@@ -13,7 +13,7 @@ COMMIT  ?= $(shell git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)
 DATE    ?= $(shell date -u +%Y-%m-%dT%H:%M:%SZ 2>/dev/null || echo unknown)
 LDFLAGS  = -ldflags "-X repro/internal/buildinfo.Version=$(VERSION) -X repro/internal/buildinfo.Commit=$(COMMIT) -X repro/internal/buildinfo.Date=$(DATE)"
 
-.PHONY: build test vet race bench bench-json hotpath pipeline coldpath coldsmoke allocbudget openloop opensmoke fmtcheck fuzz fuzzwal fuzzwire killrecover staticcheck ci
+.PHONY: build test vet race bench bench-json hotpath pipeline coldpath coldsmoke allocbudget openloop opensmoke ingress pgsmoke driversmoke fmtcheck fuzz fuzzwal fuzzwire killrecover staticcheck ci
 
 build:
 	$(GO) build $(LDFLAGS) ./...
@@ -38,7 +38,7 @@ bench:
 # -against diffs the fresh document's pinned hotpath numbers against
 # the previous one and fails on a >10% speedup regression.
 bench-json:
-	$(GO) run ./cmd/acbench -json BENCH_6.json -against BENCH_5.json
+	$(GO) run ./cmd/acbench -json BENCH_7.json -against BENCH_6.json
 
 hotpath:
 	$(GO) run ./cmd/acbench -hotpath
@@ -75,6 +75,24 @@ openloop:
 opensmoke:
 	$(GO) run ./cmd/acbench -openloop -openloop-sessions 200 -openloop-ops 2500 -openloop-qps 500
 
+# Ingress-surface comparison: serial decide throughput for the same
+# statement through the v2 client, the database/sql driver, and the
+# Postgres wire listener, all on one enforcement core.
+ingress:
+	$(GO) run ./cmd/acbench -ingress
+
+# Postgres wire-protocol conformance: raw-socket client exercising the
+# simple and extended flows, mid-transaction blocks, cancellation, the
+# prepared-statement front-cache pin, and the connection limit.
+pgsmoke:
+	$(GO) test -count=1 ./internal/pgwire
+
+# database/sql driver suite plus the cross-ingress decision-parity
+# test (every fixture's corpus through v2, driver, and pgwire).
+driversmoke:
+	$(GO) test -count=1 ./driver
+	$(GO) test -count=1 -run 'TestIngressDecisionParity|TestServeBothListeners' .
+
 fmtcheck:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
@@ -109,4 +127,4 @@ staticcheck:
 	else \
 		echo "staticcheck not installed; skipping"; fi
 
-ci: fmtcheck vet test race coldsmoke allocbudget opensmoke fuzz fuzzwal fuzzwire killrecover staticcheck
+ci: fmtcheck vet test race coldsmoke allocbudget opensmoke pgsmoke driversmoke fuzz fuzzwal fuzzwire killrecover staticcheck

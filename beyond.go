@@ -410,6 +410,15 @@ func WithHistoryWindow(n int) ProxyOption {
 //
 //	beyond.NewProxy(db, chk, beyond.Enforce,
 //		beyond.WithMaxConns(256), beyond.WithReadTimeout(30*time.Second))
+//
+// Deprecated: use Serve with WithV2Listener, which binds the same
+// core and composes with the Postgres wire listener:
+//
+//	svc, err := beyond.Serve(db, chk, beyond.Enforce,
+//		beyond.WithV2Listener(addr, beyond.WithMaxConns(256)))
+//
+// NewProxy remains a supported thin shim over the same proxy core;
+// existing callers keep working unchanged.
 func NewProxy(db *DB, c *Checker, mode ProxyMode, opts ...ProxyOption) *ProxyServer {
 	s := proxy.NewServer(db, c, mode)
 	for _, o := range opts {
@@ -419,6 +428,12 @@ func NewProxy(db *DB, c *Checker, mode ProxyMode, opts ...ProxyOption) *ProxySer
 }
 
 // DialProxy connects a client to a proxy address.
+//
+// Deprecated: new application code should prefer the database/sql
+// driver (import _ "repro/driver"; sql.Open("beyond", dsn)), which
+// rides the same v2 protocol behind the standard library API.
+// DialProxy remains supported for tools that want the native client's
+// typed surface (Stats, HelloDurable, pipelining).
 func DialProxy(addr string, opts ...proxy.ClientOption) (*ProxyClient, error) {
 	return proxy.Dial(addr, opts...)
 }

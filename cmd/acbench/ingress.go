@@ -1,0 +1,193 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"database/sql"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	beyond "repro"
+	_ "repro/driver"
+	"repro/internal/apps"
+	"repro/internal/checker"
+	"repro/internal/proxy"
+)
+
+// The ingress comparison measures serial request-response decide
+// throughput for the same enforced statement through each ingress
+// surface: the native v2 client, an unmodified database/sql program
+// on the repro/driver, and a raw Postgres wire-protocol (v3) client
+// using the simple-query flow. All three converge on one proxy core
+// (one checker, one set of caches), so the spread between rows is
+// pure protocol and client-stack overhead, not decision cost.
+
+type ingressRow struct {
+	Surface string  `json:"surface"`
+	ReqPerS float64 `json:"reqPerSec"`
+	RelV2   float64 `json:"relativeToV2"`
+}
+
+const (
+	ingressRequests = 4000
+	ingressTrials   = 3
+	// A policy-allowed point lookup with no client-bound parameters,
+	// so the simple-query pgwire flow issues the byte-identical
+	// statement the other surfaces do.
+	ingressSQL = "SELECT EId FROM Attendance WHERE UId = 1"
+)
+
+func runIngress() ([]ingressRow, error) {
+	f := apps.Calendar()
+	svc, err := beyond.Serve(f.MustNewDB(8), checker.New(f.Policy()), beyond.Enforce,
+		beyond.WithV2Listener("127.0.0.1:0"),
+		beyond.WithPgListener("127.0.0.1:0"))
+	if err != nil {
+		return nil, err
+	}
+	defer svc.Close()
+
+	surfaces := []struct {
+		name string
+		run  func() (float64, error)
+	}{
+		{"v2", func() (float64, error) { return ingressV2(svc.V2Addr()) }},
+		{"driver", func() (float64, error) { return ingressDriver(svc.V2Addr()) }},
+		{"pgwire", func() (float64, error) { return ingressPg(svc.PgAddr()) }},
+	}
+	var rows []ingressRow
+	var base float64
+	for _, s := range surfaces {
+		var best float64
+		for t := 0; t < ingressTrials; t++ {
+			rps, err := s.run()
+			if err != nil {
+				return nil, fmt.Errorf("ingress %s: %w", s.name, err)
+			}
+			if rps > best {
+				best = rps
+			}
+		}
+		if s.name == "v2" {
+			base = best
+		}
+		rows = append(rows, ingressRow{Surface: s.name, ReqPerS: best, RelV2: best / base})
+	}
+	return rows, nil
+}
+
+func ingressV2(addr string) (float64, error) {
+	ctx := context.Background()
+	cl, err := proxy.Dial(addr)
+	if err != nil {
+		return 0, err
+	}
+	defer cl.Close()
+	if err := cl.Hello(ctx, map[string]any{"MyUId": 1}); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	for i := 0; i < ingressRequests; i++ {
+		if _, err := cl.Query(ctx, ingressSQL); err != nil {
+			return 0, err
+		}
+	}
+	return ingressRequests / time.Since(start).Seconds(), nil
+}
+
+func ingressDriver(addr string) (float64, error) {
+	ctx := context.Background()
+	db, err := sql.Open("beyond", addr+"?MyUId=1")
+	if err != nil {
+		return 0, err
+	}
+	defer db.Close()
+	db.SetMaxOpenConns(1)
+	start := time.Now()
+	for i := 0; i < ingressRequests; i++ {
+		rows, err := db.QueryContext(ctx, ingressSQL)
+		if err != nil {
+			return 0, err
+		}
+		for rows.Next() {
+		}
+		if err := rows.Close(); err != nil {
+			return 0, err
+		}
+	}
+	return ingressRequests / time.Since(start).Seconds(), nil
+}
+
+// ingressPg is a minimal pgwire simple-query client: startup with a
+// session attribute, then Q / drain-to-ReadyForQuery per request.
+func ingressPg(addr string) (float64, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close()
+	var body []byte
+	body = binary.BigEndian.AppendUint32(body, 196608)
+	for _, s := range []string{"user", "acbench", "attr.MyUId", "1"} {
+		body = append(append(body, s...), 0)
+	}
+	body = append(body, 0)
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)+4))
+	if _, err := c.Write(append(hdr[:], body...)); err != nil {
+		return 0, err
+	}
+	r := bufio.NewReader(c)
+	drain := func() error {
+		for {
+			var h [5]byte
+			if _, err := io.ReadFull(r, h[:]); err != nil {
+				return err
+			}
+			n := binary.BigEndian.Uint32(h[1:])
+			payload := make([]byte, n-4)
+			if _, err := io.ReadFull(r, payload); err != nil {
+				return err
+			}
+			switch h[0] {
+			case 'E':
+				return fmt.Errorf("pgwire error: %q", payload)
+			case 'Z':
+				return nil
+			}
+		}
+	}
+	if err := drain(); err != nil {
+		return 0, err
+	}
+	var q []byte
+	q = append(q, 'Q')
+	q = binary.BigEndian.AppendUint32(q, uint32(len(ingressSQL)+5))
+	q = append(append(q, ingressSQL...), 0)
+	start := time.Now()
+	for i := 0; i < ingressRequests; i++ {
+		if _, err := c.Write(q); err != nil {
+			return 0, err
+		}
+		if err := drain(); err != nil {
+			return 0, err
+		}
+	}
+	return ingressRequests / time.Since(start).Seconds(), nil
+}
+
+func printIngress() error {
+	rows, err := runIngress()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Ingress surfaces: serial decide throughput, one shared enforcement core")
+	fmt.Printf("%-10s %12s %10s\n", "surface", "req/s", "vs v2")
+	for _, r := range rows {
+		fmt.Printf("%-10s %12.0f %9.2fx\n", r.Surface, r.ReqPerS, r.RelV2)
+	}
+	return nil
+}

@@ -9,6 +9,7 @@
 //	acbench -hotpath   # enforcement hot-path scaling table only
 //	acbench -pipeline  # protocol-v2 pipelining throughput table only
 //	acbench -durable   # WAL fsync-policy/group-commit ablation only
+//	acbench -ingress   # decide throughput per ingress surface (v2/driver/pgwire)
 //	acbench -json BENCH_5.json   # machine-readable benchmark document
 //
 // -hotpath measures the per-check cost against growing session
@@ -63,6 +64,7 @@ func main() {
 	coldpath := flag.Bool("coldpath", false, "run only the cold-path policy-size sweep (serial vs indexed vs parallel)")
 	durableBench := flag.Bool("durable", false, "run only the WAL append-throughput ablation (fsync policies vs group commit)")
 	openloop := flag.Bool("openloop", false, "run only the open-loop (coordinated-omission-safe) proxy load table")
+	ingress := flag.Bool("ingress", false, "run only the ingress-surface comparison (v2 vs database/sql driver vs pgwire)")
 	olSessions := flag.String("openloop-sessions", "", "with -openloop/-json: comma-separated session scales (default 10000,100000,1000000)")
 	olOps := flag.Int("openloop-ops", 0, "with -openloop/-json: operations per scale (default 10000)")
 	olQPS := flag.Float64("openloop-qps", 0, "with -openloop/-json: offered Poisson arrival rate (default 2000)")
@@ -101,6 +103,12 @@ func main() {
 	}
 	if *openloop {
 		if err := printOpenLoop(olCfg); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *ingress {
+		if err := printIngress(); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -158,6 +166,7 @@ type benchDoc struct {
 	Coldpath        []coldpathRow `json:"coldpath,omitempty"`
 	Durable         []durableRow  `json:"durable,omitempty"`
 	Openloop        []openloopRow `json:"openloop,omitempty"`
+	Ingress         []ingressRow  `json:"ingress,omitempty"`
 	MetricsOverhead overheadRow   `json:"metricsOverhead"`
 }
 
@@ -226,6 +235,12 @@ func runJSON(path, against string, olCfg openloopConfig) error {
 		return err
 	}
 	doc.Openloop = ol
+	fmt.Println("acbench: ingress surfaces...")
+	ing, err := runIngress()
+	if err != nil {
+		return err
+	}
+	doc.Ingress = ing
 	fmt.Println("acbench: metrics overhead...")
 	doc.MetricsOverhead = runMetricsOverhead()
 	b, err := json.MarshalIndent(doc, "", "  ")

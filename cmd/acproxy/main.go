@@ -9,7 +9,10 @@
 //	        -metrics 127.0.0.1:7071 -pprof -slowlog 50ms
 //
 // Clients speak the line protocol of internal/proxy; see
-// examples/calendar for a driver.
+// examples/calendar for a driver. With -pg-addr the same enforcement
+// core additionally serves the Postgres wire protocol (v3), so psql
+// and stock Postgres drivers connect directly (session attributes via
+// attr.* startup parameters; DESIGN.md §13).
 //
 // Observability:
 //
@@ -59,6 +62,7 @@ import (
 func main() {
 	app := flag.String("app", "calendar", "fixture: calendar|hospital|employees|forum")
 	addr := flag.String("addr", "127.0.0.1:7070", "listen address")
+	pgAddr := flag.String("pg-addr", "", "also serve the Postgres wire protocol (v3) on this address (empty disables)")
 	size := flag.Int("size", 50, "seed rows per main table")
 	mode := flag.String("mode", "enforce", "enforce|log-only|off")
 	maxConns := flag.Int("max-conns", 0, "simultaneous connection limit (0 = default, <0 = unlimited)")
@@ -114,13 +118,21 @@ func main() {
 			beyond.WithFsyncInterval(*fsyncInterval),
 			beyond.WithCheckpointEvery(*ckptEvery)))
 	}
-	srv := beyond.NewProxy(db, chk, m, opts...)
-	bound, err := srv.Listen(*addr)
+	sopts := []beyond.ServeOption{beyond.WithV2Listener(*addr, opts...)}
+	if *pgAddr != "" {
+		sopts = append(sopts, beyond.WithPgListener(*pgAddr))
+	}
+	svc, err := beyond.Serve(db, chk, m, sopts...)
 	if err != nil {
 		log.Fatal(err)
 	}
+	srv := svc.Proxy()
 	fmt.Printf("acproxy: %s app, policy %d views, mode %s, listening on %s\n",
-		f.Name, len(f.Policy().Views), m, bound)
+		f.Name, len(f.Policy().Views), m, svc.V2Addr())
+	if *pgAddr != "" {
+		fmt.Printf("acproxy: Postgres wire protocol on %s (session attrs via attr.* startup params)\n",
+			svc.PgAddr())
+	}
 	if *walDir != "" {
 		wal := srv.Durable()
 		fmt.Printf("acproxy: WAL at %s (fsync %s), recovered %d session(s) / %d entr(ies)\n",
@@ -151,7 +163,7 @@ func main() {
 	if *walDir != "" {
 		walStats = srv.Durable()
 	}
-	if err := srv.Close(); err != nil {
+	if err := svc.Close(); err != nil {
 		log.Printf("acproxy: close: %v", err)
 	}
 	if walStats != nil {

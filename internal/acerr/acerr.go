@@ -41,6 +41,73 @@ const (
 	CodeInternal     = "internal"
 )
 
+// SQLSTATE codes: the five-character class/condition codes the
+// Postgres wire listener reports in ErrorResponse messages, chosen so
+// stock Postgres clients classify our errors the way they would a real
+// server's. Together with the wire codes above they form ONE mapping
+// table (codeTable): every wire code has exactly one SQLSTATE and the
+// test suite pins that the table is total over the vocabulary.
+const (
+	// SQLStateBlocked: 42501 insufficient_privilege — a policy refusal
+	// is an authorization failure from the client's point of view.
+	SQLStateBlocked = "42501"
+	// SQLStateParse: 42601 syntax_error.
+	SQLStateParse = "42601"
+	// SQLStateTooManyConns: 53300 too_many_connections.
+	SQLStateTooManyConns = "53300"
+	// SQLStateCanceled: 57014 query_canceled.
+	SQLStateCanceled = "57014"
+	// SQLStateBadRequest: 22023 invalid_parameter_value — malformed
+	// arguments rather than malformed SQL.
+	SQLStateBadRequest = "22023"
+	// SQLStateEngine: XX000 internal_error (engine-side failure).
+	SQLStateEngine = "XX000"
+	// SQLStateInternal: XX000 internal_error.
+	SQLStateInternal = "XX000"
+	// SQLStateFeatureNotSupported: 0A000 feature_not_supported — used
+	// by the wire listener for protocol features we reject (e.g.
+	// binary parameter formats), not produced by CodeOf.
+	SQLStateFeatureNotSupported = "0A000"
+)
+
+// codeTable is the single source of truth tying each wire code to its
+// SQLSTATE. SQLStateOf consults it; the package test asserts every
+// Code* constant appears here and every sentinel reaches it through
+// CodeOf.
+var codeTable = map[string]string{
+	CodeBlocked:      SQLStateBlocked,
+	CodeParse:        SQLStateParse,
+	CodeTooManyConns: SQLStateTooManyConns,
+	CodeCanceled:     SQLStateCanceled,
+	CodeBadRequest:   SQLStateBadRequest,
+	CodeEngine:       SQLStateEngine,
+	CodeInternal:     SQLStateInternal,
+}
+
+// SQLStateFor maps a wire code to its SQLSTATE. Unknown codes report
+// as internal errors — the safe default for a protocol bridge.
+func SQLStateFor(code string) string {
+	if s, ok := codeTable[code]; ok {
+		return s
+	}
+	return SQLStateInternal
+}
+
+// SQLStateOf maps an error to its SQLSTATE via its wire code.
+func SQLStateOf(err error) string {
+	return SQLStateFor(CodeOf(err))
+}
+
+// Codes returns the closed wire-code vocabulary (sorted is not
+// guaranteed); tests iterate it to prove mappings are total.
+func Codes() []string {
+	out := make([]string, 0, len(codeTable))
+	for c := range codeTable {
+		out = append(out, c)
+	}
+	return out
+}
+
 // CodeOf maps an error to its wire code. nil maps to ""; context
 // cancellation and deadline errors count as canceled even when the
 // ErrCanceled sentinel was never attached.

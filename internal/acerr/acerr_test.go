@@ -1,0 +1,109 @@
+package acerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"regexp"
+	"testing"
+)
+
+// TestEveryErrorHasBothMappings pins the satellite contract: every
+// exported sentinel maps to a wire code AND a SQLSTATE, and every wire
+// code in the closed vocabulary has a SQLSTATE. A sentinel or code
+// added without extending the table fails here, not in production.
+func TestEveryErrorHasBothMappings(t *testing.T) {
+	sentinels := map[string]error{
+		"ErrBlocked":      ErrBlocked,
+		"ErrParse":        ErrParse,
+		"ErrTooManyConns": ErrTooManyConns,
+		"ErrCanceled":     ErrCanceled,
+	}
+	for name, err := range sentinels {
+		code := CodeOf(err)
+		if code == "" || code == CodeInternal {
+			t.Errorf("%s: CodeOf = %q, want a dedicated wire code", name, code)
+		}
+		state := SQLStateOf(err)
+		if state == "" {
+			t.Errorf("%s: no SQLSTATE", name)
+		}
+		// Wrapped sentinels map identically.
+		wrapped := fmt.Errorf("context: %w", err)
+		if CodeOf(wrapped) != code || SQLStateOf(wrapped) != state {
+			t.Errorf("%s: wrapped error maps to %q/%q, want %q/%q",
+				name, CodeOf(wrapped), SQLStateOf(wrapped), code, state)
+		}
+	}
+
+	codes := []string{
+		CodeBlocked, CodeParse, CodeTooManyConns, CodeCanceled,
+		CodeBadRequest, CodeEngine, CodeInternal,
+	}
+	valid := regexp.MustCompile(`^[0-9A-Z]{5}$`)
+	for _, c := range codes {
+		state := SQLStateFor(c)
+		if !valid.MatchString(state) {
+			t.Errorf("code %q: SQLSTATE %q is not a five-char class code", c, state)
+		}
+	}
+	// Codes() exposes the same vocabulary the constants declare.
+	if got, want := len(Codes()), len(codes); got != want {
+		t.Errorf("Codes() has %d entries, want %d", got, want)
+	}
+	for _, c := range Codes() {
+		found := false
+		for _, want := range codes {
+			if c == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("Codes() contains %q, not among the declared constants", c)
+		}
+	}
+}
+
+func TestSQLStateValues(t *testing.T) {
+	// The specific classes are part of the public contract (documented
+	// in DESIGN.md §13): clients pattern-match on them.
+	cases := map[string]string{
+		CodeBlocked:      "42501",
+		CodeParse:        "42601",
+		CodeTooManyConns: "53300",
+		CodeCanceled:     "57014",
+		CodeBadRequest:   "22023",
+		CodeEngine:       "XX000",
+		CodeInternal:     "XX000",
+	}
+	for code, want := range cases {
+		if got := SQLStateFor(code); got != want {
+			t.Errorf("SQLStateFor(%q) = %q, want %q", code, got, want)
+		}
+	}
+	if got := SQLStateFor("no_such_code"); got != SQLStateInternal {
+		t.Errorf("unknown code: got %q, want internal", got)
+	}
+	if SQLStateFeatureNotSupported != "0A000" {
+		t.Errorf("feature_not_supported = %q", SQLStateFeatureNotSupported)
+	}
+}
+
+func TestCodeRoundTrip(t *testing.T) {
+	for _, err := range []error{ErrBlocked, ErrParse, ErrTooManyConns, ErrCanceled} {
+		code := CodeOf(err)
+		back := FromCode(code, "some message")
+		if !errors.Is(back, err) {
+			t.Errorf("FromCode(%q) does not unwrap to original sentinel", code)
+		}
+		if back.Error() != "some message" {
+			t.Errorf("FromCode(%q) message = %q", code, back.Error())
+		}
+	}
+	if got := CodeOf(context.DeadlineExceeded); got != CodeCanceled {
+		t.Errorf("deadline: code %q, want canceled", got)
+	}
+	if got := SQLStateOf(context.Canceled); got != SQLStateCanceled {
+		t.Errorf("ctx cancel: SQLSTATE %q, want %q", got, SQLStateCanceled)
+	}
+}

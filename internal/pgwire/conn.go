@@ -1,0 +1,662 @@
+package pgwire
+
+import (
+	"bufio"
+	"context"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/acerr"
+	"repro/internal/proxy"
+	"repro/internal/sqlparser"
+)
+
+// SQLSTATEs for protocol-level conditions the acerr vocabulary does
+// not cover (they never cross the v2 wire).
+const (
+	stateProtocolViolation = "08P01"
+	stateInFailedTx        = "25P02"
+	stateNoSuchStatement   = "26000"
+	stateNoSuchPortal      = "34000"
+)
+
+// prepared is a named statement from Parse: the original SQL (the
+// proxy normalizes it on ingest, so re-submitting the text hits the
+// shared parse-cache entry and, from the second execution on, the
+// checker's statement-identity front cache), its leading keyword, and
+// what Describe needs.
+type prepared struct {
+	sql       string
+	kw        string
+	numParams int
+	paramOIDs []int32               // as declared by Parse; 0 = unspecified
+	sel       *sqlparser.SelectStmt // non-nil for SELECT
+}
+
+// portal is a Bind result: a prepared statement with argument values.
+type portal struct {
+	stmt *prepared
+	args []any
+}
+
+// conn is one client connection: a proxy session plus protocol state.
+// Statements execute strictly serially — compliance decisions are
+// history-dependent, so a connection is one trace.
+type conn struct {
+	srv  *Server
+	netc netConn
+	r    *bufio.Reader
+	w    *bufio.Writer
+	m    msgBuf
+
+	pid, secret int32
+
+	sess *proxy.Session
+	tx   byte // 'I' idle, 'T' in transaction, 'E' failed transaction
+
+	stmts   map[string]*prepared
+	portals map[string]*portal
+
+	cancelMu  sync.Mutex
+	cancelCur context.CancelFunc
+}
+
+// netConn is the subset of net.Conn the handler uses (test seam).
+type netConn interface {
+	Read([]byte) (int, error)
+	Write([]byte) (int, error)
+	Close() error
+}
+
+func (c *conn) cancelCurrent() {
+	c.cancelMu.Lock()
+	cancel := c.cancelCur
+	c.cancelMu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// statementCtx derives the per-statement context and registers its
+// cancel func for CancelRequest routing.
+func (c *conn) statementCtx(base context.Context) (context.Context, func()) {
+	ctx, cancel := context.WithCancel(base)
+	c.cancelMu.Lock()
+	c.cancelCur = cancel
+	c.cancelMu.Unlock()
+	return ctx, func() {
+		c.cancelMu.Lock()
+		c.cancelCur = nil
+		c.cancelMu.Unlock()
+		cancel()
+	}
+}
+
+func (c *conn) serve(base context.Context) {
+	c.r = bufio.NewReader(c.netc)
+	c.w = bufio.NewWriter(c.netc)
+	c.tx = 'I'
+	c.stmts = make(map[string]*prepared)
+	c.portals = make(map[string]*portal)
+
+	if !c.startup(base) {
+		return
+	}
+
+	skipTillSync := false
+	for {
+		typ, payload, err := readMsg(c.r)
+		if err != nil {
+			return // disconnect
+		}
+		// After an extended-protocol error the backend discards
+		// messages until Sync resynchronizes the pipeline.
+		if skipTillSync && typ != 'S' && typ != 'X' {
+			continue
+		}
+		p := payloadReader{b: payload}
+		ok := true
+		switch typ {
+		case 'Q':
+			sql, perr := p.cstr()
+			if perr != nil {
+				c.protoError(perr.Error())
+				return
+			}
+			c.simpleQuery(base, sql)
+		case 'P':
+			ok = c.handleParse(&p)
+		case 'B':
+			ok = c.handleBind(&p)
+		case 'D':
+			ok = c.handleDescribe(&p)
+		case 'E':
+			ok = c.handleExecute(base, &p)
+		case 'C':
+			ok = c.handleClose(&p)
+		case 'S':
+			skipTillSync = false
+			_ = writeReadyForQuery(c.w, &c.m, c.tx)
+			if c.w.Flush() != nil {
+				return
+			}
+			continue
+		case 'H':
+			if c.w.Flush() != nil {
+				return
+			}
+			continue
+		case 'X':
+			return
+		case 'd', 'c', 'f', 'F':
+			_ = writeErrorResponse(c.w, &c.m, acerr.SQLStateFeatureNotSupported,
+				"COPY and function-call messages are not supported")
+			ok = false
+		default:
+			c.protoError("unexpected message type " + strconv.QuoteRune(rune(typ)))
+			return
+		}
+		if !ok {
+			skipTillSync = true
+		}
+		if c.w.Flush() != nil {
+			return
+		}
+	}
+}
+
+// protoError reports an unrecoverable protocol violation; the caller
+// closes the connection.
+func (c *conn) protoError(msg string) {
+	_ = writeErrorResponse(c.w, &c.m, stateProtocolViolation, msg)
+	_ = c.w.Flush()
+}
+
+// startup runs the pre-authentication phase: SSL refusal,
+// CancelRequest dispatch, parameter collection, and the proxy "hello"
+// that binds the session. Returns false when the connection should
+// close.
+func (c *conn) startup(base context.Context) bool {
+	var params map[string]string
+	for {
+		code, payload, err := readStartup(c.r)
+		if err != nil {
+			return false
+		}
+		switch code {
+		case sslRequestCode:
+			// No TLS: answer 'N' and let the client continue in
+			// cleartext (the posture every stock driver handles).
+			if _, err := c.netc.Write([]byte{'N'}); err != nil {
+				return false
+			}
+			continue
+		case cancelCode:
+			p := payloadReader{b: payload}
+			pid, err1 := p.int32()
+			secret, err2 := p.int32()
+			if err1 == nil && err2 == nil {
+				c.srv.cancelByKey(pid, secret)
+			}
+			return false // cancel connections carry nothing else
+		case protoV3:
+			params = parseStartupParams(payload)
+		default:
+			c.protoError("unsupported protocol version " + strconv.Itoa(int(code)))
+			return false
+		}
+		break
+	}
+
+	attrs := make(map[string]any)
+	durableName := ""
+	for k, v := range params {
+		switch {
+		case strings.HasPrefix(k, "attr."):
+			attrs[strings.TrimPrefix(k, "attr.")] = parseAttrValue(v)
+		case k == "session":
+			durableName = v
+		}
+	}
+	c.sess = proxy.NewSession(nil)
+	hello := c.srv.cfg.Proxy.HandleInCtx(base, &proxy.Request{
+		Op: "hello", Name: durableName, Session: attrs,
+	}, c.sess)
+	if hello.Error != "" {
+		_ = writeErrorResponse(c.w, &c.m, acerr.SQLStateFor(hello.Code), hello.Error)
+		_ = c.w.Flush()
+		return false
+	}
+
+	_ = writeAuthOK(c.w, &c.m)
+	_ = writeParameterStatus(c.w, &c.m, "server_version", "13.0 (beyond)")
+	_ = writeParameterStatus(c.w, &c.m, "server_encoding", "UTF8")
+	_ = writeParameterStatus(c.w, &c.m, "client_encoding", "UTF8")
+	_ = writeParameterStatus(c.w, &c.m, "DateStyle", "ISO")
+	_ = writeParameterStatus(c.w, &c.m, "standard_conforming_strings", "on")
+	_ = writeBackendKeyData(c.w, &c.m, c.pid, c.secret)
+	_ = writeReadyForQuery(c.w, &c.m, 'I')
+	return c.w.Flush() == nil
+}
+
+// parseStartupParams walks the null-terminated key/value pairs of a
+// StartupMessage.
+func parseStartupParams(payload []byte) map[string]string {
+	out := make(map[string]string)
+	p := payloadReader{b: payload}
+	for {
+		k, err := p.cstr()
+		if err != nil || k == "" {
+			return out
+		}
+		v, err := p.cstr()
+		if err != nil {
+			return out
+		}
+		out[k] = v
+	}
+}
+
+// simpleQuery services one 'Q' message: split, execute each statement
+// in order (stopping at the first error, as real servers do), then
+// ReadyForQuery.
+func (c *conn) simpleQuery(base context.Context, sql string) {
+	stmts := splitStatements(sql)
+	if len(stmts) == 0 {
+		_ = writeEmptyQueryResponse(c.w, &c.m)
+		_ = writeReadyForQuery(c.w, &c.m, c.tx)
+		return
+	}
+	for _, s := range stmts {
+		if !c.execStatement(base, s, nil, true) {
+			break
+		}
+	}
+	_ = writeReadyForQuery(c.w, &c.m, c.tx)
+}
+
+// isControl reports whether kw is handled by the bridge itself rather
+// than forwarded to the proxy.
+func isControl(kw string) bool {
+	switch kw {
+	case "BEGIN", "START", "COMMIT", "END", "ROLLBACK", "ABORT", "SET", "RESET":
+		return true
+	}
+	return false
+}
+
+// execControl handles transaction-control and settings statements.
+// The engine has no transactional storage — BEGIN/COMMIT exist so that
+// clients' transaction framing works and so that a policy block MID
+// TRANSACTION poisons the rest of the block ('E' status), which is the
+// fail-closed behaviour an application wrapped in BEGIN...COMMIT
+// expects from a real server.
+func (c *conn) execControl(kw string) bool {
+	var tag string
+	switch kw {
+	case "BEGIN", "START":
+		c.tx = 'T'
+		tag = "BEGIN"
+	case "COMMIT", "END":
+		if c.tx == 'E' {
+			// Committing a failed transaction rolls back (PG semantics).
+			tag = "ROLLBACK"
+		} else {
+			tag = "COMMIT"
+		}
+		c.tx = 'I'
+	case "ROLLBACK", "ABORT":
+		c.tx = 'I'
+		tag = "ROLLBACK"
+	case "SET", "RESET":
+		// Accepted and ignored: stock drivers send these on connect.
+		tag = kw
+	}
+	_ = writeCommandComplete(c.w, &c.m, tag)
+	return true
+}
+
+// execStatement runs one statement through the enforcement proxy and
+// writes its result messages. sendRowDesc selects simple-protocol
+// framing (RowDescription before rows); the extended protocol
+// describes via Describe and Execute sends rows alone. Returns false
+// after writing an ErrorResponse.
+func (c *conn) execStatement(base context.Context, sql string, args []any, sendRowDesc bool) bool {
+	kw := firstKeyword(sql)
+
+	if c.tx == 'E' && kw != "COMMIT" && kw != "END" && kw != "ROLLBACK" && kw != "ABORT" {
+		_ = writeErrorResponse(c.w, &c.m, stateInFailedTx,
+			"current transaction is aborted, commands ignored until end of transaction block")
+		return false
+	}
+	if isControl(kw) {
+		return c.execControl(kw)
+	}
+
+	op := "exec"
+	if kw == "SELECT" {
+		op = "query"
+	}
+	ctx, done := c.statementCtx(base)
+	resp := c.srv.cfg.Proxy.HandleInCtx(ctx, &proxy.Request{Op: op, SQL: sql, Args: args}, c.sess)
+	done()
+
+	if resp.Blocked {
+		c.failTx()
+		_ = writeErrorResponse(c.w, &c.m, acerr.SQLStateBlocked,
+			"blocked by policy: "+resp.Reason)
+		return false
+	}
+	if resp.Error != "" {
+		c.failTx()
+		_ = writeErrorResponse(c.w, &c.m, acerr.SQLStateFor(resp.Code), resp.Error)
+		return false
+	}
+
+	if op == "query" {
+		if sendRowDesc {
+			_ = writeRowDescription(c.w, &c.m, resp.Columns)
+		}
+		for _, row := range resp.Rows {
+			_ = writeDataRow(c.w, &c.m, row)
+		}
+		_ = writeCommandComplete(c.w, &c.m, "SELECT "+strconv.Itoa(len(resp.Rows)))
+		return true
+	}
+	var tag string
+	switch kw {
+	case "INSERT":
+		tag = "INSERT 0 " + strconv.Itoa(resp.Affected)
+	case "UPDATE":
+		tag = "UPDATE " + strconv.Itoa(resp.Affected)
+	case "DELETE":
+		tag = "DELETE " + strconv.Itoa(resp.Affected)
+	case "CREATE":
+		tag = "CREATE TABLE"
+	default:
+		tag = kw
+	}
+	_ = writeCommandComplete(c.w, &c.m, tag)
+	return true
+}
+
+func (c *conn) failTx() {
+	if c.tx == 'T' {
+		c.tx = 'E'
+	}
+}
+
+// --- Extended protocol ---
+
+func (c *conn) handleParse(p *payloadReader) bool {
+	name, err1 := p.cstr()
+	sql, err2 := p.cstr()
+	nOids, err3 := p.int16()
+	if err1 != nil || err2 != nil || err3 != nil {
+		c.protoError("malformed Parse")
+		return false
+	}
+	oids := make([]int32, nOids)
+	for i := range oids {
+		if oids[i], err3 = p.int32(); err3 != nil {
+			c.protoError("malformed Parse")
+			return false
+		}
+	}
+
+	st := &prepared{sql: sql, kw: firstKeyword(sql), paramOIDs: oids}
+	if !isControl(st.kw) && strings.TrimSpace(sql) != "" {
+		// Validate eagerly so syntax errors surface at Parse, the way
+		// conformant clients expect. ParseNorm shares its result with
+		// the proxy's own ingest parse of the same text.
+		stmt, err := sqlparser.ParseNorm(sql)
+		if err != nil {
+			_ = writeErrorResponse(c.w, &c.m, acerr.SQLStateParse, err.Error())
+			return false
+		}
+		st.numParams = sqlparser.NumPositionalParams(stmt)
+		if sel, ok := stmt.(*sqlparser.SelectStmt); ok {
+			st.sel = sel
+		}
+	}
+	c.stmts[name] = st
+	_ = writeParseComplete(c.w, &c.m)
+	return true
+}
+
+func (c *conn) handleBind(p *payloadReader) bool {
+	portalName, err1 := p.cstr()
+	stmtName, err2 := p.cstr()
+	if err1 != nil || err2 != nil {
+		c.protoError("malformed Bind")
+		return false
+	}
+	st, ok := c.stmts[stmtName]
+	if !ok {
+		_ = writeErrorResponse(c.w, &c.m, stateNoSuchStatement,
+			"prepared statement "+strconv.Quote(stmtName)+" does not exist")
+		return false
+	}
+
+	nFmt, err := p.int16()
+	if err != nil {
+		c.protoError("malformed Bind")
+		return false
+	}
+	fmts := make([]int16, nFmt)
+	for i := range fmts {
+		if fmts[i], err = p.int16(); err != nil {
+			c.protoError("malformed Bind")
+			return false
+		}
+		if fmts[i] != 0 {
+			_ = writeErrorResponse(c.w, &c.m, acerr.SQLStateFeatureNotSupported,
+				"binary parameter format is not supported")
+			return false
+		}
+	}
+
+	nParams, err := p.int16()
+	if err != nil {
+		c.protoError("malformed Bind")
+		return false
+	}
+	args := make([]any, nParams)
+	for i := range args {
+		n, err := p.int32()
+		if err != nil {
+			c.protoError("malformed Bind")
+			return false
+		}
+		if n < 0 {
+			args[i] = nil
+			continue
+		}
+		raw, err := p.take(int(n))
+		if err != nil {
+			c.protoError("malformed Bind")
+			return false
+		}
+		var oid int32
+		if i < len(st.paramOIDs) {
+			oid = st.paramOIDs[i]
+		}
+		v, derr := decodeTextParam(string(raw), oid)
+		if derr != nil {
+			_ = writeErrorResponse(c.w, &c.m, acerr.SQLStateBadRequest,
+				"parameter $"+strconv.Itoa(i+1)+": "+derr.Error())
+			return false
+		}
+		args[i] = v
+	}
+
+	nResFmt, err := p.int16()
+	if err != nil {
+		c.protoError("malformed Bind")
+		return false
+	}
+	for i := int16(0); i < nResFmt; i++ {
+		f, err := p.int16()
+		if err != nil {
+			c.protoError("malformed Bind")
+			return false
+		}
+		if f != 0 {
+			_ = writeErrorResponse(c.w, &c.m, acerr.SQLStateFeatureNotSupported,
+				"binary result format is not supported")
+			return false
+		}
+	}
+
+	c.portals[portalName] = &portal{stmt: st, args: args}
+	_ = writeBindComplete(c.w, &c.m)
+	return true
+}
+
+func (c *conn) handleDescribe(p *payloadReader) bool {
+	kind := byte(0)
+	if len(p.b) > 0 {
+		kind = p.b[0]
+		p.b = p.b[1:]
+	}
+	name, err := p.cstr()
+	if err != nil {
+		c.protoError("malformed Describe")
+		return false
+	}
+	switch kind {
+	case 'S':
+		st, ok := c.stmts[name]
+		if !ok {
+			_ = writeErrorResponse(c.w, &c.m, stateNoSuchStatement,
+				"prepared statement "+strconv.Quote(name)+" does not exist")
+			return false
+		}
+		oids := make([]int32, st.numParams)
+		copy(oids, st.paramOIDs)
+		_ = writeParameterDescription(c.w, &c.m, oids)
+		c.describeResult(st)
+	case 'P':
+		po, ok := c.portals[name]
+		if !ok {
+			_ = writeErrorResponse(c.w, &c.m, stateNoSuchPortal,
+				"portal "+strconv.Quote(name)+" does not exist")
+			return false
+		}
+		c.describeResult(po.stmt)
+	default:
+		c.protoError("malformed Describe")
+		return false
+	}
+	return true
+}
+
+// describeResult announces the statement's result shape:
+// RowDescription for SELECTs, NoData otherwise. Column names come from
+// the AST the way the engine derives them (alias, then column name,
+// then expression text); star items are announced as "*" because the
+// bridge has no schema access — row data is still complete.
+func (c *conn) describeResult(st *prepared) {
+	if st.sel == nil {
+		_ = writeNoData(c.w, &c.m)
+		return
+	}
+	cols := make([]string, 0, len(st.sel.Items))
+	for _, it := range st.sel.Items {
+		switch {
+		case it.Star && it.Table == "":
+			cols = append(cols, "*")
+		case it.Star:
+			cols = append(cols, it.Table+".*")
+		case it.Alias != "":
+			cols = append(cols, it.Alias)
+		default:
+			if cr, ok := it.Expr.(*sqlparser.ColumnRef); ok {
+				cols = append(cols, cr.Column)
+			} else {
+				cols = append(cols, it.Expr.SQL())
+			}
+		}
+	}
+	_ = writeRowDescription(c.w, &c.m, cols)
+}
+
+func (c *conn) handleExecute(base context.Context, p *payloadReader) bool {
+	name, err := p.cstr()
+	if err != nil {
+		c.protoError("malformed Execute")
+		return false
+	}
+	// Max-row count: read and ignored — portals always run to
+	// completion (no PortalSuspended), which every common driver
+	// accepts.
+	if _, err := p.int32(); err != nil {
+		c.protoError("malformed Execute")
+		return false
+	}
+	po, ok := c.portals[name]
+	if !ok {
+		_ = writeErrorResponse(c.w, &c.m, stateNoSuchPortal,
+			"portal "+strconv.Quote(name)+" does not exist")
+		return false
+	}
+	if strings.TrimSpace(po.stmt.sql) == "" {
+		_ = writeEmptyQueryResponse(c.w, &c.m)
+		return true
+	}
+	return c.execStatement(base, po.stmt.sql, po.args, false)
+}
+
+func (c *conn) handleClose(p *payloadReader) bool {
+	kind := byte(0)
+	if len(p.b) > 0 {
+		kind = p.b[0]
+		p.b = p.b[1:]
+	}
+	name, err := p.cstr()
+	if err != nil {
+		c.protoError("malformed Close")
+		return false
+	}
+	switch kind {
+	case 'S':
+		delete(c.stmts, name)
+	case 'P':
+		delete(c.portals, name)
+	default:
+		c.protoError("malformed Close")
+		return false
+	}
+	_ = writeCloseComplete(c.w, &c.m)
+	return true
+}
+
+// --- Parameter decoding ---
+
+func parseInt(s string) (int64, error)     { return strconv.ParseInt(s, 10, 64) }
+func parseFloat(s string) (float64, error) { return strconv.ParseFloat(s, 64) }
+
+// decodeTextParam converts a text-format parameter to an engine value.
+// A declared OID decides the type; OID 0 (unspecified, what most
+// drivers send) falls back to affinity inference so integer keys
+// compare exactly in the engine and the checker.
+func decodeTextParam(s string, oid int32) (any, error) {
+	switch oid {
+	case oidInt2, oidInt4, oidInt8:
+		return parseInt(s)
+	case oidFloat4, oidFloat8, oidNumeric:
+		return parseFloat(s)
+	case oidBool:
+		switch strings.ToLower(s) {
+		case "t", "true", "1", "on", "yes":
+			return true, nil
+		case "f", "false", "0", "off", "no":
+			return false, nil
+		}
+		return nil, strconv.ErrSyntax
+	case oidText, oidVarchar:
+		return s, nil
+	}
+	return parseAttrValue(s), nil
+}

@@ -1040,7 +1040,11 @@ func (s *Server) runQuery(ctx context.Context, req *Request, sess *session) (Res
 	if err != nil {
 		return Response{Error: err.Error(), Code: acerr.CodeBadRequest}, d
 	}
-	sel, err := sqlparser.ParseSelectCached(req.SQL)
+	// Normalizing parse: `$N` / `:name` spellings alias to the same
+	// shared statement as the canonical form, so decisions and the
+	// checker's statement-identity caches agree across ingress surfaces
+	// (v2 protocol, Postgres wire, database/sql driver).
+	sel, err := sqlparser.ParseSelectNorm(req.SQL)
 	if err != nil {
 		return Response{Error: err.Error(), Code: acerr.CodeParse}, d
 	}
@@ -1100,7 +1104,7 @@ func (s *Server) handleExec(ctx context.Context, req *Request) Response {
 	}
 	// Writes pass through: the paper's setting controls data
 	// revelation (reads); write authorization stays in the app.
-	stmt, err := sqlparser.ParseCached(req.SQL)
+	stmt, err := sqlparser.ParseNorm(req.SQL)
 	if err != nil {
 		return Response{Error: err.Error(), Code: acerr.CodeParse}
 	}

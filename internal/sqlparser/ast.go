@@ -169,10 +169,15 @@ type Literal struct {
 
 func (*Literal) expr() {}
 
-// Param is a positional (?) or named (?Name) parameter.
+// Param is a positional (?), explicit-index ($N), or named (?Name)
+// parameter.
 type Param struct {
 	Name  string // empty for positional
 	Index int    // 0-based position among positional params; -1 for named
+	// Explicit marks a Postgres-style $N placeholder, whose index came
+	// from the SQL text rather than left-to-right assignment. Explicit
+	// indices may repeat and appear out of order.
+	Explicit bool
 }
 
 func (*Param) expr() {}

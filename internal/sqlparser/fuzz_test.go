@@ -26,6 +26,12 @@ func FuzzParse(f *testing.F) {
 		"select lower(a), 1.5e FROM t",
 		")(*&^%$#@!",
 		"SELECT a FROM T WHERE x IS NOT NULL AND y LIKE '%_%'",
+		"SELECT a FROM t WHERE b = $1 AND c = $2::int8",
+		"SELECT $dollar quoted$",
+		"SELECT $tag$body with $1 and 'quotes'$tag$ FROM t",
+		"SELECT x FROM t WHERE n = 'it''s' AND y = $1 /* :c */ -- $2",
+		"SELECT a::text, b::numeric(10, 2) FROM t WHERE c = $2 AND d = $2",
+		"SELECT a FROM t WHERE b = :name AND c = ?",
 	}
 	for _, s := range seeds {
 		f.Add(s)

@@ -112,6 +112,37 @@ scan:
 		l.pos = n
 		return token{kind: tokParam, text: name, pos: start}, nil
 
+	case c == '$': // $N placeholder or $tag$...$tag$ dollar-quoted string
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' {
+			n := l.pos + 1
+			for n < len(l.src) && l.src[n] >= '0' && l.src[n] <= '9' {
+				n++
+			}
+			// Keep the '$' prefix so the parser can tell an explicit
+			// Postgres-style index from a ?name named parameter.
+			text := l.src[l.pos:n]
+			l.pos = n
+			return token{kind: tokParam, text: text, pos: start}, nil
+		}
+		// Dollar quoting: $$body$$ or $tag$body$tag$. The tag is
+		// identifier-like (it cannot start with a digit — that case is
+		// the placeholder above).
+		n := l.pos + 1
+		for n < len(l.src) && isIdentChar(l.src[n]) {
+			n++
+		}
+		if n < len(l.src) && l.src[n] == '$' {
+			delim := l.src[l.pos : n+1]
+			bodyStart := n + 1
+			end := strings.Index(l.src[bodyStart:], delim)
+			if end < 0 {
+				return token{}, l.errf(start, "unterminated dollar-quoted string")
+			}
+			l.pos = bodyStart + end + len(delim)
+			return token{kind: tokString, text: l.src[bodyStart : bodyStart+end], pos: start}, nil
+		}
+		return token{}, l.errf(start, "unexpected character %q", c)
+
 	case c >= '0' && c <= '9':
 		n := l.pos
 		isFloat := false
@@ -173,7 +204,7 @@ scan:
 			two = l.src[l.pos : l.pos+2]
 		}
 		switch two {
-		case "<=", ">=", "<>", "!=":
+		case "<=", ">=", "<>", "!=", "::":
 			l.pos += 2
 			return token{kind: tokSymbol, text: two, pos: start}, nil
 		}

@@ -127,3 +127,46 @@ func ParseSelectCached(src string) (*SelectStmt, error) {
 	}
 	return sel, nil
 }
+
+// ParseNorm is ParseCached with placeholder normalization on the miss
+// path: the raw text is normalized (NormalizeParams) and BOTH texts
+// cache the one statement parsed from the canonical form. The same
+// logical statement arriving as "... WHERE a = ?" over the v2
+// protocol, "... WHERE a = $1" over the Postgres wire, or
+// "... WHERE a = :a" from a client library therefore returns the SAME
+// shared *Statement, so every statement-identity cache downstream (the
+// checker's front cache keys on the shared statement pointer) hits
+// across ingress surfaces. The warm path is one cache probe on the raw
+// text — normalization only runs on a miss.
+func ParseNorm(src string) (Statement, error) {
+	if stmt, err, ok := cachedParse(src); ok {
+		return stmt, err
+	}
+	norm := NormalizeParams(src)
+	if norm == src {
+		stmt, err := Parse(src)
+		storeParse(src, stmt, err)
+		return stmt, err
+	}
+	stmt, err, ok := cachedParse(norm)
+	if !ok {
+		stmt, err = Parse(norm)
+		storeParse(norm, stmt, err)
+	}
+	storeParse(src, stmt, err)
+	return stmt, err
+}
+
+// ParseSelectNorm is ParseNorm requiring a SELECT, with the same
+// sharing contract as ParseSelectCached.
+func ParseSelectNorm(src string) (*SelectStmt, error) {
+	stmt, err := ParseNorm(src)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sql: expected SELECT, got %T", stmt)
+	}
+	return sel, nil
+}

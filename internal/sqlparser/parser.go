@@ -632,7 +632,42 @@ func (p *parser) parseMultiplicative() (Expr, error) {
 	}
 }
 
+// parsePrimary parses a primary expression and any trailing
+// Postgres-style `::type` cast suffixes. The engine is dynamically
+// typed and the checker reasons over untyped conjunctive queries, so a
+// cast is accepted and discarded: `col::int8 = $1` decides and
+// evaluates exactly like `col = $1`. The type name is a single
+// identifier with an optional parenthesized precision list
+// (`::varchar(10)`, `::numeric(8,2)`).
 func (p *parser) parsePrimary() (Expr, error) {
+	e, err := p.parsePrimaryBase()
+	if err != nil {
+		return nil, err
+	}
+	for p.atSymbol("::") {
+		p.advance()
+		if _, err := p.expectIdent(); err != nil {
+			return nil, err
+		}
+		if p.eatSymbol("(") {
+			for {
+				if t := p.peek(); t.kind != tokInt {
+					return nil, p.errHere("expected integer in type precision, got %q", t.text)
+				}
+				p.advance()
+				if !p.eatSymbol(",") {
+					break
+				}
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return e, nil
+}
+
+func (p *parser) parsePrimaryBase() (Expr, error) {
 	t := p.peek()
 	switch t.kind {
 	case tokInt:
@@ -657,6 +692,16 @@ func (p *parser) parsePrimary() (Expr, error) {
 		if t.text == "" {
 			p.nextPos++
 			return &Param{Index: p.nextPos}, nil
+		}
+		if t.text[0] == '$' {
+			// Postgres-style $N placeholder: an explicit 1-based
+			// positional index ($1 may repeat and indices may appear
+			// out of order).
+			n, err := strconv.Atoi(t.text[1:])
+			if err != nil || n < 1 {
+				return nil, p.errHere("bad placeholder %q", t.text)
+			}
+			return &Param{Index: n - 1, Explicit: true}, nil
 		}
 		return &Param{Name: t.text, Index: -1}, nil
 	case tokKeyword:

@@ -2,6 +2,7 @@ package sqlparser
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -245,8 +246,14 @@ func renderChild(e Expr, parentPrec int) string {
 // SQL renders the literal.
 func (l *Literal) SQL() string { return l.Value.String() }
 
-// SQL renders the parameter.
-func (p *Param) SQL() string { return "?" + p.Name }
+// SQL renders the parameter. Explicit $N placeholders keep their
+// index so printing preserves repetition and out-of-order use.
+func (p *Param) SQL() string {
+	if p.Name == "" && p.Explicit {
+		return "$" + strconv.Itoa(p.Index+1)
+	}
+	return "?" + p.Name
+}
 
 // SQL renders the column reference.
 func (c *ColumnRef) SQL() string {

@@ -1,0 +1,176 @@
+package beyond
+
+// The listener-config serving facade: one enforcement core (database,
+// checker, mode, shared metrics and WAL) bound to any combination of
+// ingress listeners. Two surfaces exist today:
+//
+//   - the v2 line protocol (native clients via DialProxy / the
+//     database/sql driver in repro/driver), and
+//   - the Postgres wire protocol v3 (psql, stock Postgres drivers).
+//
+// Both listeners converge on the same proxy core, so a statement is
+// decided identically — same checker, same caches, same session
+// traces, same WAL — no matter which door it came through.
+//
+//	svc, err := beyond.Serve(db, chk, beyond.Enforce,
+//		beyond.WithV2Listener("127.0.0.1:7781"),
+//		beyond.WithPgListener("127.0.0.1:5433"),
+//		beyond.WithDurability("/var/lib/ac/wal"))
+//	defer svc.Close()
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/obsv"
+	"repro/internal/pgwire"
+	"repro/internal/proxy"
+)
+
+// serveConfig is what ServeOptions assemble.
+type serveConfig struct {
+	v2        bool
+	v2Addr    string
+	pg        bool
+	pgAddr    string
+	pgMax     int
+	metrics   *Metrics
+	proxyOpts []ProxyOption
+}
+
+// ServeOption configures Serve: which listeners to bind and how the
+// shared proxy core behaves. Every ProxyOption is also a valid
+// ServeOption source — pass them through WithV2Listener or directly
+// via WithProxyConfig.
+type ServeOption func(*serveConfig)
+
+// WithV2Listener binds the v2 line-protocol listener on addr
+// (host:port; port 0 picks a free port, see Service.V2Addr). Any
+// ProxyOptions given here configure the shared proxy core — they
+// apply to pgwire traffic too, since both listeners run one core.
+func WithV2Listener(addr string, opts ...ProxyOption) ServeOption {
+	return func(c *serveConfig) {
+		c.v2 = true
+		c.v2Addr = addr
+		c.proxyOpts = append(c.proxyOpts, opts...)
+	}
+}
+
+// WithPgListener binds the Postgres wire-protocol (v3) listener on
+// addr, so psql and stock Postgres drivers reach enforcement without
+// a custom client.
+func WithPgListener(addr string) ServeOption {
+	return func(c *serveConfig) {
+		c.pg = true
+		c.pgAddr = addr
+	}
+}
+
+// WithPgMaxConns bounds concurrent pgwire connections (0 = default).
+func WithPgMaxConns(n int) ServeOption {
+	return func(c *serveConfig) { c.pgMax = n }
+}
+
+// WithListenerMetrics points every listener and the proxy core at one
+// explicit metrics registry, so a single snapshot covers checker.*,
+// pipeline.*, proxy.*, and engine.* across all ingress surfaces. By
+// default the core reports into its checker's registry, which is
+// already shared; use this to aggregate several Serve stacks or to
+// isolate serving metrics from offline checker use.
+func WithListenerMetrics(reg *Metrics) ServeOption {
+	return func(c *serveConfig) { c.metrics = reg }
+}
+
+// WithProxyConfig applies proxy-core options (durability, history
+// window, timeouts, connection limits) without implying a v2
+// listener — for pgwire-only deployments that still want a WAL:
+//
+//	beyond.Serve(db, chk, beyond.Enforce,
+//		beyond.WithPgListener(":5433"),
+//		beyond.WithProxyConfig(beyond.WithDurability(dir)))
+func WithProxyConfig(opts ...ProxyOption) ServeOption {
+	return func(c *serveConfig) { c.proxyOpts = append(c.proxyOpts, opts...) }
+}
+
+// Service is a running enforcement stack: one proxy core with its
+// bound listeners. Close shuts everything down.
+type Service struct {
+	core   *ProxyServer
+	pg     *pgwire.Server
+	v2Addr string
+	pgAddr string
+}
+
+// Serve builds one enforcement core over db and c and binds the
+// configured listeners. At least one listener option is required —
+// a Service with no ingress is a configuration error, not a default.
+func Serve(db *DB, c *Checker, mode ProxyMode, opts ...ServeOption) (*Service, error) {
+	var cfg serveConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if !cfg.v2 && !cfg.pg {
+		return nil, errors.New("beyond: Serve needs at least one listener (WithV2Listener or WithPgListener)")
+	}
+	core := proxy.NewServer(db, c, mode)
+	for _, o := range cfg.proxyOpts {
+		o(core)
+	}
+	if cfg.metrics != nil {
+		core.Metrics = cfg.metrics
+	}
+	svc := &Service{core: core}
+	if cfg.v2 {
+		addr, err := core.Listen(cfg.v2Addr)
+		if err != nil {
+			return nil, fmt.Errorf("beyond: v2 listener: %w", err)
+		}
+		svc.v2Addr = addr
+	} else if core.WALDir != "" {
+		// No v2 listener means core.Listen never runs; open the WAL
+		// here so pgwire sessions are durable from the first accept.
+		if err := core.OpenDurable(); err != nil {
+			return nil, fmt.Errorf("beyond: open wal: %w", err)
+		}
+	}
+	if cfg.pg {
+		pg := pgwire.NewServer(pgwire.Config{Proxy: core, MaxConns: cfg.pgMax, Logf: core.Logf})
+		addr, err := pg.Listen(cfg.pgAddr)
+		if err != nil {
+			svc.Close()
+			return nil, fmt.Errorf("beyond: pg listener: %w", err)
+		}
+		svc.pg = pg
+		svc.pgAddr = addr
+	}
+	return svc, nil
+}
+
+// V2Addr is the bound v2 listener address ("" if not configured).
+func (s *Service) V2Addr() string { return s.v2Addr }
+
+// PgAddr is the bound Postgres wire listener address ("" if not
+// configured).
+func (s *Service) PgAddr() string { return s.pgAddr }
+
+// Proxy exposes the shared core for in-process use (HandleIn,
+// Durable, Stats) — both listeners delegate to it.
+func (s *Service) Proxy() *ProxyServer { return s.core }
+
+// Metrics is the registry every listener reports into.
+func (s *Service) Metrics() *obsv.Registry { return s.core.MetricsRegistry() }
+
+// Close stops all listeners and the core, in ingress-first order so
+// in-flight statements drain before the WAL closes.
+func (s *Service) Close() error {
+	var first error
+	if s.pg != nil {
+		if err := s.pg.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if err := s.core.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}

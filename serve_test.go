@@ -1,0 +1,388 @@
+package beyond_test
+
+import (
+	"bufio"
+	"context"
+	"database/sql"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"testing"
+
+	beyond "repro"
+	_ "repro/driver"
+	"repro/internal/apps"
+	"repro/internal/proxy"
+)
+
+// --- Minimal Postgres wire client (test-only, extended protocol) ---
+
+type pgClient struct {
+	c net.Conn
+	r *bufio.Reader
+}
+
+func pgDial(t *testing.T, addr string, attrs map[string]string) *pgClient {
+	t.Helper()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body []byte
+	body = binary.BigEndian.AppendUint32(body, 196608)
+	body = append(append(body, "user"...), 0)
+	body = append(append(body, "parity"...), 0)
+	for k, v := range attrs {
+		body = append(append(body, "attr."+k...), 0)
+		body = append(append(body, v...), 0)
+	}
+	body = append(body, 0)
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)+4))
+	if _, err := c.Write(append(hdr[:], body...)); err != nil {
+		t.Fatal(err)
+	}
+	p := &pgClient{c: c, r: bufio.NewReader(c)}
+	if _, _, errMsg := p.untilReady(t); errMsg != "" {
+		t.Fatalf("startup failed: %s", errMsg)
+	}
+	return p
+}
+
+func (p *pgClient) close() { p.c.Close() }
+
+func (p *pgClient) readMsg(t *testing.T) (byte, []byte) {
+	t.Helper()
+	var hdr [5]byte
+	if _, err := io.ReadFull(p.r, hdr[:]); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	body := make([]byte, n-4)
+	if _, err := io.ReadFull(p.r, body); err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return hdr[0], body
+}
+
+// untilReady drains messages through ReadyForQuery, returning DataRow
+// payloads, and the SQLSTATE/message of the first ErrorResponse.
+func (p *pgClient) untilReady(t *testing.T) (rows [][]byte, state, msg string) {
+	t.Helper()
+	for {
+		typ, body := p.readMsg(t)
+		switch typ {
+		case 'Z':
+			return rows, state, msg
+		case 'D':
+			rows = append(rows, body)
+		case 'E':
+			if state == "" {
+				state, msg = parseErrFields(body)
+			}
+		}
+	}
+}
+
+func parseErrFields(body []byte) (state, msg string) {
+	for len(body) > 0 && body[0] != 0 {
+		f := body[0]
+		body = body[1:]
+		i := 0
+		for i < len(body) && body[i] != 0 {
+			i++
+		}
+		v := string(body[:i])
+		body = body[i+1:]
+		switch f {
+		case 'C':
+			state = v
+		case 'M':
+			msg = v
+		}
+	}
+	return state, msg
+}
+
+func pgTextArg(v any) (text string, oid int32) {
+	switch x := v.(type) {
+	case int:
+		return fmt.Sprint(x), 20
+	case int64:
+		return fmt.Sprint(x), 20
+	case float64:
+		return fmt.Sprint(x), 701
+	case bool:
+		if x {
+			return "t", 16
+		}
+		return "f", 16
+	default:
+		return fmt.Sprint(v), 25
+	}
+}
+
+// extQuery runs sql with args through Parse/Bind/Execute/Sync.
+func (p *pgClient) extQuery(t *testing.T, sqlText string, args []any) (nrows int, state, msg string) {
+	t.Helper()
+	var m []byte
+	frame := func(typ byte, body []byte) {
+		m = append(m, typ)
+		m = binary.BigEndian.AppendUint32(m, uint32(len(body)+4))
+		m = append(m, body...)
+	}
+	var parse []byte
+	parse = append(parse, 0) // unnamed statement
+	parse = append(append(parse, sqlText...), 0)
+	parse = binary.BigEndian.AppendUint16(parse, uint16(len(args)))
+	texts := make([]string, len(args))
+	for i, a := range args {
+		text, oid := pgTextArg(a)
+		texts[i] = text
+		parse = binary.BigEndian.AppendUint32(parse, uint32(oid))
+	}
+	frame('P', parse)
+	var bind []byte
+	bind = append(bind, 0, 0) // unnamed portal, unnamed statement
+	bind = binary.BigEndian.AppendUint16(bind, 0)
+	bind = binary.BigEndian.AppendUint16(bind, uint16(len(args)))
+	for _, text := range texts {
+		bind = binary.BigEndian.AppendUint32(bind, uint32(len(text)))
+		bind = append(bind, text...)
+	}
+	bind = binary.BigEndian.AppendUint16(bind, 0)
+	frame('B', bind)
+	var exec []byte
+	exec = append(exec, 0)
+	exec = binary.BigEndian.AppendUint32(exec, 0)
+	frame('E', exec)
+	frame('S', nil)
+	if _, err := p.c.Write(m); err != nil {
+		t.Fatal(err)
+	}
+	rows, state, msg := p.untilReady(t)
+	return len(rows), state, msg
+}
+
+// --- Facade tests ---
+
+func TestServeRequiresListener(t *testing.T) {
+	f := apps.Calendar()
+	if _, err := beyond.Serve(f.MustNewDB(8), beyond.NewChecker(f.Policy()), beyond.Enforce); err == nil {
+		t.Fatal("Serve with no listeners must fail")
+	}
+}
+
+// TestServeBothListeners binds both ingress surfaces on one core and
+// verifies each serves decisions, with both reporting into the one
+// registry given to WithListenerMetrics.
+func TestServeBothListeners(t *testing.T) {
+	f := apps.Calendar()
+	reg := beyond.NewMetrics()
+	svc, err := beyond.Serve(f.MustNewDB(8), beyond.NewChecker(f.Policy()), beyond.Enforce,
+		beyond.WithV2Listener("127.0.0.1:0"),
+		beyond.WithPgListener("127.0.0.1:0"),
+		beyond.WithListenerMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if svc.V2Addr() == "" || svc.PgAddr() == "" {
+		t.Fatalf("unbound listener: v2=%q pg=%q", svc.V2Addr(), svc.PgAddr())
+	}
+	if svc.Metrics() != reg {
+		t.Fatal("Service.Metrics is not the WithListenerMetrics registry")
+	}
+
+	ctx := context.Background()
+	cl, err := proxy.Dial(svc.V2Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Hello(ctx, map[string]any{"MyUId": int64(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Query(ctx, "SELECT EId FROM Attendance WHERE UId = ?", 1); err != nil {
+		t.Fatal(err)
+	}
+
+	pc := pgDial(t, svc.PgAddr(), map[string]string{"MyUId": "1"})
+	defer pc.close()
+	n, state, msg := pc.extQuery(t, "SELECT EId FROM Attendance WHERE UId = $1", []any{1})
+	if state != "" {
+		t.Fatalf("pgwire query failed: %s %s", state, msg)
+	}
+	if n == 0 {
+		t.Fatal("pgwire query returned no rows")
+	}
+
+	if got := reg.Counter("proxy.queries").Value(); got < 2 {
+		t.Fatalf("shared registry saw %d queries, want >= 2 (one per surface)", got)
+	}
+}
+
+// TestDeprecatedConstructorsCompatible pins the deprecated entry
+// points at their original signatures: the shims must keep compiling
+// for existing callers.
+func TestDeprecatedConstructorsCompatible(t *testing.T) {
+	var _ func(*beyond.DB, *beyond.Checker, beyond.ProxyMode, ...beyond.ProxyOption) *beyond.ProxyServer = beyond.NewProxy
+	var _ func(string, ...proxy.ClientOption) (*beyond.ProxyClient, error) = beyond.DialProxy
+
+	// And the shim still works: it builds the same core Serve binds.
+	f := apps.Calendar()
+	srv := beyond.NewProxy(f.MustNewDB(8), beyond.NewChecker(f.Policy()), beyond.Enforce,
+		beyond.WithMaxConns(4))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := beyond.DialProxy(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Hello(context.Background(), map[string]any{"MyUId": int64(1)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- Ingress decision parity (E-series corpus) ---
+
+// decision is the ingress-independent outcome of one workload query.
+type decision struct {
+	allowed bool
+	reason  string
+	rows    int
+}
+
+// v2Decision runs one workload query over the native v2 client.
+func v2Decision(t *testing.T, addr string, w apps.WorkloadQuery) decision {
+	t.Helper()
+	ctx := context.Background()
+	cl, err := proxy.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Hello(ctx, map[string]any{"MyUId": w.UId}); err != nil {
+		t.Fatal(err)
+	}
+	if w.PrimeSQL != "" {
+		if _, err := cl.Query(ctx, w.PrimeSQL, w.PrimeArgs...); err != nil {
+			t.Fatalf("%s: prime: %v", w.Label, err)
+		}
+	}
+	res, err := cl.Query(ctx, w.SQL, w.Args...)
+	if err != nil {
+		var be *proxy.BlockedError
+		if !errors.As(err, &be) {
+			t.Fatalf("%s: v2: %v", w.Label, err)
+		}
+		return decision{allowed: false, reason: be.Reason}
+	}
+	return decision{allowed: true, rows: len(res.Rows)}
+}
+
+// driverDecision runs the same workload through an unmodified
+// database/sql program.
+func driverDecision(t *testing.T, addr string, w apps.WorkloadQuery) decision {
+	t.Helper()
+	ctx := context.Background()
+	db, err := sql.Open("beyond", fmt.Sprintf("%s?MyUId=%d", addr, w.UId))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	db.SetMaxOpenConns(1) // one conn = one session trace
+	if w.PrimeSQL != "" {
+		rows, err := db.QueryContext(ctx, w.PrimeSQL, w.PrimeArgs...)
+		if err != nil {
+			t.Fatalf("%s: prime: %v", w.Label, err)
+		}
+		for rows.Next() {
+		}
+		rows.Close()
+	}
+	rows, err := db.QueryContext(ctx, w.SQL, w.Args...)
+	if err != nil {
+		var be *proxy.BlockedError
+		if !errors.As(err, &be) {
+			t.Fatalf("%s: driver: %v", w.Label, err)
+		}
+		return decision{allowed: false, reason: be.Reason}
+	}
+	defer rows.Close()
+	n := 0
+	for rows.Next() {
+		n++
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatalf("%s: driver rows: %v", w.Label, err)
+	}
+	return decision{allowed: true, rows: n}
+}
+
+// pgDecision runs the same workload through the raw Postgres wire
+// protocol (extended flow), mapping the 42501 refusal back to the
+// decision's reason text.
+func pgDecision(t *testing.T, addr string, w apps.WorkloadQuery) decision {
+	t.Helper()
+	pc := pgDial(t, addr, map[string]string{"MyUId": fmt.Sprint(w.UId)})
+	defer pc.close()
+	if w.PrimeSQL != "" {
+		if _, state, msg := pc.extQuery(t, w.PrimeSQL, w.PrimeArgs); state != "" {
+			t.Fatalf("%s: prime: %s %s", w.Label, state, msg)
+		}
+	}
+	n, state, msg := pc.extQuery(t, w.SQL, w.Args)
+	if state != "" {
+		if state != "42501" {
+			t.Fatalf("%s: pgwire SQLSTATE = %s (%s), want 42501", w.Label, state, msg)
+		}
+		reason, ok := strings.CutPrefix(msg, "blocked by policy: ")
+		if !ok {
+			t.Fatalf("%s: pgwire block message %q lacks canonical prefix", w.Label, msg)
+		}
+		return decision{allowed: false, reason: reason}
+	}
+	return decision{allowed: true, rows: n}
+}
+
+// TestIngressDecisionParity is the PR's acceptance test: the E-series
+// corpus of every fixture, executed through all three ingress
+// surfaces — native v2 client, unmodified database/sql program, raw
+// Postgres wire client — produces byte-identical decisions, and those
+// decisions match the corpus ground truth.
+func TestIngressDecisionParity(t *testing.T) {
+	for _, f := range apps.All() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			svc, err := beyond.Serve(f.MustNewDB(20), beyond.NewChecker(f.Policy()), beyond.Enforce,
+				beyond.WithV2Listener("127.0.0.1:0"),
+				beyond.WithPgListener("127.0.0.1:0"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer svc.Close()
+			for _, w := range f.Corpus {
+				v2 := v2Decision(t, svc.V2Addr(), w)
+				drv := driverDecision(t, svc.V2Addr(), w)
+				pg := pgDecision(t, svc.PgAddr(), w)
+				if v2.allowed != w.WantAllowed {
+					t.Errorf("%s: v2 allowed=%v, ground truth %v", w.Label, v2.allowed, w.WantAllowed)
+				}
+				if drv != v2 {
+					t.Errorf("%s: driver decision %+v != v2 %+v", w.Label, drv, v2)
+				}
+				if pg != v2 {
+					t.Errorf("%s: pgwire decision %+v != v2 %+v", w.Label, pg, v2)
+				}
+			}
+		})
+	}
+}
