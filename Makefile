@@ -13,7 +13,7 @@ COMMIT  ?= $(shell git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)
 DATE    ?= $(shell date -u +%Y-%m-%dT%H:%M:%SZ 2>/dev/null || echo unknown)
 LDFLAGS  = -ldflags "-X repro/internal/buildinfo.Version=$(VERSION) -X repro/internal/buildinfo.Commit=$(COMMIT) -X repro/internal/buildinfo.Date=$(DATE)"
 
-.PHONY: build test vet race bench bench-json hotpath pipeline coldpath coldsmoke allocbudget openloop opensmoke ingress pgsmoke driversmoke fmtcheck fuzz fuzzwal fuzzwire killrecover staticcheck ci
+.PHONY: build test vet race bench bench-json hotpath pipeline coldpath coldsmoke allocbudget openloop opensmoke ingress pgsmoke driversmoke shadowsmoke fmtcheck fuzz fuzzwal fuzzwire killrecover staticcheck ci
 
 build:
 	$(GO) build $(LDFLAGS) ./...
@@ -38,7 +38,7 @@ bench:
 # -against diffs the fresh document's pinned hotpath numbers against
 # the previous one and fails on a >10% speedup regression.
 bench-json:
-	$(GO) run ./cmd/acbench -json BENCH_7.json -against BENCH_6.json
+	$(GO) run ./cmd/acbench -json BENCH_8.json -against BENCH_7.json
 
 hotpath:
 	$(GO) run ./cmd/acbench -hotpath
@@ -93,6 +93,12 @@ driversmoke:
 	$(GO) test -count=1 ./driver
 	$(GO) test -count=1 -run 'TestIngressDecisionParity|TestServeBothListeners' .
 
+# Policy-trial lifecycle smoke: stage a divergent candidate over the
+# fixture corpus, assert the proxy reports exactly the expected diff
+# set, promote, and assert convergence with direct enforcement.
+shadowsmoke:
+	$(GO) test -count=1 -run 'TestShadowSmoke' .
+
 fmtcheck:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
@@ -127,4 +133,4 @@ staticcheck:
 	else \
 		echo "staticcheck not installed; skipping"; fi
 
-ci: fmtcheck vet test race coldsmoke allocbudget opensmoke pgsmoke driversmoke fuzz fuzzwal fuzzwire killrecover staticcheck
+ci: fmtcheck vet test race coldsmoke allocbudget opensmoke pgsmoke driversmoke shadowsmoke fuzz fuzzwal fuzzwire killrecover staticcheck

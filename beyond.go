@@ -134,6 +134,24 @@ const (
 	Off     = proxy.Off
 )
 
+// Policy lifecycle types (DESIGN.md §14): a staged candidate policy
+// shadow-decides alongside the active one until the operator promotes
+// or rolls it back.
+type (
+	// PolicyVersion summarizes one resident policy version: its epoch,
+	// the epoch it was staged against, and its compiled fingerprint.
+	PolicyVersion = checker.PolicyVersion
+	// ShadowDecision is one dual-decide outcome: the enforcing active
+	// verdict, the candidate's shadow verdict, and their divergence.
+	ShadowDecision = checker.ShadowDecision
+	// ShadowDiff is one recorded divergence between the active and
+	// candidate policies on a live query.
+	ShadowDiff = proxy.ShadowDiff
+	// PolicyStatus is the policy.* op payload: resident versions,
+	// shadow counters, and (for policy.diff) recent divergences.
+	PolicyStatus = proxy.PolicyBody
+)
+
 // Extraction types (§3).
 type (
 	// App is a model application written in the handler DSL.

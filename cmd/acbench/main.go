@@ -65,7 +65,8 @@ func main() {
 	durableBench := flag.Bool("durable", false, "run only the WAL append-throughput ablation (fsync policies vs group commit)")
 	openloop := flag.Bool("openloop", false, "run only the open-loop (coordinated-omission-safe) proxy load table")
 	ingress := flag.Bool("ingress", false, "run only the ingress-surface comparison (v2 vs database/sql driver vs pgwire)")
-	olSessions := flag.String("openloop-sessions", "", "with -openloop/-json: comma-separated session scales (default 10000,100000,1000000)")
+	olIngress := flag.String("openloop-ingress", "v2", "with -openloop: ingress surface to load, v2 (lanes) or pg (one wire connection per session)")
+	olSessions := flag.String("openloop-sessions", "", "with -openloop/-json: comma-separated session scales (default 10000,100000,1000000; pg default 64,256,1024)")
 	olOps := flag.Int("openloop-ops", 0, "with -openloop/-json: operations per scale (default 10000)")
 	olQPS := flag.Float64("openloop-qps", 0, "with -openloop/-json: offered Poisson arrival rate (default 2000)")
 	jsonOut := flag.String("json", "", "write the benchmark document as JSON to this file")
@@ -78,6 +79,14 @@ func main() {
 	}
 
 	olCfg := defaultOpenloopConfig()
+	switch *olIngress {
+	case "v2":
+	case "pg":
+		olCfg.Ingress = "pg"
+		olCfg.Scales = defaultPgScales()
+	default:
+		log.Fatalf("acbench: -openloop-ingress must be v2 or pg, got %q", *olIngress)
+	}
 	if *olSessions != "" {
 		olCfg.Scales = olCfg.Scales[:0]
 		for _, s := range strings.Split(*olSessions, ",") {
@@ -167,6 +176,7 @@ type benchDoc struct {
 	Durable         []durableRow  `json:"durable,omitempty"`
 	Openloop        []openloopRow `json:"openloop,omitempty"`
 	Ingress         []ingressRow  `json:"ingress,omitempty"`
+	ShadowOverhead  shadowRow     `json:"shadowOverhead"`
 	MetricsOverhead overheadRow   `json:"metricsOverhead"`
 }
 
@@ -229,18 +239,39 @@ func runJSON(path, against string, olCfg openloopConfig) error {
 		return err
 	}
 	doc.Durable = du
-	fmt.Println("acbench: open-loop proxy load...")
-	ol, err := runOpenLoop(olCfg)
+	fmt.Println("acbench: open-loop proxy load (v2)...")
+	v2Cfg := olCfg
+	if v2Cfg.Ingress != "v2" {
+		v2Cfg = defaultOpenloopConfig()
+	}
+	ol, err := runOpenLoop(v2Cfg)
 	if err != nil {
 		return err
 	}
 	doc.Openloop = ol
+	fmt.Println("acbench: open-loop proxy load (pgwire)...")
+	pgCfg := olCfg
+	if pgCfg.Ingress != "pg" {
+		pgCfg.Ingress = "pg"
+		pgCfg.Scales = defaultPgScales()
+	}
+	pg, err := runOpenLoop(pgCfg)
+	if err != nil {
+		return err
+	}
+	doc.Openloop = append(doc.Openloop, pg...)
 	fmt.Println("acbench: ingress surfaces...")
 	ing, err := runIngress()
 	if err != nil {
 		return err
 	}
 	doc.Ingress = ing
+	fmt.Println("acbench: dual-decide shadow overhead...")
+	sh, err := runShadowOverhead()
+	if err != nil {
+		return err
+	}
+	doc.ShadowOverhead = sh
 	fmt.Println("acbench: metrics overhead...")
 	doc.MetricsOverhead = runMetricsOverhead()
 	b, err := json.MarshalIndent(doc, "", "  ")
@@ -252,6 +283,9 @@ func runJSON(path, against string, olCfg openloopConfig) error {
 		return err
 	}
 	fmt.Printf("acbench: wrote %s\n", path)
+	if err := gateShadowOverhead(doc.ShadowOverhead); err != nil {
+		return err
+	}
 	if against != "" {
 		return diffAgainst(doc, against)
 	}
@@ -305,27 +339,51 @@ func diffAgainst(doc benchDoc, path string) error {
 }
 
 // diffOpenloop gates the open-loop tail latencies against the pinned
-// document, scale by scale. Wall-clock tails on a shared container are
-// far noisier than the relative hotpath metric, so the gate is a
-// geomean across scales with 2× headroom — it catches a warm path
-// that broke (tails jump integer multiples when pooling or the lane
-// scheduler regresses), not scheduler jitter. A pinned document
-// predating the open-loop harness has no rows; the gate then passes
-// vacuously and this run's rows become the baseline.
+// document, scale by scale within each ingress. Wall-clock tails on a
+// shared container are far noisier than the relative hotpath metric,
+// so the gate is a geomean across scales with 2× headroom — it catches
+// a warm path that broke (tails jump integer multiples when pooling or
+// the lane scheduler regresses), not scheduler jitter. Rows are keyed
+// by (ingress, sessions); a pinned document predating the ingress
+// field carries v2 rows with the field absent, which olIngressKey
+// normalizes so the v2 gate keeps comparing while pg rows from a newer
+// run become a fresh baseline (vacuous pass).
 func diffOpenloop(doc, prev benchDoc, path string) error {
-	prevBy := make(map[int]openloopRow, len(prev.Openloop))
-	for _, r := range prev.Openloop {
-		prevBy[r.Sessions] = r
+	type olKey struct {
+		ingress  string
+		sessions int
 	}
+	key := func(r openloopRow) olKey {
+		ing := r.Ingress
+		if ing == "" {
+			ing = "v2"
+		}
+		return olKey{ing, r.Sessions}
+	}
+	prevBy := make(map[olKey]openloopRow, len(prev.Openloop))
+	for _, r := range prev.Openloop {
+		prevBy[key(r)] = r
+	}
+	// A row whose generator ran severely late is incomparable: lateness
+	// means the load harness could not even START ops on schedule (the
+	// 1-core box stalled under setup GC or neighbors), so the measured
+	// tails are machine backlog, not proxy latency. Such rows are
+	// excluded from the geomean — visibly, never silently.
+	const maxCredibleLateness = 50_000 // µs
 	logSum, n := 0.0, 0
 	for _, r := range doc.Openloop {
-		p, ok := prevBy[r.Sessions]
+		p, ok := prevBy[key(r)]
 		if !ok || p.P99Micros <= 0 || r.P99Micros <= 0 {
 			continue
 		}
+		if r.MaxLatenessMicros > maxCredibleLateness || p.MaxLatenessMicros > maxCredibleLateness {
+			fmt.Printf("bench diff: openloop %s sessions=%d SKIPPED (lateness %dµs prev / %dµs now exceeds %dµs: harness fell behind, tails are backlog not latency)\n",
+				key(r).ingress, r.Sessions, p.MaxLatenessMicros, r.MaxLatenessMicros, maxCredibleLateness)
+			continue
+		}
 		ratio := float64(r.P99Micros) / float64(p.P99Micros)
-		fmt.Printf("bench diff: openloop sessions=%d p99 %dµs -> %dµs (%.0f%%), p999 %dµs -> %dµs\n",
-			r.Sessions, p.P99Micros, r.P99Micros, ratio*100, p.P999Micros, r.P999Micros)
+		fmt.Printf("bench diff: openloop %s sessions=%d p99 %dµs -> %dµs (%.0f%%), p999 %dµs -> %dµs\n",
+			key(r).ingress, r.Sessions, p.P99Micros, r.P99Micros, ratio*100, p.P999Micros, r.P999Micros)
 		logSum += math.Log(ratio)
 		n++
 	}

@@ -20,7 +20,10 @@ import (
 // scales past what goroutine-per-session serving could survive.
 
 // openloopRow is one scale's measurement in the benchmark document.
+// Ingress is "v2" or "pg"; documents predating the pgwire sweep have
+// no ingress field, which reads back as "" and means v2.
 type openloopRow struct {
+	Ingress           string  `json:"ingress,omitempty"`
 	Sessions          int     `json:"sessions"`
 	Ops               int     `json:"ops"`
 	Errors            int     `json:"errors"`
@@ -39,22 +42,27 @@ type openloopRow struct {
 // so CI can run a seconds-long smoke while bench-json runs the full
 // 10k/100k/1M sweep.
 type openloopConfig struct {
-	Scales []int
-	Ops    int
-	QPS    float64
+	Ingress string // "v2" (lanes over one connection) or "pg" (one wire connection per session)
+	Scales  []int
+	Ops     int
+	QPS     float64
 }
 
 func defaultOpenloopConfig() openloopConfig {
-	return openloopConfig{Scales: []int{10_000, 100_000, 1_000_000}, Ops: 10_000, QPS: 2000}
+	return openloopConfig{Ingress: "v2", Scales: []int{10_000, 100_000, 1_000_000}, Ops: 10_000, QPS: 2000}
 }
 
 // runOpenLoop sweeps the session scales, one fresh proxy per scale.
 func runOpenLoop(cfg openloopConfig) ([]openloopRow, error) {
+	scale := runOpenLoopScale
+	if cfg.Ingress == "pg" {
+		scale = runOpenLoopScalePg
+	}
 	var rows []openloopRow
 	for _, sessions := range cfg.Scales {
-		row, err := runOpenLoopScale(cfg, sessions)
+		row, err := scale(cfg, sessions)
 		if err != nil {
-			return nil, fmt.Errorf("openloop %d sessions: %w", sessions, err)
+			return nil, fmt.Errorf("openloop %s %d sessions: %w", cfg.Ingress, sessions, err)
 		}
 		rows = append(rows, row)
 	}
@@ -113,6 +121,7 @@ func runOpenLoopScale(cfg openloopConfig, sessions int) (openloopRow, error) {
 		return openloopRow{}, err
 	}
 	return openloopRow{
+		Ingress:           "v2",
 		Sessions:          sessions,
 		Ops:               res.Ops,
 		Errors:            res.Errors,
@@ -133,8 +142,8 @@ func printOpenLoop(cfg openloopConfig) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("Open-loop load: Poisson arrivals at %.0f QPS, %d ops per scale, latency from intended send time\n",
-		cfg.QPS, cfg.Ops)
+	fmt.Printf("Open-loop load (%s ingress): Poisson arrivals at %.0f QPS, %d ops per scale, latency from intended send time\n",
+		cfg.Ingress, cfg.QPS, cfg.Ops)
 	fmt.Printf("(coordinated-omission-safe: server stalls appear as latency, not as a slower load clock)\n\n")
 	fmt.Printf("%-10s %8s %6s %10s %8s %8s %8s %8s %8s %9s %8s\n",
 		"sessions", "ops", "errs", "achieved", "p50", "p90", "p99", "p999", "max", "lateness", "setup")

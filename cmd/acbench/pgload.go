@@ -1,0 +1,176 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	beyond "repro"
+	"repro/internal/apps"
+	"repro/internal/checker"
+	"repro/internal/loadgen"
+)
+
+// The pgwire open-loop target (ROADMAP item 3 follow-through): the
+// same Poisson schedule the v2 open-loop table uses, driven through
+// the Postgres wire listener. pgwire has no lane multiplexing — a
+// session IS a TCP connection with its own startup handshake — so the
+// scales are connection counts, far below the v2 lane scales, and the
+// interesting numbers are the per-connection protocol overhead and the
+// accept path under hundreds of live sockets.
+
+// defaultPgScales are the pg open-loop connection counts. 1024 stays
+// under typical fd soft limits with headroom for the server side.
+func defaultPgScales() []int { return []int{64, 256, 1024} }
+
+// pgLoadConn is one raw simple-query connection. A mutex serializes
+// schedule operations that land on the same session; the wire protocol
+// has no out-of-order completion to exploit anyway.
+type pgLoadConn struct {
+	mu  sync.Mutex
+	c   net.Conn
+	r   *bufio.Reader
+	sql []byte // pre-framed 'Q' message for this connection's principal
+}
+
+// dialPgLoad performs the startup handshake with the principal bound
+// as a session attribute and pre-frames the per-connection query.
+func dialPgLoad(addr string, uid int, sqlText string) (*pgLoadConn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	var body []byte
+	body = binary.BigEndian.AppendUint32(body, 196608)
+	for _, s := range []string{"user", "acbench", "attr.MyUId", fmt.Sprint(uid)} {
+		body = append(append(body, s...), 0)
+	}
+	body = append(body, 0)
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)+4))
+	if _, err := c.Write(append(hdr[:], body...)); err != nil {
+		c.Close()
+		return nil, err
+	}
+	p := &pgLoadConn{c: c, r: bufio.NewReader(c)}
+	if err := p.drain(); err != nil {
+		c.Close()
+		return nil, err
+	}
+	p.sql = append(p.sql, 'Q')
+	p.sql = binary.BigEndian.AppendUint32(p.sql, uint32(len(sqlText)+5))
+	p.sql = append(append(p.sql, sqlText...), 0)
+	return p, nil
+}
+
+// drain reads to ReadyForQuery. A policy refusal (SQLSTATE 42501) is a
+// decided outcome and not an error; any other ErrorResponse is.
+func (p *pgLoadConn) drain() error {
+	var blocked error
+	for {
+		var h [5]byte
+		if _, err := io.ReadFull(p.r, h[:]); err != nil {
+			return err
+		}
+		n := binary.BigEndian.Uint32(h[1:])
+		payload := make([]byte, n-4)
+		if _, err := io.ReadFull(p.r, payload); err != nil {
+			return err
+		}
+		switch h[0] {
+		case 'E':
+			if !strings.Contains(string(payload), "42501") {
+				blocked = fmt.Errorf("pgwire error: %q", payload)
+			}
+		case 'Z':
+			return blocked
+		}
+	}
+}
+
+func (p *pgLoadConn) query() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, err := p.c.Write(p.sql); err != nil {
+		return err
+	}
+	return p.drain()
+}
+
+// pgPoolTarget maps schedule session i to pooled connection i.
+type pgPoolTarget struct{ conns []*pgLoadConn }
+
+func (t *pgPoolTarget) Do(ctx context.Context, op loadgen.Op) error {
+	return t.conns[op.Session].query()
+}
+
+func (t *pgPoolTarget) close() {
+	for _, c := range t.conns {
+		c.c.Close()
+	}
+}
+
+// runOpenLoopScalePg is runOpenLoopScale for the pgwire ingress:
+// sessions are real wire connections on one enforcement core.
+func runOpenLoopScalePg(cfg openloopConfig, sessions int) (openloopRow, error) {
+	ctx := context.Background()
+	f := apps.Calendar()
+	const users = 64
+	db := f.MustNewDB(users)
+	svc, err := beyond.Serve(db, checker.New(f.Policy()), beyond.Enforce,
+		beyond.WithPgListener("127.0.0.1:0"),
+		beyond.WithPgMaxConns(sessions+8))
+	if err != nil {
+		return openloopRow{}, err
+	}
+	defer svc.Close()
+
+	setupStart := time.Now()
+	target := &pgPoolTarget{conns: make([]*pgLoadConn, sessions)}
+	defer target.close()
+	for i := 0; i < sessions; i++ {
+		uid := i%users + 1
+		sqlText := fmt.Sprintf("SELECT EId FROM Attendance WHERE UId = %d", uid)
+		conn, err := dialPgLoad(svc.PgAddr(), uid, sqlText)
+		if err != nil {
+			return openloopRow{}, fmt.Errorf("pg conn %d: %w", i, err)
+		}
+		target.conns[i] = conn
+	}
+	setup := time.Since(setupStart)
+
+	sched, err := loadgen.NewSchedule(cfg.Ops, cfg.QPS, sessions, 1)
+	if err != nil {
+		return openloopRow{}, err
+	}
+	res, err := loadgen.Run(ctx, loadgen.Config{
+		Target:   target,
+		Schedule: sched,
+		Workers:  128,
+		Warmup:   cfg.Ops / 20,
+	})
+	if err != nil {
+		return openloopRow{}, err
+	}
+	return openloopRow{
+		Ingress:           "pg",
+		Sessions:          sessions,
+		Ops:               res.Ops,
+		Errors:            res.Errors,
+		OfferedQPS:        res.OfferedQPS,
+		AchievedQPS:       res.AchievedQPS,
+		P50Micros:         res.Latency.Quantile(0.50),
+		P90Micros:         res.Latency.Quantile(0.90),
+		P99Micros:         res.Latency.Quantile(0.99),
+		P999Micros:        res.Latency.Quantile(0.999),
+		MaxMicros:         res.Latency.Max(),
+		MaxLatenessMicros: res.MaxLateness.Microseconds(),
+		SetupSeconds:      setup.Seconds(),
+	}, nil
+}

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/checker"
+	"repro/internal/policy"
+	"repro/internal/sqlparser"
+)
+
+// The dual-decide tax: a staged candidate makes every enforced check
+// also decide under the candidate policy. The design claim is that the
+// shadow half rides the same warm caches as the active half (its own
+// epoch keys the same tiers), so the overhead is bounded by roughly
+// one extra warm decide — the acceptance bar is ≤2.5x the single warm
+// path, and runJSON fails the run when a document exceeds it.
+
+type shadowRow struct {
+	WarmMicros float64 `json:"warmMicros"`
+	DualMicros float64 `json:"dualMicros"`
+	Ratio      float64 `json:"ratio"`
+}
+
+// runShadowOverhead measures the warm trace-dependent check (50-entry
+// history, the hot-path workload) with and without a staged candidate
+// dual-deciding alongside it. Best-of-trials, interleaved, like
+// runMetricsOverhead — same container-noise posture.
+func runShadowOverhead() (shadowRow, error) {
+	f := apps.Calendar()
+	sel := sqlparser.MustParseSelect("SELECT * FROM Events WHERE EId=2")
+	sess := f.Session(1)
+	tr := mkTrace(50)
+	ctx := context.Background()
+
+	chk := checker.New(f.Policy())
+	views := make(map[string]string, len(f.PolicySQL)+1)
+	for k, v := range f.PolicySQL {
+		views[k] = v
+	}
+	views["VAllEvents"] = "SELECT * FROM Events"
+	cand, err := policy.New(f.Schema, views)
+	if err != nil {
+		return shadowRow{}, err
+	}
+
+	const (
+		iters  = 50
+		trials = 30
+	)
+	warmOnce := func() {
+		chk.Check(ctx, sel, sqlparser.NoArgs, sess, tr)
+	}
+	dualOnce := func() {
+		chk.CheckShadow(ctx, sel, sqlparser.NoArgs, sess, tr)
+	}
+	measure := func(once func()) time.Duration {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			once()
+		}
+		return time.Since(start)
+	}
+
+	// Warm both paths before timing anything: the first shadow check
+	// compiles/caches under the candidate epoch.
+	warmOnce()
+	if _, err := chk.StagePolicy(cand); err != nil {
+		return shadowRow{}, err
+	}
+	dualOnce()
+
+	// The warm measurement runs with the candidate rolled back — that IS
+	// the shadow-off configuration the ratio compares against. Staging
+	// keeps the candidate's epoch caches warm across the roll, so the
+	// re-stage costs one version-table swap, not a recompile.
+	timeWarm := func() time.Duration {
+		if _, err := chk.Rollback(); err != nil {
+			panic(err) // candidate is always staged on entry
+		}
+		warmOnce()
+		d := measure(warmOnce)
+		if _, err := chk.StagePolicy(cand); err != nil {
+			panic(err)
+		}
+		dualOnce()
+		return d
+	}
+	timeDual := func() time.Duration { return measure(dualOnce) }
+
+	minWarm, minDual := time.Duration(1<<62), time.Duration(1<<62)
+	for t := 0; t < trials; t++ {
+		// Alternate order so clock drift and GC hit both sides evenly.
+		var a, b time.Duration
+		if t%2 == 0 {
+			a, b = timeWarm(), timeDual()
+		} else {
+			b, a = timeDual(), timeWarm()
+		}
+		if a < minWarm {
+			minWarm = a
+		}
+		if b < minDual {
+			minDual = b
+		}
+	}
+	return shadowRow{
+		WarmMicros: float64(minWarm.Nanoseconds()) / 1e3 / iters,
+		DualMicros: float64(minDual.Nanoseconds()) / 1e3 / iters,
+		Ratio:      float64(minDual) / float64(minWarm),
+	}, nil
+}
+
+// shadowOverheadBudget is the acceptance bar for the dual-decide tax.
+const shadowOverheadBudget = 2.5
+
+func gateShadowOverhead(r shadowRow) error {
+	if r.Ratio > shadowOverheadBudget {
+		return fmt.Errorf("shadow overhead FAILED: dual-decide %.1fµs is %.2fx the warm path %.1fµs (budget %.1fx)",
+			r.DualMicros, r.Ratio, r.WarmMicros, shadowOverheadBudget)
+	}
+	fmt.Printf("shadow overhead: warm %.1fµs, dual-decide %.1fµs (%.2fx, budget %.1fx)\n",
+		r.WarmMicros, r.DualMicros, r.Ratio, shadowOverheadBudget)
+	return nil
+}

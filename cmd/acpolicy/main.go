@@ -1,0 +1,195 @@
+// Command acpolicy drives the online policy lifecycle of a running
+// proxy (DESIGN.md §14): stage a candidate policy for shadow
+// dual-decide, watch the divergence stream, then promote or roll back.
+//
+// Usage:
+//
+//	acpolicy -addr 127.0.0.1:7070 status
+//	acpolicy -addr 127.0.0.1:7070 stage candidate.json   # view name -> SQL
+//	acpolicy -addr 127.0.0.1:7070 diff                   # ringed divergences
+//	acpolicy -addr 127.0.0.1:7070 diff -follow           # poll until interrupted
+//	acpolicy -addr 127.0.0.1:7070 promote
+//	acpolicy -addr 127.0.0.1:7070 rollback
+//
+// stage reads one JSON object mapping view names to parameterized SQL
+// (the same shape acproxy -shadow-policy takes). diff prints one line
+// per divergence: the query, the session, both verdicts, and the
+// divergence kind — "tighten" (candidate blocks what the active policy
+// allows) or "loosen" (the reverse). promote swaps the candidate in;
+// its shadow-warmed caches serve enforcement immediately.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	beyond "repro"
+	"repro/internal/buildinfo"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "proxy v2 address")
+	follow := flag.Bool("follow", false, "diff: keep polling for new divergences until interrupted")
+	interval := flag.Duration("interval", time.Second, "diff -follow poll interval")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request timeout")
+	version := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("acpolicy"))
+		return
+	}
+	cmd := flag.Arg(0)
+	if cmd == "" {
+		cmd = "status"
+	}
+
+	c, err := beyond.DialProxy(*addr)
+	if err != nil {
+		log.Fatalf("acpolicy: dial %s: %v", *addr, err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	switch cmd {
+	case "status":
+		pb, err := c.PolicyStatus(ctx)
+		if err != nil {
+			log.Fatalf("acpolicy: status: %v", err)
+		}
+		printStatus(pb)
+	case "stage":
+		file := flag.Arg(1)
+		if file == "" {
+			log.Fatal("acpolicy: stage needs a policy file (JSON: view name -> SQL)")
+		}
+		views, err := readViews(file)
+		if err != nil {
+			log.Fatalf("acpolicy: %v", err)
+		}
+		pb, err := c.PolicyStage(ctx, views)
+		if err != nil {
+			log.Fatalf("acpolicy: stage: %v", err)
+		}
+		fmt.Printf("staged candidate (epoch %d, %d views, parent epoch %d); shadow dual-decide is on\n",
+			pb.CandidateEpoch, pb.CandidateViews, pb.CandidateParent)
+	case "diff":
+		if err := runDiff(c, *interval, *follow, *timeout); err != nil {
+			log.Fatalf("acpolicy: diff: %v", err)
+		}
+	case "promote":
+		pb, err := c.PolicyPromote(ctx)
+		if err != nil {
+			log.Fatalf("acpolicy: promote: %v", err)
+		}
+		fmt.Printf("promoted: active is now epoch %d (%d views)\n", pb.ActiveEpoch, pb.ActiveViews)
+	case "rollback":
+		pb, err := c.PolicyRollback(ctx)
+		if err != nil {
+			log.Fatalf("acpolicy: rollback: %v", err)
+		}
+		fmt.Printf("rolled back: active stays epoch %d (%d views)\n", pb.ActiveEpoch, pb.ActiveViews)
+	default:
+		log.Fatalf("acpolicy: unknown subcommand %q (want status, stage, diff, promote, or rollback)", cmd)
+	}
+}
+
+func readViews(path string) (map[string]string, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var views map[string]string
+	if err := json.Unmarshal(b, &views); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(views) == 0 {
+		return nil, fmt.Errorf("%s: no views", path)
+	}
+	return views, nil
+}
+
+func printStatus(pb *beyond.PolicyStatus) {
+	fmt.Printf("active:    epoch %d, %d views, fingerprint %s\n",
+		pb.ActiveEpoch, pb.ActiveViews, shorten(pb.ActiveFingerprint))
+	if !pb.Staged {
+		fmt.Println("candidate: none (shadow dual-decide off)")
+		return
+	}
+	fmt.Printf("candidate: epoch %d, %d views, parent epoch %d, fingerprint %s",
+		pb.CandidateEpoch, pb.CandidateViews, pb.CandidateParent, shorten(pb.CandidateFingerprint))
+	if pb.CandidateVersionID != 0 {
+		fmt.Printf(" (WAL version id %d)", pb.CandidateVersionID)
+	}
+	fmt.Println()
+	fmt.Printf("shadow:    %d dual-decides, %d divergences (%d tighten, %d loosen)\n",
+		pb.ShadowDecides, pb.Divergences, pb.DivergeTighten, pb.DivergeLoosen)
+}
+
+func shorten(fp string) string {
+	if len(fp) > 32 {
+		return fmt.Sprintf("%s…(%dB)", fp[:32], len(fp))
+	}
+	return fp
+}
+
+// runDiff prints ringed divergences; with follow it keeps polling from
+// the last seen sequence until interrupted.
+func runDiff(c *beyond.ProxyClient, interval time.Duration, follow bool, timeout time.Duration) error {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	var after uint64
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		pb, err := c.PolicyDiff(ctx, after)
+		cancel()
+		if err != nil {
+			return err
+		}
+		for _, d := range pb.Diffs {
+			printDiff(&d)
+		}
+		after = pb.LastDiffSeq
+		if !follow {
+			if len(pb.Diffs) == 0 {
+				if pb.Staged {
+					fmt.Printf("no divergences ringed (%d dual-decides so far)\n", pb.ShadowDecides)
+				} else {
+					fmt.Println("no candidate staged")
+				}
+			}
+			return nil
+		}
+		select {
+		case <-sig:
+			return nil
+		case <-time.After(interval):
+		}
+	}
+}
+
+func printDiff(d *beyond.ShadowDiff) {
+	sess := d.Session
+	if sess == "" {
+		sess = "-"
+	}
+	fmt.Printf("#%-5d %-7s session=%-12s active=%s shadow=%s  %s\n",
+		d.Seq, d.Kind, sess, verdict(d.ActiveAllowed, d.ActiveReason),
+		verdict(d.ShadowAllowed, d.ShadowReason), d.SQL)
+}
+
+func verdict(allowed bool, reason string) string {
+	if allowed {
+		return "allow"
+	}
+	if reason != "" {
+		return "block(" + reason + ")"
+	}
+	return "block"
+}

@@ -36,6 +36,14 @@
 //     appended records.
 //   - -window N bounds every session trace to its last N entries.
 //
+// Policy lifecycle:
+//
+//   - -shadow-policy FILE stages a candidate policy (JSON: view name
+//     -> SQL) at startup; every decision then dual-decides under the
+//     active and candidate policies and divergences stream as diff
+//     records. Conclude the trial with the acpolicy CLI (stage, diff,
+//     promote, rollback against a running proxy; DESIGN.md §14).
+//
 // On SIGINT/SIGTERM the proxy drains in-flight connections, flushes
 // and checkpoints the WAL (when enabled), and prints extended
 // statistics: decision and fact-cache hit rates plus latency
@@ -44,6 +52,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -77,6 +86,7 @@ func main() {
 	fsyncInterval := flag.Duration("fsync-interval", durable.DefaultFsyncInterval, "fsync timer period under -fsync interval")
 	ckptEvery := flag.Int("checkpoint-every", 10000, "checkpoint + compact the WAL after this many appended records (0 disables auto-checkpoints)")
 	window := flag.Int("window", 0, "bound each session trace to its last N entries (0 = unbounded)")
+	shadowPolicy := flag.String("shadow-policy", "", "stage a candidate policy from this JSON file (view name -> SQL) for shadow dual-decide")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *version {
@@ -122,6 +132,13 @@ func main() {
 	if *pgAddr != "" {
 		sopts = append(sopts, beyond.WithPgListener(*pgAddr))
 	}
+	if *shadowPolicy != "" {
+		views, err := readPolicyFile(*shadowPolicy)
+		if err != nil {
+			log.Fatalf("acproxy: -shadow-policy: %v", err)
+		}
+		sopts = append(sopts, beyond.WithShadowPolicy(views))
+	}
 	svc, err := beyond.Serve(db, chk, m, sopts...)
 	if err != nil {
 		log.Fatal(err)
@@ -132,6 +149,10 @@ func main() {
 	if *pgAddr != "" {
 		fmt.Printf("acproxy: Postgres wire protocol on %s (session attrs via attr.* startup params)\n",
 			svc.PgAddr())
+	}
+	if *shadowPolicy != "" {
+		fmt.Printf("acproxy: shadow candidate staged from %s; every decision dual-decides (acpolicy diff/promote/rollback to conclude)\n",
+			*shadowPolicy)
 	}
 	if *walDir != "" {
 		wal := srv.Durable()
@@ -183,6 +204,23 @@ func main() {
 		st.LatencyP50Micros, st.LatencyP90Micros, st.LatencyP99Micros,
 		st.LatencyMeanMicros, st.LatencySamples)
 	fmt.Printf("acproxy: connections: total=%d rejected=%d canceled-requests=%d\n", st.TotalConns, st.RejectedConns, st.CanceledReqs)
+}
+
+// readPolicyFile loads a candidate policy file: one JSON object
+// mapping view names to parameterized SQL.
+func readPolicyFile(path string) (map[string]string, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var views map[string]string
+	if err := json.Unmarshal(b, &views); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(views) == 0 {
+		return nil, fmt.Errorf("%s: no views", path)
+	}
+	return views, nil
 }
 
 // startHTTP stands up the observability HTTP server: /metrics (the

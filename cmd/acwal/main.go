@@ -124,7 +124,7 @@ func dump(dir, session string, withSQL bool) error {
 		if session != "" && rec.Session != session {
 			return
 		}
-		line := fmt.Sprintf("%-20s #%-5d %-9s", rec.File, rec.Seq, rec.Type)
+		line := fmt.Sprintf("%-20s #%-5d %-15s", rec.File, rec.Seq, rec.Type)
 		switch rec.Type {
 		case "session":
 			line += fmt.Sprintf(" %s", rec.Session)

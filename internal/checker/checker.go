@@ -32,10 +32,15 @@
 // generalization of trace facts is memoized so long histories don't
 // pay repeated rewriting.
 //
-// A Checker is safe for concurrent use: the policy snapshot (view
-// disjuncts plus fingerprint) is published through an atomic pointer,
-// so ResetCache can swap it while checks are in flight, and all
-// counters are atomic (obsv instruments).
+// A Checker is safe for concurrent use: policy versions (compiled
+// plan plus monotone epoch; version.go) are published through an
+// atomic pointer, so ResetCache / StagePolicy / Promote / Rollback
+// can swap them while checks are in flight — each decision pins the
+// version it started with — and all counters are atomic (obsv
+// instruments). Every cache key embeds the deciding epoch, so a
+// policy swap invalidates warm state by epoch bump rather than cache
+// teardown, and a staged candidate dual-decides via CheckShadow
+// (shadow.go).
 package checker
 
 import (
@@ -82,6 +87,10 @@ type Decision struct {
 	// Tier names the cache tier that answered ("front", "histfree",
 	// "template"); empty for a cold decision.
 	Tier string
+	// Epoch identifies the policy version that decided (version.go):
+	// the active version's epoch for Check*, the candidate's for the
+	// shadow half of CheckShadow.
+	Epoch uint64
 }
 
 // Stats counts checker activity. It is assembled from the checker's
@@ -162,15 +171,6 @@ func DefaultOptions() Options {
 	return Options{UseHistory: true, UseCache: true, UseFactCache: true, MaxHomsPerView: 64, ColdIndex: true}
 }
 
-// polSnapshot is the immutable view of the policy a single decision
-// works against: the fingerprint plus the compiled indexed plan
-// (compile.go). It is published atomically so ResetCache never races
-// with in-flight decisions.
-type polSnapshot struct {
-	fp   string
-	comp *compiledPolicy
-}
-
 // genEntry is one memoized fact generalization: the rewritten fact
 // plus its canonical string (reused for decision-cache keys).
 type genEntry struct {
@@ -178,18 +178,19 @@ type genEntry struct {
 	key string
 }
 
-// frontKey identifies a concrete check: the policy snapshot, the
-// parsed statement BY POINTER (sqlparser.ParseCached returns one
-// shared immutable statement per SQL text, so the pointer stands in
-// for the text), and the rendered session attributes and arguments.
-// Holding the pointer as a map key also keeps the statement alive, so
-// an address can never be reused while its entry exists. Statements
-// parsed outside the cache simply miss here and fall through to the
-// template path.
+// frontKey identifies a concrete check: the deciding policy version's
+// epoch, the parsed statement BY POINTER (sqlparser.ParseCached
+// returns one shared immutable statement per SQL text, so the pointer
+// stands in for the text), and the rendered session attributes and
+// arguments. Holding the pointer as a map key also keeps the statement
+// alive, so an address can never be reused while its entry exists.
+// Statements parsed outside the cache simply miss here and fall
+// through to the template path. Entries keyed by a superseded epoch
+// can never match again and are evicted as the cap recycles them.
 type frontKey struct {
-	fp  string
-	sel *sqlparser.SelectStmt
-	sig string
+	epoch uint64
+	sel   *sqlparser.SelectStmt
+	sig   string
 }
 
 // frontCacheMax bounds the front cache; past it an arbitrary entry is
@@ -198,10 +199,16 @@ const frontCacheMax = 4096
 
 // Checker vets queries against a policy.
 type Checker struct {
-	pol  *policy.Policy
 	opts Options
 
-	snap  atomic.Pointer[polSnapshot]
+	// The versioned policy store (version.go): the (active, candidate)
+	// pair behind one atomic pointer, the monotone epoch source behind
+	// verMu. Lifecycle writers (installActive, StagePolicy, Promote,
+	// Rollback) serialize on verMu; decisions just Load.
+	verMu     sync.Mutex
+	nextEpoch uint64
+	vers      atomic.Pointer[versionTable]
+
 	cache *decisionCache
 	tr    *cq.Translator // stateless; safe to share
 
@@ -267,7 +274,6 @@ func NewWithOptions(p *policy.Policy, opts Options) *Checker {
 		opts.Metrics = obsv.NewRegistry()
 	}
 	c := &Checker{
-		pol:   p,
 		opts:  opts,
 		cache: newDecisionCache(opts.CacheSize),
 		tr:    &cq.Translator{Schema: p.Schema},
@@ -299,23 +305,14 @@ func NewWithOptions(p *policy.Policy, opts Options) *Checker {
 	c.mColdSearch = reg.Histogram("checker.cold.search.micros")
 	c.cold = newColdPool(opts.ColdWorkers, c.mColdBusy, c.mColdTasks)
 	c.pipe = c.newDecidePipeline()
-	c.publishSnapshot()
+	comp := c.compilePol(p)
+	c.nextEpoch = 1
+	c.vers.Store(&versionTable{active: &polVersion{epoch: 1, fp: comp.fp, comp: comp, pol: p}})
 	return c
 }
 
-// publishSnapshot compiles the current policy into its indexed plan
-// and publishes it atomically. Compilation happens once per policy
-// change, never per decision; its cost lands in
-// checker.compile.micros.
-func (c *Checker) publishSnapshot() {
-	start := time.Now()
-	comp := compilePolicy(c.pol.Fingerprint(), c.pol.Disjuncts(nil))
-	c.mCompile.Observe(time.Since(start).Microseconds())
-	c.snap.Store(&polSnapshot{fp: comp.fp, comp: comp})
-}
-
-// Policy returns the checker's policy.
-func (c *Checker) Policy() *policy.Policy { return c.pol }
+// Policy returns the checker's active policy.
+func (c *Checker) Policy() *policy.Policy { return c.activeVersion().pol }
 
 // WarmTrace pre-derives the ground facts of a restored session trace
 // under the checker's schema, so the first decision after a crash
@@ -327,7 +324,7 @@ func (c *Checker) WarmTrace(tr *trace.Trace) {
 	if tr == nil || !c.opts.UseHistory {
 		return
 	}
-	_ = tr.Facts(c.pol.Schema)
+	_ = tr.Facts(c.activeVersion().pol.Schema)
 }
 
 // Metrics returns the checker's observability registry (the one every
@@ -351,28 +348,18 @@ func (c *Checker) Stats() Stats {
 	}
 }
 
-// ResetCache drops all decision templates and republishes the policy
-// snapshot (used when the policy is edited in place). Checks already
-// in flight keep using the snapshot they started with; new checks see
-// the new policy.
+// ResetCache republishes the policy (used when it is edited in place)
+// and invalidates warm decision state by EPOCH BUMP: every cache key
+// embeds the deciding epoch, so entries made under the old policy can
+// never match again and age out through normal eviction — no map is
+// recreated, and the policy-independent state (fact-generalization
+// memo, string interns) survives untouched. When the recompiled plan's
+// fingerprint is unchanged the epoch is kept too, so a no-op republish
+// destroys nothing: front-cache hits keep accumulating across it.
+// Checks already in flight keep using the version they started with;
+// new checks see the new policy.
 func (c *Checker) ResetCache() {
-	c.publishSnapshot()
-	for i := range c.cache.shards {
-		sh := &c.cache.shards[i]
-		sh.mu.Lock()
-		sh.m = make(map[string]*cacheEntry)
-		sh.mu.Unlock()
-	}
-	c.genMu.Lock()
-	c.gen = make(map[string]map[string]genEntry)
-	c.genN = 0
-	c.genMu.Unlock()
-	c.strMu.Lock()
-	c.strs = make(map[string]string)
-	c.strMu.Unlock()
-	c.frontMu.Lock()
-	c.front = make(map[frontKey]Decision)
-	c.frontMu.Unlock()
+	c.installActive(c.Policy())
 }
 
 // intern returns the canonical string for the scratch bytes, keeping
@@ -603,11 +590,14 @@ func (c *Checker) generalizeFactMemo(f cq.Fact, rawKey string, session map[strin
 
 // appendCacheKey renders the decision-template cache key into buf:
 // template canonical keys, a "#" divider, the (pre-sorted) generalized
-// fact keys, then the policy fingerprint, all NUL-separated. Byte
-// layout is identical to the old strings.Join form; building into
+// fact keys, all NUL-separated, then the deciding policy version's
+// epoch as 8 fixed big-endian bytes. The epoch suffix replaced the old
+// policy-fingerprint suffix when the versioned store landed — 8 bytes
+// instead of a fingerprint that grows with the policy, and a swap
+// invalidates by bump instead of wholesale cache drop. Building into
 // scratch lets warm probes hit the cache without materializing a
 // string.
-func appendCacheKey(buf []byte, fp string, tplKeys []string, factKeys []string) []byte {
+func appendCacheKey(buf []byte, epoch uint64, tplKeys []string, factKeys []string) []byte {
 	for _, k := range tplKeys {
 		buf = append(buf, k...)
 		buf = append(buf, 0)
@@ -618,7 +608,9 @@ func appendCacheKey(buf []byte, fp string, tplKeys []string, factKeys []string) 
 		buf = append(buf, k...)
 		buf = append(buf, 0)
 	}
-	buf = append(buf, fp...)
+	buf = append(buf,
+		byte(epoch>>56), byte(epoch>>48), byte(epoch>>40), byte(epoch>>32),
+		byte(epoch>>24), byte(epoch>>16), byte(epoch>>8), byte(epoch))
 	return buf
 }
 

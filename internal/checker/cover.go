@@ -34,13 +34,14 @@ import (
 )
 
 // coverAll runs the coverage check for every disjunct of a decision
-// template against the given fact set. occs optionally carries the
-// per-disjunct variable-occurrence censuses memoized by the pipeline
-// (nil entries are computed here). Callers must check ctx.Err()
-// before caching the result: a cancellation mid-search yields a
-// decision that must not be stored.
-func (c *Checker) coverAll(ctx context.Context, snap *polSnapshot, tpl []*cq.Query, occs []map[string]varOcc, facts []cq.Fact) Decision {
-	comp := snap.comp
+// template against the given fact set, under one compiled policy plan
+// (the caller pins the version; shadow decisions pass the candidate's
+// plan here). occs optionally carries the per-disjunct
+// variable-occurrence censuses memoized by the pipeline (nil entries
+// are computed here). Callers must check ctx.Err() before caching the
+// result: a cancellation mid-search yields a decision that must not
+// be stored.
+func (c *Checker) coverAll(ctx context.Context, comp *compiledPolicy, tpl []*cq.Query, occs []map[string]varOcc, facts []cq.Fact) Decision {
 	fi := comp.indexFacts(facts)
 	n := len(tpl)
 	res := make([]coverResult, n)

@@ -40,7 +40,7 @@ func TestCoverEmptyPolicy(t *testing.T) {
 		{"scan", false, 1}, {"indexed", true, 1}, {"parallel", true, 8},
 	} {
 		c := NewWithOptions(empty, coldOpts(cfg.index, cfg.workers))
-		comp := c.snap.Load().comp
+		comp := c.activeVersion().comp
 		if len(comp.views) != 0 || len(comp.byRel) != 0 {
 			t.Fatalf("%s: empty policy compiled to %d views, %d index buckets",
 				cfg.name, len(comp.views), len(comp.byRel))

@@ -40,8 +40,11 @@ import (
 // coverAll returns, and the caches copy in what they keep — so
 // recycling can never alias into a cached or returned decision.
 type decideState struct {
-	c    *Checker
-	snap *polSnapshot
+	c *Checker
+	// ver is the policy version this decision is pinned to: the active
+	// version for Check*, either half's version for CheckShadow. Every
+	// cache key the stages build embeds ver.epoch.
+	ver *polVersion
 
 	// Inputs.
 	sel     *sqlparser.SelectStmt
@@ -170,11 +173,21 @@ func (st *decideState) tplCanonKeys() []string {
 	return st.tplKeys
 }
 
-// decide runs the staged pipeline for one check, on a pooled state.
+// decide runs the staged pipeline for one check under the current
+// active policy version, on a pooled state.
 func (c *Checker) decide(ctx context.Context, sel *sqlparser.SelectStmt, args sqlparser.Args, session map[string]sqlvalue.Value, tr *trace.Trace, borrow bool) Decision {
+	return c.decideVersion(ctx, c.vers.Load().active, sel, args, session, tr, borrow)
+}
+
+// decideVersion runs the staged pipeline pinned to one policy
+// version. CheckShadow calls it twice on the same inputs — once with
+// the active version, once with the candidate — so both halves run
+// the identical pipeline and warm the same caches under their own
+// epochs.
+func (c *Checker) decideVersion(ctx context.Context, ver *polVersion, sel *sqlparser.SelectStmt, args sqlparser.Args, session map[string]sqlvalue.Value, tr *trace.Trace, borrow bool) Decision {
 	st := decidePool.Get().(*decideState)
 	st.c = c
-	st.snap = c.snap.Load()
+	st.ver = ver
 	st.sel = sel
 	st.args = args
 	st.session = session
@@ -182,6 +195,7 @@ func (c *Checker) decide(ctx context.Context, sel *sqlparser.SelectStmt, args sq
 	st.borrow = borrow
 	c.pipe.Run(ctx, st)
 	d := st.d
+	d.Epoch = ver.epoch
 	st.release()
 	return d
 }
@@ -209,7 +223,7 @@ func stageFront(ctx context.Context, st *decideState) pipeline.Outcome {
 	buf, st.names = appendArgsSig(buf, st.names, st.args)
 	sig := c.intern(buf)
 	st.keyBuf = buf[:0]
-	st.fkey = frontKey{fp: st.snap.fp, sel: st.sel, sig: sig}
+	st.fkey = frontKey{epoch: st.ver.epoch, sel: st.sel, sig: sig}
 	if d, ok := c.frontGet(st.fkey); ok {
 		if !st.borrow && len(d.Views) > 0 {
 			// The front cache owns its Views; the safe API hands the
@@ -282,7 +296,7 @@ func stageHistFree(ctx context.Context, st *decideState) pipeline.Outcome {
 	if !(c.opts.UseCache && c.opts.UseHistory && st.tr != nil) {
 		return pipeline.Continue
 	}
-	st.keyBuf = appendCacheKey(st.keyBuf[:0], st.snap.fp, st.tplCanonKeys(), nil)
+	st.keyBuf = appendCacheKey(st.keyBuf[:0], st.ver.epoch, st.tplCanonKeys(), nil)
 	if d, ok := c.cache.GetBytes(st.keyBuf, !st.borrow); ok {
 		if d.Allowed {
 			if st.useFront {
@@ -296,7 +310,7 @@ func stageHistFree(ctx context.Context, st *decideState) pipeline.Outcome {
 		}
 		return pipeline.Continue // denial marker: the template needs facts
 	}
-	d := c.coverAll(ctx, st.snap, st.tpl, st.occs(), nil)
+	d := c.coverAll(ctx, st.ver.comp, st.tpl, st.occs(), nil)
 	if ctx.Err() != nil {
 		st.d = canceledDecision(ctx)
 		return pipeline.Abort
@@ -327,9 +341,9 @@ func stageFacts(ctx context.Context, st *decideState) pipeline.Outcome {
 		// Shared snapshot plus the canonical string of each raw fact,
 		// rendered once at derivation — the memo keys below cost two
 		// map lookups per fact, no rendering.
-		raw, rawKeys = st.tr.FactsKeyed(c.pol.Schema)
+		raw, rawKeys = st.tr.FactsKeyed(st.ver.pol.Schema)
 	} else {
-		raw = trace.FactsUncached(c.pol.Schema, st.tr)
+		raw = trace.FactsUncached(st.ver.pol.Schema, st.tr)
 	}
 	st.facts = st.facts[:0]
 	st.factKeys = st.factKeys[:0]
@@ -374,7 +388,7 @@ func stageTemplate(ctx context.Context, st *decideState) pipeline.Outcome {
 	// (st.facts carries the facts for the cover stage), so sort it in
 	// place — the key requires a canonical order, not this one.
 	slices.Sort(st.factKeys)
-	st.keyBuf = appendCacheKey(st.keyBuf[:0], st.snap.fp, st.tplCanonKeys(), st.factKeys)
+	st.keyBuf = appendCacheKey(st.keyBuf[:0], st.ver.epoch, st.tplCanonKeys(), st.factKeys)
 	if d, ok := c.cache.GetBytes(st.keyBuf, !st.borrow); ok {
 		d.FromCache = true
 		d.Tier = TierTemplate
@@ -391,7 +405,7 @@ func stageTemplate(ctx context.Context, st *decideState) pipeline.Outcome {
 // stageCover runs the policy-coverage decision procedure — the
 // expensive embedding search — against the facts.
 func stageCover(ctx context.Context, st *decideState) pipeline.Outcome {
-	st.d = st.c.coverAll(ctx, st.snap, st.tpl, st.occs(), st.facts)
+	st.d = st.c.coverAll(ctx, st.ver.comp, st.tpl, st.occs(), st.facts)
 	if ctx.Err() != nil {
 		st.d = canceledDecision(ctx)
 		return pipeline.Abort

@@ -51,8 +51,25 @@ func recordTypeName(typ byte) string {
 		return "ckpt-meta"
 	case recCkptEnd:
 		return "ckpt-end"
+	case recPolicyStage:
+		return "policy-stage"
+	case recPolicyPromote:
+		return "policy-promote"
+	case recPolicyRollback:
+		return "policy-rollback"
 	}
 	return fmt.Sprintf("unknown(%d)", typ)
+}
+
+// shortFP abbreviates a policy fingerprint for display: fingerprints
+// are canonical-key joins that grow with the policy, so the dump shows
+// a prefix plus the length instead of pages of CQ text.
+func shortFP(fp string) string {
+	const keep = 24
+	if len(fp) <= keep {
+		return fp
+	}
+	return fmt.Sprintf("%s…(%dB)", fp[:keep], len(fp))
 }
 
 // decodeForInspection renders one record without trusting it: decode
@@ -108,6 +125,23 @@ func decodeForInspection(file string, seq int, typ byte, payload []byte) Record 
 		}
 		rec.Index = n
 		rec.Detail = fmt.Sprintf("records=%d", n)
+	case recPolicyStage:
+		v, err := decodePolicyVersion(payload)
+		if err != nil {
+			rec.Err = err.Error()
+			break
+		}
+		rec.Index = v.ID
+		rec.Detail = fmt.Sprintf("id=%d parent=%d fingerprint=%s views=%d db=%016x",
+			v.ID, v.Parent, shortFP(v.Fingerprint), len(v.Views), v.DBHash)
+	case recPolicyPromote, recPolicyRollback:
+		id, fp, err := decodePolicyMark(payload)
+		if err != nil {
+			rec.Err = err.Error()
+			break
+		}
+		rec.Index = id
+		rec.Detail = fmt.Sprintf("id=%d fingerprint=%s", id, shortFP(fp))
 	default:
 		rec.Err = "unknown record type"
 	}

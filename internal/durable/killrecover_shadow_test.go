@@ -1,0 +1,148 @@
+// Crash mid-trial: a candidate policy is staged over the wire (so the
+// stage record is in the WAL), the proxy is SIGKILLed, and the restart
+// must restore BOTH policy versions — every post-restart decision
+// byte-identical to an uncrashed control, the trial still live, and
+// the resumed trial able to run to a promote.
+package durable_test
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/checker"
+	"repro/internal/durable"
+	"repro/internal/proxy"
+)
+
+// wideCandidate is the calendar policy plus an all-events view, so
+// blocked event scans diverge as "loosen" during the trial.
+func wideCandidate(f *apps.Fixture) map[string]string {
+	views := make(map[string]string, len(f.PolicySQL)+1)
+	for k, v := range f.PolicySQL {
+		views[k] = v
+	}
+	views["VAllEvents"] = "SELECT * FROM Events"
+	return views
+}
+
+// stagePolicy stages the candidate over the v2 wire, the same path an
+// operator's acpolicy stage takes.
+func stagePolicy(t *testing.T, addr string, views map[string]string) *proxy.PolicyBody {
+	t.Helper()
+	cl, err := proxy.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+	if err := cl.Hello(ctx, map[string]any{"MyUId": int64(1)}); err != nil {
+		t.Fatal(err)
+	}
+	pb, err := cl.PolicyStage(ctx, views)
+	if err != nil {
+		t.Fatalf("stage: %v", err)
+	}
+	return pb
+}
+
+func TestKillRecoverStagedCandidate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess integration test")
+	}
+	f := apps.Calendar()
+	corpus := f.Corpus
+	candidate := wideCandidate(f)
+
+	// Control: uncrashed in-process server, same prime/stage/decide
+	// sequence.
+	controlDir := t.TempDir()
+	srv := proxy.NewServer(f.MustNewDB(dbSeedRows), checker.New(f.Policy()), proxy.Enforce)
+	srv.WALDir = controlDir
+	srv.WALOpts = durable.Options{Fsync: durable.FsyncOff}
+	controlAddr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	primePhase(t, controlAddr, corpus)
+	stagePolicy(t, controlAddr, candidate)
+	control, _ := decidePhase(t, controlAddr, corpus)
+
+	// Crashed: prime, stage, SIGKILL mid-trial, restart on the WAL.
+	walDir := t.TempDir()
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	child1, addr1 := startChild(t, walDir, addrFile)
+	primePhase(t, addr1, corpus)
+	staged := stagePolicy(t, addr1, candidate)
+	if !staged.Staged || staged.CandidateVersionID == 0 {
+		t.Fatalf("stage did not persist a WAL version: %+v", staged)
+	}
+	sigkill(t, child1)
+	child2, addr2 := startChild(t, walDir, addrFile)
+	t.Cleanup(func() { sigkill(t, child2) })
+
+	// The restart restores the trial: candidate staged, same identity.
+	cl, err := proxy.Dial(addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+	if err := cl.Hello(ctx, map[string]any{"MyUId": int64(1)}); err != nil {
+		t.Fatal(err)
+	}
+	pb, err := cl.PolicyStatus(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pb.Staged {
+		t.Fatal("staged candidate evaporated in the crash")
+	}
+	if pb.CandidateFingerprint != staged.CandidateFingerprint {
+		t.Fatalf("restored candidate fingerprint %q != staged %q",
+			pb.CandidateFingerprint, staged.CandidateFingerprint)
+	}
+	if pb.ActiveFingerprint != staged.ActiveFingerprint {
+		t.Fatalf("restored active fingerprint %q != pre-crash %q",
+			pb.ActiveFingerprint, staged.ActiveFingerprint)
+	}
+
+	// Byte-identical decisions against the uncrashed control — the
+	// recovered candidate must shadow, never enforce.
+	crashed, restored := decidePhase(t, addr2, corpus)
+	if restored == 0 {
+		t.Fatal("restart restored no trace entries: recovery is not engaging")
+	}
+	want := renderDecisions(t, control)
+	got := renderDecisions(t, crashed)
+	if got != want {
+		t.Fatalf("post-restart decisions diverge from uncrashed control:\n--- control ---\n%s--- crashed ---\n%s", want, got)
+	}
+
+	// The resumed trial is live: a blocked event scan dual-decides into
+	// a loosen divergence, and a promote concludes it.
+	if _, err := cl.Query(ctx, "SELECT Title FROM Events"); err == nil {
+		t.Fatal("all-titles must stay blocked while the candidate only shadows")
+	} else {
+		var be *proxy.BlockedError
+		if !errors.As(err, &be) {
+			t.Fatalf("all-titles: %v", err)
+		}
+	}
+	pb, err = cl.PolicyDiff(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pb.Diffs) == 0 || pb.Diffs[0].Kind != checker.DivergeLoosen {
+		t.Fatalf("resumed trial produced no loosen divergence: %+v", pb.Diffs)
+	}
+	if _, err := cl.PolicyPromote(ctx); err != nil {
+		t.Fatalf("promote after restart: %v", err)
+	}
+	if _, err := cl.Query(ctx, "SELECT Title FROM Events"); err != nil {
+		t.Fatalf("promoted candidate must allow the event scan: %v", err)
+	}
+}

@@ -28,6 +28,13 @@ type Manager struct {
 	// recovered holds replayed sessions not yet re-claimed by a hello.
 	recovered map[string]*RecoveredSession
 	policy    *PolicyID
+	// Policy lifecycle state (version.go): the promoted active version
+	// (nil when the active policy predates versioning), the staged
+	// candidate awaiting promote/rollback, and the monotone version-id
+	// counter, resumed past the highest id recovery replayed.
+	active    *PolicyVersion
+	candidate *PolicyVersion
+	nextVerID uint64
 
 	recovery RecoveryResult
 
@@ -70,6 +77,9 @@ func Open(dir string, opts Options) (*Manager, error) {
 		live:      make(map[string]*liveSession),
 		recovered: rec.Sessions,
 		policy:    rec.Policy,
+		active:    rec.ActiveVersion,
+		candidate: rec.Candidate,
+		nextVerID: rec.LastVersionID,
 		recovery:  *rec,
 	}
 	reg := opts.Metrics
@@ -114,6 +124,11 @@ func (m *Manager) SetPolicy(p PolicyID) error {
 	m.mu.Lock()
 	prev := m.policy
 	m.policy = &p
+	// An unversioned override of a promoted policy orphans the version:
+	// the active policy is no longer the one the promote produced.
+	if m.active != nil && m.active.Fingerprint != p.Fingerprint {
+		m.active = nil
+	}
 	m.mu.Unlock()
 	if prev != nil {
 		if prev.Fingerprint != p.Fingerprint {
@@ -235,6 +250,15 @@ func (m *Manager) Checkpoint() error {
 		snaps = append(snaps, sessSnap{name: name, attrs: rec.Attrs, entries: rec.Entries, base: rec.Base})
 	}
 	pol := m.policy
+	var aVer, cVer *PolicyVersion
+	if m.active != nil {
+		v := *m.active
+		aVer = &v
+	}
+	if m.candidate != nil {
+		v := *m.candidate
+		cVer = &v
+	}
 	m.mu.Unlock()
 
 	// Deterministic order keeps checkpoint bytes reproducible.
@@ -246,6 +270,9 @@ func (m *Manager) Checkpoint() error {
 			Fingerprint: pol.Fingerprint, Views: pol.Views, DBHash: pol.DBHash,
 		})))
 	}
+	// The policy lifecycle survives compaction: the active version's
+	// stage+promote pair, then the staged candidate (version.go).
+	records = lifecycleRecords(records, aVer, cVer)
 	for _, s := range snaps {
 		records = append(records, appendRecord(nil, recSession, encodeSession(s.name, s.attrs)))
 		for i := range s.entries {

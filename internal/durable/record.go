@@ -59,6 +59,15 @@ const (
 	recPolicy   byte = 3 // policy snapshot (fingerprint + view SQL)
 	recCkptMeta byte = 4 // checkpoint meta: covered cut, policy, db hash
 	recCkptEnd  byte = 5 // checkpoint terminator (record count)
+
+	// Policy lifecycle records (version.go): a candidate policy staged
+	// for shadow trial is an addressable version (id, parent,
+	// snapshot); promote/rollback markers reference it by id. Recovery
+	// restores both the active AND the staged candidate policy, so a
+	// crash mid-trial resumes the trial.
+	recPolicyStage    byte = 6 // candidate policy version staged
+	recPolicyPromote  byte = 7 // staged candidate promoted to active
+	recPolicyRollback byte = 8 // staged candidate discarded
 )
 
 // recHeaderSize frames every record: u32 length + u32 crc.

@@ -30,6 +30,17 @@ type RecoveryResult struct {
 	// Policy is the last persisted policy snapshot (nil when none was
 	// ever logged).
 	Policy *PolicyID
+	// ActiveVersion identifies the promoted policy version Policy
+	// corresponds to; nil when the active policy was only ever set
+	// through the unversioned SetPolicy path.
+	ActiveVersion *PolicyVersion
+	// Candidate is the staged-but-undecided candidate policy version
+	// (nil when no shadow trial was in flight). A crash mid-trial
+	// restores it so the trial resumes instead of evaporating.
+	Candidate *PolicyVersion
+	// LastVersionID is the highest policy-version id seen during
+	// replay; the manager's id counter resumes past it.
+	LastVersionID uint64
 	// CheckpointCut is the cut of the checkpoint replayed (0: none).
 	CheckpointCut uint64
 	// SegmentsReplayed counts segment files scanned; RecordsReplayed
@@ -92,6 +103,7 @@ func Recover(dir string) (*RecoveryResult, error) {
 		}
 		res.Sessions = make(map[string]*RecoveredSession)
 		res.Policy = nil
+		res.ActiveVersion, res.Candidate, res.LastVersionID = nil, nil, 0
 	}
 
 	segs, err := listIndexed(dir, segPrefix, segSuffix)
@@ -226,6 +238,8 @@ func (res *RecoveryResult) apply(typ byte, payload []byte) error {
 			return err
 		}
 		res.Policy = &PolicyID{Fingerprint: p.Fingerprint, Views: p.Views, DBHash: p.DBHash}
+	case recPolicyStage, recPolicyPromote, recPolicyRollback:
+		return res.applyPolicyVersion(typ, payload)
 	default:
 		return fmt.Errorf("unknown record type %d", typ)
 	}

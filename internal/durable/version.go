@@ -1,0 +1,218 @@
+package durable
+
+// Policy versions as addressable WAL records. The single recPolicy
+// snapshot (the policy the proxy enforces) predates shadow mode; a
+// staged candidate adds a second resident policy whose identity must
+// survive a crash — killing a proxy mid-trial must restore BOTH
+// versions, or the trial silently evaporates. A recPolicyStage record
+// carries the candidate's log-scoped version id, the id of the active
+// version it was staged against (0 when the active policy predates
+// versioning), and the full policy snapshot; recPolicyPromote /
+// recPolicyRollback markers reference the id and close the trial.
+//
+// Checkpoints re-emit the live lifecycle state so compaction never
+// loses it: the active version (when it came from a promote) as a
+// stage+promote pair, then the staged candidate's stage record.
+// Version ids are monotone over the records reachable from the log;
+// the counter restarts past the highest id recovery saw.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// PolicyVersion is one addressable policy version in the WAL: its
+// log-scoped id and parent plus the persisted policy identity.
+type PolicyVersion struct {
+	ID     uint64
+	Parent uint64
+	PolicyID
+}
+
+// ErrNoCandidate is returned by PromotePolicy/RollbackPolicy when no
+// candidate version is staged.
+var ErrNoCandidate = errors.New("durable: no candidate policy staged")
+
+// --- codec ---
+
+func encodePolicyVersion(v *PolicyVersion) []byte {
+	buf := appendUvarint(nil, v.ID)
+	buf = appendUvarint(buf, v.Parent)
+	buf = appendLenString(buf, v.Fingerprint)
+	buf = binary.LittleEndian.AppendUint64(buf, v.DBHash)
+	buf = appendUvarint(buf, uint64(len(v.Views)))
+	for _, k := range sortedStrKeys(v.Views) {
+		buf = appendLenString(buf, k)
+		buf = appendLenString(buf, v.Views[k])
+	}
+	return buf
+}
+
+func decodePolicyVersion(payload []byte) (*PolicyVersion, error) {
+	r := payloadReader{b: payload}
+	v := &PolicyVersion{ID: r.uvarint("version id"), Parent: r.uvarint("version parent")}
+	v.Fingerprint = r.str("version fingerprint")
+	b := r.bytes(8, "version db hash")
+	if r.err == nil {
+		v.DBHash = binary.LittleEndian.Uint64(b)
+	}
+	n := r.count("version views")
+	v.Views = make(map[string]string, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		k := r.str("view name")
+		v.Views[k] = r.str("view sql")
+	}
+	return v, r.err
+}
+
+// encodePolicyMark frames a promote/rollback marker: the referenced
+// version id plus its fingerprint (so replay can cross-check the
+// marker against the stage record it closes).
+func encodePolicyMark(id uint64, fp string) []byte {
+	buf := appendUvarint(nil, id)
+	return appendLenString(buf, fp)
+}
+
+func decodePolicyMark(payload []byte) (id uint64, fp string, err error) {
+	r := payloadReader{b: payload}
+	id = r.uvarint("mark version id")
+	fp = r.str("mark fingerprint")
+	return id, fp, r.err
+}
+
+// --- manager lifecycle API ---
+
+// StagePolicy assigns the next version id to p, stages it as the
+// candidate (replacing any previous candidate), and WAL-logs the
+// stage record. The returned version is what recovery will restore if
+// the process dies before a promote or rollback.
+func (m *Manager) StagePolicy(p PolicyID) (PolicyVersion, error) {
+	m.mu.Lock()
+	m.nextVerID++
+	var parent uint64
+	if m.active != nil {
+		parent = m.active.ID
+	}
+	v := PolicyVersion{ID: m.nextVerID, Parent: parent, PolicyID: p}
+	m.candidate = &v
+	m.mu.Unlock()
+	return v, m.log.Append(recPolicyStage, encodePolicyVersion(&v))
+}
+
+// PromotePolicy makes the staged candidate the active policy: it
+// WAL-logs the promote marker and updates the manager's policy
+// identity (the follow-up recPolicy snapshot keeps the unversioned
+// readers of the log working unchanged).
+func (m *Manager) PromotePolicy() (PolicyVersion, error) {
+	m.mu.Lock()
+	if m.candidate == nil {
+		m.mu.Unlock()
+		return PolicyVersion{}, ErrNoCandidate
+	}
+	v := *m.candidate
+	m.candidate = nil
+	m.active = &v
+	pid := v.PolicyID
+	m.policy = &pid
+	m.mu.Unlock()
+	if err := m.log.Append(recPolicyPromote, encodePolicyMark(v.ID, v.Fingerprint)); err != nil {
+		return v, err
+	}
+	return v, m.log.Append(recPolicy, encodePolicy(&policySnapshot{
+		Fingerprint: v.Fingerprint, Views: v.Views, DBHash: v.DBHash,
+	}))
+}
+
+// RollbackPolicy discards the staged candidate, WAL-logging the
+// rollback marker, and returns the discarded version.
+func (m *Manager) RollbackPolicy() (PolicyVersion, error) {
+	m.mu.Lock()
+	if m.candidate == nil {
+		m.mu.Unlock()
+		return PolicyVersion{}, ErrNoCandidate
+	}
+	v := *m.candidate
+	m.candidate = nil
+	m.mu.Unlock()
+	return v, m.log.Append(recPolicyRollback, encodePolicyMark(v.ID, v.Fingerprint))
+}
+
+// CandidateVersion returns a copy of the staged candidate version
+// (recovered or staged this run), or nil.
+func (m *Manager) CandidateVersion() *PolicyVersion {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.candidate == nil {
+		return nil
+	}
+	v := *m.candidate
+	return &v
+}
+
+// ActiveVersion returns a copy of the promoted active version, or nil
+// when the active policy predates versioning (set only through
+// SetPolicy).
+func (m *Manager) ActiveVersion() *PolicyVersion {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.active == nil {
+		return nil
+	}
+	v := *m.active
+	return &v
+}
+
+// lifecycleRecords re-emits the live lifecycle state for a checkpoint:
+// the active version as its stage+promote pair (so ActiveVersion and
+// the id counter survive compaction), then the candidate's stage
+// record. Callers pass copies taken under m.mu.
+func lifecycleRecords(records [][]byte, active, candidate *PolicyVersion) [][]byte {
+	if active != nil {
+		records = append(records, appendRecord(nil, recPolicyStage, encodePolicyVersion(active)))
+		records = append(records, appendRecord(nil, recPolicyPromote, encodePolicyMark(active.ID, active.Fingerprint)))
+	}
+	if candidate != nil {
+		records = append(records, appendRecord(nil, recPolicyStage, encodePolicyVersion(candidate)))
+	}
+	return records
+}
+
+// applyPolicyVersion folds one lifecycle record into recovery state.
+func (res *RecoveryResult) applyPolicyVersion(typ byte, payload []byte) error {
+	switch typ {
+	case recPolicyStage:
+		v, err := decodePolicyVersion(payload)
+		if err != nil {
+			return err
+		}
+		res.Candidate = v
+		if v.ID > res.LastVersionID {
+			res.LastVersionID = v.ID
+		}
+	case recPolicyPromote:
+		id, fp, err := decodePolicyMark(payload)
+		if err != nil {
+			return err
+		}
+		if res.Candidate == nil || res.Candidate.ID != id || res.Candidate.Fingerprint != fp {
+			return fmt.Errorf("promote marker for unknown candidate version %d", id)
+		}
+		res.ActiveVersion = res.Candidate
+		pid := res.Candidate.PolicyID
+		res.Policy = &pid
+		res.Candidate = nil
+	case recPolicyRollback:
+		id, fp, err := decodePolicyMark(payload)
+		if err != nil {
+			return err
+		}
+		if res.Candidate == nil || res.Candidate.ID != id || res.Candidate.Fingerprint != fp {
+			return fmt.Errorf("rollback marker for unknown candidate version %d", id)
+		}
+		res.Candidate = nil
+	default:
+		return fmt.Errorf("unknown record type %d", typ)
+	}
+	return nil
+}

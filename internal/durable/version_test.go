@@ -1,0 +1,215 @@
+package durable
+
+import (
+	"testing"
+)
+
+func lifecyclePolicies() (active, candidate PolicyID) {
+	active = PolicyID{Fingerprint: "fp-active", DBHash: 42,
+		Views: map[string]string{"V1": "SELECT EId FROM Attendance WHERE UId = ?MyUId"}}
+	candidate = PolicyID{Fingerprint: "fp-candidate", DBHash: 42,
+		Views: map[string]string{
+			"V1": "SELECT EId FROM Attendance WHERE UId = ?MyUId",
+			"V2": "SELECT * FROM Events",
+		}}
+	return active, candidate
+}
+
+// A crash mid-trial (log closed without checkpoint, no clean Close)
+// must restore BOTH the active policy and the staged candidate.
+func TestStagedCandidateSurvivesCrash(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	act, cand := lifecyclePolicies()
+	if err := m.SetPolicy(act); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.StagePolicy(cand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.ID != 1 || v.Parent != 0 {
+		t.Fatalf("first staged version: %+v", v)
+	}
+	if err := m.Log().Close(); err != nil { // crash: raw segments only
+		t.Fatal(err)
+	}
+
+	rec, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Policy == nil || rec.Policy.Fingerprint != act.Fingerprint {
+		t.Fatalf("active policy lost: %+v", rec.Policy)
+	}
+	if rec.Candidate == nil {
+		t.Fatal("staged candidate evaporated in the crash")
+	}
+	if rec.Candidate.ID != v.ID || rec.Candidate.Fingerprint != cand.Fingerprint {
+		t.Fatalf("candidate identity: %+v", rec.Candidate)
+	}
+	if len(rec.Candidate.Views) != 2 || rec.Candidate.Views["V2"] != cand.Views["V2"] {
+		t.Fatalf("candidate views: %+v", rec.Candidate.Views)
+	}
+	if rec.LastVersionID != v.ID {
+		t.Fatalf("LastVersionID %d, want %d", rec.LastVersionID, v.ID)
+	}
+
+	// A reopened manager exposes the trial and keeps ids monotone.
+	m2, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	cv := m2.CandidateVersion()
+	if cv == nil || cv.ID != v.ID || cv.Fingerprint != cand.Fingerprint {
+		t.Fatalf("reopened candidate: %+v", cv)
+	}
+	v2, err := m2.StagePolicy(cand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.ID <= v.ID {
+		t.Fatalf("version ids must stay monotone across restart: %d then %d", v.ID, v2.ID)
+	}
+}
+
+// A promote closes the trial: recovery restores the candidate AS the
+// active policy and no trial is in flight.
+func TestPromotedPolicySurvivesCrash(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	act, cand := lifecyclePolicies()
+	if err := m.SetPolicy(act); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.StagePolicy(cand); err != nil {
+		t.Fatal(err)
+	}
+	pv, err := m.PromotePolicy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Log().Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Candidate != nil {
+		t.Fatalf("promote must close the trial, candidate %+v", rec.Candidate)
+	}
+	if rec.ActiveVersion == nil || rec.ActiveVersion.ID != pv.ID {
+		t.Fatalf("promoted version lost: %+v", rec.ActiveVersion)
+	}
+	if rec.Policy == nil || rec.Policy.Fingerprint != cand.Fingerprint {
+		t.Fatalf("post-promote policy snapshot: %+v", rec.Policy)
+	}
+}
+
+func TestRolledBackCandidateStaysGone(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	act, cand := lifecyclePolicies()
+	if err := m.SetPolicy(act); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.StagePolicy(cand); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.RollbackPolicy(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Log().Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Candidate != nil {
+		t.Fatalf("rolled-back candidate resurfaced: %+v", rec.Candidate)
+	}
+	if rec.Policy == nil || rec.Policy.Fingerprint != act.Fingerprint {
+		t.Fatalf("rollback must keep the pre-stage policy: %+v", rec.Policy)
+	}
+	if rec.LastVersionID != 1 {
+		t.Fatalf("id counter must still cover the discarded version: %d", rec.LastVersionID)
+	}
+}
+
+// Checkpoint compaction must re-emit the live lifecycle: both the
+// promoted active version and a staged candidate survive a checkpoint
+// that deletes every raw segment they were logged in.
+func TestLifecycleSurvivesCheckpointCompaction(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	act, cand := lifecyclePolicies()
+	if err := m.SetPolicy(act); err != nil {
+		t.Fatal(err)
+	}
+	// Promote a first candidate so ActiveVersion is set...
+	if _, err := m.StagePolicy(cand); err != nil {
+		t.Fatal(err)
+	}
+	pv, err := m.PromotePolicy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ...then stage a second trial that is still open.
+	next := PolicyID{Fingerprint: "fp-next", DBHash: 42,
+		Views: map[string]string{"V1": "SELECT EId FROM Attendance WHERE UId = ?MyUId"}}
+	nv, err := m.StagePolicy(next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Log().Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.ActiveVersion == nil || rec.ActiveVersion.ID != pv.ID || rec.ActiveVersion.Fingerprint != cand.Fingerprint {
+		t.Fatalf("active version lost in compaction: %+v", rec.ActiveVersion)
+	}
+	if rec.Candidate == nil || rec.Candidate.ID != nv.ID || rec.Candidate.Fingerprint != next.Fingerprint {
+		t.Fatalf("candidate lost in compaction: %+v", rec.Candidate)
+	}
+	if rec.LastVersionID < nv.ID {
+		t.Fatalf("LastVersionID %d regressed below %d", rec.LastVersionID, nv.ID)
+	}
+}
+
+func TestLifecycleErrorsWithoutCandidate(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if _, err := m.PromotePolicy(); err != ErrNoCandidate {
+		t.Fatalf("promote: want ErrNoCandidate, got %v", err)
+	}
+	if _, err := m.RollbackPolicy(); err != ErrNoCandidate {
+		t.Fatalf("rollback: want ErrNoCandidate, got %v", err)
+	}
+}

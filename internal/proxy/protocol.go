@@ -109,7 +109,12 @@ type Request struct {
 	Named map[string]any `json:"named,omitempty"`
 	// Batch holds the sub-requests of a "batch" op (query/exec only).
 	Batch []Request `json:"batch,omitempty"`
-	// Target is the in-flight request ID a "cancel" op aborts.
+	// Views, on "policy.stage", carries the candidate policy's view SQL
+	// by name. On "policy.diff", Target is the last diff sequence the
+	// client has seen (only newer records return).
+	Views map[string]string `json:"views,omitempty"`
+	// Target is the in-flight request ID a "cancel" op aborts, or the
+	// after-sequence cursor of a "policy.diff".
 	Target uint64 `json:"target,omitempty"`
 	// TimeoutMillis bounds this request's queueing plus execution; 0
 	// means no per-request deadline.
@@ -138,8 +143,64 @@ type Response struct {
 	Rows     [][]any    `json:"rows,omitempty"`
 	Affected int        `json:"affected,omitempty"`
 	Stats    *StatsBody `json:"stats,omitempty"`
+	// Policy reports the policy lifecycle state (policy.* ops).
+	Policy *PolicyBody `json:"policy,omitempty"`
 	// Batch holds sub-responses of a "batch" op, in request order.
 	Batch []Response `json:"batch,omitempty"`
+}
+
+// PolicyBody is the payload of the policy.* admin ops: the resident
+// policy versions (the enforcing active and, when a shadow trial is
+// running, the staged candidate), the cumulative shadow counters, and
+// — for policy.diff — recent divergence records.
+type PolicyBody struct {
+	ActiveEpoch       uint64 `json:"activeEpoch"`
+	ActiveFingerprint string `json:"activeFingerprint"`
+	ActiveViews       int    `json:"activeViews"`
+
+	Staged               bool   `json:"staged"`
+	CandidateEpoch       uint64 `json:"candidateEpoch,omitempty"`
+	CandidateParent      uint64 `json:"candidateParent,omitempty"`
+	CandidateFingerprint string `json:"candidateFingerprint,omitempty"`
+	CandidateViews       int    `json:"candidateViews,omitempty"`
+	// CandidateVersionID is the WAL-scoped version id of the staged
+	// candidate (0 when the proxy runs without durability).
+	CandidateVersionID uint64 `json:"candidateVersionId,omitempty"`
+
+	// Shadow accounting (cumulative across trials): dual-decides
+	// executed, divergences total and by kind, and the newest diff
+	// sequence issued so far (the cursor a policy.diff resumes from).
+	ShadowDecides  int64  `json:"shadowDecides,omitempty"`
+	Divergences    int64  `json:"divergences,omitempty"`
+	DivergeTighten int64  `json:"divergeTighten,omitempty"`
+	DivergeLoosen  int64  `json:"divergeLoosen,omitempty"`
+	LastDiffSeq    uint64 `json:"lastDiffSeq,omitempty"`
+
+	// Diffs holds divergence records newer than the request's Target
+	// cursor (policy.diff only), oldest first.
+	Diffs []ShadowDiff `json:"diffs,omitempty"`
+}
+
+// ShadowDiff is one dual-decide divergence: a live query the active
+// and candidate policies decided differently. Records stream to the
+// structured log and to subscribers, and a bounded ring retains the
+// most recent ones for policy.diff polling.
+type ShadowDiff struct {
+	// Seq orders diffs; the ring evicts oldest-first, so gaps in Seq
+	// tell a poller it missed records.
+	Seq     uint64 `json:"seq"`
+	SQL     string `json:"sql"`
+	Session string `json:"session,omitempty"`
+	// Active / Shadow are the two verdicts; Kind classifies the
+	// divergence ("tighten": active allows, candidate blocks;
+	// "loosen": the reverse).
+	ActiveAllowed bool   `json:"activeAllowed"`
+	ShadowAllowed bool   `json:"shadowAllowed"`
+	ActiveReason  string `json:"activeReason,omitempty"`
+	ShadowReason  string `json:"shadowReason,omitempty"`
+	Kind          string `json:"kind"`
+	ActiveEpoch   uint64 `json:"activeEpoch,omitempty"`
+	ShadowEpoch   uint64 `json:"shadowEpoch,omitempty"`
 }
 
 // StatsBody reports server counters over the wire: decision counts,

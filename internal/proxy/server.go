@@ -17,6 +17,7 @@ import (
 	"repro/internal/durable"
 	"repro/internal/engine"
 	"repro/internal/obsv"
+	"repro/internal/policy"
 	"repro/internal/sqlparser"
 	"repro/internal/sqlvalue"
 	"repro/internal/trace"
@@ -105,6 +106,14 @@ type Server struct {
 	walMu sync.Mutex
 	wal   *durable.Manager
 
+	// Shadow dual-decide state (policy.go): the bounded ring of recent
+	// divergence records a policy.diff polls, the monotone diff
+	// sequence, and subscriber callbacks. Guarded by shadowMu.
+	shadowMu   sync.Mutex
+	diffRing   []ShadowDiff
+	diffSeq    uint64
+	shadowSubs []func(ShadowDiff)
+
 	// All counters and the query-latency histogram live in the obsv
 	// registry (resolved once by initObs); the checker's quantile
 	// machinery is the same code. obsv instruments are nil-safe, so a
@@ -120,6 +129,14 @@ type Server struct {
 	mFactTrans     *obsv.Counter
 	mSlowQueries   *obsv.Counter
 	mQueryLat      *obsv.Histogram
+	// Shadow instruments: dual-decides executed, divergences (total and
+	// by kind), and the end-to-end latency of the dual decision — the
+	// overhead a staged candidate adds to the query path.
+	mShadowDecides *obsv.Counter
+	mShadowDiverge *obsv.Counter
+	mShadowTighten *obsv.Counter
+	mShadowLoosen  *obsv.Counter
+	mShadowLat     *obsv.Histogram
 }
 
 // NewServer builds a proxy server over the engine and checker.
@@ -150,6 +167,11 @@ func (s *Server) initObs() {
 		s.mFactTrans = reg.Counter("proxy.factcache.translated")
 		s.mSlowQueries = reg.Counter("proxy.slow.queries")
 		s.mQueryLat = reg.Histogram("proxy.query.micros")
+		s.mShadowDecides = reg.Counter("proxy.shadow.decides")
+		s.mShadowDiverge = reg.Counter("proxy.shadow.divergences")
+		s.mShadowTighten = reg.Counter("proxy.shadow.diverge.tighten")
+		s.mShadowLoosen = reg.Counter("proxy.shadow.diverge.loosen")
+		s.mShadowLat = reg.Histogram("proxy.shadow.micros")
 		if s.DB != nil {
 			s.DB.SetMetrics(reg)
 		}
@@ -240,6 +262,22 @@ func (s *Server) OpenDurable() error {
 			len(rec.Sessions), n, rec.CheckpointCut, rec.SegmentsReplayed)
 	}
 	if s.Checker != nil {
+		// A recovered promote outranks the startup policy: the operator
+		// promoted it before the crash, so restart scripts pointing at the
+		// old policy file must not silently demote it. Rebuild from the
+		// persisted view SQL and install it as active (fingerprint-checked
+		// so a decode or schema drift falls back to the startup policy).
+		if av := m.ActiveVersion(); av != nil && av.Fingerprint != s.Checker.Policy().Fingerprint() {
+			if pol, err := policy.New(s.Checker.Policy().Schema, av.Views); err != nil {
+				s.logf("proxy: recovered active policy (version id %d) unusable, keeping startup policy: %v", av.ID, err)
+			} else if pol.Fingerprint() != av.Fingerprint {
+				s.logf("proxy: recovered active policy (version id %d) fingerprint mismatch, keeping startup policy", av.ID)
+			} else if _, _, err := s.Checker.SetActivePolicy(pol); err != nil {
+				s.logf("proxy: restore recovered active policy: %v", err)
+			} else {
+				s.logf("proxy: restored promoted policy (version id %d) over startup policy", av.ID)
+			}
+		}
 		pol := s.Checker.Policy()
 		views := make(map[string]string, len(pol.Views))
 		for _, v := range pol.Views {
@@ -252,6 +290,21 @@ func (s *Server) OpenDurable() error {
 		if err := m.SetPolicy(id); err != nil {
 			m.Close()
 			return fmt.Errorf("proxy: persist policy snapshot: %w", err)
+		}
+		// A crash mid-trial restores the trial: re-stage the recovered
+		// candidate in the checker. The WAL already holds its stage
+		// record — the manager restored it at Open — so this is purely
+		// in-memory.
+		if cand := m.CandidateVersion(); cand != nil {
+			if pol, err := policy.New(s.Checker.Policy().Schema, cand.Views); err != nil {
+				s.logf("proxy: recovered candidate policy (version id %d) unusable, dropping: %v", cand.ID, err)
+			} else if pol.Fingerprint() != cand.Fingerprint {
+				s.logf("proxy: recovered candidate policy (version id %d) fingerprint mismatch, dropping", cand.ID)
+			} else if _, err := s.Checker.StagePolicy(pol); err != nil {
+				s.logf("proxy: re-stage recovered candidate: %v", err)
+			} else {
+				s.logf("proxy: restored staged candidate policy (version id %d); shadow dual-decide resumes", cand.ID)
+			}
 		}
 	}
 	s.mu.Lock()
@@ -368,6 +421,9 @@ func (s *Server) acceptLoop(ln net.Listener) {
 type session struct {
 	attrs map[string]sqlvalue.Value
 	tr    *trace.Trace
+	// name is the durable session name from hello ("" for ephemeral
+	// sessions); shadow diff records carry it as the session identity.
+	name string
 	// Last-seen fact-cache counters, for delta aggregation into the
 	// server totals (the trace is replaced on every hello).
 	factReused, factTranslated uint64
@@ -834,6 +890,7 @@ func (s *Server) HandleCtx(ctx context.Context, req *Request, sess *session) Res
 			attrs[k] = sv
 		}
 		sess.attrs = attrs
+		sess.name = req.Name
 		resp := Response{OK: true}
 		if wal := s.Durable(); wal != nil && req.Name != "" {
 			// Durable session: the trace is shared, WAL-hooked, and —
@@ -881,6 +938,30 @@ func (s *Server) HandleCtx(ctx context.Context, req *Request, sess *session) Res
 
 	case "stats":
 		return Response{OK: true, Stats: s.StatsSnapshot()}
+
+	case "policy.stage":
+		if _, err := s.StagePolicy(req.Views); err != nil {
+			return Response{Error: err.Error(), Code: acerr.CodeBadRequest}
+		}
+		return Response{OK: true, Policy: s.policyStatus(0, false)}
+
+	case "policy.promote":
+		if _, err := s.PromotePolicy(); err != nil {
+			return Response{Error: err.Error(), Code: acerr.CodeBadRequest}
+		}
+		return Response{OK: true, Policy: s.policyStatus(0, false)}
+
+	case "policy.rollback":
+		if _, err := s.RollbackPolicy(); err != nil {
+			return Response{Error: err.Error(), Code: acerr.CodeBadRequest}
+		}
+		return Response{OK: true, Policy: s.policyStatus(0, false)}
+
+	case "policy.status":
+		return Response{OK: true, Policy: s.policyStatus(0, false)}
+
+	case "policy.diff":
+		return Response{OK: true, Policy: s.policyStatus(req.Target, true)}
 	}
 	return Response{Error: fmt.Sprintf("unknown op %q", req.Op), Code: acerr.CodeBadRequest}
 }
@@ -1052,8 +1133,14 @@ func (s *Server) runQuery(ctx context.Context, req *Request, sess *session) (Res
 	if s.Mode != Off {
 		// Borrowed check: the proxy only reads the scalar verdict
 		// (Allowed/Reason/Tier), never Decision.Views, so the zero-copy
-		// variant is safe and keeps warm hits allocation-free.
-		d = s.Checker.CheckBorrowed(ctx, sel, args, sess.attrs, sess.tr)
+		// variant is safe and keeps warm hits allocation-free. With a
+		// candidate staged the dual-decide path checks both policies; the
+		// active verdict always enforces.
+		if s.Checker.ShadowStaged() {
+			d = s.dualDecide(ctx, req, sel, args, sess)
+		} else {
+			d = s.Checker.CheckBorrowed(ctx, sel, args, sess.attrs, sess.tr)
+		}
 		if ctx.Err() != nil {
 			return canceledResponse(ctx), d
 		}

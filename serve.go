@@ -36,6 +36,9 @@ type serveConfig struct {
 	pgMax     int
 	metrics   *Metrics
 	proxyOpts []ProxyOption
+	// shadowViews, when non-nil, stages a candidate policy as soon as
+	// the core is up (after WAL recovery, so the stage persists).
+	shadowViews map[string]string
 }
 
 // ServeOption configures Serve: which listeners to bind and how the
@@ -69,6 +72,17 @@ func WithPgListener(addr string) ServeOption {
 // WithPgMaxConns bounds concurrent pgwire connections (0 = default).
 func WithPgMaxConns(n int) ServeOption {
 	return func(c *serveConfig) { c.pgMax = n }
+}
+
+// WithShadowPolicy stages a candidate policy (view SQL by name) the
+// moment the service is up: every live decision dual-decides under the
+// active and candidate policies, divergences stream as diff records,
+// and the operator promotes or rolls back when the trial concludes
+// (Service.PromotePolicy / RollbackPolicy, or the acpolicy CLI against
+// a running proxy). Staging happens after WAL recovery, so with
+// durability on the trial survives a crash.
+func WithShadowPolicy(views map[string]string) ServeOption {
+	return func(c *serveConfig) { c.shadowViews = views }
 }
 
 // WithListenerMetrics points every listener and the proxy core at one
@@ -143,6 +157,12 @@ func Serve(db *DB, c *Checker, mode ProxyMode, opts ...ServeOption) (*Service, e
 		svc.pg = pg
 		svc.pgAddr = addr
 	}
+	if cfg.shadowViews != nil {
+		if _, err := core.StagePolicy(cfg.shadowViews); err != nil {
+			svc.Close()
+			return nil, fmt.Errorf("beyond: stage shadow policy: %w", err)
+		}
+	}
 	return svc, nil
 }
 
@@ -159,6 +179,19 @@ func (s *Service) Proxy() *ProxyServer { return s.core }
 
 // Metrics is the registry every listener reports into.
 func (s *Service) Metrics() *obsv.Registry { return s.core.MetricsRegistry() }
+
+// StagePolicy stages a candidate policy (view SQL by name) for shadow
+// dual-decide across every ingress; see WithShadowPolicy.
+func (s *Service) StagePolicy(views map[string]string) (PolicyVersion, error) {
+	return s.core.StagePolicy(views)
+}
+
+// PromotePolicy makes the staged candidate the enforcing policy. Its
+// shadow-warmed cache entries serve enforcement immediately.
+func (s *Service) PromotePolicy() (PolicyVersion, error) { return s.core.PromotePolicy() }
+
+// RollbackPolicy discards the staged candidate and ends the trial.
+func (s *Service) RollbackPolicy() (PolicyVersion, error) { return s.core.RollbackPolicy() }
 
 // Close stops all listeners and the core, in ingress-first order so
 // in-flight statements drain before the WAL closes.

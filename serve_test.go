@@ -386,3 +386,99 @@ func TestIngressDecisionParity(t *testing.T) {
 		})
 	}
 }
+
+// tightenedViews drops the lexicographically last view from a
+// fixture's ground-truth policy: a deterministically different
+// (strictly tighter) candidate for promote-parity runs.
+func tightenedViews(t *testing.T, f *apps.Fixture) map[string]string {
+	t.Helper()
+	if len(f.PolicySQL) < 2 {
+		t.Fatalf("%s: need at least two views to drop one", f.Name)
+	}
+	drop := ""
+	for name := range f.PolicySQL {
+		if name > drop {
+			drop = name
+		}
+	}
+	views := make(map[string]string, len(f.PolicySQL)-1)
+	for name, sql := range f.PolicySQL {
+		if name != drop {
+			views[name] = sql
+		}
+	}
+	return views
+}
+
+// TestIngressDecisionParityAcrossPromote extends the parity test with
+// a mid-corpus policy promote: a proxy that staged and promoted a
+// candidate while serving must decide the rest of the corpus — through
+// all three ingress surfaces — byte-identically to a FRESH proxy
+// started directly on the promoted policy. An online lifecycle that
+// leaves stale warm state behind fails exactly here.
+func TestIngressDecisionParityAcrossPromote(t *testing.T) {
+	for _, f := range apps.All() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			candViews := tightenedViews(t, f)
+			candidate := beyond.MustNewPolicy(f.Schema, candViews)
+			if candidate.Fingerprint() == f.Policy().Fingerprint() {
+				t.Fatal("candidate must differ from the active policy")
+			}
+
+			svc, err := beyond.Serve(f.MustNewDB(20), beyond.NewChecker(f.Policy()), beyond.Enforce,
+				beyond.WithV2Listener("127.0.0.1:0"),
+				beyond.WithPgListener("127.0.0.1:0"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer svc.Close()
+
+			// First half of the corpus under the incumbent policy: the
+			// staged candidate shadows but never enforces.
+			mid := len(f.Corpus) / 2
+			if _, err := svc.StagePolicy(candViews); err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range f.Corpus[:mid] {
+				v2 := v2Decision(t, svc.V2Addr(), w)
+				if v2.allowed != w.WantAllowed {
+					t.Errorf("%s: pre-promote v2 allowed=%v, ground truth %v", w.Label, v2.allowed, w.WantAllowed)
+				}
+			}
+
+			pv, err := svc.PromotePolicy()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pv.Fingerprint != candidate.Fingerprint() {
+				t.Fatalf("promoted fingerprint %q != candidate %q", pv.Fingerprint, candidate.Fingerprint())
+			}
+
+			// Fresh control proxy started directly on the new policy.
+			ctrl, err := beyond.Serve(f.MustNewDB(20), beyond.NewChecker(candidate), beyond.Enforce,
+				beyond.WithV2Listener("127.0.0.1:0"),
+				beyond.WithPgListener("127.0.0.1:0"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ctrl.Close()
+
+			for _, w := range f.Corpus[mid:] {
+				promoted := v2Decision(t, svc.V2Addr(), w)
+				fresh := v2Decision(t, ctrl.V2Addr(), w)
+				if promoted != fresh {
+					t.Errorf("%s: post-promote v2 %+v != fresh proxy %+v", w.Label, promoted, fresh)
+				}
+				drv := driverDecision(t, svc.V2Addr(), w)
+				if drv != fresh {
+					t.Errorf("%s: post-promote driver %+v != fresh proxy %+v", w.Label, drv, fresh)
+				}
+				pg := pgDecision(t, svc.PgAddr(), w)
+				if pg != fresh {
+					t.Errorf("%s: post-promote pgwire %+v != fresh proxy %+v", w.Label, pg, fresh)
+				}
+			}
+		})
+	}
+}

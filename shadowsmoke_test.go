@@ -1,0 +1,110 @@
+package beyond_test
+
+import (
+	"sort"
+	"testing"
+
+	beyond "repro"
+	"repro/internal/apps"
+	"repro/internal/checker"
+)
+
+// TestShadowSmoke is the CI smoke for the policy-trial lifecycle
+// (`make shadowsmoke`): stage a strictly-wider candidate over the
+// calendar corpus, assert the proxy reports EXACTLY the expected diff
+// set (computed independently by a second proxy enforcing the
+// candidate directly), promote, and assert convergence — post-promote
+// decisions byte-equal the direct-enforcement proxy and the diff ring
+// stays empty.
+//
+// The candidate is a strict superset of the active policy (one added
+// view), so every divergence must be a loosen and the control proxy
+// can replay the full corpus without a prime being blocked.
+func TestShadowSmoke(t *testing.T) {
+	f := apps.Calendar()
+	wide := make(map[string]string, len(f.PolicySQL)+1)
+	for k, v := range f.PolicySQL {
+		wide[k] = v
+	}
+	wide["VAllEvents"] = "SELECT * FROM Events"
+	candidate := beyond.MustNewPolicy(f.Schema, wide)
+
+	svc, err := beyond.Serve(f.MustNewDB(20), beyond.NewChecker(f.Policy()), beyond.Enforce,
+		beyond.WithV2Listener("127.0.0.1:0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ctrl, err := beyond.Serve(f.MustNewDB(20), beyond.NewChecker(candidate), beyond.Enforce,
+		beyond.WithV2Listener("127.0.0.1:0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+
+	if _, err := svc.StagePolicy(wide); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay the corpus through the shadowing proxy (recording diffs)
+	// and the candidate-enforcing control; the expected diff set is
+	// every query the two decide differently.
+	var want []string
+	for _, w := range f.Corpus {
+		act := v2Decision(t, svc.V2Addr(), w)
+		cand := v2Decision(t, ctrl.V2Addr(), w)
+		if act.allowed != w.WantAllowed {
+			t.Fatalf("%s: active decision drifted under shadow: got %v want %v",
+				w.Label, act.allowed, w.WantAllowed)
+		}
+		if act.allowed && !cand.allowed {
+			t.Fatalf("%s: strictly-wider candidate tightened a decision", w.Label)
+		}
+		if act.allowed != cand.allowed {
+			want = append(want, w.SQL)
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("smoke corpus produced no divergences; the candidate is not divergent")
+	}
+	diffs, _ := svc.Proxy().ShadowDiffs(0)
+	var got []string
+	for _, d := range diffs {
+		if d.Kind != checker.DivergeLoosen {
+			t.Fatalf("wider candidate produced a non-loosen divergence: %+v", d)
+		}
+		got = append(got, d.SQL)
+	}
+	sort.Strings(want)
+	sort.Strings(got)
+	if len(got) != len(want) {
+		t.Fatalf("diff set: got %d records %v, want %d %v", len(got), got, len(want), want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("diff set mismatch at %d: got %q want %q\nall got: %v\nall want: %v",
+				i, got[i], want[i], got, want)
+		}
+	}
+
+	// Promote and assert convergence: the trial proxy now decides the
+	// whole corpus exactly like direct enforcement of the candidate,
+	// and with no candidate staged the ring stays empty.
+	pv, err := svc.PromotePolicy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pv.Fingerprint != candidate.Fingerprint() {
+		t.Fatalf("promoted fingerprint %q != candidate %q", pv.Fingerprint, candidate.Fingerprint())
+	}
+	for _, w := range f.Corpus {
+		got := v2Decision(t, svc.V2Addr(), w)
+		cand := v2Decision(t, ctrl.V2Addr(), w)
+		if got != cand {
+			t.Fatalf("%s: post-promote decision %+v != direct enforcement %+v", w.Label, got, cand)
+		}
+	}
+	if diffs, _ := svc.Proxy().ShadowDiffs(0); len(diffs) != 0 {
+		t.Fatalf("diff ring not empty after promote: %+v", diffs)
+	}
+}
