@@ -13,7 +13,7 @@ COMMIT  ?= $(shell git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)
 DATE    ?= $(shell date -u +%Y-%m-%dT%H:%M:%SZ 2>/dev/null || echo unknown)
 LDFLAGS  = -ldflags "-X repro/internal/buildinfo.Version=$(VERSION) -X repro/internal/buildinfo.Commit=$(COMMIT) -X repro/internal/buildinfo.Date=$(DATE)"
 
-.PHONY: build test vet race bench bench-json hotpath pipeline coldpath coldsmoke allocbudget openloop opensmoke ingress pgsmoke driversmoke shadowsmoke fmtcheck fuzz fuzzwal fuzzwire killrecover staticcheck ci
+.PHONY: build test vet race bench bench-json hotpath pipeline coldpath coldsmoke allocbudget openloop opensmoke ingress pgsmoke driversmoke shadowsmoke saturate satsmoke fmtcheck fuzz fuzzwal fuzzwire killrecover staticcheck ci
 
 build:
 	$(GO) build $(LDFLAGS) ./...
@@ -38,7 +38,7 @@ bench:
 # -against diffs the fresh document's pinned hotpath numbers against
 # the previous one and fails on a >10% speedup regression.
 bench-json:
-	$(GO) run ./cmd/acbench -json BENCH_8.json -against BENCH_7.json
+	$(GO) run ./cmd/acbench -json BENCH_9.json -against BENCH_8.json
 
 hotpath:
 	$(GO) run ./cmd/acbench -hotpath
@@ -60,10 +60,15 @@ coldsmoke:
 
 # Warm-path allocation contract: a fixed-iteration -benchmem smoke of
 # the warm-tier benchmarks (front tier must report 0 allocs/op), then
-# the budget test that turns those numbers into a hard gate.
+# the budget tests that turn those numbers into hard gates — the
+# checker's decide tiers, and the proxy's pooled encode path
+# end-to-end (front-tier warm probe through wire encode must be
+# exactly 0 allocs/op on the v2 surface).
 allocbudget:
 	$(GO) test -run '^$$' -bench 'BenchmarkWarmDecide' -benchmem -benchtime=100x ./internal/checker
 	$(GO) test -run 'TestWarmDecideAllocBudget' -count=1 ./internal/checker
+	$(GO) test -run '^$$' -bench 'BenchmarkWarmEncode' -benchmem -benchtime=100x ./internal/proxy
+	$(GO) test -run 'TestWarmEncodeAllocBudget' -count=1 ./internal/proxy
 
 # Full open-loop sweep (10k/100k/1M sessions); see README Load Testing.
 openloop:
@@ -80,6 +85,20 @@ opensmoke:
 # Postgres wire listener, all on one enforcement core.
 ingress:
 	$(GO) run ./cmd/acbench -ingress
+
+# Full saturation-knee search: stepped open-loop ramp per ingress,
+# binary-searching the highest offered QPS whose p99 stays under the
+# SLO (default 5ms), with per-step CPU attribution. -sat-ablate
+# reverts the ceiling lifts for a before/after pair; see README
+# "Finding the ceiling".
+saturate:
+	$(GO) run ./cmd/acbench -saturate
+
+# Seconds-long bounded saturate smoke for CI: a real knee search on
+# the v2 ingress with a tight wall-clock budget, gating that the ramp,
+# the step classifier, and the in-process profiler run end to end.
+satsmoke:
+	$(GO) run ./cmd/acbench -saturate -sat-ingress v2 -sat-budget 5s -sat-step 1s
 
 # Postgres wire-protocol conformance: raw-socket client exercising the
 # simple and extended flows, mid-transaction blocks, cancellation, the
@@ -133,4 +152,4 @@ staticcheck:
 	else \
 		echo "staticcheck not installed; skipping"; fi
 
-ci: fmtcheck vet test race coldsmoke allocbudget opensmoke pgsmoke driversmoke shadowsmoke fuzz fuzzwal fuzzwire killrecover staticcheck
+ci: fmtcheck vet test race coldsmoke allocbudget opensmoke satsmoke pgsmoke driversmoke shadowsmoke fuzz fuzzwal fuzzwire killrecover staticcheck

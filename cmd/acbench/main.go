@@ -10,6 +10,7 @@
 //	acbench -pipeline  # protocol-v2 pipelining throughput table only
 //	acbench -durable   # WAL fsync-policy/group-commit ablation only
 //	acbench -ingress   # decide throughput per ingress surface (v2/driver/pgwire)
+//	acbench -saturate  # knee search: highest QPS whose p99 holds the SLO, per ingress
 //	acbench -json BENCH_5.json   # machine-readable benchmark document
 //
 // -hotpath measures the per-check cost against growing session
@@ -26,10 +27,24 @@
 // under each fsync policy: fsync-per-append (the naive baseline),
 // group commit (one fsync per coalesced batch), interval, and off.
 //
+// -saturate ramps offered load per ingress and binary-searches the
+// KNEE: the highest QPS whose p99 stays under -sat-slo with zero
+// errors and no late-generator disqualification. Each step runs under
+// an in-process CPU profile whose top flat functions name the
+// limiting resource. -sat-ablate repeats the search with the inline
+// fast path and encode pooling disabled, so the ceiling lift is
+// measured by the same harness that found the ceiling.
+//
+// -cpuprofile/-memprofile write standard pprof profiles covering the
+// whole run (any mode). In -saturate mode the CPU profiler belongs to
+// the per-step capture, so -cpuprofile instead dumps one profile per
+// load step (<path>.<ingress>.<qps>qps.pprof) for offline
+// `go tool pprof`.
+//
 // -json FILE runs the hot-path, parallel-principal, pipelining,
-// cold-path, durability, and metrics-overhead benchmarks and writes
-// one JSON document to FILE, so successive checked-in BENCH_*.json
-// files form a performance trajectory for the repo.
+// cold-path, durability, saturation, and metrics-overhead benchmarks
+// and writes one JSON document to FILE, so successive checked-in
+// BENCH_*.json files form a performance trajectory for the repo.
 package main
 
 import (
@@ -41,6 +56,8 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"runtime/debug"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -65,6 +82,15 @@ func main() {
 	durableBench := flag.Bool("durable", false, "run only the WAL append-throughput ablation (fsync policies vs group commit)")
 	openloop := flag.Bool("openloop", false, "run only the open-loop (coordinated-omission-safe) proxy load table")
 	ingress := flag.Bool("ingress", false, "run only the ingress-surface comparison (v2 vs database/sql driver vs pgwire)")
+	saturate := flag.Bool("saturate", false, "run only the saturation knee search (highest QPS holding the p99 SLO per ingress)")
+	satIngress := flag.String("sat-ingress", "v2,driver,pg", "with -saturate: comma-separated ingresses to search")
+	satSLO := flag.Duration("sat-slo", 5*time.Millisecond, "with -saturate/-json: p99 SLO a passing step must hold")
+	satBudget := flag.Duration("sat-budget", 45*time.Second, "with -saturate/-json: wall-clock budget per (ingress, variant) search")
+	satStep := flag.Duration("sat-step", 4*time.Second, "with -saturate/-json: target duration of one load step")
+	satStart := flag.Float64("sat-start", 500, "with -saturate: starting offered QPS for the ramp")
+	satAblate := flag.Bool("sat-ablate", false, "with -saturate: disable the inline fast path and encode pooling (ceiling-lift ablation)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (in -saturate mode: one per load step, <path>.<ingress>.<qps>qps.pprof)")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	olIngress := flag.String("openloop-ingress", "v2", "with -openloop: ingress surface to load, v2 (lanes) or pg (one wire connection per session)")
 	olSessions := flag.String("openloop-sessions", "", "with -openloop/-json: comma-separated session scales (default 10000,100000,1000000; pg default 64,256,1024)")
 	olOps := flag.Int("openloop-ops", 0, "with -openloop/-json: operations per scale (default 10000)")
@@ -76,6 +102,54 @@ func main() {
 	if *version {
 		fmt.Println(buildinfo.String("acbench"))
 		return
+	}
+
+	satCfg := defaultSatConfig()
+	satCfg.SLO = *satSLO
+	satCfg.Budget = *satBudget
+	satCfg.Step = *satStep
+	satCfg.StartQPS = *satStart
+	satCfg.Ablate = *satAblate
+	if *satIngress != "" {
+		satCfg.Ingresses = satCfg.Ingresses[:0]
+		for _, s := range strings.Split(*satIngress, ",") {
+			satCfg.Ingresses = append(satCfg.Ingresses, strings.TrimSpace(s))
+		}
+	}
+
+	// Profile plumbing (any mode). In -saturate mode the CPU profiler is
+	// owned by the per-step capture, so -cpuprofile becomes the per-step
+	// dump prefix instead of a whole-run profile.
+	if *cpuprofile != "" {
+		if *saturate || *jsonOut != "" {
+			satProfileSink = *cpuprofile
+		} else {
+			f, err := os.Create(*cpuprofile)
+			if err != nil {
+				log.Fatalf("acbench: -cpuprofile: %v", err)
+			}
+			if err := pprof.StartCPUProfile(f); err != nil {
+				log.Fatalf("acbench: -cpuprofile: %v", err)
+			}
+			defer func() {
+				pprof.StopCPUProfile()
+				f.Close()
+			}()
+		}
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Printf("acbench: -memprofile: %v", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				log.Printf("acbench: -memprofile: %v", err)
+			}
+		}()
 	}
 
 	olCfg := defaultOpenloopConfig()
@@ -105,7 +179,13 @@ func main() {
 	}
 
 	if *jsonOut != "" {
-		if err := runJSON(*jsonOut, *against, olCfg); err != nil {
+		if err := runJSON(*jsonOut, *against, olCfg, satCfg); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *saturate {
+		if err := printSaturate(satCfg); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -176,6 +256,7 @@ type benchDoc struct {
 	Durable         []durableRow  `json:"durable,omitempty"`
 	Openloop        []openloopRow `json:"openloop,omitempty"`
 	Ingress         []ingressRow  `json:"ingress,omitempty"`
+	Saturation      []satRow      `json:"saturation,omitempty"`
 	ShadowOverhead  shadowRow     `json:"shadowOverhead"`
 	MetricsOverhead overheadRow   `json:"metricsOverhead"`
 }
@@ -211,7 +292,7 @@ type overheadRow struct {
 // diffed against it and a >10% speedup regression fails the run
 // (after the new document is written, so the numbers are
 // inspectable).
-func runJSON(path, against string, olCfg openloopConfig) error {
+func runJSON(path, against string, olCfg openloopConfig, satCfg satConfig) error {
 	doc := benchDoc{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
@@ -266,6 +347,30 @@ func runJSON(path, against string, olCfg openloopConfig) error {
 		return err
 	}
 	doc.Ingress = ing
+	// Saturation knees: the optimized build and its ablation (inline
+	// fast path, encode pooling, and the engine's bound equality scan
+	// all off), per ingress, both measured by the same knee-search
+	// harness so the ceiling lift is apples-to-apples. Settle the heap
+	// first: the million-session openloop sweep above leaves the GC
+	// pacer with a huge heap goal, and knee steps measured under that
+	// inherited pressure read artificially low.
+	runtime.GC()
+	debug.FreeOSMemory()
+	for _, ablate := range []bool{false, true} {
+		variant := "optimized"
+		if ablate {
+			variant = "ablated"
+		}
+		fmt.Printf("acbench: saturation knee search (%s)...\n", variant)
+		cfg := satCfg
+		cfg.Ablate = ablate
+		rows, err := runSaturate(cfg, func(s string) { fmt.Println(s) })
+		if err != nil {
+			return err
+		}
+		doc.Saturation = append(doc.Saturation, rows...)
+	}
+	printSatLift(doc.Saturation)
 	fmt.Println("acbench: dual-decide shadow overhead...")
 	sh, err := runShadowOverhead()
 	if err != nil {
@@ -380,6 +485,16 @@ func diffOpenloop(doc, prev benchDoc, path string) error {
 			fmt.Printf("bench diff: openloop %s sessions=%d SKIPPED (lateness %dµs prev / %dµs now exceeds %dµs: harness fell behind, tails are backlog not latency)\n",
 				key(r).ingress, r.Sessions, p.MaxLatenessMicros, r.MaxLatenessMicros, maxCredibleLateness)
 			continue
+		}
+		// A row that achieved well under its offered rate with a credible
+		// generator means Elapsed stretched past the schedule span — a
+		// long completion tail (setup GC debt, backlog drain), not a
+		// schedule the server kept up with. Flag it explicitly so an
+		// under-achieving row is never mistaken for a sustained rate (the
+		// BENCH_8 1M-session row hid exactly this; see EXPERIMENTS.md E9).
+		if r.AchievedQPS < 0.95*r.OfferedQPS {
+			fmt.Printf("bench diff: openloop %s sessions=%d UNDER-ACHIEVED: %.0f/s achieved vs %.0f/s offered (<95%%) — completion tail stretched the run; treat achievedQPS as drain rate, not sustained throughput\n",
+				key(r).ingress, r.Sessions, r.AchievedQPS, r.OfferedQPS)
 		}
 		ratio := float64(r.P99Micros) / float64(p.P99Micros)
 		fmt.Printf("bench diff: openloop %s sessions=%d p99 %dµs -> %dµs (%.0f%%), p999 %dµs -> %dµs\n",

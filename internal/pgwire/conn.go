@@ -49,6 +49,11 @@ type conn struct {
 	r    *bufio.Reader
 	w    *bufio.Writer
 	m    msgBuf
+	// readBuf is the connection's reusable frontend-payload buffer;
+	// readMsg grows it to the largest message seen and every payload
+	// consumer copies what it keeps, so steady state reads allocate
+	// nothing.
+	readBuf []byte
 
 	pid, secret int32
 
@@ -106,7 +111,7 @@ func (c *conn) serve(base context.Context) {
 
 	skipTillSync := false
 	for {
-		typ, payload, err := readMsg(c.r)
+		typ, payload, err := readMsg(c.r, &c.readBuf)
 		if err != nil {
 			return // disconnect
 		}
@@ -361,7 +366,7 @@ func (c *conn) execStatement(base context.Context, sql string, args []any, sendR
 		for _, row := range resp.Rows {
 			_ = writeDataRow(c.w, &c.m, row)
 		}
-		_ = writeCommandComplete(c.w, &c.m, "SELECT "+strconv.Itoa(len(resp.Rows)))
+		_ = writeCommandCompleteSelect(c.w, &c.m, len(resp.Rows))
 		return true
 	}
 	var tag string

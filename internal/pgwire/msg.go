@@ -57,8 +57,13 @@ func readStartup(r io.Reader) (code int32, payload []byte, err error) {
 	return int32(binary.BigEndian.Uint32(body[:4])), body[4:], nil
 }
 
-// readMsg reads one framed frontend message.
-func readMsg(r io.Reader) (typ byte, payload []byte, err error) {
+// readMsg reads one framed frontend message into *scratch, growing it
+// as needed; the returned payload aliases the scratch buffer and is
+// valid only until the next readMsg call with the same scratch. Every
+// payload consumer copies what it keeps (cstr and decodeTextParam
+// materialize strings), so one per-connection buffer serves the whole
+// message stream without a per-message allocation.
+func readMsg(r io.Reader, scratch *[]byte) (typ byte, payload []byte, err error) {
 	var hdr [5]byte
 	if _, err = io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, err
@@ -67,7 +72,11 @@ func readMsg(r io.Reader) (typ byte, payload []byte, err error) {
 	if n < 4 || n > maxMsgBytes {
 		return 0, nil, fmt.Errorf("pgwire: bad message length %d", n)
 	}
-	payload = make([]byte, n-4)
+	need := int(n - 4)
+	if cap(*scratch) < need {
+		*scratch = make([]byte, need)
+	}
+	payload = (*scratch)[:need]
 	if _, err = io.ReadFull(r, payload); err != nil {
 		return 0, nil, err
 	}
@@ -169,17 +178,43 @@ func renderValue(v any) (s string, ok bool) {
 	return fmt.Sprint(v), true
 }
 
+// valueText appends one DataRow cell: NULL as length -1, otherwise a
+// 4-byte length placeholder followed by the value's Postgres text
+// rendering appended DIRECTLY into the message buffer (strconv append
+// forms, no intermediate string or []byte copy), with the length
+// patched afterward. Must render byte-identically to renderValue —
+// the golden and fuzz tests in frame_test.go pin the equivalence.
+func (m *msgBuf) valueText(v any) {
+	if v == nil {
+		m.int32(-1)
+		return
+	}
+	at := len(m.buf)
+	m.buf = append(m.buf, 0, 0, 0, 0)
+	switch x := v.(type) {
+	case int64:
+		m.buf = strconv.AppendInt(m.buf, x, 10)
+	case float64:
+		m.buf = strconv.AppendFloat(m.buf, x, 'g', -1, 64)
+	case bool:
+		if x {
+			m.buf = append(m.buf, 't')
+		} else {
+			m.buf = append(m.buf, 'f')
+		}
+	case string:
+		m.buf = append(m.buf, x...)
+	default:
+		m.buf = fmt.Append(m.buf, v)
+	}
+	binary.BigEndian.PutUint32(m.buf[at:], uint32(len(m.buf)-at-4))
+}
+
 func writeDataRow(w io.Writer, m *msgBuf, row []any) error {
 	m.begin('D')
 	m.int16(int16(len(row)))
 	for _, v := range row {
-		s, ok := renderValue(v)
-		if !ok {
-			m.int32(-1)
-			continue
-		}
-		m.int32(int32(len(s)))
-		m.bytes([]byte(s))
+		m.valueText(v)
 	}
 	return writeMsg(w, m)
 }
@@ -187,6 +222,17 @@ func writeDataRow(w io.Writer, m *msgBuf, row []any) error {
 func writeCommandComplete(w io.Writer, m *msgBuf, tag string) error {
 	m.begin('C')
 	m.cstr(tag)
+	return writeMsg(w, m)
+}
+
+// writeCommandCompleteSelect writes the "SELECT n" completion tag
+// without materializing the tag string (the per-query concat showed up
+// in the saturation profile).
+func writeCommandCompleteSelect(w io.Writer, m *msgBuf, n int) error {
+	m.begin('C')
+	m.buf = append(m.buf, "SELECT "...)
+	m.buf = strconv.AppendInt(m.buf, int64(n), 10)
+	m.byte(0)
 	return writeMsg(w, m)
 }
 

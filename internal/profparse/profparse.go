@@ -1,0 +1,371 @@
+// Package profparse is a minimal reader for pprof CPU profiles (the
+// gzipped profile.proto protobuf runtime/pprof emits), just enough to
+// answer "which functions burned the CPU": it decodes samples,
+// locations, functions, and the string table, attributes each sample's
+// value to its leaf frame (flat attribution), and returns the top-N
+// functions. No protobuf dependency — the wire format is hand-decoded
+// (varints plus length-delimited fields), the same discipline as the
+// repo's other codecs.
+//
+// The saturation harness (cmd/acbench -saturate) uses it to turn each
+// load step's in-memory CPU profile into a "limiting resource" line in
+// BENCH_9.json without shelling out to `go tool pprof`.
+package profparse
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Entry is one function's flat (leaf) share of the profile.
+type Entry struct {
+	Name string
+	// Flat is the value attributed to samples whose leaf frame is this
+	// function, in the profile's value unit (cpu-nanoseconds for a
+	// runtime/pprof CPU profile).
+	Flat int64
+}
+
+// profile.proto field numbers (only the ones we need).
+const (
+	fProfileSampleType  = 1
+	fProfileSample      = 2
+	fProfileLocation    = 4
+	fProfileFunction    = 5
+	fProfileStringTable = 6
+
+	fValueTypeType = 1
+
+	fSampleLocationID = 1
+	fSampleValue      = 2
+
+	fLocationID   = 1
+	fLocationLine = 4
+
+	fLineFunctionID = 1
+
+	fFunctionID   = 1
+	fFunctionName = 2
+)
+
+// wire types.
+const (
+	wtVarint = 0
+	wtI64    = 1
+	wtLen    = 2
+	wtI32    = 5
+)
+
+type decoder struct{ b []byte }
+
+func (d *decoder) done() bool { return len(d.b) == 0 }
+
+func (d *decoder) varint() (uint64, error) {
+	var v uint64
+	for i := 0; i < 10; i++ {
+		if len(d.b) == 0 {
+			return 0, io.ErrUnexpectedEOF
+		}
+		c := d.b[0]
+		d.b = d.b[1:]
+		v |= uint64(c&0x7f) << (7 * i)
+		if c < 0x80 {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("profparse: varint overflow")
+}
+
+// tag reads one field tag, returning field number and wire type.
+func (d *decoder) tag() (int, int, error) {
+	v, err := d.varint()
+	if err != nil {
+		return 0, 0, err
+	}
+	return int(v >> 3), int(v & 7), nil
+}
+
+// skip consumes one field's payload by wire type.
+func (d *decoder) skip(wt int) error {
+	switch wt {
+	case wtVarint:
+		_, err := d.varint()
+		return err
+	case wtI64:
+		if len(d.b) < 8 {
+			return io.ErrUnexpectedEOF
+		}
+		d.b = d.b[8:]
+		return nil
+	case wtLen:
+		_, err := d.bytes()
+		return err
+	case wtI32:
+		if len(d.b) < 4 {
+			return io.ErrUnexpectedEOF
+		}
+		d.b = d.b[4:]
+		return nil
+	}
+	return fmt.Errorf("profparse: unsupported wire type %d", wt)
+}
+
+func (d *decoder) bytes() ([]byte, error) {
+	n, err := d.varint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(d.b)) {
+		return nil, io.ErrUnexpectedEOF
+	}
+	v := d.b[:n]
+	d.b = d.b[n:]
+	return v, nil
+}
+
+// repeatedUint64 appends the values of one repeated-uint64 field
+// occurrence: a packed length-delimited block or a single varint
+// (both encodings are legal; runtime/pprof emits packed).
+func repeatedUint64(d *decoder, wt int, out []uint64) ([]uint64, error) {
+	if wt == wtLen {
+		blk, err := d.bytes()
+		if err != nil {
+			return nil, err
+		}
+		pd := decoder{b: blk}
+		for !pd.done() {
+			v, err := pd.varint()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	}
+	v, err := d.varint()
+	if err != nil {
+		return nil, err
+	}
+	return append(out, v), nil
+}
+
+type sample struct {
+	locs   []uint64
+	values []int64
+}
+
+// Parse decodes a pprof profile (gzipped or raw) into flat per-leaf-
+// function totals, using the LAST sample value (runtime/pprof CPU
+// profiles carry [samples-count, cpu-nanoseconds]; the last is the
+// time dimension).
+func Parse(data []byte) ([]Entry, error) {
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("profparse: gunzip: %w", err)
+		}
+		raw, err := io.ReadAll(zr)
+		if err != nil {
+			return nil, fmt.Errorf("profparse: gunzip: %w", err)
+		}
+		data = raw
+	}
+
+	var (
+		samples   []sample
+		locLeafFn = map[uint64]uint64{} // location id → leaf-line function id
+		fnName    = map[uint64]int64{}  // function id → string table index
+		strtab    []string
+		numTypes  int
+	)
+
+	d := decoder{b: data}
+	for !d.done() {
+		field, wt, err := d.tag()
+		if err != nil {
+			return nil, err
+		}
+		switch field {
+		case fProfileSampleType:
+			if _, err := d.bytes(); err != nil {
+				return nil, err
+			}
+			numTypes++
+		case fProfileSample:
+			blk, err := d.bytes()
+			if err != nil {
+				return nil, err
+			}
+			var s sample
+			sd := decoder{b: blk}
+			for !sd.done() {
+				f, w, err := sd.tag()
+				if err != nil {
+					return nil, err
+				}
+				switch f {
+				case fSampleLocationID:
+					if s.locs, err = repeatedUint64(&sd, w, s.locs); err != nil {
+						return nil, err
+					}
+				case fSampleValue:
+					var vals []uint64
+					if vals, err = repeatedUint64(&sd, w, nil); err != nil {
+						return nil, err
+					}
+					for _, v := range vals {
+						s.values = append(s.values, int64(v))
+					}
+				default:
+					if err := sd.skip(w); err != nil {
+						return nil, err
+					}
+				}
+			}
+			samples = append(samples, s)
+		case fProfileLocation:
+			blk, err := d.bytes()
+			if err != nil {
+				return nil, err
+			}
+			var id, leafFn uint64
+			haveLine := false
+			ld := decoder{b: blk}
+			for !ld.done() {
+				f, w, err := ld.tag()
+				if err != nil {
+					return nil, err
+				}
+				switch f {
+				case fLocationID:
+					if id, err = ld.varint(); err != nil {
+						return nil, err
+					}
+				case fLocationLine:
+					lblk, err := ld.bytes()
+					if err != nil {
+						return nil, err
+					}
+					// The FIRST line of a location is the innermost
+					// (leaf-most after inlining); keep only that one.
+					if haveLine {
+						continue
+					}
+					haveLine = true
+					lld := decoder{b: lblk}
+					for !lld.done() {
+						lf, lw, err := lld.tag()
+						if err != nil {
+							return nil, err
+						}
+						if lf == fLineFunctionID {
+							if leafFn, err = lld.varint(); err != nil {
+								return nil, err
+							}
+						} else if err := lld.skip(lw); err != nil {
+							return nil, err
+						}
+					}
+				default:
+					if err := ld.skip(w); err != nil {
+						return nil, err
+					}
+				}
+			}
+			locLeafFn[id] = leafFn
+		case fProfileFunction:
+			blk, err := d.bytes()
+			if err != nil {
+				return nil, err
+			}
+			var id uint64
+			var name int64
+			fd := decoder{b: blk}
+			for !fd.done() {
+				f, w, err := fd.tag()
+				if err != nil {
+					return nil, err
+				}
+				switch f {
+				case fFunctionID:
+					if id, err = fd.varint(); err != nil {
+						return nil, err
+					}
+				case fFunctionName:
+					v, err := fd.varint()
+					if err != nil {
+						return nil, err
+					}
+					name = int64(v)
+				default:
+					if err := fd.skip(w); err != nil {
+						return nil, err
+					}
+				}
+			}
+			fnName[id] = name
+		case fProfileStringTable:
+			s, err := d.bytes()
+			if err != nil {
+				return nil, err
+			}
+			strtab = append(strtab, string(s))
+		default:
+			if err := d.skip(wt); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Value index: the last declared sample type (cpu-nanoseconds in a
+	// runtime/pprof CPU profile).
+	vi := numTypes - 1
+	if vi < 0 {
+		vi = 0
+	}
+
+	flat := map[string]int64{}
+	for _, s := range samples {
+		if len(s.locs) == 0 || len(s.values) == 0 {
+			continue
+		}
+		idx := vi
+		if idx >= len(s.values) {
+			idx = len(s.values) - 1
+		}
+		name := "<unknown>"
+		if fid, ok := locLeafFn[s.locs[0]]; ok {
+			if si, ok := fnName[fid]; ok && si >= 0 && int(si) < len(strtab) {
+				name = strtab[si]
+			}
+		}
+		flat[name] += s.values[idx]
+	}
+
+	out := make([]Entry, 0, len(flat))
+	for n, v := range flat {
+		out = append(out, Entry{Name: n, Flat: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Flat != out[j].Flat {
+			return out[i].Flat > out[j].Flat
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out, nil
+}
+
+// Top parses the profile and returns its n heaviest leaf functions.
+func Top(data []byte, n int) ([]Entry, error) {
+	entries, err := Parse(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(entries) > n {
+		entries = entries[:n]
+	}
+	return entries, nil
+}

@@ -1,0 +1,157 @@
+package profparse
+
+import (
+	"bytes"
+	"runtime/pprof"
+	"testing"
+	"time"
+)
+
+// pb is a minimal protobuf writer for building test profiles.
+type pb struct{ b []byte }
+
+func (p *pb) varint(v uint64) {
+	for v >= 0x80 {
+		p.b = append(p.b, byte(v)|0x80)
+		v >>= 7
+	}
+	p.b = append(p.b, byte(v))
+}
+
+func (p *pb) tag(field, wt int) { p.varint(uint64(field<<3 | wt)) }
+
+func (p *pb) lenField(field int, body []byte) {
+	p.tag(field, wtLen)
+	p.varint(uint64(len(body)))
+	p.b = append(p.b, body...)
+}
+
+func (p *pb) varintField(field int, v uint64) {
+	p.tag(field, wtVarint)
+	p.varint(v)
+}
+
+func (p *pb) packed(field int, vals ...uint64) {
+	var inner pb
+	for _, v := range vals {
+		inner.varint(v)
+	}
+	p.lenField(field, inner.b)
+}
+
+// buildProfile hand-encodes a two-sample CPU profile:
+//
+//	sample 1: stack [loc1 loc2], values [3, 300] (leaf = loc1 = fnA)
+//	sample 2: stack [loc2],      values [1, 100] (leaf = loc2 = fnB)
+//	sample 3: stack [loc1],      values [2, 250] (leaf = loc1 = fnA)
+//
+// with sample types [samples-count, cpu-nanoseconds]; flat attribution
+// over the LAST value dimension must yield fnA=550, fnB=100.
+func buildProfile() []byte {
+	var root pb
+
+	// Two sample types (content irrelevant to the parser beyond count).
+	var vt pb
+	vt.varintField(fValueTypeType, 1)
+	root.lenField(fProfileSampleType, vt.b)
+	root.lenField(fProfileSampleType, vt.b)
+
+	sampleOf := func(locs []uint64, vals []uint64) []byte {
+		var s pb
+		s.packed(fSampleLocationID, locs...)
+		s.packed(fSampleValue, vals...)
+		return s.b
+	}
+	root.lenField(fProfileSample, sampleOf([]uint64{1, 2}, []uint64{3, 300}))
+	root.lenField(fProfileSample, sampleOf([]uint64{2}, []uint64{1, 100}))
+	root.lenField(fProfileSample, sampleOf([]uint64{1}, []uint64{2, 250}))
+
+	locOf := func(id, fnID uint64) []byte {
+		var line pb
+		line.varintField(fLineFunctionID, fnID)
+		var loc pb
+		loc.varintField(fLocationID, id)
+		loc.lenField(fLocationLine, line.b)
+		return loc.b
+	}
+	root.lenField(fProfileLocation, locOf(1, 10))
+	root.lenField(fProfileLocation, locOf(2, 20))
+
+	fnOf := func(id uint64, nameIdx uint64) []byte {
+		var fn pb
+		fn.varintField(fFunctionID, id)
+		fn.varintField(fFunctionName, nameIdx)
+		return fn.b
+	}
+	root.lenField(fProfileFunction, fnOf(10, 1))
+	root.lenField(fProfileFunction, fnOf(20, 2))
+
+	// String table: index 0 must be "".
+	for _, s := range []string{"", "fnA", "fnB"} {
+		root.lenField(fProfileStringTable, []byte(s))
+	}
+	return root.b
+}
+
+func TestParseHandEncoded(t *testing.T) {
+	entries, err := Parse(buildProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Entry{{Name: "fnA", Flat: 550}, {Name: "fnB", Flat: 100}}
+	if len(entries) != len(want) {
+		t.Fatalf("got %d entries (%v), want %d", len(entries), entries, len(want))
+	}
+	for i, e := range entries {
+		if e != want[i] {
+			t.Errorf("entry %d: got %+v, want %+v", i, e, want[i])
+		}
+	}
+}
+
+func TestTopBounds(t *testing.T) {
+	entries, err := Top(buildProfile(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name != "fnA" {
+		t.Fatalf("Top(1) = %v, want [fnA]", entries)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := Parse([]byte{0xff, 0xff, 0xff}); err == nil {
+		t.Fatal("want error on truncated varint input")
+	}
+}
+
+// TestParseRealProfile smokes the parser against an actual
+// runtime/pprof capture (gzipped), burning a little CPU so the profile
+// is non-empty on most runs; an empty profile is tolerated (CI boxes
+// can be too quiet for the 100Hz sampler) but a parse error is not.
+func TestParseRealProfile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		t.Skipf("cannot start CPU profile: %v", err)
+	}
+	deadline := time.Now().Add(150 * time.Millisecond)
+	x := 0
+	for time.Now().Before(deadline) {
+		for i := 0; i < 1e5; i++ {
+			x += i * i
+		}
+	}
+	pprof.StopCPUProfile()
+	_ = x
+	entries, err := Parse(buf.Bytes())
+	if err != nil {
+		t.Fatalf("parse real profile: %v", err)
+	}
+	t.Logf("parsed %d flat entries from real profile", len(entries))
+	for i, e := range entries {
+		if i >= 5 {
+			break
+		}
+		t.Logf("  %-50s %d", e.Name, e.Flat)
+	}
+}

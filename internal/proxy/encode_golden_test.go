@@ -1,0 +1,115 @@
+package proxy
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/sqlvalue"
+)
+
+// TestEncodeRowsGolden pins the exact wire line produced for a result
+// set carrying every engine value kind — NULL, INTEGER, REAL, TEXT,
+// BOOLEAN — through the full response encode path (engine values →
+// encodeRows → appendResponse). The golden string is the literal v2
+// frame; if either stage changes its rendering, this fails before any
+// client notices.
+func TestEncodeRowsGolden(t *testing.T) {
+	rows := [][]sqlvalue.Value{
+		{sqlvalue.NewNull(), sqlvalue.NewInt(-42), sqlvalue.NewReal(2.5)},
+		{sqlvalue.NewText("standup"), sqlvalue.NewBool(true), sqlvalue.NewBool(false)},
+		{sqlvalue.NewReal(3), sqlvalue.NewInt(0), sqlvalue.NewText("")},
+	}
+	resp := Response{
+		ID:      9,
+		OK:      true,
+		Columns: []string{"a", "b", "c"},
+		Rows:    encodeRows(rows),
+	}
+	const want = `{"id":9,"ok":true,"columns":["a","b","c"],` +
+		`"rows":[[null,-42,2.5],["standup",true,false],[3,0,""]]}` + "\n"
+	buf, ok := appendResponse(nil, &resp)
+	if !ok {
+		t.Fatalf("fast encoder refused the golden response: %+v", resp)
+	}
+	if string(buf) != want {
+		t.Errorf("encoded frame:\n got  %q\n want %q", buf, want)
+	}
+	// The hand-rolled frame must also be exactly what encoding/json
+	// would have produced (minus the trailing newline convention).
+	js, err := json.Marshal(&resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bytes.TrimRight(buf, "\n"); !bytes.Equal(got, js) {
+		t.Errorf("fast encoder diverges from encoding/json:\n fast %s\n json %s", got, js)
+	}
+}
+
+// FuzzEncodeResponsePooled drives the pooled encode path — a recycled
+// Response filled in place, encoded into a reused scratch buffer, then
+// released — and requires its bytes to match both an unpooled fresh
+// encode and encoding/json. This is the invariant that makes response
+// pooling safe: recycling the struct and the buffer must never leak a
+// previous response's bytes into the next frame.
+func FuzzEncodeResponsePooled(f *testing.F) {
+	f.Add(uint64(1), int64(7), math.Float64bits(2.5), "EId", "x", true)
+	f.Add(uint64(0), int64(-1), math.Float64bits(3), "", "", false)
+	f.Add(uint64(1<<63), int64(math.MinInt64), math.Float64bits(5e-324), "col", "tab\ttext", true)
+	var scratch []byte
+	f.Fuzz(func(t *testing.T, id uint64, i int64, fbits uint64, col, s string, b bool) {
+		fv := math.Float64frombits(fbits)
+		fill := func(resp *Response) {
+			resp.ID = id
+			resp.OK = b
+			resp.Columns = []string{col}
+			resp.Rows = [][]any{{nil, i, fv, s, b}}
+		}
+
+		// Pooled path: recycled struct, reused buffer.
+		resp := acquireResponse()
+		fill(resp)
+		buf, ok := appendResponse(scratch[:0], resp)
+		scratch = buf
+		pooledBytes := append([]byte(nil), buf...)
+		releaseResponse(resp)
+
+		// Unpooled path: fresh struct, fresh buffer.
+		fresh := new(Response)
+		fill(fresh)
+		freshBuf, freshOK := appendResponse(nil, fresh)
+		if ok != freshOK {
+			t.Fatalf("pooled and unpooled encoders disagree on representability: %v vs %v", ok, freshOK)
+		}
+		if !ok {
+			// NaN/Inf cells have no JSON form; both paths bail to the
+			// reflective encoder. Nothing further to compare.
+			return
+		}
+		if !bytes.Equal(pooledBytes, freshBuf) {
+			t.Fatalf("pooled encode differs from unpooled:\n pooled %q\n fresh  %q", pooledBytes, freshBuf)
+		}
+		// The frame must decode — through the same normalized decoder
+		// clients use — to exactly what an encoding/json frame of the
+		// same response decodes to. (Byte-comparing the frames would be
+		// too strict: the fast path legitimately skips Marshal's HTML
+		// escaping of &<>, and integral floats lose their ".0" in both
+		// encoders, so equivalence is judged after normalization.)
+		js, err := json.Marshal(fresh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fromPooled, fromJSON Response
+		if err := decodeResponseJSON(bytes.TrimRight(pooledBytes, "\n"), &fromPooled); err != nil {
+			t.Fatalf("pooled encode is not valid JSON (%v): %q", err, pooledBytes)
+		}
+		if err := decodeResponseJSON(js, &fromJSON); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(fromPooled, fromJSON) {
+			t.Fatalf("pooled frame does not round-trip:\n pooled decode %#v\n json decode   %#v", fromPooled, fromJSON)
+		}
+	})
+}

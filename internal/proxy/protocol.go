@@ -247,6 +247,15 @@ type StatsBody struct {
 	// op.
 	CanceledReqs int `json:"canceledReqs,omitempty"`
 
+	// Inline fast path and write coalescing (v2): queries executed on
+	// the read goroutine (warm lane-idle hits), warm probes that fell
+	// back to the lane queue, response frames encoded, and flush
+	// syscalls issued — frames/flushes is the write batching factor.
+	InlineHits   int `json:"inlineHits,omitempty"`
+	InlineBypass int `json:"inlineBypass,omitempty"`
+	WriteFrames  int `json:"writeFrames,omitempty"`
+	WriteFlushes int `json:"writeFlushes,omitempty"`
+
 	// Durability (WAL) accounting; zero / absent when the proxy runs
 	// without a WAL.
 	WALEnabled       bool  `json:"walEnabled,omitempty"`

@@ -12,7 +12,7 @@ import (
 	"repro/internal/sqlvalue"
 )
 
-func testServer(t *testing.T, mode Mode) *Server {
+func testServer(t testing.TB, mode Mode) *Server {
 	t.Helper()
 	s, err := schema.NewBuilder().
 		Table("Users").

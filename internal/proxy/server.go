@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"runtime"
@@ -88,6 +89,15 @@ type Server struct {
 	// only forgets facts, so windowed decisions are sound, merely more
 	// conservative.
 	HistoryWindow int
+	// DisableInlineFast turns off the v2 inline fast path (executing a
+	// warm-tier query on the read goroutine when its lane is idle) and
+	// forces every request through the queue/runner handoff. Ablation
+	// knob for acbench -saturate; the default (false) is production.
+	DisableInlineFast bool
+	// DisableEncodePooling turns off Response pooling on the v2 path
+	// (every lane response heap-allocates, the pre-PR-9 behaviour).
+	// Ablation knob paired with DisableInlineFast.
+	DisableEncodePooling bool
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -129,6 +139,14 @@ type Server struct {
 	mFactTrans     *obsv.Counter
 	mSlowQueries   *obsv.Counter
 	mQueryLat      *obsv.Histogram
+	// Inline-fastpath and write-coalescing instruments: queries answered
+	// on the read goroutine, warm probes that fell back to the lane
+	// queue, response frames encoded, and flush syscalls issued — the
+	// frames/flushes ratio is the write batching factor.
+	mInlineHits   *obsv.Counter
+	mInlineBypass *obsv.Counter
+	mWriteFrames  *obsv.Counter
+	mWriteFlushes *obsv.Counter
 	// Shadow instruments: dual-decides executed, divergences (total and
 	// by kind), and the end-to-end latency of the dual decision — the
 	// overhead a staged candidate adds to the query path.
@@ -167,6 +185,10 @@ func (s *Server) initObs() {
 		s.mFactTrans = reg.Counter("proxy.factcache.translated")
 		s.mSlowQueries = reg.Counter("proxy.slow.queries")
 		s.mQueryLat = reg.Histogram("proxy.query.micros")
+		s.mInlineHits = reg.Counter("proxy.inline.hits")
+		s.mInlineBypass = reg.Counter("proxy.inline.bypass")
+		s.mWriteFrames = reg.Counter("proxy.write.frames")
+		s.mWriteFlushes = reg.Counter("proxy.write.flushes")
 		s.mShadowDecides = reg.Counter("proxy.shadow.decides")
 		s.mShadowDiverge = reg.Counter("proxy.shadow.divergences")
 		s.mShadowTighten = reg.Counter("proxy.shadow.diverge.tighten")
@@ -478,6 +500,30 @@ func (ln *lane) push(job pipeJob) (startRunner bool) {
 	return
 }
 
+// tryClaim atomically claims an idle lane (no runner live, nothing
+// queued) for inline execution on the read goroutine. While the claim
+// is held no runner can exist — push only starts one when running is
+// false — and no new job can be pushed, because the only dispatcher is
+// the read goroutine, which is the claim holder. Together that gives
+// the inline fast path the same in-session total order the runner
+// gives queued jobs.
+func (ln *lane) tryClaim() bool {
+	ln.mu.Lock()
+	ok := !ln.running && len(ln.q) == 0
+	if ok {
+		ln.running = true
+	}
+	ln.mu.Unlock()
+	return ok
+}
+
+// releaseClaim returns a claimed lane to idle.
+func (ln *lane) releaseClaim() {
+	ln.mu.Lock()
+	ln.running = false
+	ln.mu.Unlock()
+}
+
 // pop takes the oldest queued job; ok=false means the queue is empty
 // and the runner has relinquished the lane (running=false) — the next
 // push starts a fresh runner.
@@ -508,6 +554,12 @@ type pipeConn struct {
 	bw      *bufio.Writer
 	enc     *json.Encoder
 	scratch []byte
+	// dirty marks responses encoded into bw by the inline fast path but
+	// not yet flushed. The reader flushes them (flushPending) just
+	// before it would block on the kernel read — see flushConn — so a
+	// pipelined burst of K inline answers costs one write syscall.
+	// Guarded by writeMu.
+	dirty bool
 
 	sem   chan struct{}
 	out   chan *Response
@@ -536,12 +588,21 @@ func newPipeConn(s *Server, ctx context.Context, conn net.Conn) *pipeConn {
 // encodeResp writes one response into the buffered writer, using the
 // hand-rolled encoder for common shapes. writeMu must be held.
 func (pc *pipeConn) encodeResp(resp *Response) error {
+	pc.s.mWriteFrames.Inc()
 	if buf, ok := appendResponse(pc.scratch[:0], resp); ok {
 		pc.scratch = buf[:0]
 		_, err := pc.bw.Write(buf)
 		return err
 	}
 	return pc.enc.Encode(resp)
+}
+
+// flush flushes the buffered writer and clears the inline dirty mark
+// (a flush empties bw wholesale). writeMu must be held.
+func (pc *pipeConn) flush() error {
+	pc.dirty = false
+	pc.s.mWriteFlushes.Inc()
+	return pc.bw.Flush()
 }
 
 // write encodes and flushes one response synchronously. It is the
@@ -552,7 +613,33 @@ func (pc *pipeConn) write(resp *Response) error {
 	if err := pc.encodeResp(resp); err != nil {
 		return err
 	}
-	return pc.bw.Flush()
+	return pc.flush()
+}
+
+// sendInline encodes one response into the buffered writer WITHOUT
+// flushing, marking the connection dirty; the flush happens when the
+// reader is about to block (flushConn → flushPending) or when the
+// coalescing writer next flushes a lane response. Encode errors mean
+// the connection is dying; the read side surfaces the drop, same
+// policy as runWriter.
+func (pc *pipeConn) sendInline(resp *Response) {
+	pc.writeMu.Lock()
+	if err := pc.encodeResp(resp); err == nil {
+		pc.dirty = true
+	}
+	pc.writeMu.Unlock()
+}
+
+// flushPending flushes inline responses parked in the buffered writer,
+// if any. Called by the reader just before it would block on the
+// kernel read, so a client waiting for its answer always gets it
+// before the server waits for the client.
+func (pc *pipeConn) flushPending() {
+	pc.writeMu.Lock()
+	if pc.dirty {
+		_ = pc.flush()
+	}
+	pc.writeMu.Unlock()
 }
 
 // startWriter begins coalesced (v2) output: responses queue on out
@@ -571,9 +658,13 @@ func (pc *pipeConn) send(resp *Response) {
 
 func (pc *pipeConn) runWriter() {
 	defer close(pc.wdone)
+	pooled := !pc.s.DisableEncodePooling
 	for resp := range pc.out {
 		pc.writeMu.Lock()
 		err := pc.encodeResp(resp)
+		if pooled {
+			releaseResponse(resp)
+		}
 		yielded := false
 	drain:
 		for err == nil {
@@ -583,6 +674,9 @@ func (pc *pipeConn) runWriter() {
 					break drain
 				}
 				err = pc.encodeResp(more)
+				if pooled {
+					releaseResponse(more)
+				}
 			default:
 				// Before paying a write syscall for a short batch,
 				// yield once: lanes that are about to produce more
@@ -596,7 +690,7 @@ func (pc *pipeConn) runWriter() {
 			}
 		}
 		if err == nil {
-			err = pc.bw.Flush()
+			err = pc.flush()
 		}
 		pc.writeMu.Unlock()
 		// A write failure means the connection is dying; keep
@@ -651,17 +745,27 @@ func (pc *pipeConn) enqueue(ln *lane, job pipeJob) {
 // guards the queue.
 func (pc *pipeConn) runLane(ln *lane) {
 	defer pc.wg.Done()
+	pooled := !pc.s.DisableEncodePooling
 	for {
 		job, ok := ln.pop()
 		if !ok {
 			return
 		}
-		resp := pc.s.HandleCtx(job.ctx, job.req, ln.sess)
+		// Pooled response: HandleCtx's value result is copied into a
+		// recycled struct (the writer releases it after encoding), so a
+		// warm request costs zero response-object allocations.
+		var resp *Response
+		if pooled {
+			resp = acquireResponse()
+		} else {
+			resp = new(Response)
+		}
+		*resp = pc.s.HandleCtx(job.ctx, job.req, ln.sess)
 		job.done()
 		pc.s.accumulateFactStats(ln.sess)
 		resp.ID = job.req.ID
 		releaseRequest(job.req)
-		pc.send(&resp)
+		pc.send(resp)
 		<-pc.sem
 	}
 }
@@ -734,27 +838,28 @@ func (s *Server) serveConn(conn net.Conn) {
 
 	pc := newPipeConn(s, connCtx, conn)
 	sess := s.newSessionState()
-	sc := bufio.NewScanner(conn)
-	// The scanner's limit is max(cap(buf), limit), so the initial
-	// buffer must not exceed the configured line bound.
-	initial := 64 * 1024
-	if m := s.maxLineBytes(); m < initial {
-		initial = m
-	}
-	sc.Buffer(make([]byte, 0, initial), s.maxLineBytes())
+	// The reader interposes flushPending before every kernel read, so
+	// inline-fastpath responses parked in the write buffer always reach
+	// the wire before the server blocks waiting for the client.
+	lr := newLineReader(flushConn{c: conn, flush: pc.flushPending}, s.maxLineBytes())
 
 	v2 := false
+	var readErr error
 	for {
 		if s.ReadTimeout > 0 {
 			_ = conn.SetReadDeadline(time.Now().Add(s.ReadTimeout))
 		}
-		if !sc.Scan() {
+		line, err := lr.ReadLine()
+		if err != nil {
+			if err != io.EOF {
+				readErr = err
+			}
 			break
 		}
 		req := acquireRequest()
-		if !decodeRequest(sc.Bytes(), req) {
+		if !decodeRequest(line, req) {
 			*req = Request{}
-			if err := decodeRequestJSON(sc.Bytes(), req); err != nil {
+			if err := decodeRequestJSON(line, req); err != nil {
 				releaseRequest(req)
 				bad := &Response{
 					Error: fmt.Sprintf("bad request: %v", err),
@@ -797,25 +902,27 @@ func (s *Server) serveConn(conn net.Conn) {
 		<-pc.wdone
 	}
 
-	// A scanner failure (over-long line, read error or timeout) drops
+	// A read failure (over-long line, read error or timeout) drops
 	// the connection; surface the cause to the client where the write
 	// side still works, and log the drop. A clean EOF stays silent,
 	// as does the deliberate read interruption of a graceful Close.
-	if err := sc.Err(); err != nil {
+	if readErr != nil {
 		s.mu.Lock()
 		closing := s.closed
 		s.mu.Unlock()
 		if !closing {
-			_ = pc.write(&Response{Error: fmt.Sprintf("connection dropped: %v", err)})
-			s.logf("proxy: dropping %s: %v", conn.RemoteAddr(), err)
+			_ = pc.write(&Response{Error: fmt.Sprintf("connection dropped: %v", readErr)})
+			s.logf("proxy: dropping %s: %v", conn.RemoteAddr(), readErr)
 		}
 	}
 }
 
 // dispatchV2 routes one pipelined request. Control ops (cancel,
 // stats) are answered inline from the read loop — they must overtake
-// the queued work they report on or abort. Everything else acquires a
-// window slot (the backpressure point) and joins its session lane.
+// the queued work they report on or abort. Warm queries take the
+// inline fast path (tryInlineQuery) when their lane is idle.
+// Everything else acquires a window slot (the backpressure point) and
+// joins its session lane.
 func (s *Server) dispatchV2(pc *pipeConn, req *Request) {
 	switch req.Op {
 	case "cancel":
@@ -830,10 +937,81 @@ func (s *Server) dispatchV2(pc *pipeConn, req *Request) {
 		releaseRequest(req)
 		pc.send(&Response{ID: id, OK: true, Stats: s.StatsSnapshot()})
 		return
+	case "query":
+		if s.tryInlineQuery(pc, req) {
+			return
+		}
 	}
 	pc.sem <- struct{}{}
 	ctx, done := pc.beginRequest(req)
 	pc.enqueue(pc.lane(req.SID), pipeJob{req: req, ctx: ctx, done: done})
+}
+
+// tryInlineQuery is the v2 inline fast path: when a query's session
+// lane is idle and the decision is already warm (a front-cache hit),
+// executing it right here on the read goroutine skips the window slot,
+// the queue handoff, the runner wakeup, and the writer-channel round
+// trip — the whole request is one goroutine's straight-line code.
+// Reporting false means "not eligible, dispatch normally"; the request
+// is untouched in that case.
+//
+// In-session order is preserved: tryClaim only succeeds when no runner
+// is live and nothing is queued, and while the reader executes inline
+// it cannot dispatch the session's next request. Cancellation needs no
+// registration — a "cancel" for this request cannot be read until the
+// inline execution has already finished. Requests with a per-request
+// timeout, and servers running a slow-log, a shadow trial, or with
+// enforcement off, all take the general path: those features need the
+// full handleQuery/dualDecide plumbing.
+func (s *Server) tryInlineQuery(pc *pipeConn, req *Request) bool {
+	if s.DisableInlineFast || req.TimeoutMillis != 0 || s.SlowLogThreshold > 0 ||
+		s.Mode == Off || s.Checker == nil || s.Checker.ShadowStaged() {
+		return false
+	}
+	ln := pc.lane(req.SID)
+	if !ln.tryClaim() {
+		return false
+	}
+	args, err := buildArgs(req)
+	if err != nil {
+		ln.releaseClaim()
+		return false
+	}
+	sel, err := sqlparser.ParseSelectNorm(req.SQL)
+	if err != nil {
+		ln.releaseClaim()
+		return false
+	}
+	d, ok := s.Checker.CheckWarmBorrowed(sel, args, ln.sess.attrs)
+	if !ok {
+		// Cold or deep-tier decision: release the lane and let the
+		// general path decide (and count the front miss) off the read
+		// goroutine.
+		ln.releaseClaim()
+		s.mInlineBypass.Inc()
+		return false
+	}
+	start := time.Now()
+	s.mQueries.Inc()
+	pooled := !s.DisableEncodePooling
+	var resp *Response
+	if pooled {
+		resp = acquireResponse()
+	} else {
+		resp = new(Response)
+	}
+	*resp = s.finishQuery(pc.ctx, req, ln.sess, sel, args, d)
+	s.mQueryLat.Observe(time.Since(start).Microseconds())
+	s.accumulateFactStats(ln.sess)
+	resp.ID = req.ID
+	releaseRequest(req)
+	ln.releaseClaim()
+	s.mInlineHits.Inc()
+	pc.sendInline(resp)
+	if pooled {
+		releaseResponse(resp)
+	}
+	return true
 }
 
 // reqPool recycles decoded Requests. The read loop owns a Request
@@ -848,6 +1026,20 @@ func acquireRequest() *Request { return reqPool.Get().(*Request) }
 func releaseRequest(req *Request) {
 	*req = Request{}
 	reqPool.Put(req)
+}
+
+// respPool recycles v2 Responses. A lane runner (or the inline fast
+// path) fills a pooled struct; the encoder copies its bytes into the
+// connection's buffered writer and releases it — nothing downstream
+// retains the pointer, so the round trip is allocation-free.
+// DisableEncodePooling bypasses the pool for ablation runs.
+var respPool = sync.Pool{New: func() any { return new(Response) }}
+
+func acquireResponse() *Response { return respPool.Get().(*Response) }
+
+func releaseResponse(resp *Response) {
+	*resp = Response{}
+	respPool.Put(resp)
 }
 
 // accumulateFactStats folds the session trace's fact-cache counters
@@ -991,6 +1183,11 @@ func (s *Server) StatsSnapshot() *StatsBody {
 		TotalConns:    int(s.mConnsTotal.Value()),
 		RejectedConns: int(s.mConnsRejected.Value()),
 		CanceledReqs:  int(s.mReqsCanceled.Value()),
+
+		InlineHits:   int(s.mInlineHits.Value()),
+		InlineBypass: int(s.mInlineBypass.Value()),
+		WriteFrames:  int(s.mWriteFrames.Value()),
+		WriteFlushes: int(s.mWriteFlushes.Value()),
 	}
 	if cs.Decisions > 0 {
 		body.CacheHitRate = float64(cs.CacheHits) / float64(cs.Decisions)
@@ -1144,24 +1341,31 @@ func (s *Server) runQuery(ctx context.Context, req *Request, sess *session) (Res
 		if ctx.Err() != nil {
 			return canceledResponse(ctx), d
 		}
-		if !d.Allowed {
-			if s.Mode == Enforce {
-				return Response{OK: true, Blocked: true, Reason: d.Reason, Code: acerr.CodeBlocked}, d
-			}
-			s.mViolations.Inc()
+	}
+	return s.finishQuery(ctx, req, sess, sel, args, d), d
+}
+
+// finishQuery is the post-decision half of the query path, shared by
+// runQuery and the inline fast path: enforce the verdict, bind,
+// execute, record history, build the response.
+func (s *Server) finishQuery(ctx context.Context, req *Request, sess *session, sel *sqlparser.SelectStmt, args sqlparser.Args, d checker.Decision) Response {
+	if s.Mode != Off && !d.Allowed {
+		if s.Mode == Enforce {
+			return Response{OK: true, Blocked: true, Reason: d.Reason, Code: acerr.CodeBlocked}
 		}
+		s.mViolations.Inc()
 	}
 
 	bound, err := sqlparser.Bind(sel, args)
 	if err != nil {
-		return Response{Error: err.Error(), Code: acerr.CodeBadRequest}, d
+		return Response{Error: err.Error(), Code: acerr.CodeBadRequest}
 	}
 	res, err := s.DB.QueryCtx(ctx, bound.(*sqlparser.SelectStmt))
 	if err != nil {
 		if errors.Is(err, acerr.ErrCanceled) {
-			return Response{Error: err.Error(), Code: acerr.CodeCanceled}, d
+			return Response{Error: err.Error(), Code: acerr.CodeCanceled}
 		}
-		return Response{Error: err.Error(), Code: acerr.CodeEngine}, d
+		return Response{Error: err.Error(), Code: acerr.CodeEngine}
 	}
 
 	// Record in history (queries the application actually saw answers
@@ -1178,7 +1382,7 @@ func (s *Server) runQuery(ctx context.Context, req *Request, sess *session) (Res
 		})
 	}
 
-	return Response{OK: true, Columns: res.Columns, Rows: encodeRows(rows)}, d
+	return Response{OK: true, Columns: res.Columns, Rows: encodeRows(rows)}
 }
 
 func (s *Server) handleExec(ctx context.Context, req *Request) Response {
