@@ -13,7 +13,7 @@ COMMIT  ?= $(shell git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)
 DATE    ?= $(shell date -u +%Y-%m-%dT%H:%M:%SZ 2>/dev/null || echo unknown)
 LDFLAGS  = -ldflags "-X repro/internal/buildinfo.Version=$(VERSION) -X repro/internal/buildinfo.Commit=$(COMMIT) -X repro/internal/buildinfo.Date=$(DATE)"
 
-.PHONY: build test vet race bench bench-json hotpath pipeline coldpath coldsmoke allocbudget openloop opensmoke ingress pgsmoke driversmoke shadowsmoke saturate satsmoke fmtcheck fuzz fuzzwal fuzzwire killrecover staticcheck ci
+.PHONY: build test vet race bench bench-json hotpath pipeline coldpath coldsmoke allocbudget openloop opensmoke ingress pgsmoke driversmoke shadowsmoke saturate satsmoke clusterbench clustersmoke clusterkill fmtcheck fuzz fuzzwal fuzzwire killrecover staticcheck ci
 
 build:
 	$(GO) build $(LDFLAGS) ./...
@@ -38,7 +38,7 @@ bench:
 # -against diffs the fresh document's pinned hotpath numbers against
 # the previous one and fails on a >10% speedup regression.
 bench-json:
-	$(GO) run ./cmd/acbench -json BENCH_9.json -against BENCH_8.json
+	$(GO) run ./cmd/acbench -json BENCH_10.json -against BENCH_9.json
 
 hotpath:
 	$(GO) run ./cmd/acbench -hotpath
@@ -118,6 +118,27 @@ driversmoke:
 shadowsmoke:
 	$(GO) test -count=1 -run 'TestShadowSmoke' .
 
+# Full cluster knee sweep: aggregate sustained QPS at the p99 SLO over
+# 1/2/4/8 in-process cluster nodes with ring-mixed (local + forwarded)
+# durable sessions; see DESIGN.md §16.
+clusterbench:
+	$(GO) run ./cmd/acbench -cluster
+
+# Cluster-mode CI smoke: a 3-node in-process cluster serves a
+# mixed-session corpus through one entry node (some sessions local,
+# some forwarded), every decision byte-matched against a single-node
+# control, then one owner is closed and a history-dependent session it
+# owned must re-decide identically from its follower's shipped WAL.
+clustersmoke:
+	$(GO) test -count=1 -run 'TestClusterSmoke' .
+
+# Cluster kill-and-takeover integration test: SIGKILL a session's owner
+# mid-corpus (a real child process), and the follower must serve the
+# whole history-dependent corpus byte-identically to an unkilled
+# control.
+clusterkill:
+	$(GO) test -count=1 -run 'TestClusterKillHandover' -v .
+
 fmtcheck:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
@@ -152,4 +173,4 @@ staticcheck:
 	else \
 		echo "staticcheck not installed; skipping"; fi
 
-ci: fmtcheck vet test race coldsmoke allocbudget opensmoke satsmoke pgsmoke driversmoke shadowsmoke fuzz fuzzwal fuzzwire killrecover staticcheck
+ci: fmtcheck vet test race coldsmoke allocbudget opensmoke satsmoke pgsmoke driversmoke shadowsmoke clustersmoke clusterkill fuzz fuzzwal fuzzwire killrecover staticcheck

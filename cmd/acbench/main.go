@@ -11,6 +11,7 @@
 //	acbench -durable   # WAL fsync-policy/group-commit ablation only
 //	acbench -ingress   # decide throughput per ingress surface (v2/driver/pgwire)
 //	acbench -saturate  # knee search: highest QPS whose p99 holds the SLO, per ingress
+//	acbench -cluster   # aggregate knee over 1/2/4/8 in-process cluster nodes
 //	acbench -json BENCH_5.json   # machine-readable benchmark document
 //
 // -hotpath measures the per-check cost against growing session
@@ -34,6 +35,12 @@
 // limiting resource. -sat-ablate repeats the search with the inline
 // fast path and encode pooling disabled, so the ceiling lift is
 // measured by the same harness that found the ceiling.
+//
+// -cluster stands up N clustered Serve stacks in-process (durable WAL,
+// live shipping, consistent-hash routing), spreads named durable
+// sessions over all N entry points — so a ring-determined share pays
+// the forwarding hop — and knee-searches the aggregate QPS that holds
+// the p99 SLO at each cluster size. See DESIGN.md §16.
 //
 // -cpuprofile/-memprofile write standard pprof profiles covering the
 // whole run (any mode). In -saturate mode the CPU profiler belongs to
@@ -83,6 +90,10 @@ func main() {
 	openloop := flag.Bool("openloop", false, "run only the open-loop (coordinated-omission-safe) proxy load table")
 	ingress := flag.Bool("ingress", false, "run only the ingress-surface comparison (v2 vs database/sql driver vs pgwire)")
 	saturate := flag.Bool("saturate", false, "run only the saturation knee search (highest QPS holding the p99 SLO per ingress)")
+	clusterBench := flag.Bool("cluster", false, "run only the cluster knee sweep (aggregate QPS over 1/2/4/8 in-process nodes with mixed local/forwarded sessions)")
+	clusterNodes := flag.String("cluster-nodes", "1,2,4,8", "with -cluster/-json: comma-separated cluster sizes to sweep")
+	clusterSessions := flag.Int("cluster-sessions", 192, "with -cluster/-json: durable sessions spread across the cluster")
+	clusterBudget := flag.Duration("cluster-budget", 25*time.Second, "with -cluster/-json: wall-clock budget per cluster size")
 	satIngress := flag.String("sat-ingress", "v2,driver,pg", "with -saturate: comma-separated ingresses to search")
 	satSLO := flag.Duration("sat-slo", 5*time.Millisecond, "with -saturate/-json: p99 SLO a passing step must hold")
 	satBudget := flag.Duration("sat-budget", 45*time.Second, "with -saturate/-json: wall-clock budget per (ingress, variant) search")
@@ -178,8 +189,31 @@ func main() {
 		olCfg.QPS = *olQPS
 	}
 
+	clCfg := defaultClusterBenchConfig()
+	clCfg.SLO = *satSLO
+	clCfg.Budget = *clusterBudget
+	if *clusterSessions > 0 {
+		clCfg.Sessions = *clusterSessions
+	}
+	if *clusterNodes != "" {
+		clCfg.Nodes = clCfg.Nodes[:0]
+		for _, s := range strings.Split(*clusterNodes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n <= 0 {
+				log.Fatalf("acbench: bad -cluster-nodes entry %q", s)
+			}
+			clCfg.Nodes = append(clCfg.Nodes, n)
+		}
+	}
+
 	if *jsonOut != "" {
-		if err := runJSON(*jsonOut, *against, olCfg, satCfg); err != nil {
+		if err := runJSON(*jsonOut, *against, olCfg, satCfg, clCfg); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *clusterBench {
+		if err := printCluster(clCfg); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -257,6 +291,7 @@ type benchDoc struct {
 	Openloop        []openloopRow `json:"openloop,omitempty"`
 	Ingress         []ingressRow  `json:"ingress,omitempty"`
 	Saturation      []satRow      `json:"saturation,omitempty"`
+	Cluster         []clusterRow  `json:"cluster,omitempty"`
 	ShadowOverhead  shadowRow     `json:"shadowOverhead"`
 	MetricsOverhead overheadRow   `json:"metricsOverhead"`
 }
@@ -292,7 +327,7 @@ type overheadRow struct {
 // diffed against it and a >10% speedup regression fails the run
 // (after the new document is written, so the numbers are
 // inspectable).
-func runJSON(path, against string, olCfg openloopConfig, satCfg satConfig) error {
+func runJSON(path, against string, olCfg openloopConfig, satCfg satConfig, clCfg clusterBenchConfig) error {
 	doc := benchDoc{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
@@ -371,6 +406,15 @@ func runJSON(path, against string, olCfg openloopConfig, satCfg satConfig) error
 		doc.Saturation = append(doc.Saturation, rows...)
 	}
 	printSatLift(doc.Saturation)
+	fmt.Println("acbench: cluster knee sweep...")
+	runtime.GC()
+	debug.FreeOSMemory()
+	cls, err := runClusterBench(clCfg, func(s string) { fmt.Println(s) })
+	if err != nil {
+		return err
+	}
+	doc.Cluster = cls
+	printClusterScaling(doc.Cluster)
 	fmt.Println("acbench: dual-decide shadow overhead...")
 	sh, err := runShadowOverhead()
 	if err != nil {
@@ -440,7 +484,42 @@ func diffAgainst(doc benchDoc, path string) error {
 		}
 		fmt.Printf("bench diff vs %s: ok (hotpath speedup geomean %.0f%% of pinned run)\n", path, geo*100)
 	}
-	return diffOpenloop(doc, prev, path)
+	if err := diffOpenloop(doc, prev, path); err != nil {
+		return err
+	}
+	return diffCluster(doc, prev, path)
+}
+
+// diffCluster gates the cluster sweep against the pinned document,
+// keyed by node count: the aggregate knee at each size must hold at
+// least half the pinned rate (wall-clock knees on a shared container
+// swing; halving means forwarding or shipping broke, not jitter). A
+// pinned document without cluster rows makes this run the baseline.
+func diffCluster(doc, prev benchDoc, path string) error {
+	prevBy := make(map[int]clusterRow, len(prev.Cluster))
+	for _, r := range prev.Cluster {
+		prevBy[r.Nodes] = r
+	}
+	n := 0
+	for _, r := range doc.Cluster {
+		p, ok := prevBy[r.Nodes]
+		if !ok || p.KneeQPS <= 0 || r.KneeQPS <= 0 {
+			continue
+		}
+		ratio := r.KneeQPS / p.KneeQPS
+		fmt.Printf("bench diff: cluster nodes=%d knee %.0f -> %.0f qps (%.0f%%), p99 %dµs -> %dµs\n",
+			r.Nodes, p.KneeQPS, r.KneeQPS, ratio*100, p.KneeP99Micros, r.KneeP99Micros)
+		if ratio < 0.5 {
+			return fmt.Errorf("bench diff vs %s FAILED: cluster knee at %d nodes fell to %.0f%% of the pinned run (<50%%)", path, r.Nodes, ratio*100)
+		}
+		n++
+	}
+	if n == 0 {
+		fmt.Printf("bench diff vs %s: no comparable cluster rows (new baseline)\n", path)
+	} else {
+		fmt.Printf("bench diff vs %s: ok (%d cluster rows within bounds)\n", path, n)
+	}
+	return nil
 }
 
 // diffOpenloop gates the open-loop tail latencies against the pinned

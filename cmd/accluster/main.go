@@ -1,0 +1,126 @@
+// Command accluster inspects and steers a running enforcement
+// cluster (DESIGN.md §16) through any member's v2 listener.
+//
+// Usage:
+//
+//	accluster -addr 127.0.0.1:7070 status     # full view: placement, leases, ship lag
+//	accluster -addr 127.0.0.1:7070 members    # membership table only
+//	accluster -addr 127.0.0.1:7070 drain      # stop owning new sessions on this node
+//	accluster -addr 127.0.0.1:7070 rebalance  # force a probe round + ring rebuild
+//
+// status answers from the contacted node's local view: its membership
+// epoch, each peer's liveness and draining state, the leases it has
+// granted (sessions it follows), and its own placement and WAL-ship
+// counters. drain removes the contacted node from its own routing
+// ring — peers notice via health probes and route new sessions
+// elsewhere; sessions it already owns keep serving. rebalance forces
+// an immediate probe round instead of waiting out the probe interval.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/proxy"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "any cluster member's v2 address")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request timeout")
+	version := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("accluster"))
+		return
+	}
+	cmd := flag.Arg(0)
+	if cmd == "" {
+		cmd = "status"
+	}
+	var op string
+	switch cmd {
+	case "status", "members":
+		op = "cluster.status"
+	case "drain":
+		op = "cluster.drain"
+	case "rebalance":
+		op = "cluster.rebalance"
+	case "ping":
+		op = "cluster.ping"
+	default:
+		fmt.Fprintf(os.Stderr, "accluster: unknown command %q (want status|members|drain|rebalance|ping)\n", cmd)
+		os.Exit(2)
+	}
+
+	c, err := proxy.Dial(*addr)
+	if err != nil {
+		log.Fatalf("accluster: dial %s: %v", *addr, err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	resp, err := c.Do(ctx, &proxy.Request{Op: op})
+	if err != nil {
+		log.Fatalf("accluster: %s: %v", cmd, err)
+	}
+	if resp.Error != "" {
+		log.Fatalf("accluster: %s: %s", cmd, resp.Error)
+	}
+	b := resp.Cluster
+	if b == nil {
+		log.Fatalf("accluster: %s: node answered without a cluster body (cluster mode off?)", cmd)
+	}
+
+	switch cmd {
+	case "ping":
+		fmt.Printf("node %s epoch %d draining=%v\n", b.Self, b.Epoch, b.Draining)
+	case "members":
+		printMembers(b)
+	case "drain":
+		fmt.Printf("node %s draining; peers will route new sessions around it\n", b.Self)
+		printMembers(b)
+	case "rebalance":
+		fmt.Printf("node %s probed its peers and rebuilt its ring (epoch %d)\n", b.Self, b.Epoch)
+		printMembers(b)
+	default: // status
+		fmt.Printf("node %s  epoch %d  draining=%v\n", b.Self, b.Epoch, b.Draining)
+		printMembers(b)
+		if len(b.Leases) > 0 {
+			fmt.Println("leases granted (sessions this node follows):")
+			for _, l := range b.Leases {
+				state := "expired"
+				if l.ExpiresInMillis > 0 {
+					state = fmt.Sprintf("expires in %dms", l.ExpiresInMillis)
+				}
+				fmt.Printf("  %-12s term %-4d %s\n", l.Origin, l.Term, state)
+			}
+		}
+		fmt.Printf("placement: local=%d forwarded-sessions=%d forwarded-ops=%d forward-errors=%d takeovers=%d\n",
+			b.LocalSessions, b.ForwardedSessions, b.ForwardedOps, b.ForwardErrors, b.Takeovers)
+		fmt.Printf("wal ship:  enqueued=%d acked=%d dropped=%d bytes=%d (lag %d records)\n",
+			b.ShipEnqueued, b.ShipAcked, b.ShipDropped, b.ShipBytes, b.ShipEnqueued-b.ShipAcked-b.ShipDropped)
+	}
+}
+
+func printMembers(b *proxy.ClusterBody) {
+	fmt.Println("members:")
+	for _, m := range b.Members {
+		mark := " "
+		if m.Self {
+			mark = "*"
+		}
+		state := "alive"
+		if !m.Alive {
+			state = "dead"
+		}
+		if m.Draining {
+			state += ",draining"
+		}
+		fmt.Printf("  %s %-12s %-21s %-14s epoch %d\n", mark, m.ID, m.Addr, state, m.Epoch)
+	}
+}

@@ -36,6 +36,20 @@
 //     appended records.
 //   - -window N bounds every session trace to its last N entries.
 //
+// Cluster mode (DESIGN.md §16):
+//
+//   - -cluster -node-id ID -peers a=host:port,b=host:port joins this
+//     proxy to an enforcement cluster: durable sessions hash onto a
+//     consistent ring over the members, hellos landing on a non-owner
+//     forward to the owner, and owners ship WAL records to each
+//     session's ring successor so a follower can adopt them
+//     byte-identically when the owner dies.
+//   - -lease-ttl / -probe-interval tune failover latency.
+//   - -lazy-wal defers WAL open until first durable use, so a
+//     forwarding-only node doesn't create an empty log directory.
+//   - Inspect and steer a running cluster with the accluster CLI
+//     (status, members, drain, rebalance).
+//
 // Policy lifecycle:
 //
 //   - -shadow-policy FILE stages a candidate policy (JSON: view name
@@ -60,6 +74,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -87,6 +102,12 @@ func main() {
 	ckptEvery := flag.Int("checkpoint-every", 10000, "checkpoint + compact the WAL after this many appended records (0 disables auto-checkpoints)")
 	window := flag.Int("window", 0, "bound each session trace to its last N entries (0 = unbounded)")
 	shadowPolicy := flag.String("shadow-policy", "", "stage a candidate policy from this JSON file (view name -> SQL) for shadow dual-decide")
+	clusterOn := flag.Bool("cluster", false, "join an enforcement cluster: consistent-hash session routing + WAL shipping (needs -node-id and -peers)")
+	nodeID := flag.String("node-id", "", "this node's stable cluster member id")
+	peers := flag.String("peers", "", "cluster member set as id=host:port[,id=host:port...]; must include -node-id (its address may be omitted to reuse -addr)")
+	leaseTTL := flag.Duration("lease-ttl", 0, "cluster session-ownership lease TTL (0 = default)")
+	probeEvery := flag.Duration("probe-interval", 0, "cluster peer health-probe interval (0 = default)")
+	lazyWAL := flag.Bool("lazy-wal", false, "defer WAL open until the first durable session or shipped batch (forwarding-only nodes skip creating an empty log dir)")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *version {
@@ -132,6 +153,18 @@ func main() {
 	if *pgAddr != "" {
 		sopts = append(sopts, beyond.WithPgListener(*pgAddr))
 	}
+	if *lazyWAL {
+		sopts = append(sopts, beyond.WithLazyWAL())
+	}
+	if *clusterOn {
+		ccfg, err := clusterConfig(*nodeID, *peers, *addr, *leaseTTL, *probeEvery)
+		if err != nil {
+			log.Fatalf("acproxy: %v", err)
+		}
+		sopts = append(sopts, beyond.WithCluster(*ccfg))
+	} else if *nodeID != "" || *peers != "" {
+		log.Fatal("acproxy: -node-id/-peers need -cluster")
+	}
 	if *shadowPolicy != "" {
 		views, err := readPolicyFile(*shadowPolicy)
 		if err != nil {
@@ -146,6 +179,10 @@ func main() {
 	srv := svc.Proxy()
 	fmt.Printf("acproxy: %s app, policy %d views, mode %s, listening on %s\n",
 		f.Name, len(f.Policy().Views), m, svc.V2Addr())
+	if node := svc.ClusterNode(); node != nil {
+		fmt.Printf("acproxy: cluster node %s over %d member(s); sessions route by consistent hash, WAL records ship to followers\n",
+			*nodeID, node.Ring().Size())
+	}
 	if *pgAddr != "" {
 		fmt.Printf("acproxy: Postgres wire protocol on %s (session attrs via attr.* startup params)\n",
 			svc.PgAddr())
@@ -204,6 +241,48 @@ func main() {
 		st.LatencyP50Micros, st.LatencyP90Micros, st.LatencyP99Micros,
 		st.LatencyMeanMicros, st.LatencySamples)
 	fmt.Printf("acproxy: connections: total=%d rejected=%d canceled-requests=%d\n", st.TotalConns, st.RejectedConns, st.CanceledReqs)
+}
+
+// clusterConfig parses -node-id/-peers into a ClusterConfig. The
+// peers list is id=host:port pairs; the self entry may omit its
+// address (or the whole entry), in which case the -addr listener
+// address stands in.
+func clusterConfig(self, peers, listenAddr string, leaseTTL, probeEvery time.Duration) (*beyond.ClusterConfig, error) {
+	if self == "" {
+		return nil, fmt.Errorf("-cluster needs -node-id")
+	}
+	members := []beyond.ClusterMember{}
+	sawSelf := false
+	for _, part := range strings.Split(peers, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok || id == "" {
+			return nil, fmt.Errorf("-peers entry %q: want id=host:port", part)
+		}
+		if id == self {
+			sawSelf = true
+			if addr == "" {
+				addr = listenAddr
+			}
+		}
+		members = append(members, beyond.ClusterMember{ID: id, Addr: addr})
+	}
+	if !sawSelf {
+		members = append(members, beyond.ClusterMember{ID: self, Addr: listenAddr})
+	}
+	if len(members) < 2 {
+		return nil, fmt.Errorf("-peers needs at least one peer besides %s", self)
+	}
+	return &beyond.ClusterConfig{
+		Self:          self,
+		Members:       members,
+		LeaseTTL:      leaseTTL,
+		ProbeInterval: probeEvery,
+		Logf:          log.Printf,
+	}, nil
 }
 
 // readPolicyFile loads a candidate policy file: one JSON object

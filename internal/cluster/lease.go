@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// leaseTable is the follower half of lease-based ownership. An owner
+// asserts a lease (origin, term, ttl) on every ship batch; the
+// follower records it here. Takeover of an origin's sessions is gated
+// on BOTH its probes failing AND its lease here being expired — so a
+// live-but-slow owner keeps its sessions, and a dead owner's sessions
+// move only after the window it could still have been serving in has
+// provably closed.
+//
+// Terms are monotone per origin: a batch carrying a lower term than
+// one already granted is stale (a pre-restart owner, or a delayed
+// duplicate) and is rejected. Term persistence is the durable layer's
+// job (Manager.RecordLease); this table is the runtime view.
+type leaseTable struct {
+	mu     sync.Mutex
+	grants map[string]*grant
+}
+
+type grant struct {
+	term    uint64
+	expires time.Time
+}
+
+func newLeaseTable() *leaseTable {
+	return &leaseTable{grants: make(map[string]*grant)}
+}
+
+// renew accepts or rejects a lease assertion. accepted=false means
+// the term is stale. isNew reports a term transition (a grant at a
+// term not seen before) as opposed to an extension of the current
+// term — the caller persists transitions and counts them separately.
+func (lt *leaseTable) renew(origin string, term uint64, ttl time.Duration, now time.Time) (accepted, isNew bool) {
+	if term == 0 {
+		return false, false
+	}
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	g := lt.grants[origin]
+	if g == nil {
+		lt.grants[origin] = &grant{term: term, expires: now.Add(ttl)}
+		return true, true
+	}
+	if term < g.term {
+		return false, false
+	}
+	isNew = term > g.term
+	g.term = term
+	if e := now.Add(ttl); e.After(g.expires) {
+		g.expires = e
+	}
+	return true, isNew
+}
+
+// seed installs a recovered term without an expiry window (the lease
+// is already expired; only the monotone term survives restarts).
+func (lt *leaseTable) seed(origin string, term uint64, now time.Time) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	if g := lt.grants[origin]; g == nil || term > g.term {
+		lt.grants[origin] = &grant{term: term, expires: now}
+	}
+}
+
+// active reports whether origin holds an unexpired lease here.
+func (lt *leaseTable) active(origin string, now time.Time) bool {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	g := lt.grants[origin]
+	return g != nil && g.expires.After(now)
+}
+
+// term returns the highest term granted to origin (0: none).
+func (lt *leaseTable) term(origin string) uint64 {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	if g := lt.grants[origin]; g != nil {
+		return g.term
+	}
+	return 0
+}
+
+// snapshot lists every grant for cluster.status.
+func (lt *leaseTable) snapshot(now time.Time) []leaseSnap {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	out := make([]leaseSnap, 0, len(lt.grants))
+	for origin, g := range lt.grants {
+		out = append(out, leaseSnap{origin: origin, term: g.term, remaining: g.expires.Sub(now)})
+	}
+	return out
+}
+
+type leaseSnap struct {
+	origin    string
+	term      uint64
+	remaining time.Duration
+}

@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLeaseTermsMonotone(t *testing.T) {
+	lt := newLeaseTable()
+	now := time.Unix(1000, 0)
+	ttl := time.Second
+
+	ok, isNew := lt.renew("a", 1, ttl, now)
+	if !ok || !isNew {
+		t.Fatalf("first grant: ok=%v isNew=%v", ok, isNew)
+	}
+	ok, isNew = lt.renew("a", 1, ttl, now.Add(100*time.Millisecond))
+	if !ok || isNew {
+		t.Fatalf("same-term renewal: ok=%v isNew=%v", ok, isNew)
+	}
+	ok, isNew = lt.renew("a", 2, ttl, now)
+	if !ok || !isNew {
+		t.Fatalf("term advance: ok=%v isNew=%v", ok, isNew)
+	}
+	if ok, _ = lt.renew("a", 1, ttl, now); ok {
+		t.Fatal("stale term accepted")
+	}
+	if ok, _ = lt.renew("a", 0, ttl, now); ok {
+		t.Fatal("zero term accepted")
+	}
+	if got := lt.term("a"); got != 2 {
+		t.Fatalf("term = %d, want 2", got)
+	}
+}
+
+func TestLeaseExpiry(t *testing.T) {
+	lt := newLeaseTable()
+	now := time.Unix(1000, 0)
+	lt.renew("a", 1, time.Second, now)
+	if !lt.active("a", now.Add(999*time.Millisecond)) {
+		t.Fatal("lease expired early")
+	}
+	if lt.active("a", now.Add(time.Second)) {
+		t.Fatal("lease outlived its TTL")
+	}
+	// A renewal after expiry re-arms it at the same term.
+	if ok, isNew := lt.renew("a", 1, time.Second, now.Add(2*time.Second)); !ok || isNew {
+		t.Fatalf("post-expiry renewal: ok=%v isNew=%v", ok, isNew)
+	}
+	if !lt.active("a", now.Add(2500*time.Millisecond)) {
+		t.Fatal("re-armed lease not active")
+	}
+	// Expiry only moves forward: a short-TTL renewal cannot shorten an
+	// existing window.
+	lt.renew("a", 1, 10*time.Second, now.Add(3*time.Second))
+	lt.renew("a", 1, time.Millisecond, now.Add(3*time.Second))
+	if !lt.active("a", now.Add(12*time.Second)) {
+		t.Fatal("later short renewal shortened the lease window")
+	}
+}
+
+func TestLeaseSeedIsExpiredButMonotone(t *testing.T) {
+	lt := newLeaseTable()
+	now := time.Unix(1000, 0)
+	lt.seed("a", 5, now)
+	if lt.active("a", now) {
+		t.Fatal("seeded lease is active; recovered terms must start expired")
+	}
+	if ok, _ := lt.renew("a", 4, time.Second, now); ok {
+		t.Fatal("term below seeded value accepted")
+	}
+	if ok, _ := lt.renew("a", 5, time.Second, now); !ok {
+		t.Fatal("seeded term itself rejected")
+	}
+	// A seed never regresses an existing grant.
+	lt.seed("a", 3, now)
+	if got := lt.term("a"); got != 5 {
+		t.Fatalf("seed regressed term to %d", got)
+	}
+}
+
+// TestLeaseConcurrentRenewals hammers renew/active/term from many
+// goroutines; the -race build verifies the locking, and the final term
+// must be the maximum asserted.
+func TestLeaseConcurrentRenewals(t *testing.T) {
+	lt := newLeaseTable()
+	base := time.Unix(1000, 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 1; i <= 200; i++ {
+				lt.renew("a", uint64(i), time.Second, base.Add(time.Duration(i)*time.Millisecond))
+				lt.active("a", base)
+				lt.term("a")
+				lt.snapshot(base)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := lt.term("a"); got != 200 {
+		t.Fatalf("final term = %d, want 200", got)
+	}
+	if !lt.active("a", base.Add(1100*time.Millisecond)) {
+		t.Fatal("final lease window lost")
+	}
+}

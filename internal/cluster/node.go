@@ -1,0 +1,556 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/durable"
+	"repro/internal/obsv"
+	"repro/internal/proxy"
+)
+
+// Member is one cluster node: a stable id and its v2 listener address.
+type Member struct {
+	ID   string
+	Addr string
+}
+
+// Provider supplies the member set. Static configuration implements
+// it today; a gossip or service-discovery layer can replace it
+// without touching the node.
+type Provider interface {
+	Members() []Member
+}
+
+// Static is the fixed-configuration membership Provider.
+type Static []Member
+
+// Members implements Provider.
+func (s Static) Members() []Member { return append([]Member(nil), s...) }
+
+// Config parameterizes a Node. Self and the member set (via Members
+// or Provider) are required; everything else has serviceable
+// defaults.
+type Config struct {
+	// Self is this node's member id; the member set must contain it.
+	Self string
+	// Members is the static member set (ignored when Provider is set).
+	Members []Member
+	// Provider overrides Members as the membership source.
+	Provider Provider
+	// VNodes per member on the ring; 0 means DefaultVNodes.
+	VNodes int
+	// LeaseTTL is how long one ship batch's lease assertion holds; 0
+	// means 1500ms.
+	LeaseTTL time.Duration
+	// ProbeInterval paces peer health probes; 0 means 500ms.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe round trip; 0 means ProbeInterval.
+	ProbeTimeout time.Duration
+	// SuspectAfter is how many consecutive probe failures mark a peer
+	// dead (subject to the lease gate); 0 means 2.
+	SuspectAfter int
+	// ShipFlush paces the WAL-ship flusher; 0 means 5ms.
+	ShipFlush time.Duration
+	// ShipTimeout bounds one ship batch round trip; 0 means 2s.
+	ShipTimeout time.Duration
+	// ForwardWindow is the pipelining window on each inter-node
+	// client; 0 means proxy.DefaultMaxInFlight.
+	ForwardWindow int
+	// Metrics receives the cluster.* instruments; nil means the
+	// attached server's registry.
+	Metrics *obsv.Registry
+	// Logf receives diagnostics; nil means the attached server's.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) normalize() {
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 1500 * time.Millisecond
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 500 * time.Millisecond
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = c.ProbeInterval
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 2
+	}
+	if c.ShipFlush <= 0 {
+		c.ShipFlush = 5 * time.Millisecond
+	}
+	if c.ShipTimeout <= 0 {
+		c.ShipTimeout = 2 * time.Second
+	}
+}
+
+// memberState is the node's live view of one peer.
+type memberState struct {
+	Member
+	alive    bool
+	draining bool
+	epoch    uint64 // peer's own epoch, from its last probe response
+	fails    int    // consecutive probe failures
+}
+
+// Node implements proxy.ClusterHandler: it owns the membership view,
+// the routing ring, the lease table, and the ship stream. One Node
+// attaches to one proxy.Server.
+type Node struct {
+	cfg Config
+	srv *proxy.Server
+
+	mu       sync.Mutex
+	members  map[string]*memberState
+	order    []string // member ids, sorted, for stable iteration
+	epoch    atomic.Uint64
+	draining atomic.Bool
+
+	// ring is the immutable routing view, swapped wholesale on any
+	// membership change; the per-request Owner check is one atomic
+	// load.
+	ring atomic.Pointer[Ring]
+
+	// term is the lease term this node asserts as an owner; it
+	// advances past any persisted term at WAL open, so a restarted
+	// owner's ships outrank its pre-crash self.
+	term atomic.Uint64
+
+	leases *leaseTable
+	ship   *shipper
+	wal    atomic.Pointer[durable.Manager]
+
+	// clients pools one pipelined v2 connection per peer.
+	cmu     sync.Mutex
+	clients map[string]*proxy.Client
+
+	nextSID atomic.Uint64
+
+	proberDone chan struct{}
+	proberWG   sync.WaitGroup
+	started    atomic.Bool
+	closed     atomic.Bool
+
+	// Session-placement counters for cluster.status.
+	localSessions     atomic.Int64
+	forwardedSessions atomic.Int64
+	forwardedOps      atomic.Int64
+	forwardErrors     atomic.Int64
+	takeovers         atomic.Int64
+
+	// obsv instruments (forward latency, ship lag, lease transitions)
+	// surface through the proxy -metrics endpoint.
+	mForwardMicros *obsv.Histogram
+	mForwards      *obsv.Counter
+	mForwardErrs   *obsv.Counter
+	mShipEnqueued  *obsv.Counter
+	mShipAcked     *obsv.Counter
+	mShipDropped   *obsv.Counter
+	mShipErrors    *obsv.Counter
+	mShipBytes     *obsv.Counter
+	mLeaseGrants   *obsv.Counter
+	mLeaseRenewals *obsv.Counter
+	mLeaseRejects  *obsv.Counter
+	mTakeovers     *obsv.Counter
+}
+
+// New builds a Node. Call Attach before the server Listens, then
+// Start once the member addresses are final (SetMembers can install
+// them later when listeners bind ephemeral ports).
+func New(cfg Config) (*Node, error) {
+	cfg.normalize()
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("cluster: Config.Self is required")
+	}
+	n := &Node{
+		cfg:        cfg,
+		members:    make(map[string]*memberState),
+		leases:     newLeaseTable(),
+		clients:    make(map[string]*proxy.Client),
+		proberDone: make(chan struct{}),
+	}
+	n.ship = newShipper(n)
+	n.epoch.Store(1)
+	members := cfg.Members
+	if cfg.Provider != nil {
+		members = cfg.Provider.Members()
+	}
+	n.installMembers(members)
+	if _, ok := n.members[cfg.Self]; !ok && len(members) > 0 {
+		return nil, fmt.Errorf("cluster: member set does not contain self %q", cfg.Self)
+	}
+	return n, nil
+}
+
+// Attach wires the node into a proxy server: the server routes
+// durable hellos and cluster.* ops through it, and the node installs
+// its ship hook when the server's WAL opens. Call before Listen.
+func (n *Node) Attach(srv *proxy.Server) {
+	n.srv = srv
+	srv.Cluster = n
+	reg := n.cfg.Metrics
+	if reg == nil {
+		reg = srv.MetricsRegistry()
+	}
+	n.mForwardMicros = reg.Histogram("cluster.forward.micros")
+	n.mForwards = reg.Counter("cluster.forwards")
+	n.mForwardErrs = reg.Counter("cluster.forward.errors")
+	n.mShipEnqueued = reg.Counter("cluster.ship.enqueued")
+	n.mShipAcked = reg.Counter("cluster.ship.acked")
+	n.mShipDropped = reg.Counter("cluster.ship.dropped")
+	n.mShipErrors = reg.Counter("cluster.ship.errors")
+	n.mShipBytes = reg.Counter("cluster.ship.bytes")
+	n.mLeaseGrants = reg.Counter("cluster.lease.grants")
+	n.mLeaseRenewals = reg.Counter("cluster.lease.renewals")
+	n.mLeaseRejects = reg.Counter("cluster.lease.rejects")
+	n.mTakeovers = reg.Counter("cluster.lease.takeovers")
+	// If the WAL already opened (eager mode, Attach after OpenDurable),
+	// install the hook now.
+	if m := srv.Durable(); m != nil {
+		n.WALOpened(m)
+	}
+}
+
+// Start launches the prober and ship flusher.
+func (n *Node) Start() {
+	if n.started.Swap(true) {
+		return
+	}
+	n.proberWG.Add(2)
+	go func() { defer n.proberWG.Done(); n.ship.run() }()
+	go func() { defer n.proberWG.Done(); n.probeLoop() }()
+}
+
+// Close stops the prober and flusher and closes peer connections.
+func (n *Node) Close() error {
+	if n.closed.Swap(true) {
+		return nil
+	}
+	if n.started.Load() {
+		close(n.proberDone)
+	}
+	n.ship.close()
+	if n.started.Load() {
+		n.proberWG.Wait()
+	}
+	n.cmu.Lock()
+	for id, c := range n.clients {
+		c.Close()
+		delete(n.clients, id)
+	}
+	n.cmu.Unlock()
+	return nil
+}
+
+func (n *Node) logf(format string, args ...any) {
+	if n.cfg.Logf != nil {
+		n.cfg.Logf(format, args...)
+	}
+}
+
+// Epoch reports this node's membership-view epoch (bumped on every
+// view change).
+func (n *Node) Epoch() uint64 { return n.epoch.Load() }
+
+// installMembers replaces the member set under n.mu, preserving known
+// peers' liveness state, then rebuilds the ring. Caller must NOT hold
+// n.mu.
+func (n *Node) installMembers(members []Member) {
+	n.mu.Lock()
+	next := make(map[string]*memberState, len(members))
+	order := make([]string, 0, len(members))
+	for _, m := range members {
+		if m.ID == "" {
+			continue
+		}
+		st := n.members[m.ID]
+		if st == nil {
+			st = &memberState{Member: m, alive: true}
+		} else {
+			st.Addr = m.Addr
+		}
+		next[m.ID] = st
+		order = append(order, m.ID)
+	}
+	sort.Strings(order)
+	n.members = next
+	n.order = order
+	n.mu.Unlock()
+	n.rebuild()
+}
+
+// SetMembers installs a new member set (bumping the epoch). Tests and
+// in-process clusters use it after binding ephemeral listener ports.
+func (n *Node) SetMembers(members []Member) {
+	n.installMembers(members)
+	n.epoch.Add(1)
+}
+
+// rebuild recomputes the routing ring from the current view: members
+// that are alive and not draining. Caller must not hold n.mu.
+func (n *Node) rebuild() {
+	n.mu.Lock()
+	ids := make([]string, 0, len(n.order))
+	for _, id := range n.order {
+		st := n.members[id]
+		drain := st.draining
+		if id == n.cfg.Self {
+			drain = n.draining.Load()
+		}
+		if st.alive && !drain {
+			ids = append(ids, id)
+		}
+	}
+	n.mu.Unlock()
+	n.ring.Store(NewRing(ids, n.cfg.VNodes))
+}
+
+// Ring exposes the current routing ring (tests, accluster).
+func (n *Node) Ring() *Ring { return n.ring.Load() }
+
+// --- proxy.ClusterHandler ---
+
+// Owner resolves a session name to its owning node.
+func (n *Node) Owner(name string) (addr string, local bool) {
+	ring := n.ring.Load()
+	if ring == nil || ring.Size() == 0 {
+		return "", true
+	}
+	owner := ring.Owner(name)
+	if owner == "" || owner == n.cfg.Self {
+		n.localSessions.Add(1)
+		return "", true
+	}
+	n.mu.Lock()
+	st := n.members[owner]
+	if st != nil {
+		addr = st.Addr
+	}
+	n.mu.Unlock()
+	return addr, false
+}
+
+// WALOpened installs the ship hook and advances the owner term past
+// anything persisted — a restarted owner's ships must outrank its
+// pre-crash self at every follower.
+func (n *Node) WALOpened(m *durable.Manager) {
+	if n.wal.Swap(m) == m {
+		return
+	}
+	t := m.LeaseTerm(n.cfg.Self) + 1
+	if err := m.RecordLease(n.cfg.Self, t); err != nil {
+		n.logf("cluster: persist own lease term: %v", err)
+	}
+	n.term.Store(t)
+	// Seed recovered grant terms so a restart cannot accept terms it
+	// already outranked.
+	for origin, term := range m.Recovery().LeaseTerms {
+		if origin != n.cfg.Self {
+			n.leases.seed(origin, term, time.Now())
+		}
+	}
+	m.SetShipHook(n.ship.enqueue)
+}
+
+// OpenRemote forwards a durable hello to the session's owner.
+func (n *Node) OpenRemote(ctx context.Context, req *proxy.Request) (proxy.RemoteSession, *proxy.Response, error) {
+	ring := n.ring.Load()
+	if ring == nil {
+		return nil, nil, fmt.Errorf("cluster: no ring")
+	}
+	owner := ring.Owner(req.Name)
+	c, err := n.client(owner)
+	if err != nil {
+		n.forwardErrors.Add(1)
+		n.mForwardErrs.Inc()
+		return nil, nil, err
+	}
+	lane := c.Lane(n.nextSID.Add(1))
+	start := time.Now()
+	resp, err := lane.Do(ctx, &proxy.Request{Op: "hello", Name: req.Name, Session: req.Session})
+	if err != nil {
+		n.dropClient(owner, c)
+		n.forwardErrors.Add(1)
+		n.mForwardErrs.Inc()
+		return nil, nil, err
+	}
+	n.mForwardMicros.Observe(time.Since(start).Microseconds())
+	n.mForwards.Inc()
+	n.forwardedSessions.Add(1)
+	return &remoteSession{n: n, peer: owner, client: c, lane: lane}, resp, nil
+}
+
+// remoteSession relays one forwarded session's requests to its owner
+// over a dedicated lane of the pooled peer client.
+type remoteSession struct {
+	n      *Node
+	peer   string
+	client *proxy.Client
+	lane   *proxy.Lane
+}
+
+// Do relays one request. The local request is pooled and its ID/SID
+// belong to the local connection, so the relay sends a copy with both
+// cleared (the lane stamps its own).
+func (r *remoteSession) Do(ctx context.Context, req *proxy.Request) (*proxy.Response, error) {
+	creq := *req
+	creq.ID, creq.SID = 0, 0
+	start := time.Now()
+	resp, err := r.lane.Do(ctx, &creq)
+	if err != nil {
+		r.n.dropClient(r.peer, r.client)
+		r.n.forwardErrors.Add(1)
+		r.n.mForwardErrs.Inc()
+		return nil, err
+	}
+	r.n.mForwardMicros.Observe(time.Since(start).Microseconds())
+	r.n.mForwards.Inc()
+	r.n.forwardedOps.Add(1)
+	return resp, nil
+}
+
+// Close forgets the handle. The durable session on the owner outlives
+// it by design.
+func (r *remoteSession) Close() { r.n.forwardedSessions.Add(-1) }
+
+// client returns the pooled pipelined connection to peer, dialing and
+// upgrading it on first use.
+func (n *Node) client(peer string) (*proxy.Client, error) {
+	n.cmu.Lock()
+	defer n.cmu.Unlock()
+	if c := n.clients[peer]; c != nil {
+		return c, nil
+	}
+	n.mu.Lock()
+	st := n.members[peer]
+	n.mu.Unlock()
+	if st == nil || st.Addr == "" {
+		return nil, fmt.Errorf("cluster: unknown peer %q", peer)
+	}
+	opts := []proxy.ClientOption{}
+	if n.cfg.ForwardWindow > 0 {
+		opts = append(opts, proxy.WithWindow(n.cfg.ForwardWindow))
+	}
+	c, err := proxy.Dial(st.Addr, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dial %s (%s): %w", peer, st.Addr, err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.ShipTimeout)
+	err = c.Hello(ctx, nil)
+	cancel()
+	if err != nil {
+		c.Close()
+		return nil, fmt.Errorf("cluster: hello %s: %w", peer, err)
+	}
+	n.clients[peer] = c
+	return c, nil
+}
+
+// dropClient discards a failed pooled connection so the next use
+// redials. The compare guards a racing replacement.
+func (n *Node) dropClient(peer string, c *proxy.Client) {
+	n.cmu.Lock()
+	if n.clients[peer] == c {
+		delete(n.clients, peer)
+	}
+	n.cmu.Unlock()
+	c.Close()
+}
+
+// --- health probing ---
+
+func (n *Node) probeLoop() {
+	t := time.NewTicker(n.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.proberDone:
+			return
+		case <-t.C:
+			n.probeOnce()
+		}
+	}
+}
+
+// probeOnce pings every peer and folds the results into the view.
+// Transitions (alive→dead, dead→alive, draining flips, epoch moves)
+// bump this node's epoch and rebuild the ring.
+func (n *Node) probeOnce() {
+	n.mu.Lock()
+	peers := make([]Member, 0, len(n.order))
+	for _, id := range n.order {
+		if id != n.cfg.Self {
+			peers = append(peers, n.members[id].Member)
+		}
+	}
+	n.mu.Unlock()
+
+	changed := false
+	for _, p := range peers {
+		ok, body := n.ping(p)
+		n.mu.Lock()
+		st := n.members[p.ID]
+		if st == nil {
+			n.mu.Unlock()
+			continue
+		}
+		if ok {
+			st.fails = 0
+			if !st.alive {
+				st.alive = true
+				changed = true
+				n.logf("cluster: peer %s is back", p.ID)
+			}
+			if body != nil {
+				if body.Draining != st.draining {
+					st.draining = body.Draining
+					changed = true
+				}
+				st.epoch = body.Epoch
+			}
+		} else {
+			st.fails++
+			// The lease gate: a follower that granted this origin a
+			// lease must let it expire before serving its sessions —
+			// before removing it from the ring.
+			if st.alive && st.fails >= n.cfg.SuspectAfter && !n.leases.active(p.ID, time.Now()) {
+				st.alive = false
+				changed = true
+				if n.leases.term(p.ID) > 0 {
+					n.takeovers.Add(1)
+					n.mTakeovers.Inc()
+				}
+				n.logf("cluster: peer %s marked dead after %d failed probes", p.ID, st.fails)
+			}
+		}
+		n.mu.Unlock()
+	}
+	if changed {
+		n.epoch.Add(1)
+		n.rebuild()
+	}
+}
+
+// ping sends one cluster.ping, returning the peer's reported state.
+func (n *Node) ping(p Member) (bool, *proxy.ClusterBody) {
+	c, err := n.client(p.ID)
+	if err != nil {
+		return false, nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.ProbeTimeout)
+	defer cancel()
+	resp, err := c.Do(ctx, &proxy.Request{Op: "cluster.ping", Node: n.cfg.Self, Epoch: n.Epoch()})
+	if err != nil {
+		n.dropClient(p.ID, c)
+		return false, nil
+	}
+	if resp.Error != "" {
+		return false, nil
+	}
+	return true, resp.Cluster
+}

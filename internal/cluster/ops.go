@@ -1,0 +1,158 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/acerr"
+	"repro/internal/proxy"
+)
+
+// HandleOp serves the cluster.* control ops — the small v2 op set
+// peers (and the accluster CLI) speak:
+//
+//	cluster.ping      liveness probe; answers self/epoch/draining
+//	cluster.status    full view: members, leases, placement, ship lag
+//	cluster.ship      a peer owner's WAL record batch + lease assertion
+//	cluster.drain     stop owning new sessions; peers route around us
+//	cluster.rebalance force an immediate probe round and ring rebuild
+func (n *Node) HandleOp(ctx context.Context, req *proxy.Request) *proxy.Response {
+	switch req.Op {
+	case "cluster.ping":
+		return &proxy.Response{OK: true, Cluster: &proxy.ClusterBody{
+			Self:     n.cfg.Self,
+			Epoch:    n.Epoch(),
+			Draining: n.draining.Load(),
+		}}
+
+	case "cluster.status":
+		return &proxy.Response{OK: true, Cluster: n.statusBody()}
+
+	case "cluster.ship":
+		return n.handleShip(req)
+
+	case "cluster.drain":
+		if !n.draining.Swap(true) {
+			n.epoch.Add(1)
+			n.rebuild()
+			n.logf("cluster: draining — new sessions route to peers")
+		}
+		return &proxy.Response{OK: true, Cluster: n.statusBody()}
+
+	case "cluster.rebalance":
+		n.probeOnce()
+		n.epoch.Add(1)
+		n.rebuild()
+		return &proxy.Response{OK: true, Cluster: n.statusBody()}
+	}
+	return &proxy.Response{
+		Error: fmt.Sprintf("unknown cluster op %q", req.Op),
+		Code:  acerr.CodeBadRequest,
+	}
+}
+
+// handleShip is the follower half of WAL shipping: verify the lease
+// assertion, persist each shipped record (wrapped, via the durable
+// manager), and extend the lease. A node with no WAL configured
+// cannot follow; one with a lazy WAL opens it now — replicas imply
+// durable writes.
+func (n *Node) handleShip(req *proxy.Request) *proxy.Response {
+	origin := req.Node
+	if origin == "" {
+		return &proxy.Response{Error: "cluster.ship: missing origin node", Code: acerr.CodeBadRequest}
+	}
+	m := n.wal.Load()
+	if m == nil {
+		if n.srv == nil {
+			return &proxy.Response{Error: "cluster.ship: node not attached", Code: acerr.CodeInternal}
+		}
+		if err := n.srv.OpenDurable(); err != nil {
+			return &proxy.Response{Error: "cluster.ship: open WAL: " + err.Error(), Code: acerr.CodeEngine}
+		}
+		if m = n.wal.Load(); m == nil {
+			return &proxy.Response{Error: "cluster.ship: follower has no WAL directory configured", Code: acerr.CodeBadRequest}
+		}
+	}
+	ttl := time.Duration(req.TTLMillis) * time.Millisecond
+	if ttl <= 0 {
+		ttl = n.cfg.LeaseTTL
+	}
+	accepted, isNew := n.leases.renew(origin, req.Term, ttl, time.Now())
+	if !accepted {
+		n.mLeaseRejects.Inc()
+		return &proxy.Response{
+			Error: fmt.Sprintf("cluster.ship: stale lease term %d from %s (granted %d)", req.Term, origin, n.leases.term(origin)),
+			Code:  acerr.CodeBadRequest,
+		}
+	}
+	if isNew {
+		n.mLeaseGrants.Inc()
+		if err := m.RecordLease(origin, req.Term); err != nil {
+			return &proxy.Response{Error: "cluster.ship: persist lease: " + err.Error(), Code: acerr.CodeEngine}
+		}
+	} else {
+		n.mLeaseRenewals.Inc()
+	}
+	for i := range req.Ship {
+		r := &req.Ship[i]
+		if err := m.ApplyShipped(origin, r.Type, r.Payload); err != nil {
+			return &proxy.Response{
+				Error: fmt.Sprintf("cluster.ship: record %d (session %s): %v", i, r.Session, err),
+				Code:  acerr.CodeEngine,
+			}
+		}
+	}
+	return &proxy.Response{OK: true}
+}
+
+// statusBody assembles the full cluster.status payload.
+func (n *Node) statusBody() *proxy.ClusterBody {
+	now := time.Now()
+	body := &proxy.ClusterBody{
+		Self:     n.cfg.Self,
+		Epoch:    n.Epoch(),
+		Draining: n.draining.Load(),
+
+		LocalSessions:     n.localSessions.Load(),
+		ForwardedSessions: n.forwardedSessions.Load(),
+		ForwardedOps:      n.forwardedOps.Load(),
+		ForwardErrors:     n.forwardErrors.Load(),
+
+		ShipEnqueued: n.mShipEnqueued.Value(),
+		ShipAcked:    n.mShipAcked.Value(),
+		ShipDropped:  n.mShipDropped.Value(),
+		ShipBytes:    n.mShipBytes.Value(),
+		Takeovers:    n.takeovers.Load(),
+	}
+	n.mu.Lock()
+	for _, id := range n.order {
+		st := n.members[id]
+		ms := proxy.MemberStatus{
+			ID:       id,
+			Addr:     st.Addr,
+			Alive:    st.alive,
+			Draining: st.draining,
+			Epoch:    st.epoch,
+		}
+		if id == n.cfg.Self {
+			ms.Self = true
+			ms.Alive = true
+			ms.Draining = n.draining.Load()
+			ms.Epoch = n.Epoch()
+		}
+		body.Members = append(body.Members, ms)
+	}
+	n.mu.Unlock()
+	snaps := n.leases.snapshot(now)
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].origin < snaps[j].origin })
+	for _, ls := range snaps {
+		body.Leases = append(body.Leases, proxy.LeaseStatus{
+			Origin:          ls.origin,
+			Term:            ls.term,
+			ExpiresInMillis: ls.remaining.Milliseconds(),
+		})
+	}
+	return body
+}

@@ -1,0 +1,171 @@
+// Package cluster turns N proxy replicas into one enforcement
+// cluster (DESIGN.md §16): a membership layer with periodic health
+// probes over the v2 cluster.* op set, consistent-hash routing of
+// durable sessions so each session's history accrues on exactly one
+// node, and lease-based ownership with WAL shipping so a follower can
+// adopt an owner's sessions byte-identically after it dies.
+//
+// The package implements proxy.ClusterHandler; the dependency points
+// cluster → proxy only.
+package cluster
+
+import "sort"
+
+// DefaultVNodes is the virtual-node count per member. More vnodes
+// smooth the key distribution and shrink the movement bound on
+// membership change; 64 keeps ring rebuilds cheap at small N.
+const DefaultVNodes = 64
+
+// Ring is an immutable consistent-hash ring: members are expanded
+// into virtual nodes, and a key belongs to the member owning the
+// first vnode at or clockwise past the key's hash. Replacing the ring
+// wholesale on membership change (rather than mutating it) lets the
+// routing hot path read it through one atomic pointer.
+type Ring struct {
+	vnodes  []vnode
+	members []string
+}
+
+type vnode struct {
+	hash   uint64
+	member string
+}
+
+// fnv64a is FNV-1a; inlined so the ring owes nothing to hash/maphash
+// seeding (placement must be identical on every node).
+func fnv64a(s string) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// mix64 finalizes a hash with an avalanche pass (the 64-bit
+// murmur-style fmix). Raw FNV leaves the high bits — the bits ring
+// position sorts on — barely touched by an input's trailing bytes, so
+// suffix-structured names ("node1".."node4", "session-0042") cluster
+// and the key distribution collapses. The finalizer spreads every
+// input bit across the word.
+func mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// keyHash positions a session name on the ring.
+func keyHash(key string) uint64 { return mix64(fnv64a(key)) }
+
+// vnodeHash salts the member id with the vnode ordinal. The '#' joint
+// keeps "node1"+vnode 11 distinct from "node11"+vnode 1.
+func vnodeHash(member string, i int) uint64 {
+	var buf [20]byte
+	n := 0
+	for ; i > 0 || n == 0; i /= 10 {
+		buf[n] = byte('0' + i%10)
+		n++
+	}
+	h := fnv64a(member + "#")
+	const prime = 1099511628211
+	for j := n - 1; j >= 0; j-- {
+		h ^= uint64(buf[j])
+		h *= prime
+	}
+	return mix64(h)
+}
+
+// NewRing builds a ring over members (order-insensitive; duplicates
+// collapse). vnodesPer <= 0 means DefaultVNodes. A nil/empty member
+// set yields an empty ring, whose Owner always answers "".
+func NewRing(members []string, vnodesPer int) *Ring {
+	if vnodesPer <= 0 {
+		vnodesPer = DefaultVNodes
+	}
+	uniq := make([]string, 0, len(members))
+	seen := make(map[string]bool, len(members))
+	for _, m := range members {
+		if m != "" && !seen[m] {
+			seen[m] = true
+			uniq = append(uniq, m)
+		}
+	}
+	sort.Strings(uniq)
+	r := &Ring{members: uniq, vnodes: make([]vnode, 0, len(uniq)*vnodesPer)}
+	for _, m := range uniq {
+		for i := 0; i < vnodesPer; i++ {
+			r.vnodes = append(r.vnodes, vnode{hash: vnodeHash(m, i), member: m})
+		}
+	}
+	sort.Slice(r.vnodes, func(i, j int) bool {
+		if r.vnodes[i].hash != r.vnodes[j].hash {
+			return r.vnodes[i].hash < r.vnodes[j].hash
+		}
+		// Hash ties (vanishingly rare) break on member id so every
+		// node sorts identically.
+		return r.vnodes[i].member < r.vnodes[j].member
+	})
+	return r
+}
+
+// Members returns the ring's member ids, sorted.
+func (r *Ring) Members() []string { return r.members }
+
+// Size reports the member count.
+func (r *Ring) Size() int { return len(r.members) }
+
+// firstAt returns the index of the first vnode at or past h, wrapping.
+func (r *Ring) firstAt(h uint64) int {
+	i := sort.Search(len(r.vnodes), func(i int) bool { return r.vnodes[i].hash >= h })
+	if i == len(r.vnodes) {
+		i = 0
+	}
+	return i
+}
+
+// Owner returns the member owning key ("" on an empty ring).
+func (r *Ring) Owner(key string) string {
+	if len(r.vnodes) == 0 {
+		return ""
+	}
+	return r.vnodes[r.firstAt(keyHash(key))].member
+}
+
+// Successors returns up to n distinct members in the key's ring-walk
+// order, owner first. The walk order is what makes WAL shipping line
+// up with failover: the key's records ship to Successors(key, 2)[1],
+// and when the owner leaves the ring, Owner(key) over the survivors
+// is exactly that member.
+func (r *Ring) Successors(key string, n int) []string {
+	if len(r.vnodes) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	start := r.firstAt(keyHash(key))
+	for i := 0; i < len(r.vnodes) && len(out) < n; i++ {
+		m := r.vnodes[(start+i)%len(r.vnodes)].member
+		if !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Follower returns the member the key's owner ships this key's WAL
+// records to ("" when the ring has fewer than two members).
+func (r *Ring) Follower(key string) string {
+	succ := r.Successors(key, 2)
+	if len(succ) < 2 {
+		return ""
+	}
+	return succ[1]
+}

@@ -52,6 +52,12 @@ type RecoveryResult struct {
 	// because the checkpoint already covered them.
 	TornTailBytes     int64
 	DuplicatesSkipped int
+	// LeaseTerms maps origin node id -> highest lease term durably
+	// granted to it (cluster mode; nil outside it). ShippedGaps counts
+	// shipped-record index gaps (histories restarted mid-stream because
+	// the owner's shipper dropped records).
+	LeaseTerms  map[string]uint64
+	ShippedGaps int
 }
 
 // PolicyID is the persisted policy identity: the checker fingerprint
@@ -240,6 +246,8 @@ func (res *RecoveryResult) apply(typ byte, payload []byte) error {
 		res.Policy = &PolicyID{Fingerprint: p.Fingerprint, Views: p.Views, DBHash: p.DBHash}
 	case recPolicyStage, recPolicyPromote, recPolicyRollback:
 		return res.applyPolicyVersion(typ, payload)
+	case recLease, recShipped:
+		return res.applyCluster(typ, payload)
 	default:
 		return fmt.Errorf("unknown record type %d", typ)
 	}

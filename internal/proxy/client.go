@@ -406,6 +406,24 @@ func (c *Client) call(ctx context.Context, req *Request) (*Response, error) {
 	return p.Wait(ctx)
 }
 
+// Do sends one raw request and returns the raw response:
+// application-level errors stay in Response.Error instead of becoming
+// Go errors. Cluster forwarding uses it to relay a peer's responses
+// verbatim.
+func (c *Client) Do(ctx context.Context, req *Request) (*Response, error) {
+	if !c.pipelined() {
+		return c.roundTrip(ctx, req)
+	}
+	return c.call(ctx, req)
+}
+
+// Do sends one raw request on this lane; see Client.Do. Requires
+// protocol v2.
+func (l *Lane) Do(ctx context.Context, req *Request) (*Response, error) {
+	req.SID = l.sid
+	return l.c.call(ctx, req)
+}
+
 // dispatch runs a request in whichever mode the connection is in.
 func (c *Client) dispatch(ctx context.Context, req *Request) (*Response, error) {
 	if c.pipelined() {

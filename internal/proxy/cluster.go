@@ -1,0 +1,114 @@
+package proxy
+
+import (
+	"context"
+	"strings"
+
+	"repro/internal/acerr"
+	"repro/internal/durable"
+)
+
+// Cluster mode (internal/cluster, DESIGN.md §16). The proxy stays
+// ignorant of rings, leases, and peers: it asks one handler where a
+// durable session lives, relays requests for sessions owned elsewhere
+// through an opaque remote handle, and hands cluster.* control ops to
+// the handler wholesale. internal/cluster implements the handler; the
+// interface lives here so the dependency points cluster → proxy, never
+// back.
+
+// ClusterHandler routes durable sessions across an enforcement
+// cluster. Implementations must be safe for concurrent use.
+type ClusterHandler interface {
+	// Owner resolves a durable session name to the node that owns it.
+	// local reports whether that node is this one; addr is the owner's
+	// v2 address (informational when local).
+	Owner(name string) (addr string, local bool)
+	// OpenRemote forwards a durable hello to the session's owner and
+	// returns a handle relaying the session's subsequent requests plus
+	// the owner's hello response.
+	OpenRemote(ctx context.Context, req *Request) (RemoteSession, *Response, error)
+	// HandleOp serves one cluster.* control op (ping, status, ship,
+	// drain, rebalance).
+	HandleOp(ctx context.Context, req *Request) *Response
+	// WALOpened runs once when the server's durable manager opens,
+	// before any session uses it; the cluster installs its ship hook
+	// here.
+	WALOpened(m *durable.Manager)
+}
+
+// RemoteSession relays one forwarded session's requests to its owner.
+type RemoteSession interface {
+	// Do sends one request and returns the owner's raw response
+	// (application-level errors stay in Response.Error; the error
+	// return is transport failure only).
+	Do(ctx context.Context, req *Request) (*Response, error)
+	// Close releases the handle. It does not end the session on the
+	// owner — durable sessions outlive connections by design.
+	Close()
+}
+
+// handleClusterHello intercepts a durable hello when cluster routing
+// is on. It returns (resp, true) when the session is owned by a peer
+// and was forwarded (or the forward failed); (_, false) means the
+// session is local and the caller proceeds down the normal path.
+func (s *Server) handleClusterHello(ctx context.Context, req *Request, sess *session) (Response, bool) {
+	h := s.Cluster
+	if h == nil || req.Name == "" {
+		return Response{}, false
+	}
+	if _, local := h.Owner(req.Name); local {
+		if sess.remote != nil {
+			sess.remote.Close()
+			sess.remote = nil
+		}
+		return Response{}, false
+	}
+	if sess.remote != nil {
+		sess.remote.Close()
+		sess.remote = nil
+	}
+	remote, rresp, err := h.OpenRemote(ctx, req)
+	if err != nil {
+		return Response{Error: "cluster forward: " + err.Error(), Code: acerr.CodeInternal}, true
+	}
+	if rresp.Error != "" {
+		return Response{Error: rresp.Error, Code: rresp.Code}, true
+	}
+	sess.remote = remote
+	sess.name = req.Name
+	resp := Response{OK: true, Restored: rresp.Restored}
+	// Protocol negotiation is between this node and ITS client, not
+	// whatever the inter-node connection negotiated.
+	if req.MaxProto >= ProtoV2 {
+		resp.Proto = ProtoV2
+	}
+	return resp, true
+}
+
+// forwardRemote relays one request over a forwarded session's remote
+// handle. The owner's response comes back verbatim except for the ID,
+// which the local dispatch layer re-stamps.
+func (s *Server) forwardRemote(ctx context.Context, req *Request, sess *session) Response {
+	resp, err := sess.remote.Do(ctx, req)
+	if err != nil {
+		return Response{Error: "cluster forward: " + err.Error(), Code: acerr.CodeInternal}
+	}
+	out := *resp
+	out.ID = 0
+	return out
+}
+
+// handleClusterOp dispatches a cluster.* control op to the handler.
+func (s *Server) handleClusterOp(ctx context.Context, req *Request) Response {
+	h := s.Cluster
+	if h == nil {
+		return Response{Error: "cluster mode is not enabled", Code: acerr.CodeBadRequest}
+	}
+	if resp := h.HandleOp(ctx, req); resp != nil {
+		return *resp
+	}
+	return Response{Error: "unknown cluster op " + req.Op, Code: acerr.CodeBadRequest}
+}
+
+// isClusterOp reports whether op belongs to the cluster.* control set.
+func isClusterOp(op string) bool { return strings.HasPrefix(op, "cluster.") }

@@ -98,6 +98,16 @@ type Server struct {
 	// (every lane response heap-allocates, the pre-PR-9 behaviour).
 	// Ablation knob paired with DisableInlineFast.
 	DisableEncodePooling bool
+	// Cluster, when set, routes durable sessions across an enforcement
+	// cluster (cluster.go, internal/cluster): hellos for sessions owned
+	// by a peer are forwarded there, and cluster.* control ops dispatch
+	// to the handler. Set before Listen.
+	Cluster ClusterHandler
+	// LazyWAL defers opening the WAL past Listen: it opens on the first
+	// durable hello (or incoming ship) instead. A node that only ever
+	// forwards — or only serves ephemeral sessions — then never creates
+	// a WAL directory at all.
+	LazyWAL bool
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -329,6 +339,11 @@ func (s *Server) OpenDurable() error {
 			}
 		}
 	}
+	// The cluster's ship hook must be live before the manager is
+	// published — the first durable append may need replicating.
+	if s.Cluster != nil {
+		s.Cluster.WALOpened(m)
+	}
 	s.mu.Lock()
 	s.wal = m
 	s.mu.Unlock()
@@ -348,8 +363,10 @@ func (s *Server) Durable() *durable.Manager {
 // background goroutines until Close.
 func (s *Server) Listen(addr string) (string, error) {
 	s.initObs()
-	if err := s.OpenDurable(); err != nil {
-		return "", err
+	if !s.LazyWAL {
+		if err := s.OpenDurable(); err != nil {
+			return "", err
+		}
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -449,6 +466,10 @@ type session struct {
 	// Last-seen fact-cache counters, for delta aggregation into the
 	// server totals (the trace is replaced on every hello).
 	factReused, factTranslated uint64
+	// remote, when set, marks this session as owned by a cluster peer:
+	// queries relay through it instead of deciding locally
+	// (cluster.go), so the session's history accrues on one node.
+	remote RemoteSession
 }
 
 func (s *Server) newSessionState() *session {
@@ -972,6 +993,11 @@ func (s *Server) tryInlineQuery(pc *pipeConn, req *Request) bool {
 	if !ln.tryClaim() {
 		return false
 	}
+	if ln.sess.remote != nil {
+		// Forwarded session: the owner decides; take the general path.
+		ln.releaseClaim()
+		return false
+	}
 	args, err := buildArgs(req)
 	if err != nil {
 		ln.releaseClaim()
@@ -1068,6 +1094,17 @@ func (s *Server) Handle(req *Request, sess *session) Response {
 // response with the "canceled" error code.
 func (s *Server) HandleCtx(ctx context.Context, req *Request, sess *session) Response {
 	s.initObs()
+	if isClusterOp(req.Op) {
+		return s.handleClusterOp(ctx, req)
+	}
+	// A session owned by a cluster peer relays its work there: history
+	// must accrue on exactly one node for decisions to stay sound.
+	if sess.remote != nil {
+		switch req.Op {
+		case "query", "exec", "batch":
+			return s.forwardRemote(ctx, req, sess)
+		}
+	}
 	switch req.Op {
 	case "hello":
 		attrs := make(map[string]sqlvalue.Value, len(req.Session))
@@ -1083,7 +1120,17 @@ func (s *Server) HandleCtx(ctx context.Context, req *Request, sess *session) Res
 		}
 		sess.attrs = attrs
 		sess.name = req.Name
+		if resp, forwarded := s.handleClusterHello(ctx, req, sess); forwarded {
+			return resp
+		}
 		resp := Response{OK: true}
+		if s.LazyWAL && req.Name != "" && s.WALDir != "" && s.Durable() == nil {
+			// Deferred WAL open: the first durable hello pays for it; a
+			// node that only forwards never does.
+			if err := s.OpenDurable(); err != nil {
+				return Response{Error: err.Error(), Code: acerr.CodeEngine}
+			}
+		}
 		if wal := s.Durable(); wal != nil && req.Name != "" {
 			// Durable session: the trace is shared, WAL-hooked, and —
 			// after a restart — restored with its pre-crash history.

@@ -47,7 +47,7 @@ func appendString(buf []byte, s string) []byte {
 // ok=false when resp needs the reflective encoder (stats, policy,
 // batch, views, or an error payload).
 func appendResponse(buf []byte, resp *Response) ([]byte, bool) {
-	if resp.Error != "" || resp.Stats != nil || resp.Policy != nil || resp.Batch != nil || resp.Views != nil {
+	if resp.Error != "" || resp.Stats != nil || resp.Policy != nil || resp.Batch != nil || resp.Views != nil || resp.Cluster != nil {
 		return buf, false
 	}
 	buf = append(buf, '{')
@@ -116,7 +116,8 @@ func appendResponse(buf []byte, resp *Response) ([]byte, bool) {
 // appendRequest hand-encodes the common request shapes (flat scalar
 // args and session attrs). ok=false falls back to encoding/json.
 func appendRequest(buf []byte, req *Request) ([]byte, bool) {
-	if req.Batch != nil || req.Named != nil || req.Views != nil {
+	if req.Batch != nil || req.Named != nil || req.Views != nil ||
+		req.Node != "" || req.Ship != nil || req.Epoch != 0 || req.Term != 0 || req.TTLMillis != 0 {
 		return buf, false
 	}
 	buf = append(buf, `{"op":`...)
